@@ -1,0 +1,77 @@
+// Dynamics — the multi-round Stackelberg game: contract adaptation to a
+// heterogeneous fleet including a worker that turns malicious mid-run.
+//
+// Shows the "adaptive to changes in workers' behavior" property: after the
+// switch the requester's maliciousness estimate climbs, the weight drops,
+// and the turncoat's compensation is cut.
+//
+// Usage: bench_dynamics [rounds=60] [seed=3]
+#include <cstdio>
+
+#include "core/stackelberg.hpp"
+#include "util/config.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ccd;
+  const util::ParamMap params = util::ParamMap::from_args(argc, argv);
+  const std::size_t rounds =
+      static_cast<std::size_t>(params.get_int("rounds", 60));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(params.get_int("seed", 3));
+  params.assert_all_consumed();
+
+  std::printf("== Dynamics: multi-round Stackelberg with a turncoat ==\n\n");
+
+  const effort::QuadraticEffort psi(-1.0, 8.0, 2.0);
+  core::SimWorkerSpec honest;
+  honest.name = "honest";
+  honest.psi = psi;
+  honest.accuracy_distance = 0.3;
+
+  core::SimWorkerSpec malicious;
+  malicious.name = "malicious";
+  malicious.psi = psi;
+  malicious.omega = 0.6;
+  malicious.accuracy_distance = 1.7;
+
+  core::SimWorkerSpec turncoat;
+  turncoat.name = "turncoat";
+  turncoat.psi = psi;
+  turncoat.accuracy_distance = 0.3;
+  turncoat.switch_round = rounds / 2;
+  turncoat.switched_omega = 0.6;
+  turncoat.switched_accuracy_distance = 2.0;
+
+  core::SimConfig config;
+  config.rounds = rounds;
+  config.seed = seed;
+  config.feedback_noise = 0.3;
+  config.accuracy_noise = 0.1;
+
+  core::StackelbergSimulator sim({honest, malicious, turncoat}, config);
+  const core::SimResult result = sim.run();
+
+  util::TextTable table({"round", "req utility", "honest pay",
+                         "malicious pay", "turncoat pay", "turncoat e_mal",
+                         "turncoat weight"});
+  for (std::size_t t = 0; t < rounds; t += rounds / 15 == 0 ? 1 : rounds / 15) {
+    table.add_row(
+        {std::to_string(t),
+         util::format_double(result.rounds[t].requester_utility, 3),
+         util::format_double(result.worker_history[0][t].compensation, 3),
+         util::format_double(result.worker_history[1][t].compensation, 3),
+         util::format_double(result.worker_history[2][t].compensation, 3),
+         util::format_double(result.worker_history[2][t].estimated_malicious, 3),
+         util::format_double(result.worker_history[2][t].weight, 3)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("cumulative requester utility over %zu rounds: %.3f\n",
+              rounds, result.cumulative_requester_utility);
+  std::printf("shape check: the turncoat's e_mal estimate jumps after round "
+              "%zu and its pay is cut, while the honest worker's pay is "
+              "stable.\n",
+              rounds / 2);
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Extension — budget-feasible contract allocation (the Singer line of work
+// the paper cites in §VI, ported to the dynamic-contract model): sweep the
+// payment budget and report the achievable requester utility, the shadow
+// price of money, and who gets dropped first.
+//
+// Usage: bench_ext_budget [scale=medium|small]
+#include <cstdio>
+
+#include "contract/budget.hpp"
+#include "core/pipeline.hpp"
+#include "data/generator.hpp"
+#include "util/config.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ccd;
+  const util::ParamMap params = util::ParamMap::from_args(argc, argv);
+  const std::string scale = params.get_string("scale", "medium");
+  params.assert_all_consumed();
+
+  data::GeneratorParams gen = data::GeneratorParams::medium();
+  if (scale == "small") gen = data::GeneratorParams::small();
+
+  std::printf("== Extension: budget-feasible allocation ==\n");
+  const data::ReviewTrace trace = data::generate_trace(gen);
+  const core::PipelineResult pipeline =
+      core::run_pipeline(trace, core::PipelineConfig{});
+  std::printf("unconstrained fleet: utility %.1f at spend %.1f\n\n",
+              pipeline.total_requester_utility, pipeline.total_compensation);
+
+  // Menus from the per-subproblem designs; track which workers are honest
+  // to see who gets dropped as the budget tightens.
+  std::vector<contract::BudgetMenu> menus;
+  std::vector<bool> honest_menu;
+  for (const core::SubproblemOutcome& sub : pipeline.subproblems) {
+    menus.push_back(contract::menu_from_design(sub.design));
+    honest_menu.push_back(
+        sub.workers.size() == 1 &&
+        trace.worker(sub.workers.front()).true_class ==
+            data::WorkerClass::kHonest);
+  }
+
+  util::TextTable table({"budget (% of full)", "spend", "utility",
+                         "% of full utility", "lambda", "honest kept %",
+                         "others kept %"});
+  const double full_spend = pipeline.total_compensation;
+  for (const double fraction : {1.0, 0.75, 0.5, 0.25, 0.1, 0.05, 0.01}) {
+    const double budget = fraction * full_spend;
+    const contract::BudgetAllocation a =
+        contract::allocate_budget(menus, budget);
+    std::size_t honest_kept = 0, honest_total = 0;
+    std::size_t other_kept = 0, other_total = 0;
+    for (std::size_t i = 0; i < menus.size(); ++i) {
+      if (menus[i].pay.empty()) continue;
+      if (honest_menu[i]) {
+        ++honest_total;
+        if (a.choices[i].k != 0) ++honest_kept;
+      } else {
+        ++other_total;
+        if (a.choices[i].k != 0) ++other_kept;
+      }
+    }
+    table.add_row(
+        {util::format_double(100.0 * fraction, 0),
+         util::format_double(a.total_pay, 1),
+         util::format_double(a.total_utility, 1),
+         util::format_double(
+             100.0 * a.total_utility / pipeline.total_requester_utility, 2),
+         util::format_double(a.lambda, 3),
+         util::format_double(
+             honest_total == 0
+                 ? 0.0
+                 : 100.0 * static_cast<double>(honest_kept) /
+                       static_cast<double>(honest_total),
+             1),
+         util::format_double(
+             other_total == 0
+                 ? 0.0
+                 : 100.0 * static_cast<double>(other_kept) /
+                       static_cast<double>(other_total),
+             1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("shape check: utility degrades gracefully (concave in budget). "
+              "The allocator prefers downgrading contracts (lower target "
+              "intervals k) across the whole fleet over dropping workers — "
+              "cheap low-k contracts still buy positive utility, so kept%% "
+              "stays high even at 1%% budget while the shadow price lambda "
+              "climbs.\n");
+  return 0;
+}

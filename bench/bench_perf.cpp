@@ -1,0 +1,82 @@
+// Performance microbenchmarks (google-benchmark): subproblem solve cost vs
+// partition density, pipeline throughput vs thread count (the paper's
+// motivation for decomposing the bilevel program), and clustering cost.
+#include <benchmark/benchmark.h>
+
+#include "contract/designer.hpp"
+#include "core/pipeline.hpp"
+#include "data/generator.hpp"
+#include "detect/collusion.hpp"
+
+namespace {
+
+const ccd::data::ReviewTrace& medium_trace() {
+  static const ccd::data::ReviewTrace trace =
+      ccd::data::generate_trace(ccd::data::GeneratorParams::medium());
+  return trace;
+}
+
+void BM_DesignContract(benchmark::State& state) {
+  ccd::contract::SubproblemSpec spec;
+  spec.psi = ccd::effort::QuadraticEffort(-1.0, 8.0, 2.0);
+  spec.incentives = {1.0, 0.3};
+  spec.weight = 1.0;
+  spec.mu = 1.0;
+  spec.intervals = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ccd::contract::design_contract(spec));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DesignContract)->RangeMultiplier(2)->Range(4, 256)->Complexity();
+
+void BM_BestResponse(benchmark::State& state) {
+  const ccd::effort::QuadraticEffort psi(-1.0, 8.0, 2.0);
+  const ccd::contract::WorkerIncentives inc{1.0, 0.2};
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  const double delta = psi.usable_domain() / static_cast<double>(m);
+  const ccd::contract::Contract c =
+      ccd::contract::build_candidate(psi, delta, m, m / 2 + 1, inc);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ccd::contract::best_response(c, psi, inc));
+  }
+}
+BENCHMARK(BM_BestResponse)->RangeMultiplier(4)->Range(4, 256);
+
+void BM_PipelineThreads(benchmark::State& state) {
+  const auto& trace = medium_trace();
+  ccd::core::PipelineConfig config;
+  config.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ccd::core::run_pipeline(trace, config));
+  }
+}
+BENCHMARK(BM_PipelineThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CollusionClustering(benchmark::State& state) {
+  const auto& trace = medium_trace();
+  const auto backend = state.range(0) == 0
+                           ? ccd::detect::ClusterBackend::kUnionFind
+                           : ccd::detect::ClusterBackend::kDfsGraph;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ccd::detect::cluster_ground_truth_malicious(trace, backend));
+  }
+  state.SetLabel(state.range(0) == 0 ? "union-find" : "dfs-graph");
+}
+BENCHMARK(BM_CollusionClustering)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  auto params = ccd::data::GeneratorParams::small();
+  for (auto _ : state) {
+    params.seed += 1;  // avoid trivially repeated streams
+    benchmark::DoNotOptimize(ccd::data::generate_trace(params));
+  }
+}
+BENCHMARK(BM_TraceGeneration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

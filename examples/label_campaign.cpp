@@ -1,0 +1,78 @@
+// label_campaign: the paper's §VII generalization in action — dynamic
+// contracts driving a binary-classification crowdsourcing campaign.
+//
+// A pool of diligent labelers, adversaries pushing one class, and a spammer
+// label batches of tasks. The requester calibrates under flat pay, fits
+// effort->agreement curves, designs per-labeler contracts, and the aggregate
+// label quality is compared against the flat-pay baseline.
+//
+// Usage: label_campaign [diligent=8] [adversarial=2] [spammers=1] [seed=17]
+#include <cstdio>
+
+#include "tasks/campaign.hpp"
+#include "util/config.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ccd;
+  const util::ParamMap params = util::ParamMap::from_args(argc, argv);
+  const auto n_diligent =
+      static_cast<std::size_t>(params.get_int("diligent", 8));
+  const auto n_adversarial =
+      static_cast<std::size_t>(params.get_int("adversarial", 2));
+  const auto n_spammers =
+      static_cast<std::size_t>(params.get_int("spammers", 1));
+  const auto seed = static_cast<std::uint64_t>(params.get_int("seed", 17));
+  params.assert_all_consumed();
+
+  std::vector<tasks::LabelerSpec> pool;
+  for (std::size_t i = 0; i < n_diligent; ++i) {
+    tasks::LabelerSpec s;
+    s.name = "diligent" + std::to_string(i);
+    s.accuracy.cap = 0.9 + 0.01 * static_cast<double>(i % 5);
+    pool.push_back(s);
+  }
+  for (std::size_t i = 0; i < n_adversarial; ++i) {
+    tasks::LabelerSpec s;
+    s.name = "adversary" + std::to_string(i);
+    s.type = tasks::LabelerType::kAdversarial;
+    s.omega = 0.5;
+    s.target_label = true;
+    pool.push_back(s);
+  }
+  for (std::size_t i = 0; i < n_spammers; ++i) {
+    tasks::LabelerSpec s;
+    s.name = "spammer" + std::to_string(i);
+    s.type = tasks::LabelerType::kSpammer;
+    pool.push_back(s);
+  }
+
+  tasks::CampaignConfig config;
+  config.seed = seed;
+
+  std::printf("=== Labeling campaign: %zu diligent, %zu adversarial, %zu "
+              "spammers ===\n\n",
+              n_diligent, n_adversarial, n_spammers);
+  const tasks::CampaignResult result = tasks::run_campaign(pool, config);
+
+  util::TextTable table({"labeler", "type", "suspected", "weight",
+                         "effort", "pay/round", "correct rate"});
+  for (const tasks::LabelerOutcome& out : result.labelers) {
+    table.add_row({out.spec.name, tasks::to_string(out.spec.type),
+                   out.suspected_adversarial ? "yes" : "no",
+                   util::format_double(out.weight, 3),
+                   util::format_double(out.mean_effort, 3),
+                   util::format_double(out.mean_pay, 3),
+                   util::format_double(out.mean_correct_rate, 3)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("aggregate label accuracy: majority %.4f | weighted %.4f | "
+              "flat-pay baseline %.4f\n",
+              result.accuracy_majority, result.accuracy_weighted,
+              result.baseline_accuracy_majority);
+  std::printf("requester utility: contracts %.2f vs flat pay %.2f\n",
+              result.requester_utility, result.baseline_requester_utility);
+  return 0;
+}

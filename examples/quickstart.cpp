@@ -1,0 +1,42 @@
+// Quickstart: design a dynamic contract for one worker in ~30 lines.
+//
+//   1. Describe how the worker's feedback responds to effort (psi).
+//   2. Describe the worker's incentives (effort cost beta; set omega > 0
+//      for a worker with a feedback-influence agenda).
+//   3. Ask the designer for the requester-optimal piecewise-linear contract.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "contract/designer.hpp"
+
+int main() {
+  using namespace ccd;
+
+  // Feedback law: q = psi(y) = -y^2 + 8y + 2, concave and increasing on the
+  // usable effort range (fit such a curve from your own data with
+  // ccd::effort::fit_effort_function).
+  const effort::QuadraticEffort psi(-1.0, 8.0, 2.0);
+
+  contract::SubproblemSpec spec;
+  spec.psi = psi;
+  spec.incentives.beta = 1.0;   // the worker's cost per unit of effort
+  spec.incentives.omega = 0.0;  // 0 => honest worker
+  spec.weight = 1.0;            // how much the requester values feedback
+  spec.mu = 1.0;                // how much the requester weighs payments
+  spec.intervals = 20;          // partition density (finer => closer to opt)
+
+  const contract::DesignResult d = contract::design_contract(spec);
+
+  std::printf("designed contract (feedback -> payment):\n  %s\n\n",
+              d.contract.to_string(3).c_str());
+  std::printf("worker best response: effort %.3f -> feedback %.3f, paid %.3f "
+              "(worker utility %.3f)\n",
+              d.response.effort, d.response.feedback,
+              d.response.compensation, d.response.utility);
+  std::printf("requester utility: %.3f  (Theorem 4.1 bounds: [%.3f, %.3f])\n",
+              d.requester_utility, d.lower_bound, d.upper_bound);
+  std::printf("selected target interval k_opt = %zu of %zu\n", d.k_opt,
+              spec.intervals);
+  return 0;
+}

@@ -1,0 +1,63 @@
+#include "contract/bounds.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ccd::contract {
+
+double lemma42_compensation_upper(const effort::QuadraticEffort& psi,
+                                  double beta, double delta, std::size_t k) {
+  CCD_CHECK_MSG(beta > 0.0 && delta > 0.0 && k >= 1,
+                "lemma42 parameter domain");
+  const double r2 = psi.r2();
+  const double r1 = psi.r1();
+  const double kd = static_cast<double>(k) * delta;
+  const double denom = 2.0 * r2 * (static_cast<double>(k) - 1.0) * delta + r1;
+  CCD_CHECK_MSG(denom > 0.0, "lemma42 requires the grid inside psi's domain");
+  return -2.0 * beta * r2 * static_cast<double>(k) * delta * delta / denom +
+         beta * kd;
+}
+
+double lemma43_compensation_lower(const effort::QuadraticEffort& psi,
+                                  double beta, double delta, std::size_t k,
+                                  double omega) {
+  CCD_CHECK_MSG(beta > 0.0 && delta > 0.0 && k >= 1,
+                "lemma43 parameter domain");
+  CCD_CHECK_MSG(omega >= 0.0, "lemma43 omega must be non-negative");
+  const double kd = static_cast<double>(k) * delta;
+  const double subsidy = omega * (psi(kd) - psi(0.0));
+  return std::max(0.0, beta * (static_cast<double>(k) - 1.0) * delta - subsidy);
+}
+
+double theorem41_upper_bound(const effort::QuadraticEffort& psi, double w,
+                             double mu, double beta, double delta,
+                             std::size_t m, double omega) {
+  CCD_CHECK_MSG(m >= 1, "theorem41 needs at least one interval");
+  CCD_CHECK_MSG(omega >= 0.0, "theorem41 omega must be non-negative");
+  double best = -1e300;
+  for (std::size_t l = 1; l <= m; ++l) {
+    const double value =
+        w * psi(delta * static_cast<double>(l)) -
+        mu * lemma43_compensation_lower(psi, beta, delta, l, omega);
+    best = std::max(best, value);
+  }
+  if (omega > 0.0) {
+    // Free-rider region: with a saturated (flat) contract the worker still
+    // exerts effort up to psi'(y) = beta/omega at zero pay.
+    const double y_free =
+        std::clamp(psi.derivative_inverse(beta / omega), 0.0, psi.y_peak());
+    best = std::max(best, w * psi(y_free));
+  }
+  return best;
+}
+
+double theorem41_lower_bound(const effort::QuadraticEffort& psi, double w,
+                             double mu, double beta, double delta,
+                             std::size_t k_opt) {
+  CCD_CHECK_MSG(k_opt >= 1, "theorem41 lower bound needs k_opt >= 1");
+  return w * psi(delta * (static_cast<double>(k_opt) - 1.0)) -
+         mu * lemma42_compensation_upper(psi, beta, delta, k_opt);
+}
+
+}  // namespace ccd::contract

@@ -1,0 +1,47 @@
+// Analytic guarantees: Lemma 4.2/4.3 compensation bounds and the
+// Theorem 4.1 requester-utility bounds.
+//
+// We implement the dimensionally consistent general forms (the paper's
+// statements absorb w and some beta/mu factors under its beta = 1 setting,
+// and are stated for the honest omega = 0 case; see DESIGN.md "Paper typos
+// we correct"). The omega generalization follows from the same individual-
+// rationality argument as the paper's Lemma 4.3 proof: at best response
+// y in [(k-1)δ, kδ) the worker's utility c - beta y + omega psi(y) must be
+// at least the zero-effort outside option omega psi(0), so
+//
+//   c >= beta (k-1) δ - omega (psi(kδ) - psi(0)),   floored at 0,
+//
+// which reduces to the paper's beta (k-1) δ when omega = 0. The upper bound
+// on requester utility additionally accounts for the free-rider region: a
+// worker with omega > 0 exerts effort up to psi'(y) = beta/omega with zero
+// pay, so w psi(y_free) is always achievable-looking and must be included.
+#pragma once
+
+#include <cstddef>
+
+#include "effort/effort_model.hpp"
+
+namespace ccd::contract {
+
+/// Lemma 4.2: upper bound on the compensation the candidate ξ^(k) pays.
+double lemma42_compensation_upper(const effort::QuadraticEffort& psi,
+                                  double beta, double delta, std::size_t k);
+
+/// Lemma 4.3 (omega-generalized): lower bound on any compensation that
+/// places the worker's best response in [(k-1)δ, kδ).
+double lemma43_compensation_lower(const effort::QuadraticEffort& psi,
+                                  double beta, double delta, std::size_t k,
+                                  double omega = 0.0);
+
+/// Theorem 4.1 upper bound on the per-worker requester utility with m
+/// intervals, feedback weight w, and compensation weight mu.
+double theorem41_upper_bound(const effort::QuadraticEffort& psi, double w,
+                             double mu, double beta, double delta,
+                             std::size_t m, double omega = 0.0);
+
+/// Theorem 4.1 lower bound at the selected interval k_opt.
+double theorem41_lower_bound(const effort::QuadraticEffort& psi, double w,
+                             double mu, double beta, double delta,
+                             std::size_t k_opt);
+
+}  // namespace ccd::contract

@@ -1,0 +1,61 @@
+// Budget-feasible contract allocation.
+//
+// The paper's related work (§VI — Singer's budget-feasibility line) designs
+// incentives under a hard payment budget; our extension brings that setting
+// to the dynamic-contract model. Given the per-candidate (pay, utility)
+// menus the designer produces for every subproblem, choose one candidate
+// (or exclusion) per worker to maximize total requester utility subject to
+// total compensation <= budget.
+//
+// The selection problem is a multiple-choice knapsack. We solve it by
+// Lagrangian relaxation: for a price-of-money lambda each worker
+// independently picks argmax_k (utility_k - lambda * pay_k) (with the
+// opt-out option at 0), and lambda is bisected until the spend meets the
+// budget. Because per-worker menus are small and utilities are concave-ish
+// in pay, the duality gap is at most one worker's pay — negligible at fleet
+// scale, and an exhaustive check in the tests confirms it on small inputs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "contract/designer.hpp"
+
+namespace ccd::contract {
+
+/// One worker's menu: the designer's per-candidate pay/utility columns.
+struct BudgetMenu {
+  std::vector<double> pay;      ///< pay_by_k
+  std::vector<double> utility;  ///< utility_by_k
+};
+
+/// Menu extracted from a DesignResult (empty menu for excluded workers).
+BudgetMenu menu_from_design(const DesignResult& design);
+
+struct BudgetChoice {
+  /// Selected candidate index + 1 (i.e. the k); 0 = opt out of this worker.
+  std::size_t k = 0;
+  double pay = 0.0;
+  double utility = 0.0;
+};
+
+struct BudgetAllocation {
+  std::vector<BudgetChoice> choices;  ///< one per menu, same order
+  double total_pay = 0.0;
+  double total_utility = 0.0;
+  /// Shadow price of budget at the solution (0 when the budget is slack).
+  double lambda = 0.0;
+  bool budget_binding = false;
+};
+
+/// Allocate under `budget` (>= 0). Menus may be empty (always opted out).
+BudgetAllocation allocate_budget(const std::vector<BudgetMenu>& menus,
+                                 double budget);
+
+/// Exact solution by exhaustive enumeration — exponential, for testing and
+/// tiny fleets only (throws ccd::ContractError beyond `max_items` menus).
+BudgetAllocation allocate_budget_exact(const std::vector<BudgetMenu>& menus,
+                                       double budget,
+                                       std::size_t max_items = 12);
+
+}  // namespace ccd::contract

@@ -1,0 +1,79 @@
+#include "contract/candidate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ccd::contract {
+
+Contract build_candidate(const effort::QuadraticEffort& psi, double delta,
+                         std::size_t m, std::size_t k,
+                         const WorkerIncentives& inc,
+                         CandidateBuildInfo* info, bool cap_epsilon) {
+  CCD_CHECK_MSG(delta > 0.0, "candidate delta must be positive");
+  CCD_CHECK_MSG(m >= 1, "candidate needs at least one interval");
+  CCD_CHECK_MSG(k >= 1 && k <= m, "candidate target interval k out of range");
+  CCD_CHECK_MSG(inc.beta > 0.0, "worker beta must be positive");
+  CCD_CHECK_MSG(inc.omega >= 0.0, "worker omega must be non-negative");
+
+  // s_l = psi'(l * delta); the whole grid must sit where psi is strictly
+  // increasing, else feedback knots would not be increasing.
+  std::vector<double> s(m + 1);
+  for (std::size_t l = 0; l <= m; ++l) {
+    s[l] = psi.derivative(delta * static_cast<double>(l));
+    if (!(s[l] > 0.0)) {
+      throw ContractError(
+          "candidate grid reaches past the peak of psi; shrink delta*m");
+    }
+  }
+
+  const double beta = inc.beta;
+  const double omega = inc.omega;
+  const double r2 = psi.r2();
+
+  if (info != nullptr) {
+    info->raw_slopes.clear();
+    info->applied_slopes.clear();
+    info->epsilons.clear();
+  }
+
+  std::vector<double> payments(m + 1, 0.0);
+  // Seed: alpha_0 + omega = beta / psi'(0), the boundary at which the
+  // stationary effort of Eq. 31 sits exactly at y = 0.
+  double alpha_prev = beta / s[0] - omega;
+  for (std::size_t l = 1; l <= k; ++l) {
+    // Eq. 40's epsilon scales like delta^2 / psi'(m delta): on coarse grids
+    // it can fill the whole Case-III window and push the slope to the
+    // expensive Case-II edge, breaking Lemma 4.2's pay cap (the paper's
+    // construction is implicitly fine-grid). Any positive epsilon keeps the
+    // strict preference of Eq. 36, so we cap it at a small fraction of the
+    // remaining window; for fine grids the Eq. 40 value is smaller and is
+    // used unchanged.
+    const double eps_eq40 =
+        4.0 * beta * r2 * r2 * delta * delta / (s[l - 1] * s[l - 1] * s[l]);
+    const double base =
+        beta * beta / ((alpha_prev + omega) * s[l - 1] * s[l - 1]) - omega;
+    const double window_right = beta / s[l] - omega;
+    const double eps = cap_epsilon
+                           ? std::min(eps_eq40, 0.05 * (window_right - base))
+                           : eps_eq40;
+    const double alpha_raw = base + eps;
+    const double alpha_applied = std::max(alpha_raw, 0.0);
+    const double d_prev = psi(delta * static_cast<double>(l - 1));
+    const double d_here = psi(delta * static_cast<double>(l));
+    payments[l] = payments[l - 1] + alpha_applied * (d_here - d_prev);
+    if (info != nullptr) {
+      info->raw_slopes.push_back(alpha_raw);
+      info->applied_slopes.push_back(alpha_applied);
+      info->epsilons.push_back(eps);
+    }
+    alpha_prev = alpha_raw;  // the recurrence uses the unclamped value
+  }
+  for (std::size_t l = k + 1; l <= m; ++l) {
+    payments[l] = payments[k];  // flat past the target: extra effort is free
+  }
+  return Contract::on_effort_grid(psi, delta, std::move(payments));
+}
+
+}  // namespace ccd::contract

@@ -1,0 +1,67 @@
+// The piecewise-linear contract of §III-A.
+//
+// A contract is defined on an effort grid {0, δ, 2δ, ..., mδ}: knot l sits
+// at feedback d_l = ψ(lδ) and pays x_l, with compensation interpolated
+// linearly between knots (Eq. 6) and saturating outside [d_0, d_m]. The
+// decision variables of the bilevel program are exactly the x_l.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "effort/effort_model.hpp"
+#include "math/piecewise.hpp"
+
+namespace ccd::contract {
+
+class Contract {
+ public:
+  /// A contract that pays nothing regardless of feedback (exclusion).
+  Contract() = default;
+
+  /// `feedback_knots` strictly increasing (d_0..d_m), `payments` same size,
+  /// non-negative and non-decreasing (monotonicity constraint Eq. 9/10).
+  /// `delta` is the effort grid width the knots were generated from.
+  Contract(double delta, std::vector<double> feedback_knots,
+           std::vector<double> payments);
+
+  /// Build knots from the effort model: d_l = psi(l * delta), l = 0..m,
+  /// where m = payments.size() - 1.
+  static Contract on_effort_grid(const effort::QuadraticEffort& psi,
+                                 double delta, std::vector<double> payments);
+
+  bool is_zero() const { return payments_.empty(); }
+
+  /// Number of effort intervals m (0 for the zero contract).
+  std::size_t intervals() const;
+
+  double delta() const { return delta_; }
+
+  /// Compensation for feedback q (Eq. 1 / Eq. 6, saturating).
+  double pay(double feedback) const;
+
+  /// xi(y) = pay(psi(y)) — compensation as a function of effort.
+  double pay_at_effort(const effort::QuadraticEffort& psi, double y) const;
+
+  /// Contract slope alpha_l on [d_{l-1}, d_l); l in [1, intervals()].
+  double slope(std::size_t l) const;
+
+  /// Payment at knot l (x_l); l in [0, intervals()].
+  double payment(std::size_t l) const;
+
+  /// Feedback knot d_l; l in [0, intervals()].
+  double knot(std::size_t l) const;
+
+  /// Largest payment (the saturation level x_m); 0 for the zero contract.
+  double max_payment() const;
+
+  std::string to_string(int precision = 4) const;
+
+ private:
+  double delta_ = 0.0;
+  std::vector<double> knots_;
+  std::vector<double> payments_;
+};
+
+}  // namespace ccd::contract

@@ -1,0 +1,82 @@
+#include "contract/designer.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ccd::contract {
+
+double SubproblemSpec::resolved_domain() const {
+  return effort_domain > 0.0 ? effort_domain : psi.usable_domain();
+}
+
+double SubproblemSpec::delta() const {
+  return resolved_domain() / static_cast<double>(intervals);
+}
+
+void SubproblemSpec::validate() const {
+  CCD_CHECK_MSG(mu > 0.0, "mu must be positive");
+  CCD_CHECK_MSG(intervals >= 1, "need at least one effort interval");
+  CCD_CHECK_MSG(incentives.beta > 0.0, "beta must be positive");
+  CCD_CHECK_MSG(incentives.omega >= 0.0, "omega must be non-negative");
+  const double domain = resolved_domain();
+  CCD_CHECK_MSG(domain > 0.0, "effort domain must be positive");
+  CCD_CHECK_MSG(psi.increasing_on(domain),
+                "psi must be strictly increasing on the effort domain");
+}
+
+double requester_utility(const SubproblemSpec& spec,
+                         const BestResponse& response) {
+  return spec.weight * response.feedback - spec.mu * response.compensation;
+}
+
+DesignResult design_contract(const SubproblemSpec& spec) {
+  spec.validate();
+  DesignResult result;
+
+  // Non-positive feedback weight: no payment is worth it; exclude (§V's
+  // "automatically eliminated" workers get the zero contract). The
+  // requester drops their feedback entirely: zero utility, zero pay.
+  if (spec.weight <= 0.0) {
+    result.excluded = true;
+    result.contract = Contract();
+    result.response =
+        best_response(result.contract, spec.psi, spec.incentives);
+    result.requester_utility = 0.0;
+    return result;
+  }
+
+  const double delta = spec.delta();
+  const std::size_t m = spec.intervals;
+
+  result.utility_by_k.assign(m, 0.0);
+  result.pay_by_k.assign(m, 0.0);
+  bool have_best = false;
+  for (std::size_t k = 1; k <= m; ++k) {
+    Contract candidate = build_candidate(spec.psi, delta, m, k,
+                                         spec.incentives);
+    const BestResponse response =
+        best_response(candidate, spec.psi, spec.incentives);
+    const double utility = requester_utility(spec, response);
+    result.utility_by_k[k - 1] = utility;
+    result.pay_by_k[k - 1] = response.compensation;
+    if (!have_best || utility > result.requester_utility) {
+      have_best = true;
+      result.requester_utility = utility;
+      result.k_opt = k;
+      result.contract = std::move(candidate);
+      result.response = response;
+    }
+  }
+
+  result.upper_bound =
+      theorem41_upper_bound(spec.psi, spec.weight, spec.mu,
+                            spec.incentives.beta, delta, m,
+                            spec.incentives.omega);
+  result.lower_bound = theorem41_lower_bound(
+      spec.psi, spec.weight, spec.mu, spec.incentives.beta, delta,
+      result.k_opt);
+  return result;
+}
+
+}  // namespace ccd::contract

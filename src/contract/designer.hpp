@@ -1,0 +1,70 @@
+// Per-subproblem contract design (§IV-C): build the m candidate contracts
+// ξ^(1)..ξ^(m), evaluate the worker's exact best response under each, and
+// keep the candidate maximizing the requester's per-worker utility
+// w * psi(y*) - mu * pay(psi(y*)) — the text's reading of Eq. 43.
+//
+// One SubproblemSpec corresponds to one decomposed subproblem of the
+// bilevel program: a single worker, or a collusive community treated as a
+// meta-worker with the community effort function (Eq. 3). Workers whose
+// feedback weight w is non-positive get the zero contract — they are
+// "automatically eliminated" (paper §V): no payment can make their feedback
+// worth buying.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "contract/bounds.hpp"
+#include "contract/candidate.hpp"
+#include "contract/contract.hpp"
+#include "contract/worker_response.hpp"
+#include "effort/effort_model.hpp"
+
+namespace ccd::contract {
+
+struct SubproblemSpec {
+  effort::QuadraticEffort psi{-1.0, 8.0, 2.0};
+  WorkerIncentives incentives{};
+  /// Requester's weight on this worker's feedback (Eq. 5 output).
+  double weight = 1.0;
+  /// Requester's weight on compensation (mu > 0).
+  double mu = 1.0;
+  /// Number of effort intervals m.
+  std::size_t intervals = 20;
+  /// Effort-domain cap; <= 0 selects psi.usable_domain() (95% of the peak).
+  double effort_domain = -1.0;
+
+  double resolved_domain() const;
+  double delta() const;
+  void validate() const;
+};
+
+struct DesignResult {
+  Contract contract;
+  /// Selected target interval (0 when the worker is excluded).
+  std::size_t k_opt = 0;
+  /// Worker's exact best response under the final contract.
+  BestResponse response;
+  /// Requester per-worker utility at the best response.
+  double requester_utility = 0.0;
+  /// Theorem 4.1 bounds (0 for excluded workers).
+  double upper_bound = 0.0;
+  double lower_bound = 0.0;
+  /// Requester utility each candidate k would have achieved (diagnostics;
+  /// empty for excluded workers).
+  std::vector<double> utility_by_k;
+  /// Compensation each candidate k would have paid (same indexing; feeds
+  /// the budget-feasible allocator in contract/budget.hpp).
+  std::vector<double> pay_by_k;
+  bool excluded = false;
+};
+
+/// Requester's per-worker utility for a given response.
+double requester_utility(const SubproblemSpec& spec,
+                         const BestResponse& response);
+
+/// Solve one subproblem end to end.
+DesignResult design_contract(const SubproblemSpec& spec);
+
+}  // namespace ccd::contract

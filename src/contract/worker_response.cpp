@@ -1,0 +1,134 @@
+#include "contract/worker_response.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ccd::contract {
+namespace {
+
+void check_incentives(const WorkerIncentives& inc) {
+  CCD_CHECK_MSG(inc.beta > 0.0, "worker beta must be positive");
+  CCD_CHECK_MSG(inc.omega >= 0.0, "worker omega must be non-negative");
+}
+
+}  // namespace
+
+double worker_utility(const Contract& contract,
+                      const effort::QuadraticEffort& psi,
+                      const WorkerIncentives& inc, double y) {
+  CCD_CHECK_MSG(y >= 0.0, "worker effort must be non-negative");
+  const double feedback = psi(y);
+  return contract.pay(feedback) - inc.beta * y + inc.omega * feedback;
+}
+
+SlopeCase classify_piece(const effort::QuadraticEffort& psi,
+                         const WorkerIncentives& inc, double alpha,
+                         std::size_t l, double delta) {
+  check_incentives(inc);
+  CCD_CHECK_MSG(l >= 1, "interval index is 1-based");
+  CCD_CHECK_MSG(delta > 0.0, "delta must be positive");
+  const double lo = static_cast<double>(l - 1) * delta;
+  const double hi = static_cast<double>(l) * delta;
+  const double coeff = alpha + inc.omega;
+  // dF/dy = (alpha + omega) psi'(y) - beta. With coeff > 0 it is decreasing
+  // in y (psi' decreases); with coeff <= 0 it is everywhere < 0.
+  const double d_lo = coeff * psi.derivative(lo) - inc.beta;
+  const double d_hi = coeff * psi.derivative(hi) - inc.beta;
+  if (d_lo <= 0.0) return SlopeCase::kNonIncreasing;
+  if (d_hi >= 0.0) return SlopeCase::kNonDecreasing;
+  return SlopeCase::kInterior;
+}
+
+double stationary_effort(const effort::QuadraticEffort& psi,
+                         const WorkerIncentives& inc, double alpha) {
+  check_incentives(inc);
+  const double coeff = alpha + inc.omega;
+  CCD_CHECK_MSG(coeff > 0.0,
+                "stationary effort requires alpha + omega > 0");
+  // psi'(y) = beta / (alpha + omega)  — Eq. 31 for the quadratic psi.
+  return psi.derivative_inverse(inc.beta / coeff);
+}
+
+BestResponse best_response(const Contract& contract,
+                           const effort::QuadraticEffort& psi,
+                           const WorkerIncentives& inc, double effort_limit) {
+  check_incentives(inc);
+  double limit = effort_limit;
+  if (limit < 0.0) limit = psi.y_peak();
+  CCD_CHECK_MSG(limit >= 0.0, "effort limit must be non-negative");
+
+  // Candidate efforts: interval endpoints, interior stationary points, the
+  // participation point 0, and the saturated region past the last knot.
+  std::vector<double> candidates = {0.0};
+
+  const std::size_t m = contract.intervals();
+  double grid_end = 0.0;
+  if (m > 0) {
+    const double delta = contract.delta();
+    grid_end = std::min(limit, delta * static_cast<double>(m));
+    for (std::size_t l = 1; l <= m; ++l) {
+      const double lo = delta * static_cast<double>(l - 1);
+      const double hi = delta * static_cast<double>(l);
+      if (lo > limit) break;
+      candidates.push_back(std::min(lo, limit));
+      candidates.push_back(std::min(hi, limit));
+      const double alpha = contract.slope(l);
+      if (classify_piece(psi, inc, alpha, l, delta) == SlopeCase::kInterior) {
+        const double y_star = stationary_effort(psi, inc, alpha);
+        if (y_star > lo && y_star < hi && y_star <= limit) {
+          candidates.push_back(y_star);
+        }
+      }
+    }
+  }
+
+  // Past the grid (or with a zero contract) the payment is constant, so the
+  // objective reduces to omega * psi(y) - beta * y; its stationary point is
+  // psi'(y) = beta / omega when omega > 0.
+  if (limit > grid_end) {
+    candidates.push_back(limit);
+    if (inc.omega > 0.0) {
+      const double y_star = psi.derivative_inverse(inc.beta / inc.omega);
+      if (y_star > grid_end && y_star < limit) candidates.push_back(y_star);
+    }
+  }
+
+  std::sort(candidates.begin(), candidates.end());
+  BestResponse best;
+  best.effort = 0.0;
+  best.utility = worker_utility(contract, psi, inc, 0.0);
+  for (const double y : candidates) {
+    const double u = worker_utility(contract, psi, inc, y);
+    // Strict improvement keeps the smallest maximizing effort (workers
+    // don't spend effort for nothing on ties).
+    if (u > best.utility + 1e-12) {
+      best.effort = y;
+      best.utility = u;
+    }
+  }
+
+  best.feedback = psi(best.effort);
+  best.compensation = contract.pay(best.feedback);
+  if (best.effort <= 0.0 || m == 0) {
+    best.interval = 0;
+  } else {
+    const double delta = contract.delta();
+    const double grid_span = delta * static_cast<double>(m);
+    if (best.effort > grid_span + 1e-12) {
+      best.interval = m + 1;
+    } else {
+      // floor with tolerance so that effort exactly at a knot counts in the
+      // interval it closes.
+      std::size_t l = static_cast<std::size_t>(
+          std::ceil(best.effort / delta - 1e-9));
+      l = std::clamp<std::size_t>(l, 1, m);
+      best.interval = l;
+    }
+  }
+  return best;
+}
+
+}  // namespace ccd::contract

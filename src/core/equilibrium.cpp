@@ -1,0 +1,66 @@
+#include "core/equilibrium.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ccd::core {
+
+IncentiveAudit audit_incentives(const contract::Contract& contract,
+                                const effort::QuadraticEffort& psi,
+                                const contract::WorkerIncentives& incentives,
+                                const contract::BestResponse& claimed,
+                                std::size_t grid_points, double tolerance) {
+  CCD_CHECK_MSG(grid_points >= 2, "audit grid needs at least two points");
+  CCD_CHECK_MSG(tolerance >= 0.0, "audit tolerance must be non-negative");
+
+  const double limit = psi.y_peak();
+  IncentiveAudit audit;
+  audit.best_alternative_effort = claimed.effort;
+
+  double best_alternative = -1e300;
+  for (std::size_t i = 0; i < grid_points; ++i) {
+    const double y =
+        limit * static_cast<double>(i) / static_cast<double>(grid_points - 1);
+    const double u = contract::worker_utility(contract, psi, incentives, y);
+    if (u > best_alternative) {
+      best_alternative = u;
+      audit.best_alternative_effort = y;
+    }
+  }
+
+  audit.worker_regret = std::max(0.0, best_alternative - claimed.utility);
+  audit.participation_margin =
+      claimed.utility -
+      contract::worker_utility(contract, psi, incentives, 0.0);
+  audit.incentive_compatible = audit.worker_regret <= tolerance;
+  audit.individually_rational = audit.participation_margin >= -tolerance;
+  return audit;
+}
+
+FleetAudit audit_pipeline(const PipelineResult& result,
+                          std::size_t grid_points, double tolerance) {
+  FleetAudit fleet;
+  fleet.subproblems = result.subproblems.size();
+  bool first = true;
+  for (const SubproblemOutcome& sub : result.subproblems) {
+    if (sub.design.excluded) continue;
+    // The fixed-payment strategy leaves no piecewise contract to audit.
+    if (sub.design.contract.is_zero() && sub.design.k_opt == 0) continue;
+    ++fleet.audited;
+    const IncentiveAudit audit = audit_incentives(
+        sub.design.contract, sub.spec.psi, sub.spec.incentives,
+        sub.design.response, grid_points, tolerance);
+    if (!audit.incentive_compatible) ++fleet.ic_violations;
+    if (!audit.individually_rational) ++fleet.ir_violations;
+    fleet.max_worker_regret =
+        std::max(fleet.max_worker_regret, audit.worker_regret);
+    if (first || audit.participation_margin < fleet.min_participation_margin) {
+      fleet.min_participation_margin = audit.participation_margin;
+      first = false;
+    }
+  }
+  return fleet;
+}
+
+}  // namespace ccd::core

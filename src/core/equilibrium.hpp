@@ -1,0 +1,57 @@
+// Equilibrium auditing: independent numerical verification that a designed
+// contract actually implements the Stackelberg equilibrium it claims.
+//
+// The designer's guarantees rest on closed-form best responses; this module
+// re-checks them by brute force on a dense effort grid, so a deployment can
+// certify any contract — including ones built or edited outside the
+// designer — before posting it:
+//
+//  * incentive compatibility: no effort level beats the claimed best
+//    response by more than a tolerance (worker regret ~ 0);
+//  * individual rationality: the claimed response weakly beats opting out;
+//  * fleet audit: the same checks across every subproblem of a pipeline
+//    run, aggregated.
+#pragma once
+
+#include <cstddef>
+
+#include "contract/worker_response.hpp"
+#include "core/pipeline.hpp"
+
+namespace ccd::core {
+
+struct IncentiveAudit {
+  /// max_y U(y) - U(y*) over the audit grid (>= 0 up to grid error).
+  double worker_regret = 0.0;
+  /// The grid effort achieving the max (the profitable deviation, if any).
+  double best_alternative_effort = 0.0;
+  /// U(y*) - U(0): how much the worker prefers participating.
+  double participation_margin = 0.0;
+  bool incentive_compatible = false;
+  bool individually_rational = false;
+};
+
+/// Audit a claimed best response against a dense grid over [0, psi peak].
+IncentiveAudit audit_incentives(const contract::Contract& contract,
+                                const effort::QuadraticEffort& psi,
+                                const contract::WorkerIncentives& incentives,
+                                const contract::BestResponse& claimed,
+                                std::size_t grid_points = 4001,
+                                double tolerance = 1e-6);
+
+struct FleetAudit {
+  std::size_t subproblems = 0;
+  std::size_t audited = 0;            ///< non-excluded subproblems checked
+  std::size_t ic_violations = 0;
+  std::size_t ir_violations = 0;
+  double max_worker_regret = 0.0;
+  double min_participation_margin = 0.0;
+  bool clean() const { return ic_violations == 0 && ir_violations == 0; }
+};
+
+/// Audit every designed contract in a pipeline result.
+FleetAudit audit_pipeline(const PipelineResult& result,
+                          std::size_t grid_points = 2001,
+                          double tolerance = 1e-6);
+
+}  // namespace ccd::core

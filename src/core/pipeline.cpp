@@ -1,0 +1,221 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ccd::core {
+namespace {
+
+/// Mean |score - expert consensus| for a worker; a worker with no reviews
+/// brings no usable feedback (infinite distance => excluded).
+double accuracy_distance(const data::ReviewTrace& trace,
+                         const detect::ExpertPanel& experts,
+                         data::WorkerId id) {
+  const auto& review_ids = trace.reviews_of_worker(id);
+  if (review_ids.empty()) return 1e9;
+  double acc = 0.0;
+  for (const data::ReviewId rid : review_ids) {
+    const data::Review& r = trace.review(rid);
+    acc += std::abs(r.score - experts.consensus(r.product));
+  }
+  return acc / static_cast<double>(review_ids.size());
+}
+
+const effort::EffortFit& class_fit(const effort::ClassFits& fits,
+                                   DetectedClass cls) {
+  switch (cls) {
+    case DetectedClass::kHonest: return fits.honest;
+    case DetectedClass::kNonCollusiveMalicious: return fits.ncm;
+    case DetectedClass::kCollusiveMalicious: return fits.cm;
+  }
+  return fits.honest;
+}
+
+}  // namespace
+
+std::vector<double> PipelineResult::compensations_of_class(
+    data::WorkerClass cls) const {
+  std::vector<double> out;
+  for (const WorkerOutcome& w : workers) {
+    if (w.true_class == cls) out.push_back(w.compensation);
+  }
+  return out;
+}
+
+PipelineResult run_pipeline(const data::ReviewTrace& trace,
+                            const PipelineConfig& config) {
+  config.requester.validate();
+  CCD_CHECK_MSG(trace.indexes_built(), "pipeline requires trace indexes");
+
+  PipelineResult result;
+  const std::size_t n = trace.workers().size();
+  result.workers.resize(n);
+
+  // ---- Detection stage ------------------------------------------------
+  const data::WorkerMetrics metrics(trace);
+  const detect::ExpertPanel experts(trace, metrics, config.expert);
+  const detect::MaliciousDetector detector(trace, experts, config.detector);
+  result.detector_quality =
+      detector.evaluate(trace, config.malicious_threshold);
+
+  std::vector<data::WorkerId> malicious;
+  if (config.use_ground_truth_labels) {
+    for (const data::Worker& w : trace.workers()) {
+      if (w.true_class != data::WorkerClass::kHonest) malicious.push_back(w.id);
+    }
+  } else {
+    malicious = detector.flagged(config.malicious_threshold);
+  }
+  result.collusion = detect::cluster_collusive_workers(trace, malicious);
+
+  // ---- Fitting stage ----------------------------------------------------
+  result.class_fits = effort::fit_all_classes(metrics, config.fit);
+
+  // ---- Per-worker attributes ---------------------------------------------
+  std::vector<bool> is_malicious(n, false);
+  for (const data::WorkerId id : malicious) is_malicious[id] = true;
+  std::vector<bool> is_ncm(n, false);
+  for (const data::WorkerId id : result.collusion.non_collusive) {
+    is_ncm[id] = true;
+  }
+
+  for (data::WorkerId id = 0; id < n; ++id) {
+    WorkerOutcome& out = result.workers[id];
+    out.id = id;
+    out.true_class = trace.worker(id).true_class;
+    out.malicious_probability = detector.probability(id);
+    out.accuracy_distance = accuracy_distance(trace, experts, id);
+    const std::int32_t community = result.collusion.community_of[id];
+    if (community >= 0) {
+      out.detected_class = DetectedClass::kCollusiveMalicious;
+      out.partners = result.collusion.communities[community].members.size() - 1;
+    } else if (is_ncm[id]) {
+      out.detected_class = DetectedClass::kNonCollusiveMalicious;
+      out.partners = 0;
+    } else {
+      out.detected_class = DetectedClass::kHonest;
+      out.partners = 0;
+    }
+    out.weight = feedback_weight(config.requester, out.accuracy_distance,
+                                 out.malicious_probability, out.partners);
+  }
+
+  // ---- Subproblem construction (BiP decomposition, §IV-B) ---------------
+  const auto make_spec = [&](const effort::EffortFit& fit, double omega,
+                             double weight) {
+    contract::SubproblemSpec spec;
+    spec.psi = fit.model;
+    spec.incentives.beta = config.requester.beta;
+    spec.incentives.omega = omega;
+    spec.weight = weight;
+    spec.mu = config.requester.mu;
+    spec.intervals = config.requester.intervals;
+    return spec;
+  };
+
+  // Individuals: everyone not in a detected community.
+  for (data::WorkerId id = 0; id < n; ++id) {
+    if (result.collusion.community_of[id] >= 0) continue;
+    WorkerOutcome& out = result.workers[id];
+    const double omega =
+        out.detected_class == DetectedClass::kHonest
+            ? 0.0
+            : config.requester.omega_malicious;
+    SubproblemOutcome sub;
+    sub.workers = {id};
+    sub.spec = make_spec(class_fit(result.class_fits, out.detected_class),
+                         omega, out.weight);
+    result.subproblems.push_back(std::move(sub));
+  }
+  // Communities as meta-workers.
+  for (std::size_t c = 0; c < result.collusion.communities.size(); ++c) {
+    const detect::Community& community = result.collusion.communities[c];
+    double weight = 0.0;
+    for (const data::WorkerId id : community.members) {
+      weight += result.workers[id].weight;
+    }
+    weight /= static_cast<double>(community.members.size());
+
+    const std::vector<data::EffortSample> samples =
+        effort::community_sum_samples(trace, metrics, community.members);
+    effort::EffortFit fit = result.class_fits.cm;
+    if (samples.size() >= config.min_community_fit_samples) {
+      fit = effort::fit_effort_function(samples, config.fit);
+    }
+    SubproblemOutcome sub;
+    sub.workers = community.members;
+    sub.spec = make_spec(fit, config.requester.omega_malicious, weight);
+    result.subproblems.push_back(std::move(sub));
+  }
+
+  // ---- Strategy-specific solve (parallel over subproblems) --------------
+  util::ThreadPool pool(config.threads);
+  const PricingStrategy strategy = config.strategy;
+  const double fixed_payment = config.fixed_payment;
+  const double fixed_threshold = config.fixed_threshold_effort;
+  pool.parallel_for(result.subproblems.size(), [&](std::size_t i) {
+    SubproblemOutcome& sub = result.subproblems[i];
+    const bool suspected_malicious =
+        sub.workers.size() > 1 ||
+        result.workers[sub.workers.front()].detected_class !=
+            DetectedClass::kHonest;
+    switch (strategy) {
+      case PricingStrategy::kDynamicContract:
+        sub.design = contract::design_contract(sub.spec);
+        break;
+      case PricingStrategy::kExcludeMalicious: {
+        if (suspected_malicious) {
+          contract::SubproblemSpec excluded = sub.spec;
+          excluded.weight = 0.0;  // forces the zero contract
+          sub.design = contract::design_contract(excluded);
+        } else {
+          sub.design = contract::design_contract(sub.spec);
+        }
+        break;
+      }
+      case PricingStrategy::kFixedPayment: {
+        const contract::FixedContractOutcome outcome =
+            contract::fixed_threshold_baseline(sub.spec, fixed_payment,
+                                               fixed_threshold);
+        // Represent the outcome in DesignResult form for uniform reporting.
+        sub.design = contract::DesignResult{};
+        sub.design.response.effort = outcome.effort;
+        sub.design.response.feedback = outcome.feedback;
+        sub.design.response.compensation = outcome.compensation;
+        sub.design.response.utility = outcome.worker_utility;
+        sub.design.requester_utility = outcome.requester_utility;
+        break;
+      }
+    }
+  });
+
+  // ---- Aggregation --------------------------------------------------------
+  for (std::size_t i = 0; i < result.subproblems.size(); ++i) {
+    const SubproblemOutcome& sub = result.subproblems[i];
+    const double share = 1.0 / static_cast<double>(sub.workers.size());
+    result.total_requester_utility += sub.design.requester_utility;
+    result.total_compensation += sub.design.response.compensation;
+    for (const data::WorkerId id : sub.workers) {
+      WorkerOutcome& out = result.workers[id];
+      out.subproblem = i;
+      out.excluded = sub.design.excluded;
+      out.requester_utility = sub.design.requester_utility * share;
+      out.compensation = sub.design.response.compensation * share;
+      out.effort = sub.design.response.effort * share;
+      out.feedback = sub.design.response.feedback * share;
+      if (out.excluded) ++result.excluded_workers;
+    }
+  }
+
+  CCD_LOG_DEBUG << "pipeline: utility="
+                << result.total_requester_utility
+                << " compensation=" << result.total_compensation
+                << " excluded=" << result.excluded_workers;
+  return result;
+}
+
+}  // namespace ccd::core

@@ -1,0 +1,103 @@
+// End-to-end contract-design pipeline (the paper's Fig. 4 strategy
+// framework):
+//
+//   trace -> expert panel -> maliciousness estimates -> collusion
+//   clustering -> effort-function fitting -> BiP decomposition ->
+//   per-subproblem contract design (in parallel) -> fleet outcome.
+//
+// The pipeline also runs the exclusion baseline of Fig. 8(c) (drop every
+// suspected malicious worker) and a fleet-wide fixed-payment baseline, so
+// experiments can compare strategies on identical inputs.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "contract/baselines.hpp"
+#include "contract/designer.hpp"
+#include "core/requester.hpp"
+#include "data/metrics.hpp"
+#include "data/trace.hpp"
+#include "detect/collusion.hpp"
+#include "detect/expert.hpp"
+#include "detect/malicious.hpp"
+#include "effort/fitting.hpp"
+
+namespace ccd::core {
+
+enum class PricingStrategy {
+  kDynamicContract,   ///< the paper's method
+  kExcludeMalicious,  ///< Fig. 8(c) baseline: drop all suspected malicious
+  kFixedPayment,      ///< flat per-task payment with a quality threshold
+};
+
+struct PipelineConfig {
+  RequesterConfig requester{};
+  detect::ExpertConfig expert{};
+  detect::MaliciousDetectorConfig detector{};
+  effort::FitConfig fit{};
+  PricingStrategy strategy = PricingStrategy::kDynamicContract;
+  /// Detector probability above which a worker is treated as malicious.
+  double malicious_threshold = 0.5;
+  /// Use ground-truth labels instead of the detector (upper-bound analysis).
+  bool use_ground_truth_labels = false;
+  /// Minimum per-round samples before a community gets its own effort fit
+  /// (falls back to the CM class fit otherwise).
+  std::size_t min_community_fit_samples = 10;
+  /// Fixed-payment baseline knobs (used when strategy == kFixedPayment).
+  double fixed_payment = 1.0;
+  double fixed_threshold_effort = 1.0;
+  /// Worker threads for the subproblem fan-out (0 = hardware concurrency).
+  std::size_t threads = 0;
+};
+
+/// How the requester classified a worker (from detector + clustering; may
+/// disagree with ground truth).
+enum class DetectedClass { kHonest, kNonCollusiveMalicious, kCollusiveMalicious };
+
+struct WorkerOutcome {
+  data::WorkerId id = 0;
+  data::WorkerClass true_class = data::WorkerClass::kHonest;
+  DetectedClass detected_class = DetectedClass::kHonest;
+  double malicious_probability = 0.0;
+  double accuracy_distance = 0.0;
+  std::size_t partners = 0;  ///< A_i (detected community size - 1)
+  double weight = 0.0;       ///< w_i (Eq. 5)
+  bool excluded = false;
+  /// Per-worker requester utility and compensation (community members carry
+  /// an equal share of the community totals).
+  double requester_utility = 0.0;
+  double compensation = 0.0;
+  double effort = 0.0;
+  double feedback = 0.0;
+  /// Index into PipelineResult::subproblems for this worker's contract.
+  std::size_t subproblem = 0;
+};
+
+struct SubproblemOutcome {
+  /// Workers covered (one entry for individuals; all members for a community).
+  std::vector<data::WorkerId> workers;
+  contract::SubproblemSpec spec;
+  contract::DesignResult design;
+};
+
+struct PipelineResult {
+  std::vector<WorkerOutcome> workers;        ///< indexed by worker id
+  std::vector<SubproblemOutcome> subproblems;
+  detect::CollusionResult collusion;
+  effort::ClassFits class_fits;
+  detect::MaliciousDetector::Quality detector_quality;
+  double total_requester_utility = 0.0;
+  double total_compensation = 0.0;
+  std::size_t excluded_workers = 0;
+
+  /// Compensations of workers whose ground-truth class is `cls`.
+  std::vector<double> compensations_of_class(data::WorkerClass cls) const;
+};
+
+/// Run the full pipeline over a trace.
+PipelineResult run_pipeline(const data::ReviewTrace& trace,
+                            const PipelineConfig& config);
+
+}  // namespace ccd::core

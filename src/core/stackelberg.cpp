@@ -1,0 +1,150 @@
+#include "core/stackelberg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "contract/worker_response.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ccd::core {
+
+SimWorkerSpec::Behaviour SimWorkerSpec::behaviour_at(std::size_t round) const {
+  // Two personas: the base (omega, accuracy_distance) and the switched
+  // (switched_omega, switched_accuracy_distance). switch_round moves the
+  // worker permanently to the switched persona; masking_period instead
+  // alternates between the two, spending `masking_duty` of every cycle on
+  // the base persona (the mask). Masking starts at switch_round if both
+  // are set.
+  Behaviour base{omega, accuracy_distance, false};
+  Behaviour attack{switched_omega, switched_accuracy_distance, true};
+
+  const std::size_t start = switch_round ? *switch_round : 0;
+  if (round < start) return base;
+
+  if (masking_period && *masking_period >= 1) {
+    const std::size_t phase = (round - start) % *masking_period;
+    const auto mask_rounds = static_cast<std::size_t>(
+        masking_duty * static_cast<double>(*masking_period));
+    return phase < mask_rounds ? base : attack;
+  }
+  return switch_round ? attack : base;
+}
+
+void SimConfig::validate() const {
+  requester.validate();
+  CCD_CHECK_MSG(rounds >= 1, "simulation needs at least one round");
+  CCD_CHECK_MSG(feedback_noise >= 0.0, "feedback noise must be >= 0");
+  CCD_CHECK_MSG(accuracy_noise >= 0.0, "accuracy noise must be >= 0");
+  CCD_CHECK_MSG(redesign_every >= 1, "redesign_every must be >= 1");
+  CCD_CHECK_MSG(ema_alpha > 0.0 && ema_alpha <= 1.0,
+                "ema_alpha must be in (0, 1]");
+}
+
+StackelbergSimulator::StackelbergSimulator(std::vector<SimWorkerSpec> workers,
+                                           SimConfig config)
+    : workers_(std::move(workers)), config_(config) {
+  config_.validate();
+  CCD_CHECK_MSG(!workers_.empty(), "simulation needs at least one worker");
+}
+
+SimResult StackelbergSimulator::run() {
+  util::Rng rng(config_.seed);
+  const std::size_t n = workers_.size();
+
+  // Requester-side state.
+  std::vector<double> est_accuracy(n);
+  std::vector<double> est_malicious(n, 0.05);
+  std::vector<contract::Contract> contracts(n);
+  std::vector<double> last_feedback(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Neutral starting estimates; round-0 feedback memory is zero effort.
+    est_accuracy[i] = config_.requester.accuracy_floor;
+    last_feedback[i] = workers_[i].psi(0.0);
+  }
+
+  SimResult result;
+  result.worker_history.assign(n, {});
+
+  for (std::size_t t = 0; t < config_.rounds; ++t) {
+    // --- Requester: (re)design contracts from current estimates ---------
+    if (t % config_.redesign_every == 0) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const double weight =
+            feedback_weight(config_.requester, est_accuracy[i],
+                            est_malicious[i], workers_[i].partners);
+        contract::SubproblemSpec spec;
+        spec.psi = workers_[i].psi;
+        spec.incentives.beta = workers_[i].beta;
+        spec.incentives.omega =
+            est_malicious[i] >= config_.suspicion_threshold
+                ? config_.requester.omega_malicious
+                : 0.0;
+        spec.weight = weight;
+        spec.mu = config_.requester.mu;
+        spec.intervals = config_.requester.intervals;
+        contracts[i] = contract::design_contract(spec).contract;
+      }
+    }
+
+    RoundRecord record;
+    record.round = t;
+
+    for (std::size_t i = 0; i < n; ++i) {
+      SimWorkerSpec& w = workers_[i];
+      // Behaviour switch / masking (the dynamics the contract must adapt to).
+      const SimWorkerSpec::Behaviour behaviour = w.behaviour_at(t);
+      const double omega = behaviour.omega;
+      const double true_accuracy = behaviour.accuracy_distance;
+
+      // --- Worker: best response to the posted contract ----------------
+      const contract::WorkerIncentives inc{w.beta, omega};
+      const contract::BestResponse br =
+          contract::best_response(contracts[i], w.psi, inc);
+
+      // Realized feedback is noisy around psi(y).
+      const double feedback = std::max(
+          0.0, br.feedback + rng.normal(0.0, config_.feedback_noise));
+
+      // Compensation this round comes from *last* round's feedback (Eq. 1).
+      const double compensation = contracts[i].pay(last_feedback[i]);
+      last_feedback[i] = feedback;
+
+      // --- Requester: update estimates from this round's observables ---
+      const double accuracy_sample = std::max(
+          0.0, true_accuracy + rng.normal(0.0, config_.accuracy_noise));
+      est_accuracy[i] = (1.0 - config_.ema_alpha) * est_accuracy[i] +
+                        config_.ema_alpha * accuracy_sample;
+      // Maliciousness signal: biased workers produce large deviations.
+      const double signal =
+          1.0 / (1.0 + std::exp(-4.0 * (accuracy_sample - 0.9)));
+      est_malicious[i] = (1.0 - config_.ema_alpha) * est_malicious[i] +
+                         config_.ema_alpha * signal;
+
+      const double weight =
+          feedback_weight(config_.requester, est_accuracy[i],
+                          est_malicious[i], w.partners);
+
+      WorkerRound wr;
+      wr.effort = br.effort;
+      wr.feedback = feedback;
+      wr.compensation = compensation;
+      wr.worker_utility = compensation - w.beta * br.effort + omega * feedback;
+      wr.estimated_malicious = est_malicious[i];
+      wr.weight = weight;
+      result.worker_history[i].push_back(wr);
+
+      record.weighted_feedback += weight * feedback;
+      record.total_compensation += compensation;
+    }
+
+    record.requester_utility =
+        record.weighted_feedback -
+        config_.requester.mu * record.total_compensation;
+    result.cumulative_requester_utility += record.requester_utility;
+    result.rounds.push_back(record);
+  }
+  return result;
+}
+
+}  // namespace ccd::core

@@ -1,0 +1,110 @@
+// Multi-round Stackelberg simulation (§III-B): the requester leads by
+// posting per-worker contracts, workers follow with effort choices, and the
+// compensation of round t is the contract applied to round t-1's realized
+// feedback (Eq. 1).
+//
+// The simulator models what the one-shot pipeline cannot: adaptation. The
+// requester only observes noisy per-round signals (realized feedback and a
+// noisy score-deviation sample), keeps exponential-moving-average estimates
+// of each worker's accuracy and maliciousness, and re-designs contracts on
+// a schedule. Worker specs can switch behaviour mid-simulation (an honest
+// worker turning malicious, or vice versa), which is the "adaptive to
+// changes in workers' behavior" property the paper claims.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "contract/designer.hpp"
+#include "core/requester.hpp"
+#include "effort/effort_model.hpp"
+
+namespace ccd::core {
+
+struct SimWorkerSpec {
+  std::string name = "worker";
+  /// True effort function (the simulator's physics).
+  effort::QuadraticEffort psi{-1.0, 8.0, 2.0};
+  double beta = 1.0;
+  /// True feedback-influence motive (0 = honest behaviour).
+  double omega = 0.0;
+  /// True mean |score - consensus| the worker produces.
+  double accuracy_distance = 0.3;
+  std::size_t partners = 0;
+  /// Behaviour switch: from this round on, omega / accuracy change.
+  std::optional<std::size_t> switch_round;
+  double switched_omega = 0.0;
+  double switched_accuracy_distance = 0.3;
+
+  /// Masking adversary (paper §VII's "more sophisticated malicious
+  /// workers"): the worker cycles with the given period, behaving honest
+  /// for `masking_duty` of each cycle and malicious (the switched_* values)
+  /// for the rest. Composes with switch_round: masking only starts once the
+  /// switch (if any) has fired.
+  std::optional<std::size_t> masking_period;
+  double masking_duty = 0.5;
+
+  /// Effective behaviour at round t under switch + masking rules.
+  struct Behaviour {
+    double omega = 0.0;
+    double accuracy_distance = 0.3;
+    bool malicious_now = false;
+  };
+  Behaviour behaviour_at(std::size_t round) const;
+};
+
+struct SimConfig {
+  std::size_t rounds = 30;
+  RequesterConfig requester{};
+  /// Std-dev of the noise on realized feedback.
+  double feedback_noise = 0.5;
+  /// Std-dev of the noise on the requester's per-round accuracy sample.
+  double accuracy_noise = 0.15;
+  /// Contracts are re-designed every this many rounds (1 = every round).
+  std::size_t redesign_every = 1;
+  /// EMA rate for the requester's accuracy / maliciousness estimates.
+  double ema_alpha = 0.3;
+  /// Requester's assumed omega for workers it currently suspects.
+  double suspicion_threshold = 0.5;
+  std::uint64_t seed = 1;
+
+  void validate() const;
+};
+
+struct WorkerRound {
+  double effort = 0.0;
+  double feedback = 0.0;      ///< realized (noisy) feedback this round
+  double compensation = 0.0;  ///< paid this round (from last round's feedback)
+  double worker_utility = 0.0;
+  double estimated_malicious = 0.0;  ///< requester's e^mal estimate
+  double weight = 0.0;               ///< w_i used for this round's contract
+};
+
+struct RoundRecord {
+  std::size_t round = 0;
+  double requester_utility = 0.0;
+  double total_compensation = 0.0;
+  double weighted_feedback = 0.0;
+};
+
+struct SimResult {
+  std::vector<RoundRecord> rounds;
+  /// worker_history[w][t] — per-worker series.
+  std::vector<std::vector<WorkerRound>> worker_history;
+  double cumulative_requester_utility = 0.0;
+};
+
+class StackelbergSimulator {
+ public:
+  StackelbergSimulator(std::vector<SimWorkerSpec> workers, SimConfig config);
+
+  SimResult run();
+
+ private:
+  std::vector<SimWorkerSpec> workers_;
+  SimConfig config_;
+};
+
+}  // namespace ccd::core

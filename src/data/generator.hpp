@@ -1,0 +1,112 @@
+// Synthetic Amazon-like review-trace generator.
+//
+// The paper evaluates on a proprietary crawl of Amazon reviews with
+// ground-truth malicious labels (Fayazi et al., SIGIR'15). That trace is not
+// public, so this generator produces a synthetic trace with the same schema
+// and — at the `amazon2015()` preset — the same headline statistics:
+// ~19,686 reviewers (18,162 honest + 1,312 NCM + 212 CM), ~75,508 products,
+// ~118k reviews, and 47 collusive communities whose size distribution
+// matches Table II. Per-class behaviour matches the shapes the paper
+// measures (Fig. 7, Table III):
+//
+//  * every class draws latent effort from the same distribution (similar
+//    average effort across classes),
+//  * feedback (upvotes) follows a concave quadratic law of effort + noise,
+//  * collusive workers get an extra upvote boost from their partners, which
+//    inflates their feedback well above the other classes,
+//  * malicious scores are positively biased regardless of product quality,
+//    honest scores track true quality.
+//
+// Product targeting is arranged so the paper's collusion rule ("two
+// malicious workers collude iff they share a target product") recovers the
+// planted communities exactly: each CM community has a private product pool
+// with a shared anchor product; each NCM worker has private products.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/trace.hpp"
+
+namespace ccd::data {
+
+/// Ground-truth behaviour of one worker class.
+struct ClassBehaviour {
+  /// Feedback law in latent effort: q(y) = a2 y^2 + a1 y + a0 (concave: a2<0).
+  double a2 = -1.0;
+  double a1 = 8.0;
+  double a0 = 2.0;
+  /// Latent per-review effort ~ LogNormal(mu_log, sigma_log), clipped.
+  double effort_mu_log = 0.3;
+  double effort_sigma_log = 0.5;
+  double effort_cap = 3.8;
+  /// Gaussian noise added to the feedback law before rounding.
+  double feedback_noise = 1.2;
+  /// Score model: honest uses bias 0 (score = quality + noise); malicious
+  /// uses a fixed positive target (score = bias_target + noise).
+  double score_bias_target = 0.0;
+  double score_noise = 0.45;
+};
+
+struct GeneratorParams {
+  std::uint64_t seed = 42;
+
+  std::size_t n_honest = 1800;
+  std::size_t n_ncm = 130;
+  /// One entry per CM community (its worker count).
+  std::vector<std::size_t> community_sizes = {2, 2, 2, 2, 3, 3, 4, 6};
+  std::size_t n_products = 7000;
+
+  /// Reviews per worker ~ round(LogNormal), clamped to [min_reviews, ...).
+  double reviews_mu_log = 1.45;
+  double reviews_sigma_log = 0.9;
+  std::size_t min_reviews = 1;
+  std::size_t max_reviews = 200;
+
+  /// Fraction of honest workers carrying the platform expert badge.
+  double expert_fraction = 0.03;
+
+  /// Honest: feedback law q = -y^2 + 8y + 2, scores track product quality.
+  ClassBehaviour honest{};
+  /// NCM: slightly weaker feedback law, strongly positive-biased scores.
+  ClassBehaviour ncm{.a2 = -1.0,
+                     .a1 = 7.0,
+                     .a0 = 1.0,
+                     .effort_cap = 3.3,
+                     .score_bias_target = 4.9,
+                     .score_noise = 0.25};
+  /// CM: inflated feedback (community upvoting), positive-biased scores.
+  /// Latent effort sits lower than the other classes: the paper's effort
+  /// proxy is expertise x length, and CM expertise is upvote-inflated, so a
+  /// lower latent effort keeps the *measured* per-class effort similar
+  /// (Fig. 7's first observation) while CM feedback stays far higher.
+  ClassBehaviour cm{.a2 = -1.8,
+                    .a1 = 14.0,
+                    .a0 = 6.0,
+                    .effort_mu_log = -0.86,
+                    .score_bias_target = 4.9,
+                    .score_noise = 0.25};
+
+  /// Mean extra upvotes a CM review receives per community partner.
+  double collusion_upvote_per_partner = 1.1;
+
+  double verified_prob_honest = 0.9;
+  double verified_prob_malicious = 0.35;
+
+  /// Small fast preset for unit tests (hundreds of workers).
+  static GeneratorParams small();
+  /// Medium preset for integration tests and examples (thousands).
+  static GeneratorParams medium();
+  /// Full-scale preset matching the paper's dataset statistics, including
+  /// Table II's community-size census (47 communities, 212 CM workers).
+  static GeneratorParams amazon2015();
+
+  /// Throws ccd::Error if inconsistent (e.g. not enough products for
+  /// the private malicious pools, non-concave feedback laws).
+  void validate() const;
+};
+
+/// Generate a full trace (indexes built, validate()d before returning).
+ReviewTrace generate_trace(const GeneratorParams& params);
+
+}  // namespace ccd::data

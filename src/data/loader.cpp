@@ -1,0 +1,124 @@
+#include "data/loader.hpp"
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace ccd::data {
+namespace {
+
+const std::vector<std::string> kWorkerHeader = {
+    "id", "class", "community", "skill", "expert_badge"};
+const std::vector<std::string> kProductHeader = {"id", "true_quality"};
+const std::vector<std::string> kReviewHeader = {
+    "id", "worker", "product", "round", "score",
+    "length_chars", "upvotes", "verified"};
+
+void expect_header(util::CsvReader& reader, const std::vector<std::string>& want,
+                   const std::string& path) {
+  util::CsvRow row;
+  if (!reader.next(row) || row != want) {
+    throw DataError("bad or missing header in " + path);
+  }
+}
+
+}  // namespace
+
+void save_trace(const ReviewTrace& trace, const std::string& prefix) {
+  {
+    util::CsvWriter w(prefix + ".workers.csv");
+    w.write_row(kWorkerHeader);
+    for (const Worker& worker : trace.workers()) {
+      w.write_row({std::to_string(worker.id), to_string(worker.true_class),
+                   std::to_string(worker.true_community),
+                   util::format_double(worker.skill, 6),
+                   worker.expert_badge ? "1" : "0"});
+    }
+  }
+  {
+    util::CsvWriter w(prefix + ".products.csv");
+    w.write_row(kProductHeader);
+    for (const Product& product : trace.products()) {
+      w.write_row({std::to_string(product.id),
+                   util::format_double(product.true_quality, 6)});
+    }
+  }
+  {
+    util::CsvWriter w(prefix + ".reviews.csv");
+    w.write_row(kReviewHeader);
+    for (const Review& review : trace.reviews()) {
+      w.write_row({std::to_string(review.id), std::to_string(review.worker),
+                   std::to_string(review.product), std::to_string(review.round),
+                   util::format_double(review.score, 4),
+                   std::to_string(review.length_chars),
+                   std::to_string(review.upvotes),
+                   review.verified ? "1" : "0"});
+    }
+  }
+}
+
+ReviewTrace load_trace(const std::string& prefix) {
+  ReviewTrace trace;
+  {
+    const std::string path = prefix + ".workers.csv";
+    util::CsvReader reader(path);
+    expect_header(reader, kWorkerHeader, path);
+    util::CsvRow row;
+    while (reader.next(row)) {
+      if (row.size() != kWorkerHeader.size()) {
+        throw DataError("bad worker row in " + path + " line " +
+                        std::to_string(reader.line_number()));
+      }
+      Worker w;
+      w.id = static_cast<WorkerId>(util::parse_int(row[0]));
+      w.true_class = worker_class_from_string(row[1]);
+      w.true_community = static_cast<std::int32_t>(util::parse_int(row[2]));
+      w.skill = util::parse_double(row[3]);
+      w.expert_badge = util::parse_bool(row[4]);
+      trace.add_worker(w);
+    }
+  }
+  {
+    const std::string path = prefix + ".products.csv";
+    util::CsvReader reader(path);
+    expect_header(reader, kProductHeader, path);
+    util::CsvRow row;
+    while (reader.next(row)) {
+      if (row.size() != kProductHeader.size()) {
+        throw DataError("bad product row in " + path + " line " +
+                        std::to_string(reader.line_number()));
+      }
+      Product p;
+      p.id = static_cast<ProductId>(util::parse_int(row[0]));
+      p.true_quality = util::parse_double(row[1]);
+      trace.add_product(p);
+    }
+  }
+  {
+    const std::string path = prefix + ".reviews.csv";
+    util::CsvReader reader(path);
+    expect_header(reader, kReviewHeader, path);
+    util::CsvRow row;
+    while (reader.next(row)) {
+      if (row.size() != kReviewHeader.size()) {
+        throw DataError("bad review row in " + path + " line " +
+                        std::to_string(reader.line_number()));
+      }
+      Review r;
+      r.id = static_cast<ReviewId>(util::parse_int(row[0]));
+      r.worker = static_cast<WorkerId>(util::parse_int(row[1]));
+      r.product = static_cast<ProductId>(util::parse_int(row[2]));
+      r.round = static_cast<std::uint32_t>(util::parse_int(row[3]));
+      r.score = util::parse_double(row[4]);
+      r.length_chars = static_cast<std::uint32_t>(util::parse_int(row[5]));
+      r.upvotes = static_cast<std::uint32_t>(util::parse_int(row[6]));
+      r.verified = util::parse_bool(row[7]);
+      trace.add_review(r);
+    }
+  }
+  trace.build_indexes();
+  trace.validate();
+  return trace;
+}
+
+}  // namespace ccd::data

@@ -1,0 +1,21 @@
+// Trace persistence as a trio of CSV files (workers/products/reviews).
+//
+// Lets experiments generate a trace once and reuse it, and lets users run
+// the pipeline on their own data by exporting to this simple format.
+#pragma once
+
+#include <string>
+
+#include "data/trace.hpp"
+
+namespace ccd::data {
+
+/// Writes `<prefix>.workers.csv`, `<prefix>.products.csv`,
+/// `<prefix>.reviews.csv` (each with a header row).
+void save_trace(const ReviewTrace& trace, const std::string& prefix);
+
+/// Loads a trace saved by save_trace; builds indexes and validates.
+/// Throws ccd::DataError on malformed input.
+ReviewTrace load_trace(const std::string& prefix);
+
+}  // namespace ccd::data

@@ -1,0 +1,87 @@
+#include "data/metrics.hpp"
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace ccd::data {
+
+WorkerMetrics::WorkerMetrics(const ReviewTrace& trace, MetricsConfig config)
+    : trace_(trace) {
+  CCD_CHECK_MSG(trace.indexes_built(),
+                "WorkerMetrics requires built trace indexes");
+  CCD_CHECK_MSG(config.target_mean_effort > 0.0,
+                "target_mean_effort must be positive");
+
+  expertise_.assign(trace.workers().size(), 0.0);
+  for (const Worker& w : trace.workers()) {
+    const auto& review_ids = trace.reviews_of_worker(w.id);
+    if (review_ids.empty()) continue;
+    double total = 0.0;
+    for (const ReviewId rid : review_ids) {
+      total += trace.review(rid).upvotes;
+    }
+    expertise_[w.id] = total / static_cast<double>(review_ids.size());
+  }
+
+  // Normalize expertise x length so the global mean effort is the target.
+  util::Accumulator raw;
+  for (const Review& r : trace.reviews()) {
+    raw.add(expertise_[r.worker] * static_cast<double>(r.length_chars));
+  }
+  if (raw.count() > 0 && raw.mean() > 0.0) {
+    effort_scale_ = config.target_mean_effort / raw.mean();
+  }
+}
+
+double WorkerMetrics::expertise(WorkerId id) const {
+  CCD_CHECK_MSG(id < expertise_.size(), "worker id out of range");
+  return expertise_[id];
+}
+
+double WorkerMetrics::effort_level(ReviewId id) const {
+  const Review& r = trace_.review(id);
+  return expertise_[r.worker] * static_cast<double>(r.length_chars) *
+         effort_scale_;
+}
+
+double WorkerMetrics::feedback(ReviewId id) const {
+  return static_cast<double>(trace_.review(id).upvotes);
+}
+
+std::vector<EffortSample> WorkerMetrics::samples_of_class(
+    WorkerClass cls) const {
+  std::vector<EffortSample> out;
+  for (const Worker& w : trace_.workers()) {
+    if (w.true_class != cls) continue;
+    for (const ReviewId rid : trace_.reviews_of_worker(w.id)) {
+      out.push_back({w.id, rid, effort_level(rid), feedback(rid)});
+    }
+  }
+  return out;
+}
+
+std::vector<EffortSample> WorkerMetrics::samples_of_worker(WorkerId id) const {
+  std::vector<EffortSample> out;
+  for (const ReviewId rid : trace_.reviews_of_worker(id)) {
+    out.push_back({id, rid, effort_level(rid), feedback(rid)});
+  }
+  return out;
+}
+
+double WorkerMetrics::mean_effort_of_worker(WorkerId id) const {
+  const auto& review_ids = trace_.reviews_of_worker(id);
+  if (review_ids.empty()) return 0.0;
+  double total = 0.0;
+  for (const ReviewId rid : review_ids) total += effort_level(rid);
+  return total / static_cast<double>(review_ids.size());
+}
+
+double WorkerMetrics::mean_feedback_of_worker(WorkerId id) const {
+  const auto& review_ids = trace_.reviews_of_worker(id);
+  if (review_ids.empty()) return 0.0;
+  double total = 0.0;
+  for (const ReviewId rid : review_ids) total += feedback(rid);
+  return total / static_cast<double>(review_ids.size());
+}
+
+}  // namespace ccd::data

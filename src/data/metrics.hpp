@@ -1,0 +1,70 @@
+// Derived per-worker / per-review quantities — the paper's §V
+// parametrization of the model on the review trace:
+//
+//  1. feedback of a review  = its helpfulness upvotes,
+//  2. expertise of a worker = average feedback over the worker's reviews,
+//  3. length of a review    = its character count,
+//  4. effort level          = expertise x length (normalized).
+//
+// The raw expertise x length product is in arbitrary units, so WorkerMetrics
+// rescales it to a dimensionless effort level with a configurable mean;
+// downstream contract math then works on a stable numeric range regardless
+// of trace scale.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/trace.hpp"
+
+namespace ccd::data {
+
+struct MetricsConfig {
+  /// Global mean of the normalized effort level.
+  double target_mean_effort = 1.6;
+};
+
+/// One (effort, feedback) observation — the unit the effort-function fitting
+/// and the per-class comparisons consume.
+struct EffortSample {
+  WorkerId worker = 0;
+  ReviewId review = 0;
+  double effort = 0.0;
+  double feedback = 0.0;
+};
+
+class WorkerMetrics {
+ public:
+  /// Computes expertise and the effort normalizer from `trace` (indexes must
+  /// be built).
+  WorkerMetrics(const ReviewTrace& trace, MetricsConfig config = {});
+
+  /// Average upvotes over the worker's reviews (0 if the worker has none).
+  double expertise(WorkerId id) const;
+
+  /// Normalized effort level of a review.
+  double effort_level(ReviewId id) const;
+
+  /// Feedback (upvotes) of a review.
+  double feedback(ReviewId id) const;
+
+  /// Scale factor applied to expertise x length (exposed for provenance).
+  double effort_scale() const { return effort_scale_; }
+
+  /// All samples of workers in the given class.
+  std::vector<EffortSample> samples_of_class(WorkerClass cls) const;
+
+  /// All samples of one worker.
+  std::vector<EffortSample> samples_of_worker(WorkerId id) const;
+
+  /// Per-worker mean effort / mean feedback (for Fig. 7-style comparisons).
+  double mean_effort_of_worker(WorkerId id) const;
+  double mean_feedback_of_worker(WorkerId id) const;
+
+ private:
+  const ReviewTrace& trace_;
+  std::vector<double> expertise_;
+  double effort_scale_ = 1.0;
+};
+
+}  // namespace ccd::data

@@ -1,0 +1,63 @@
+// Review-trace schema mirroring the Amazon dataset of Fayazi et al. [13]
+// that the paper evaluates on: workers (reviewers), products, and reviews
+// with helpfulness upvotes plus ground-truth maliciousness labels.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ccd::data {
+
+using WorkerId = std::uint32_t;
+using ProductId = std::uint32_t;
+using ReviewId = std::uint32_t;
+
+constexpr std::int32_t kNoCommunity = -1;
+
+/// Ground-truth worker population class (paper §II).
+enum class WorkerClass : std::uint8_t {
+  kHonest = 0,
+  kNonCollusiveMalicious = 1,  ///< "NCM" — biased, working alone
+  kCollusiveMalicious = 2,     ///< "CM" — biased, shares targets/upvotes
+};
+
+const char* to_string(WorkerClass c);
+
+/// Parse "honest" / "ncm" / "cm" (as written by the loader).
+WorkerClass worker_class_from_string(const std::string& s);
+
+struct Worker {
+  WorkerId id = 0;
+  WorkerClass true_class = WorkerClass::kHonest;
+  /// Ground-truth collusive community index; kNoCommunity for non-CM.
+  std::int32_t true_community = kNoCommunity;
+  /// Latent ability; drives review quality/length in the generator. Not
+  /// observable by the requester (detectors must estimate behaviour).
+  double skill = 1.0;
+  /// Platform "expert reviewer" badge (a minority of honest workers).
+  bool expert_badge = false;
+};
+
+struct Product {
+  ProductId id = 0;
+  /// Latent true quality in [1, 5]; expert consensus approximates this.
+  double true_quality = 3.0;
+};
+
+struct Review {
+  ReviewId id = 0;
+  WorkerId worker = 0;
+  ProductId product = 0;
+  /// Round index within the worker's history (0-based, chronological).
+  std::uint32_t round = 0;
+  /// Star rating in [1, 5].
+  double score = 3.0;
+  /// Review body length in characters (paper's effort-proxy ingredient).
+  std::uint32_t length_chars = 0;
+  /// Helpfulness upvotes from other users (the paper's "feedback" q).
+  std::uint32_t upvotes = 0;
+  /// Whether the purchase was verified.
+  bool verified = true;
+};
+
+}  // namespace ccd::data

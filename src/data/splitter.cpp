@@ -1,0 +1,109 @@
+#include "data/splitter.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ccd::data {
+namespace {
+
+/// Copy the subset of `trace` induced by the chosen workers (all products
+/// retained, ids re-densified).
+ReviewTrace project(const ReviewTrace& trace,
+                    const std::vector<WorkerId>& chosen) {
+  ReviewTrace out;
+  std::vector<std::int64_t> new_id(trace.workers().size(), -1);
+  for (std::size_t i = 0; i < chosen.size(); ++i) {
+    Worker w = trace.worker(chosen[i]);
+    w.id = static_cast<WorkerId>(i);
+    new_id[chosen[i]] = static_cast<std::int64_t>(i);
+    out.add_worker(w);
+  }
+  for (const Product& p : trace.products()) out.add_product(p);
+  ReviewId next_review = 0;
+  for (const Review& r : trace.reviews()) {
+    if (new_id[r.worker] < 0) continue;
+    Review copy = r;
+    copy.id = next_review++;
+    copy.worker = static_cast<WorkerId>(new_id[r.worker]);
+    out.add_review(copy);
+  }
+  out.build_indexes();
+  return out;
+}
+
+}  // namespace
+
+TraceSplit split_trace(const ReviewTrace& trace, double train_fraction,
+                       std::uint64_t seed) {
+  if (!(train_fraction > 0.0 && train_fraction < 1.0)) {
+    throw ConfigError("train_fraction must be in (0, 1)");
+  }
+  CCD_CHECK_MSG(trace.workers().size() >= 2,
+                "need at least two workers to split");
+
+  util::Rng rng(seed);
+  // Stratify by ground-truth class so both splits keep the population mix.
+  // Collusive communities travel whole: splitting a ring across train/test
+  // would break the same-target clustering semantics in both halves.
+  std::vector<WorkerId> honest;
+  std::vector<WorkerId> ncm;
+  std::vector<std::vector<WorkerId>> communities;
+  {
+    std::vector<std::int32_t> community_index;
+    for (const Worker& w : trace.workers()) {
+      switch (w.true_class) {
+        case WorkerClass::kHonest: honest.push_back(w.id); break;
+        case WorkerClass::kNonCollusiveMalicious: ncm.push_back(w.id); break;
+        case WorkerClass::kCollusiveMalicious: {
+          auto it = std::find(community_index.begin(), community_index.end(),
+                              w.true_community);
+          if (it == community_index.end()) {
+            community_index.push_back(w.true_community);
+            communities.emplace_back();
+            it = community_index.end() - 1;
+          }
+          communities[static_cast<std::size_t>(
+                          it - community_index.begin())]
+              .push_back(w.id);
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<WorkerId> train_ids;
+  std::vector<WorkerId> test_ids;
+  const auto deal = [&](std::vector<WorkerId>& group) {
+    rng.shuffle(group);
+    const auto cut = static_cast<std::size_t>(
+        train_fraction * static_cast<double>(group.size()) + 0.5);
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      (i < cut ? train_ids : test_ids).push_back(group[i]);
+    }
+  };
+  deal(honest);
+  deal(ncm);
+  rng.shuffle(communities);
+  const auto community_cut = static_cast<std::size_t>(
+      train_fraction * static_cast<double>(communities.size()) + 0.5);
+  for (std::size_t c = 0; c < communities.size(); ++c) {
+    auto& dest = c < community_cut ? train_ids : test_ids;
+    dest.insert(dest.end(), communities[c].begin(), communities[c].end());
+  }
+
+  CCD_CHECK_MSG(!train_ids.empty() && !test_ids.empty(),
+                "split produced an empty side; adjust train_fraction");
+  std::sort(train_ids.begin(), train_ids.end());
+  std::sort(test_ids.begin(), test_ids.end());
+
+  TraceSplit split;
+  split.train = project(trace, train_ids);
+  split.test = project(trace, test_ids);
+  split.train_original_ids = std::move(train_ids);
+  split.test_original_ids = std::move(test_ids);
+  return split;
+}
+
+}  // namespace ccd::data

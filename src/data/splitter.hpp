@@ -1,0 +1,32 @@
+// Train/test splitting of review traces, for honest evaluation of the
+// detection stack: fit thresholds and estimators on one split, measure
+// precision/recall on the other.
+//
+// Splitting is by *worker*: all of a worker's reviews travel together (the
+// detector's unit of decision is the worker), and products are shared so
+// expert consensus remains comparable across splits. Ids are re-densified
+// per split; the mapping back to the original ids is returned.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/trace.hpp"
+
+namespace ccd::data {
+
+struct TraceSplit {
+  ReviewTrace train;
+  ReviewTrace test;
+  /// Original worker id for each train/test worker id.
+  std::vector<WorkerId> train_original_ids;
+  std::vector<WorkerId> test_original_ids;
+};
+
+/// Split workers into train (`train_fraction`) and test, stratified by
+/// ground-truth class so both splits keep the honest/NCM/CM mix.
+/// `train_fraction` in (0, 1); throws ccd::ConfigError otherwise.
+TraceSplit split_trace(const ReviewTrace& trace, double train_fraction,
+                       std::uint64_t seed);
+
+}  // namespace ccd::data

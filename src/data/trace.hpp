@@ -1,0 +1,73 @@
+// ReviewTrace: the in-memory dataset (workers, products, reviews) plus
+// indexes and summary statistics.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "data/schema.hpp"
+
+namespace ccd::data {
+
+struct TraceStats {
+  std::size_t workers = 0;
+  std::size_t products = 0;
+  std::size_t reviews = 0;
+  std::size_t honest_workers = 0;
+  std::size_t ncm_workers = 0;
+  std::size_t cm_workers = 0;
+  std::size_t true_communities = 0;
+  double mean_reviews_per_worker = 0.0;
+  double mean_upvotes = 0.0;
+  double mean_length = 0.0;
+
+  std::string to_string() const;
+};
+
+class ReviewTrace {
+ public:
+  ReviewTrace() = default;
+
+  /// Appends; ids must equal the current container size (dense ids).
+  void add_worker(Worker worker);
+  void add_product(Product product);
+  void add_review(Review review);
+
+  const std::vector<Worker>& workers() const { return workers_; }
+  const std::vector<Product>& products() const { return products_; }
+  const std::vector<Review>& reviews() const { return reviews_; }
+
+  const Worker& worker(WorkerId id) const;
+  const Product& product(ProductId id) const;
+  const Review& review(ReviewId id) const;
+
+  /// Review ids authored by `id` (chronological). Requires build_indexes().
+  const std::vector<ReviewId>& reviews_of_worker(WorkerId id) const;
+
+  /// Review ids on `id`. Requires build_indexes().
+  const std::vector<ReviewId>& reviews_of_product(ProductId id) const;
+
+  /// Distinct product ids reviewed by `id`. Requires build_indexes().
+  std::vector<ProductId> products_of_worker(WorkerId id) const;
+
+  /// (Re)build the per-worker / per-product indexes; call after loading.
+  void build_indexes();
+  bool indexes_built() const { return indexes_built_; }
+
+  /// Consistency check: dense ids, references in range, rounds sequential
+  /// per worker. Throws ccd::DataError describing the first violation.
+  void validate() const;
+
+  TraceStats stats() const;
+
+ private:
+  std::vector<Worker> workers_;
+  std::vector<Product> products_;
+  std::vector<Review> reviews_;
+  std::vector<std::vector<ReviewId>> by_worker_;
+  std::vector<std::vector<ReviewId>> by_product_;
+  bool indexes_built_ = false;
+};
+
+}  // namespace ccd::data

@@ -1,0 +1,182 @@
+#include "detect/collusion.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "graph/components.hpp"
+#include "graph/graph.hpp"
+#include "graph/union_find.hpp"
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace ccd::detect {
+namespace {
+
+/// Map each product to the (dense) indices of malicious workers targeting it.
+std::map<data::ProductId, std::vector<std::size_t>> product_incidence(
+    const data::ReviewTrace& trace,
+    const std::vector<data::WorkerId>& workers) {
+  std::map<data::ProductId, std::vector<std::size_t>> incidence;
+  for (std::size_t idx = 0; idx < workers.size(); ++idx) {
+    for (const data::ProductId pid : trace.products_of_worker(workers[idx])) {
+      incidence[pid].push_back(idx);
+    }
+  }
+  return incidence;
+}
+
+/// Partition (as dense-index component labels) via union-find.
+std::vector<std::size_t> partition_union_find(
+    const data::ReviewTrace& trace,
+    const std::vector<data::WorkerId>& workers) {
+  graph::UnionFind uf(workers.size());
+  for (const auto& [pid, indices] : product_incidence(trace, workers)) {
+    for (std::size_t i = 1; i < indices.size(); ++i) {
+      uf.unite(indices[0], indices[i]);
+    }
+  }
+  std::vector<std::size_t> label(workers.size());
+  std::map<std::size_t, std::size_t> root_to_label;
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    const std::size_t root = uf.find(i);
+    const auto [it, inserted] =
+        root_to_label.emplace(root, root_to_label.size());
+    label[i] = it->second;
+  }
+  return label;
+}
+
+/// Partition via the paper's explicit auxiliary graph + DFS.
+std::vector<std::size_t> partition_dfs(
+    const data::ReviewTrace& trace,
+    const std::vector<data::WorkerId>& workers) {
+  graph::Graph g(workers.size());
+  std::set<std::pair<std::size_t, std::size_t>> added;
+  for (const auto& [pid, indices] : product_incidence(trace, workers)) {
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      for (std::size_t j = i + 1; j < indices.size(); ++j) {
+        const auto edge = std::minmax(indices[i], indices[j]);
+        if (added.insert({edge.first, edge.second}).second) {
+          g.add_edge(edge.first, edge.second);
+        }
+      }
+    }
+  }
+  return graph::connected_components(g).component_of;
+}
+
+}  // namespace
+
+std::size_t CollusionResult::collusive_worker_count() const {
+  std::size_t total = 0;
+  for (const Community& c : communities) total += c.members.size();
+  return total;
+}
+
+CollusionResult cluster_collusive_workers(
+    const data::ReviewTrace& trace,
+    const std::vector<data::WorkerId>& malicious_workers,
+    ClusterBackend backend) {
+  CCD_CHECK_MSG(trace.indexes_built(), "clustering requires trace indexes");
+
+  const std::vector<std::size_t> label =
+      backend == ClusterBackend::kUnionFind
+          ? partition_union_find(trace, malicious_workers)
+          : partition_dfs(trace, malicious_workers);
+
+  // Group dense indices by component label.
+  std::map<std::size_t, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < malicious_workers.size(); ++i) {
+    groups[label[i]].push_back(i);
+  }
+
+  CollusionResult result;
+  result.community_of.assign(trace.workers().size(), -1);
+  for (const auto& [component, indices] : groups) {
+    if (indices.size() < 2) {
+      result.non_collusive.push_back(malicious_workers[indices.front()]);
+      continue;
+    }
+    Community community;
+    std::set<data::ProductId> targets;
+    for (const std::size_t idx : indices) {
+      const data::WorkerId wid = malicious_workers[idx];
+      community.members.push_back(wid);
+      for (const data::ProductId pid : trace.products_of_worker(wid)) {
+        targets.insert(pid);
+      }
+    }
+    community.targets.assign(targets.begin(), targets.end());
+    result.communities.push_back(std::move(community));
+  }
+
+  std::sort(result.communities.begin(), result.communities.end(),
+            [](const Community& a, const Community& b) {
+              if (a.members.size() != b.members.size()) {
+                return a.members.size() > b.members.size();
+              }
+              return a.members.front() < b.members.front();
+            });
+  for (std::size_t c = 0; c < result.communities.size(); ++c) {
+    for (const data::WorkerId wid : result.communities[c].members) {
+      result.community_of[wid] = static_cast<std::int32_t>(c);
+    }
+  }
+  std::sort(result.non_collusive.begin(), result.non_collusive.end());
+  return result;
+}
+
+CollusionResult cluster_ground_truth_malicious(const data::ReviewTrace& trace,
+                                               ClusterBackend backend) {
+  std::vector<data::WorkerId> malicious;
+  for (const data::Worker& w : trace.workers()) {
+    if (w.true_class != data::WorkerClass::kHonest) {
+      malicious.push_back(w.id);
+    }
+  }
+  return cluster_collusive_workers(trace, malicious, backend);
+}
+
+CommunityCensus census(const CollusionResult& result) {
+  CommunityCensus c;
+  c.communities = result.communities.size();
+  if (c.communities == 0) return c;
+  std::size_t n2 = 0, n3 = 0, n4 = 0, n5 = 0, n6 = 0, n7to9 = 0, n10 = 0;
+  for (const Community& community : result.communities) {
+    const std::size_t size = community.members.size();
+    c.workers += size;
+    if (size == 2) ++n2;
+    else if (size == 3) ++n3;
+    else if (size == 4) ++n4;
+    else if (size == 5) ++n5;
+    else if (size == 6) ++n6;
+    else if (size <= 9) ++n7to9;
+    else ++n10;
+  }
+  const double total = static_cast<double>(c.communities);
+  c.pct_size2 = 100.0 * static_cast<double>(n2) / total;
+  c.pct_size3 = 100.0 * static_cast<double>(n3) / total;
+  c.pct_size4 = 100.0 * static_cast<double>(n4) / total;
+  c.pct_size5 = 100.0 * static_cast<double>(n5) / total;
+  c.pct_size6 = 100.0 * static_cast<double>(n6) / total;
+  c.pct_size7to9 = 100.0 * static_cast<double>(n7to9) / total;
+  c.pct_size10plus = 100.0 * static_cast<double>(n10) / total;
+  return c;
+}
+
+std::string CommunityCensus::to_string() const {
+  std::ostringstream os;
+  os << communities << " communities / " << workers << " workers; size% "
+     << "2:" << util::format_double(pct_size2, 1)
+     << " 3:" << util::format_double(pct_size3, 1)
+     << " 4:" << util::format_double(pct_size4, 1)
+     << " 5:" << util::format_double(pct_size5, 1)
+     << " 6:" << util::format_double(pct_size6, 1)
+     << " 7-9:" << util::format_double(pct_size7to9, 1)
+     << " >=10:" << util::format_double(pct_size10plus, 1);
+  return os.str();
+}
+
+}  // namespace ccd::detect

@@ -1,0 +1,88 @@
+#include "detect/expert.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace ccd::detect {
+
+ExpertPanel::ExpertPanel(const data::ReviewTrace& trace,
+                         const data::WorkerMetrics& metrics,
+                         ExpertConfig config) {
+  CCD_CHECK_MSG(trace.indexes_built(), "ExpertPanel requires trace indexes");
+
+  // Feedback threshold from the distribution of per-worker mean feedback
+  // among sufficiently active workers.
+  std::vector<double> mean_feedbacks;
+  for (const data::Worker& w : trace.workers()) {
+    if (trace.reviews_of_worker(w.id).size() >= config.min_reviews) {
+      mean_feedbacks.push_back(metrics.mean_feedback_of_worker(w.id));
+    }
+  }
+  const double feedback_threshold =
+      mean_feedbacks.empty()
+          ? 0.0
+          : util::percentile(mean_feedbacks, config.feedback_percentile);
+
+  expert_flags_.assign(trace.workers().size(), false);
+  for (const data::Worker& w : trace.workers()) {
+    if (config.trust_badges && w.expert_badge) {
+      expert_flags_[w.id] = true;
+      experts_.push_back(w.id);
+      continue;
+    }
+    const auto& review_ids = trace.reviews_of_worker(w.id);
+    if (review_ids.size() < config.min_reviews) continue;
+    if (metrics.mean_feedback_of_worker(w.id) < feedback_threshold) continue;
+    double deviation = 0.0;
+    for (const data::ReviewId rid : review_ids) {
+      const data::Review& r = trace.review(rid);
+      deviation += std::abs(r.score - trace.product(r.product).true_quality);
+    }
+    deviation /= static_cast<double>(review_ids.size());
+    if (deviation > config.max_score_deviation) continue;
+    expert_flags_[w.id] = true;
+    experts_.push_back(w.id);
+  }
+
+  // Per-product expert consensus.
+  product_score_sum_.assign(trace.products().size(), 0.0);
+  product_score_count_.assign(trace.products().size(), 0);
+  util::Accumulator global;
+  for (const data::Review& r : trace.reviews()) {
+    if (!expert_flags_[r.worker]) continue;
+    product_score_sum_[r.product] += r.score;
+    ++product_score_count_[r.product];
+    global.add(r.score);
+  }
+  if (global.count() > 0) global_mean_ = global.mean();
+}
+
+bool ExpertPanel::is_expert(data::WorkerId id) const {
+  CCD_CHECK_MSG(id < expert_flags_.size(), "worker id out of range");
+  return expert_flags_[id];
+}
+
+std::optional<double> ExpertPanel::expert_score(data::ProductId id) const {
+  CCD_CHECK_MSG(id < product_score_count_.size(), "product id out of range");
+  if (product_score_count_[id] == 0) return std::nullopt;
+  return product_score_sum_[id] / static_cast<double>(product_score_count_[id]);
+}
+
+double ExpertPanel::consensus(data::ProductId id) const {
+  const std::optional<double> score = expert_score(id);
+  return score ? *score : global_mean_;
+}
+
+double ExpertPanel::coverage() const {
+  if (product_score_count_.empty()) return 0.0;
+  std::size_t covered = 0;
+  for (const std::size_t c : product_score_count_) {
+    if (c > 0) ++covered;
+  }
+  return static_cast<double>(covered) /
+         static_cast<double>(product_score_count_.size());
+}
+
+}  // namespace ccd::detect

@@ -1,0 +1,31 @@
+#include "effort/effort_model.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace ccd::effort {
+
+QuadraticEffort::QuadraticEffort(double r2, double r1, double r0)
+    : r2_(r2), r1_(r1), r0_(r0) {
+  if (!(r2 < 0.0)) {
+    throw ContractError("effort function must be concave (r2 < 0), got r2=" +
+                        util::format_double(r2, 6));
+  }
+  if (!(r1 > 0.0)) {
+    throw ContractError(
+        "effort function must be increasing at zero effort (r1 > 0), got r1=" +
+        util::format_double(r1, 6));
+  }
+}
+
+std::string QuadraticEffort::to_string(int precision) const {
+  std::ostringstream os;
+  os << "psi(y) = " << util::format_double(r2_, precision) << "*y^2 + "
+     << util::format_double(r1_, precision) << "*y + "
+     << util::format_double(r0_, precision);
+  return os.str();
+}
+
+}  // namespace ccd::effort

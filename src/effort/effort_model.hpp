@@ -1,0 +1,61 @@
+// The effort function ψ (paper Eq. 2/19): a concave, twice-differentiable
+// map from a worker's effort level y to the feedback q the work earns.
+//
+// After the NoR comparison of Table III the paper adopts quadratic
+// ψ(y) = r2 y^2 + r1 y + r0 with r2 < 0 (concave) and r1 > 0 (increasing at
+// zero effort). All contract construction (Lemma 4.1, Eq. 39) consumes ψ
+// through this class: evaluation, derivative, inverse derivative, and the
+// validity domain [0, y_peak) on which ψ remains strictly increasing.
+#pragma once
+
+#include <string>
+
+#include "math/polynomial.hpp"
+
+namespace ccd::effort {
+
+class QuadraticEffort {
+ public:
+  /// Requires r2 < 0 and r1 > 0; throws ccd::ContractError otherwise.
+  QuadraticEffort(double r2, double r1, double r0);
+
+  double r2() const { return r2_; }
+  double r1() const { return r1_; }
+  double r0() const { return r0_; }
+
+  /// ψ(y).
+  double operator()(double y) const { return (r2_ * y + r1_) * y + r0_; }
+
+  /// ψ'(y) = 2 r2 y + r1.
+  double derivative(double y) const { return 2.0 * r2_ * y + r1_; }
+
+  /// Inverse of ψ' (well-defined since ψ' is strictly decreasing):
+  /// the y with ψ'(y) = slope.
+  double derivative_inverse(double slope) const {
+    return (slope - r1_) / (2.0 * r2_);
+  }
+
+  /// The vertex -r1/(2 r2): ψ is strictly increasing on [0, y_peak).
+  double y_peak() const { return -r1_ / (2.0 * r2_); }
+
+  /// True if ψ is strictly increasing on [0, y_hi].
+  bool increasing_on(double y_hi) const { return derivative(y_hi) > 0.0; }
+
+  /// Largest effort the contract machinery should partition:
+  /// `margin` (0,1) of the way to the vertex, so ψ' stays bounded away
+  /// from zero on the whole partition.
+  double usable_domain(double margin = 0.95) const { return margin * y_peak(); }
+
+  math::Polynomial as_polynomial() const {
+    return math::Polynomial::quadratic(r0_, r1_, r2_);
+  }
+
+  std::string to_string(int precision = 4) const;
+
+ private:
+  double r2_;
+  double r1_;
+  double r0_;
+};
+
+}  // namespace ccd::effort

@@ -1,0 +1,144 @@
+#include "effort/fitting.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "math/polyfit.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace ccd::effort {
+namespace {
+
+void split_samples(const std::vector<data::EffortSample>& samples,
+                   std::vector<double>& xs, std::vector<double>& ys) {
+  xs.reserve(samples.size());
+  ys.reserve(samples.size());
+  for (const data::EffortSample& s : samples) {
+    xs.push_back(s.effort);
+    ys.push_back(s.feedback);
+  }
+}
+
+double mean_of(const std::vector<double>& v) {
+  double acc = 0.0;
+  for (const double x : v) acc += x;
+  return v.empty() ? 0.0 : acc / static_cast<double>(v.size());
+}
+
+}  // namespace
+
+EffortFit fit_effort_function(const std::vector<data::EffortSample>& samples,
+                              const FitConfig& config) {
+  CCD_CHECK_MSG(samples.size() >= 3,
+                "effort fitting needs at least 3 samples, got "
+                    << samples.size());
+  std::vector<double> xs, ys;
+  split_samples(samples, xs, ys);
+
+  EffortFit fit;
+  fit.sample_count = samples.size();
+
+  const math::PolyFitResult quad = math::polyfit(xs, ys, 2);
+  double r0 = quad.polynomial.coefficient(0);
+  double r1 = quad.polynomial.coefficient(1);
+  double r2 = quad.polynomial.coefficient(2);
+
+  if (r2 < 0.0 && r1 > 0.0) {
+    fit.model = QuadraticEffort(r2, r1, r0);
+    fit.norm_of_residuals = quad.norm_of_residuals;
+    return fit;
+  }
+
+  // Projection onto the feasible set {r2 < 0, r1 > 0}: pin r2 to a gentle
+  // data-scaled curvature, then least-squares the linear part on the
+  // residual, finally pin r1 if it still comes out non-positive.
+  fit.projected = true;
+  const double mx = std::max(1e-9, mean_of(xs));
+  const double my = std::max(1e-9, mean_of(ys));
+  if (!(r2 < 0.0)) {
+    r2 = -std::abs(config.projection_r2_scale) * my / (mx * mx);
+  }
+  std::vector<double> residual(ys.size());
+  for (std::size_t i = 0; i < ys.size(); ++i) {
+    residual[i] = ys[i] - r2 * xs[i] * xs[i];
+  }
+  const math::PolyFitResult lin = math::polyfit(xs, residual, 1);
+  r0 = lin.polynomial.coefficient(0);
+  r1 = lin.polynomial.coefficient(1);
+  if (!(r1 > 0.0)) {
+    r1 = 0.1 * my / mx;
+    double intercept = 0.0;
+    for (std::size_t i = 0; i < ys.size(); ++i) {
+      intercept += ys[i] - r2 * xs[i] * xs[i] - r1 * xs[i];
+    }
+    r0 = intercept / static_cast<double>(ys.size());
+  }
+  fit.model = QuadraticEffort(r2, r1, r0);
+  fit.norm_of_residuals =
+      math::norm_of_residuals(fit.model.as_polynomial(), xs, ys);
+  CCD_LOG_DEBUG << "effort fit projected onto feasible set: "
+                << fit.model.to_string();
+  return fit;
+}
+
+std::vector<double> nor_comparison(
+    const std::vector<data::EffortSample>& samples, const FitConfig& config) {
+  CCD_CHECK_MSG(samples.size() > config.max_degree,
+                "NoR comparison needs more samples than the max degree");
+  std::vector<double> xs, ys;
+  split_samples(samples, xs, ys);
+  return math::nor_by_degree(xs, ys, config.min_degree, config.max_degree);
+}
+
+ClassFits fit_all_classes(const data::WorkerMetrics& metrics,
+                          const FitConfig& config) {
+  const auto fit_or = [&](data::WorkerClass cls,
+                          const EffortFit& fallback_fit) {
+    const auto samples = metrics.samples_of_class(cls);
+    if (samples.size() < 3) {
+      EffortFit fit = fallback_fit;
+      fit.fallback = true;
+      fit.sample_count = samples.size();
+      return fit;
+    }
+    return fit_effort_function(samples, config);
+  };
+
+  // The library default, should even the honest class be (nearly) empty.
+  EffortFit default_fit;
+  default_fit.model = QuadraticEffort(-1.0, 8.0, 2.0);
+  default_fit.fallback = true;
+
+  ClassFits fits;
+  fits.honest = fit_or(data::WorkerClass::kHonest, default_fit);
+  fits.ncm = fit_or(data::WorkerClass::kNonCollusiveMalicious, fits.honest);
+  fits.cm = fit_or(data::WorkerClass::kCollusiveMalicious, fits.honest);
+  return fits;
+}
+
+std::vector<data::EffortSample> community_sum_samples(
+    const data::ReviewTrace& trace, const data::WorkerMetrics& metrics,
+    const std::vector<data::WorkerId>& members) {
+  CCD_CHECK_MSG(!members.empty(), "community must have members");
+  // Sum member effort and feedback per round index (the meta-worker of
+  // Eq. 3: community feedback as a function of summed effort).
+  std::map<std::uint32_t, data::EffortSample> by_round;
+  for (const data::WorkerId wid : members) {
+    for (const data::ReviewId rid : trace.reviews_of_worker(wid)) {
+      const data::Review& r = trace.review(rid);
+      data::EffortSample& s = by_round[r.round];
+      s.worker = members.front();
+      s.review = rid;
+      s.effort += metrics.effort_level(rid);
+      s.feedback += metrics.feedback(rid);
+    }
+  }
+  std::vector<data::EffortSample> out;
+  out.reserve(by_round.size());
+  for (const auto& [round, sample] : by_round) out.push_back(sample);
+  return out;
+}
+
+}  // namespace ccd::effort

@@ -1,0 +1,74 @@
+// Effort-function fitting (paper §IV-B, Table III).
+//
+// Fits polynomial feedback-vs-effort curves per worker class (or per worker
+// / per community), compares the norm of residuals across degrees 1..6, and
+// produces the concave quadratic QuadraticEffort the contract machinery
+// requires. If the unconstrained quadratic fit violates concavity or
+// monotonicity-at-zero (possible on small noisy samples), the fit is
+// projected: the offending coefficient is pinned to a feasible value and
+// the remaining coefficients are re-fit by least squares.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/metrics.hpp"
+#include "effort/effort_model.hpp"
+
+namespace ccd::effort {
+
+struct FitConfig {
+  /// Degrees compared in the NoR table.
+  std::size_t min_degree = 1;
+  std::size_t max_degree = 6;
+  /// Concavity floor used when projecting a non-concave fit: r2 is pinned
+  /// to -|projection_r2_scale| * (mean feedback / mean effort^2).
+  double projection_r2_scale = 0.05;
+};
+
+struct EffortFit {
+  QuadraticEffort model{-1.0, 1.0, 0.0};
+  /// NoR of the (possibly projected) quadratic on the sample.
+  double norm_of_residuals = 0.0;
+  /// True if the unconstrained fit violated r2 < 0 or r1 > 0 and was
+  /// projected onto the feasible set.
+  bool projected = false;
+  /// True if this class had too few samples and another class's fit (or
+  /// the library default) was substituted.
+  bool fallback = false;
+  std::size_t sample_count = 0;
+};
+
+/// Fit a concave quadratic effort function to (effort, feedback) samples.
+/// Requires at least 3 samples.
+EffortFit fit_effort_function(const std::vector<data::EffortSample>& samples,
+                              const FitConfig& config = {});
+
+/// NoR for each degree in [config.min_degree, config.max_degree] — one row
+/// of Table III.
+std::vector<double> nor_comparison(
+    const std::vector<data::EffortSample>& samples,
+    const FitConfig& config = {});
+
+/// Per-class fits over a whole trace (honest / NCM / CM), the granularity
+/// the paper's evaluation uses. Classes with fewer than 3 samples (e.g. a
+/// trace with no malicious workers at all) fall back to the honest fit,
+/// marked with EffortFit::fallback; an all-but-empty trace falls back to
+/// the library's default curve.
+struct ClassFits {
+  EffortFit honest;
+  EffortFit ncm;
+  EffortFit cm;
+};
+
+ClassFits fit_all_classes(const data::WorkerMetrics& metrics,
+                          const FitConfig& config = {});
+
+/// Aggregate the (effort, feedback) samples of a set of workers into
+/// community-level sums per round index — the meta-worker view of Eq. 3,
+/// where the community's feedback is a function of the summed effort.
+std::vector<data::EffortSample> community_sum_samples(
+    const data::ReviewTrace& trace, const data::WorkerMetrics& metrics,
+    const std::vector<data::WorkerId>& members);
+
+}  // namespace ccd::effort

@@ -1,0 +1,65 @@
+#include "graph/components.hpp"
+
+#include <limits>
+#include <queue>
+
+namespace ccd::graph {
+namespace {
+
+constexpr std::size_t kUnvisited = std::numeric_limits<std::size_t>::max();
+
+}  // namespace
+
+ComponentResult connected_components(const Graph& graph) {
+  ComponentResult result;
+  result.component_of.assign(graph.vertex_count(), kUnvisited);
+
+  std::vector<std::size_t> stack;
+  for (std::size_t start = 0; start < graph.vertex_count(); ++start) {
+    if (result.component_of[start] != kUnvisited) continue;
+    const std::size_t comp = result.members.size();
+    result.members.emplace_back();
+    stack.push_back(start);
+    result.component_of[start] = comp;
+    while (!stack.empty()) {
+      const std::size_t v = stack.back();
+      stack.pop_back();
+      result.members[comp].push_back(v);
+      for (const std::size_t next : graph.neighbors(v)) {
+        if (result.component_of[next] == kUnvisited) {
+          result.component_of[next] = comp;
+          stack.push_back(next);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+ComponentResult connected_components_bfs(const Graph& graph) {
+  ComponentResult result;
+  result.component_of.assign(graph.vertex_count(), kUnvisited);
+
+  std::queue<std::size_t> queue;
+  for (std::size_t start = 0; start < graph.vertex_count(); ++start) {
+    if (result.component_of[start] != kUnvisited) continue;
+    const std::size_t comp = result.members.size();
+    result.members.emplace_back();
+    queue.push(start);
+    result.component_of[start] = comp;
+    while (!queue.empty()) {
+      const std::size_t v = queue.front();
+      queue.pop();
+      result.members[comp].push_back(v);
+      for (const std::size_t next : graph.neighbors(v)) {
+        if (result.component_of[next] == kUnvisited) {
+          result.component_of[next] = comp;
+          queue.push(next);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ccd::graph

@@ -1,0 +1,28 @@
+// Direct solvers: LU with partial pivoting and Householder QR least squares.
+#pragma once
+
+#include <vector>
+
+#include "math/matrix.hpp"
+
+namespace ccd::math {
+
+/// Solve the square system A x = b via LU with partial pivoting.
+/// Throws ccd::MathError if A is (numerically) singular.
+std::vector<double> solve_lu(const Matrix& a, const std::vector<double>& b);
+
+/// Result of a least-squares solve.
+struct LeastSquaresResult {
+  std::vector<double> coefficients;  ///< minimizer of ||A x - b||2
+  double residual_norm = 0.0;        ///< ||A x* - b||2
+};
+
+/// Solve min_x ||A x - b||2 via Householder QR. Requires rows >= cols and
+/// full column rank (throws ccd::MathError otherwise).
+LeastSquaresResult solve_least_squares(const Matrix& a,
+                                       const std::vector<double>& b);
+
+/// Determinant via LU (square matrices).
+double determinant(Matrix a);
+
+}  // namespace ccd::math

@@ -1,0 +1,138 @@
+#include "math/matrix.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace ccd::math {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    CCD_CHECK_MSG(row.size() == cols_, "ragged initializer for Matrix");
+    for (const double v : row) data_.push_back(v);
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  CCD_CHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  CCD_CHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+Matrix Matrix::transpose() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+Matrix Matrix::operator*(const Matrix& other) const {
+  CCD_CHECK_MSG(cols_ == other.rows_, "matrix product shape mismatch");
+  Matrix out(rows_, other.cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c) {
+        out(r, c) += a * other(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::operator*(const std::vector<double>& v) const {
+  CCD_CHECK_MSG(cols_ == v.size(), "matrix-vector shape mismatch");
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += (*this)(r, c) * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& other) const {
+  CCD_CHECK_MSG(rows_ == other.rows_ && cols_ == other.cols_,
+                "matrix sum shape mismatch");
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] += other.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& other) const {
+  CCD_CHECK_MSG(rows_ == other.rows_ && cols_ == other.cols_,
+                "matrix difference shape mismatch");
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= other.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator*(double scalar) const {
+  Matrix out = *this;
+  for (double& v : out.data_) v *= scalar;
+  return out;
+}
+
+double Matrix::max_abs_diff(const Matrix& other) const {
+  CCD_CHECK_MSG(rows_ == other.rows_ && cols_ == other.cols_,
+                "max_abs_diff shape mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    worst = std::max(worst, std::abs(data_[i] - other.data_[i]));
+  }
+  return worst;
+}
+
+double Matrix::frobenius_norm() const {
+  double acc = 0.0;
+  for (const double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+std::string Matrix::to_string(int precision) const {
+  std::ostringstream os;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    os << '[';
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (c > 0) os << ", ";
+      os << util::format_double((*this)(r, c), precision);
+    }
+    os << "]\n";
+  }
+  return os.str();
+}
+
+double norm2(const std::vector<double>& v) {
+  double acc = 0.0;
+  for (const double x : v) acc += x * x;
+  return std::sqrt(acc);
+}
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  CCD_CHECK_MSG(a.size() == b.size(), "dot product size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+}  // namespace ccd::math

@@ -1,0 +1,59 @@
+// Dense row-major matrix for small linear-algebra problems.
+//
+// Sized for the library's needs — Vandermonde least squares for effort-curve
+// fitting (hundreds/thousands of rows, <= 7 columns) — not for HPC.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace ccd::math {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Build from nested initializer lists: Matrix{{1,2},{3,4}}.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  Matrix transpose() const;
+
+  Matrix operator*(const Matrix& other) const;
+  std::vector<double> operator*(const std::vector<double>& v) const;
+  Matrix operator+(const Matrix& other) const;
+  Matrix operator-(const Matrix& other) const;
+  Matrix operator*(double scalar) const;
+
+  /// Max absolute element difference; matrices must be the same shape.
+  double max_abs_diff(const Matrix& other) const;
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+  std::string to_string(int precision = 4) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Euclidean norm of a vector.
+double norm2(const std::vector<double>& v);
+
+/// Dot product; sizes must match.
+double dot(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace ccd::math

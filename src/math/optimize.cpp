@@ -1,0 +1,96 @@
+#include "math/optimize.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ccd::math {
+
+ScalarOptimum golden_section_max(const std::function<double(double)>& f,
+                                 double lo, double hi, double tol) {
+  CCD_CHECK_MSG(lo <= hi, "golden_section_max requires lo <= hi");
+  constexpr double kInvPhi = 0.6180339887498949;  // 1/phi
+
+  double a = lo;
+  double b = hi;
+  double x1 = b - kInvPhi * (b - a);
+  double x2 = a + kInvPhi * (b - a);
+  double f1 = f(x1);
+  double f2 = f(x2);
+
+  while (b - a > tol) {
+    if (f1 < f2) {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kInvPhi * (b - a);
+      f2 = f(x2);
+    } else {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kInvPhi * (b - a);
+      f1 = f(x1);
+    }
+  }
+  const double xm = 0.5 * (a + b);
+  return {xm, f(xm)};
+}
+
+ScalarOptimum grid_refine_max(const std::function<double(double)>& f,
+                              double lo, double hi, std::size_t points,
+                              std::size_t levels) {
+  CCD_CHECK_MSG(lo <= hi, "grid_refine_max requires lo <= hi");
+  CCD_CHECK_MSG(points >= 3, "grid_refine_max needs at least 3 points");
+
+  double a = lo;
+  double b = hi;
+  ScalarOptimum best{lo, f(lo)};
+  for (std::size_t level = 0; level < levels; ++level) {
+    const double step = (b - a) / static_cast<double>(points - 1);
+    std::size_t best_idx = 0;
+    for (std::size_t i = 0; i < points; ++i) {
+      const double x = a + step * static_cast<double>(i);
+      const double v = f(x);
+      if (v > best.value || (level == 0 && i == 0)) {
+        // level 0 / i 0 re-seeds in case f(lo) above was stale
+        if (v > best.value) {
+          best = {x, v};
+          best_idx = i;
+        }
+      }
+    }
+    // Zoom one step around the best grid point.
+    const double center = a + step * static_cast<double>(best_idx);
+    a = std::max(lo, center - step);
+    b = std::min(hi, center + step);
+    if (b - a <= 0.0) break;
+  }
+  return best;
+}
+
+double bisect_root(const std::function<double(double)>& f, double lo,
+                   double hi, double tol) {
+  CCD_CHECK_MSG(lo <= hi, "bisect_root requires lo <= hi");
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  if ((flo > 0.0) == (fhi > 0.0)) {
+    throw MathError("bisect_root: no sign change on the interval");
+  }
+  while (hi - lo > tol) {
+    const double mid = 0.5 * (lo + hi);
+    const double fm = f(mid);
+    if (fm == 0.0) return mid;
+    if ((fm > 0.0) == (flo > 0.0)) {
+      lo = mid;
+      flo = fm;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace ccd::math

@@ -1,0 +1,32 @@
+// Scalar optimization and root finding used by the contract machinery:
+// golden-section search for unimodal maxima, refined grid search as a robust
+// fallback (the oracle baseline), and bisection for root finding.
+#pragma once
+
+#include <functional>
+
+namespace ccd::math {
+
+struct ScalarOptimum {
+  double x = 0.0;
+  double value = 0.0;
+};
+
+/// Maximize a unimodal function on [lo, hi] by golden-section search.
+/// `tol` is the absolute x tolerance.
+ScalarOptimum golden_section_max(const std::function<double(double)>& f,
+                                 double lo, double hi, double tol = 1e-10);
+
+/// Maximize an arbitrary continuous function on [lo, hi] by iteratively
+/// refined grid search (`points` samples per level, `levels` refinements).
+/// Robust to multimodality at the cost of more evaluations.
+ScalarOptimum grid_refine_max(const std::function<double(double)>& f,
+                              double lo, double hi, std::size_t points = 257,
+                              std::size_t levels = 4);
+
+/// Find a root of f on [lo, hi] by bisection; requires a sign change.
+/// Throws ccd::MathError if f(lo) and f(hi) have the same sign.
+double bisect_root(const std::function<double(double)>& f, double lo,
+                   double hi, double tol = 1e-12);
+
+}  // namespace ccd::math

@@ -1,0 +1,90 @@
+#include "math/piecewise.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace ccd::math {
+
+PiecewiseLinear::PiecewiseLinear(std::vector<double> xs, std::vector<double> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys)) {
+  CCD_CHECK_MSG(!xs_.empty(), "PiecewiseLinear needs at least one knot");
+  CCD_CHECK_MSG(xs_.size() == ys_.size(),
+                "PiecewiseLinear knot/value size mismatch");
+  for (std::size_t i = 1; i < xs_.size(); ++i) {
+    CCD_CHECK_MSG(xs_[i] > xs_[i - 1],
+                  "PiecewiseLinear knots must be strictly increasing");
+  }
+}
+
+double PiecewiseLinear::x_min() const {
+  CCD_CHECK(!xs_.empty());
+  return xs_.front();
+}
+
+double PiecewiseLinear::x_max() const {
+  CCD_CHECK(!xs_.empty());
+  return xs_.back();
+}
+
+double PiecewiseLinear::operator()(double x) const {
+  CCD_CHECK(!xs_.empty());
+  if (x <= xs_.front()) return ys_.front();
+  if (x >= xs_.back()) return ys_.back();
+  const std::size_t seg = segment_of(x);
+  const double x0 = xs_[seg];
+  const double x1 = xs_[seg + 1];
+  const double t = (x - x0) / (x1 - x0);
+  return ys_[seg] * (1.0 - t) + ys_[seg + 1] * t;
+}
+
+double PiecewiseLinear::slope(std::size_t segment) const {
+  CCD_CHECK_MSG(segment + 1 < xs_.size(), "segment index out of range");
+  return (ys_[segment + 1] - ys_[segment]) / (xs_[segment + 1] - xs_[segment]);
+}
+
+std::size_t PiecewiseLinear::segment_of(double x) const {
+  CCD_CHECK_MSG(xs_.size() >= 2, "segment_of requires at least two knots");
+  if (x <= xs_.front()) return 0;
+  if (x >= xs_.back()) return xs_.size() - 2;
+  // First knot strictly greater than x; segment is the one before it.
+  const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+  return static_cast<std::size_t>(it - xs_.begin()) - 1;
+}
+
+bool PiecewiseLinear::is_monotone_non_decreasing() const {
+  for (std::size_t i = 1; i < ys_.size(); ++i) {
+    if (ys_[i] < ys_[i - 1]) return false;
+  }
+  return true;
+}
+
+double PiecewiseLinear::inverse(double target) const {
+  CCD_CHECK_MSG(is_monotone_non_decreasing(),
+                "inverse requires a monotone function");
+  if (target < ys_.front() || target > ys_.back()) {
+    throw MathError("PiecewiseLinear::inverse: target outside range");
+  }
+  for (std::size_t seg = 0; seg + 1 < xs_.size(); ++seg) {
+    if (target <= ys_[seg + 1]) {
+      if (ys_[seg + 1] == ys_[seg]) return xs_[seg];  // flat: smallest x
+      const double t = (target - ys_[seg]) / (ys_[seg + 1] - ys_[seg]);
+      return xs_[seg] + t * (xs_[seg + 1] - xs_[seg]);
+    }
+  }
+  return xs_.back();
+}
+
+std::string PiecewiseLinear::to_string(int precision) const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < xs_.size(); ++i) {
+    if (i > 0) os << " -> ";
+    os << '(' << util::format_double(xs_[i], precision) << ", "
+       << util::format_double(ys_[i], precision) << ')';
+  }
+  return os.str();
+}
+
+}  // namespace ccd::math

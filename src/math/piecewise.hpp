@@ -1,0 +1,54 @@
+// Generic continuous piecewise-linear function over sorted knots.
+//
+// The paper's contract-function approximation (§III-A) is a monotone
+// piecewise-linear map from feedback to compensation; this class provides
+// the generic machinery (evaluation, slopes, inverse on monotone segments),
+// and contract-specific semantics live in ccd::contract.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ccd::math {
+
+class PiecewiseLinear {
+ public:
+  PiecewiseLinear() = default;
+
+  /// `xs` strictly increasing, `ys` same size (>= 2 knots for a non-trivial
+  /// function; a single knot behaves as a constant).
+  PiecewiseLinear(std::vector<double> xs, std::vector<double> ys);
+
+  std::size_t knots() const { return xs_.size(); }
+  const std::vector<double>& x() const { return xs_; }
+  const std::vector<double>& y() const { return ys_; }
+
+  double x_min() const;
+  double x_max() const;
+
+  /// Evaluation; inputs outside [x_min, x_max] clamp to the boundary value
+  /// (the contract semantics: feedback beyond the last knot earns the last
+  /// compensation, Eq. 6 with saturation).
+  double operator()(double x) const;
+
+  /// Slope of segment i (between knots i and i+1); i < knots()-1.
+  double slope(std::size_t segment) const;
+
+  /// Index of the segment containing x (clamped to the valid range).
+  std::size_t segment_of(double x) const;
+
+  bool is_monotone_non_decreasing() const;
+
+  /// Inverse for monotone non-decreasing functions: smallest x with
+  /// value(x) >= target; throws ccd::MathError if target is out of range
+  /// or the function is not monotone.
+  double inverse(double target) const;
+
+  std::string to_string(int precision = 4) const;
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+};
+
+}  // namespace ccd::math

@@ -1,0 +1,38 @@
+// Least-squares polynomial fitting (the paper's "effort function fitting",
+// §IV-B / Table III).
+//
+// Fits p(x) = c0 + c1 x + ... + c_d x^d to (x, y) samples by Householder QR
+// on the Vandermonde system, and reports the norm of residuals (NoR) — the
+// same deviation measure the paper tabulates.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "math/polynomial.hpp"
+
+namespace ccd::math {
+
+struct PolyFitResult {
+  Polynomial polynomial;
+  double norm_of_residuals = 0.0;  ///< ||y - p(x)||2 (MATLAB-style NoR)
+};
+
+/// Fit a degree-`degree` polynomial. Requires xs.size() == ys.size() and at
+/// least degree+1 samples. For numerical stability the x values are centered
+/// and scaled internally; returned coefficients are in the original units.
+PolyFitResult polyfit(const std::vector<double>& xs,
+                      const std::vector<double>& ys, std::size_t degree);
+
+/// NoR of an existing polynomial against a sample set.
+double norm_of_residuals(const Polynomial& p, const std::vector<double>& xs,
+                         const std::vector<double>& ys);
+
+/// Fit each degree in [min_degree, max_degree] and return the NoRs, in
+/// order — one row of the paper's Table III.
+std::vector<double> nor_by_degree(const std::vector<double>& xs,
+                                  const std::vector<double>& ys,
+                                  std::size_t min_degree,
+                                  std::size_t max_degree);
+
+}  // namespace ccd::math

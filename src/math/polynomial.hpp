@@ -1,0 +1,49 @@
+// Polynomials with ascending coefficients: p(x) = c0 + c1 x + c2 x^2 + ...
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ccd::math {
+
+class Polynomial {
+ public:
+  Polynomial() = default;
+
+  /// Coefficients in ascending order of power; trailing zeros are trimmed.
+  explicit Polynomial(std::vector<double> coefficients);
+
+  static Polynomial constant(double c);
+  static Polynomial linear(double intercept, double slope);
+  static Polynomial quadratic(double c0, double c1, double c2);
+
+  /// Degree; the zero polynomial reports degree 0.
+  std::size_t degree() const;
+
+  const std::vector<double>& coefficients() const { return coefficients_; }
+
+  /// coefficient of x^power (0 beyond the stored degree).
+  double coefficient(std::size_t power) const;
+
+  /// Horner evaluation.
+  double operator()(double x) const;
+
+  Polynomial derivative() const;
+  Polynomial antiderivative(double constant = 0.0) const;
+
+  Polynomial operator+(const Polynomial& other) const;
+  Polynomial operator-(const Polynomial& other) const;
+  Polynomial operator*(const Polynomial& other) const;
+  Polynomial operator*(double scalar) const;
+
+  /// Real roots of degree <= 2 polynomials; throws ccd::MathError for
+  /// higher degrees or the zero polynomial.
+  std::vector<double> real_roots() const;
+
+  std::string to_string(int precision = 4) const;
+
+ private:
+  std::vector<double> coefficients_{0.0};
+};
+
+}  // namespace ccd::math

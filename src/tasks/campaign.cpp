@@ -1,0 +1,229 @@
+#include "tasks/campaign.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "contract/baselines.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ccd::tasks {
+namespace {
+
+std::vector<LabelingTask> make_batch(std::size_t count, double difficulty_lo,
+                                     double difficulty_hi, util::Rng& rng) {
+  std::vector<LabelingTask> batch(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    batch[i].id = static_cast<TaskId>(i);
+    batch[i].true_label = rng.bernoulli(0.5);
+    batch[i].difficulty = rng.uniform(difficulty_lo, difficulty_hi);
+  }
+  return batch;
+}
+
+}  // namespace
+
+void CampaignConfig::validate() const {
+  CCD_CHECK_MSG(tasks_per_round >= 1, "need at least one task per round");
+  CCD_CHECK_MSG(calibration_rounds >= 3,
+                "need >= 3 calibration rounds to fit effort curves");
+  CCD_CHECK_MSG(contract_rounds >= 1, "need at least one contract round");
+  CCD_CHECK_MSG(flat_pay >= 0.0, "flat pay must be non-negative");
+  CCD_CHECK_MSG(value_per_correct_label > 0.0,
+                "label value must be positive");
+  CCD_CHECK_MSG(mu > 0.0, "mu must be positive");
+  CCD_CHECK_MSG(intervals >= 1, "intervals must be >= 1");
+  CCD_CHECK_MSG(error_floor > 0.0, "error floor must be positive");
+  CCD_CHECK_MSG(difficulty_lo > 0.0 && difficulty_hi <= 1.0 &&
+                    difficulty_lo <= difficulty_hi,
+                "difficulty range must be inside (0, 1]");
+}
+
+CampaignResult run_campaign(const std::vector<LabelerSpec>& labelers,
+                            const CampaignConfig& config) {
+  config.validate();
+  CCD_CHECK_MSG(!labelers.empty(), "campaign needs at least one labeler");
+  for (const LabelerSpec& labeler : labelers) labeler.validate();
+  util::Rng rng(config.seed);
+
+  CampaignResult result;
+  result.labelers.resize(labelers.size());
+  for (std::size_t i = 0; i < labelers.size(); ++i) {
+    result.labelers[i].spec = labelers[i];
+  }
+
+  // ---- Phase 1: calibration under flat pay -------------------------------
+  // Effort varies naturally across workers and rounds; the requester logs
+  // (effort-proxy, agreement) pairs and per-labeler label statistics.
+  std::vector<std::vector<data::EffortSample>> samples(labelers.size());
+  std::vector<std::size_t> labels_total(labelers.size(), 0);
+  std::vector<std::size_t> labels_agree(labelers.size(), 0);
+  std::vector<std::size_t> labels_true_class(labelers.size(), 0);
+
+  for (std::size_t round = 0; round < config.calibration_rounds; ++round) {
+    const auto batch = make_batch(config.tasks_per_round,
+                                  config.difficulty_lo, config.difficulty_hi,
+                                  rng);
+    std::vector<double> efforts(labelers.size());
+    std::vector<std::vector<bool>> votes(labelers.size());
+    for (std::size_t i = 0; i < labelers.size(); ++i) {
+      efforts[i] = rng.uniform(0.05, 2.5);
+      votes[i] =
+          label_batch(labelers[i], efforts[i], batch, {}, rng).labels;
+    }
+    const std::vector<bool> plurality = majority_vote(votes);
+    for (std::size_t i = 0; i < labelers.size(); ++i) {
+      std::size_t agree = 0;
+      std::size_t ones = 0;
+      for (std::size_t t = 0; t < batch.size(); ++t) {
+        if (votes[i][t] == plurality[t]) ++agree;
+        if (votes[i][t]) ++ones;
+      }
+      data::EffortSample sample;
+      sample.worker = static_cast<data::WorkerId>(i);
+      sample.effort = efforts[i];
+      sample.feedback = static_cast<double>(agree);
+      samples[i].push_back(sample);
+      labels_total[i] += batch.size();
+      labels_agree[i] += agree;
+      labels_true_class[i] += std::max(ones, batch.size() - ones);
+    }
+  }
+
+  // ---- Phase 2 & 3: estimates, fits, per-labeler contract design ---------
+  for (std::size_t i = 0; i < labelers.size(); ++i) {
+    LabelerOutcome& out = result.labelers[i];
+    const double n = static_cast<double>(labels_total[i]);
+    out.estimated_error_rate =
+        1.0 - static_cast<double>(labels_agree[i]) / n;
+    out.estimated_bias = static_cast<double>(labels_true_class[i]) / n;
+    out.suspected_adversarial = out.estimated_bias >= config.suspicion_bias;
+
+    // Labeling analog of Eq. 5: value accurate labelers, penalize suspects.
+    const double error =
+        std::max(config.error_floor, out.estimated_error_rate);
+    out.weight = std::min(
+        config.weight_cap,
+        config.value_per_correct_label *
+            (config.rho / error -
+             config.kappa * (out.suspected_adversarial ? 1.0 : 0.0)));
+
+    out.fit = effort::fit_effort_function(samples[i]);
+
+    contract::SubproblemSpec spec;
+    spec.psi = out.fit.model;
+    spec.incentives.beta = labelers[i].beta;
+    spec.incentives.omega =
+        out.suspected_adversarial ? config.omega_adversarial : 0.0;
+    spec.weight = out.weight;
+    spec.mu = config.mu;
+    spec.intervals = config.intervals;
+    out.design = contract::design_contract(spec);
+  }
+
+  // ---- Phase 4: contract rounds vs the flat-pay baseline -----------------
+  // Workers best-respond once (their environment is stationary) and keep
+  // that effort; the baseline pays flat_pay for clearing flat_min_effort.
+  std::vector<double> contract_efforts(labelers.size());
+  std::vector<double> baseline_efforts(labelers.size());
+  for (std::size_t i = 0; i < labelers.size(); ++i) {
+    const LabelerOutcome& out = result.labelers[i];
+    // True incentives drive behaviour (omega > 0 for real adversaries),
+    // whatever the requester assumed at design time.
+    const contract::WorkerIncentives truth{labelers[i].beta,
+                                           labelers[i].omega};
+    contract_efforts[i] =
+        contract::best_response(out.design.contract, out.fit.model, truth)
+            .effort;
+    contract::SubproblemSpec fixed_spec;
+    fixed_spec.psi = out.fit.model;
+    fixed_spec.incentives = truth;
+    fixed_spec.weight = std::max(1e-6, out.weight);
+    fixed_spec.mu = config.mu;
+    fixed_spec.intervals = config.intervals;
+    baseline_efforts[i] =
+        contract::fixed_threshold_baseline(fixed_spec, config.flat_pay,
+                                           config.flat_min_effort)
+            .effort;
+  }
+
+  double value_contract = 0.0;
+  double value_baseline = 0.0;
+  double pay_contract = 0.0;
+  double pay_baseline = 0.0;
+  util::Rng eval_rng = rng.split();
+  std::vector<double> last_agreement(labelers.size(), 0.0);
+
+  for (std::size_t round = 0; round < config.contract_rounds; ++round) {
+    const auto batch = make_batch(config.tasks_per_round,
+                                  config.difficulty_lo, config.difficulty_hi,
+                                  eval_rng);
+    // Contract arm.
+    std::vector<std::vector<bool>> votes(labelers.size());
+    for (std::size_t i = 0; i < labelers.size(); ++i) {
+      const BatchOutcome outcome = label_batch(
+          labelers[i], contract_efforts[i], batch, {}, eval_rng);
+      votes[i] = outcome.labels;
+    }
+    const std::vector<bool> plurality = majority_vote(votes);
+    std::vector<double> weights(labelers.size());
+    for (std::size_t i = 0; i < labelers.size(); ++i) {
+      LabelerOutcome& out = result.labelers[i];
+      std::size_t agree = 0;
+      std::size_t correct = 0;
+      for (std::size_t t = 0; t < batch.size(); ++t) {
+        if (votes[i][t] == plurality[t]) ++agree;
+        if (votes[i][t] == batch[t].true_label) ++correct;
+      }
+      // Pay on *last* round's agreement (Eq. 1's one-round lag).
+      const double pay = out.design.contract.pay(last_agreement[i]);
+      last_agreement[i] = static_cast<double>(agree);
+      pay_contract += pay;
+      out.mean_pay += pay;
+      out.mean_effort += contract_efforts[i];
+      out.mean_correct_rate +=
+          static_cast<double>(correct) / static_cast<double>(batch.size());
+      weights[i] = out.weight;
+    }
+    result.accuracy_majority += aggregate_accuracy(plurality, batch);
+    result.accuracy_weighted +=
+        aggregate_accuracy(weighted_vote(votes, weights), batch);
+    value_contract += aggregate_accuracy(plurality, batch) *
+                      static_cast<double>(batch.size()) *
+                      config.value_per_correct_label;
+
+    // Baseline arm on the same tasks.
+    std::vector<std::vector<bool>> baseline_votes(labelers.size());
+    for (std::size_t i = 0; i < labelers.size(); ++i) {
+      baseline_votes[i] =
+          label_batch(labelers[i], baseline_efforts[i], batch, {}, eval_rng)
+              .labels;
+      if (baseline_efforts[i] >= config.flat_min_effort) {
+        pay_baseline += config.flat_pay;
+      }
+    }
+    const std::vector<bool> baseline_plurality =
+        majority_vote(baseline_votes);
+    result.baseline_accuracy_majority +=
+        aggregate_accuracy(baseline_plurality, batch);
+    value_baseline += aggregate_accuracy(baseline_plurality, batch) *
+                      static_cast<double>(batch.size()) *
+                      config.value_per_correct_label;
+  }
+
+  const double rounds = static_cast<double>(config.contract_rounds);
+  result.accuracy_majority /= rounds;
+  result.accuracy_weighted /= rounds;
+  result.baseline_accuracy_majority /= rounds;
+  for (LabelerOutcome& out : result.labelers) {
+    out.mean_pay /= rounds;
+    out.mean_effort /= rounds;
+    out.mean_correct_rate /= rounds;
+  }
+  result.requester_utility = value_contract - config.mu * pay_contract;
+  result.baseline_requester_utility =
+      value_baseline - config.mu * pay_baseline;
+  return result;
+}
+
+}  // namespace ccd::tasks

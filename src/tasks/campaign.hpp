@@ -1,0 +1,88 @@
+// Labeling-campaign orchestration: the full dynamic-contract loop applied
+// to binary classification tasks (paper §VII's proposed generalization).
+//
+// Phases:
+//  1. calibration — a flat participation payment while workers' effort
+//     varies naturally; the requester records (effort, batch-agreement)
+//     samples and per-labeler behaviour statistics;
+//  2. fitting — quadratic effort functions per labeler type from the
+//     calibration samples (the Table III machinery, unchanged);
+//  3. design — per-labeler contracts on agreement counts via the standard
+//     candidate-contract algorithm, with weights from a labeling analog of
+//     Eq. 5 (inverse estimated error rate minus an adversary penalty);
+//  4. evaluation — workers best-respond, label fresh batches, and the
+//     aggregated label quality + requester utility are compared against the
+//     flat-pay baseline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "contract/designer.hpp"
+#include "effort/fitting.hpp"
+#include "tasks/labeling.hpp"
+
+namespace ccd::tasks {
+
+struct CampaignConfig {
+  std::size_t tasks_per_round = 60;
+  std::size_t calibration_rounds = 10;
+  std::size_t contract_rounds = 20;
+  /// Flat pay during calibration (and the fixed baseline's payment).
+  double flat_pay = 2.0;
+  /// Effort the fixed baseline demands for its flat pay.
+  double flat_min_effort = 0.8;
+  /// Requester model.
+  double value_per_correct_label = 0.4;
+  double mu = 1.0;
+  double rho = 1.0;
+  double kappa = 0.1;
+  /// Assumed influence motive for suspected adversaries.
+  double omega_adversarial = 0.5;
+  /// Detector: bias level (fraction of one class) treated as suspicious.
+  double suspicion_bias = 0.75;
+  /// Contract partition density.
+  std::size_t intervals = 16;
+  /// Weight floor analog of Eq. 5's accuracy floor (error-rate floor).
+  double error_floor = 0.08;
+  double weight_cap = 6.0;
+  double difficulty_lo = 0.6;
+  double difficulty_hi = 1.0;
+  std::uint64_t seed = 17;
+
+  void validate() const;
+};
+
+struct LabelerOutcome {
+  LabelerSpec spec;
+  /// Requester-side estimates after calibration.
+  double estimated_error_rate = 0.0;
+  double estimated_bias = 0.5;  ///< fraction of labels on the majority class
+  bool suspected_adversarial = false;
+  double weight = 0.0;
+  /// Fitted effort->agreement curve used for this labeler's contract.
+  effort::EffortFit fit;
+  contract::DesignResult design;
+  /// Contract-phase averages.
+  double mean_effort = 0.0;
+  double mean_pay = 0.0;
+  double mean_correct_rate = 0.0;
+};
+
+struct CampaignResult {
+  std::vector<LabelerOutcome> labelers;
+  /// Contract-phase aggregate label quality.
+  double accuracy_majority = 0.0;
+  double accuracy_weighted = 0.0;
+  /// Fixed-pay baseline on identical tasks.
+  double baseline_accuracy_majority = 0.0;
+  /// Requester utilities (value of correct aggregated labels minus pay).
+  double requester_utility = 0.0;
+  double baseline_requester_utility = 0.0;
+};
+
+/// Run the four phases end to end.
+CampaignResult run_campaign(const std::vector<LabelerSpec>& labelers,
+                            const CampaignConfig& config);
+
+}  // namespace ccd::tasks

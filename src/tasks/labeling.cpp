@@ -1,0 +1,136 @@
+#include "tasks/labeling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ccd::tasks {
+
+double AccuracyModel::accuracy(double effort, double difficulty) const {
+  CCD_CHECK_MSG(effort >= 0.0, "effort must be non-negative");
+  CCD_CHECK_MSG(difficulty > 0.0 && difficulty <= 1.0,
+                "difficulty must be in (0, 1]");
+  const double margin = (cap - 0.5) * (1.0 - std::exp(-rate * effort));
+  return 0.5 + margin * difficulty;
+}
+
+void AccuracyModel::validate() const {
+  CCD_CHECK_MSG(cap > 0.5 && cap <= 1.0, "accuracy cap must be in (0.5, 1]");
+  CCD_CHECK_MSG(rate > 0.0, "accuracy rate must be positive");
+}
+
+const char* to_string(LabelerType type) {
+  switch (type) {
+    case LabelerType::kDiligent: return "diligent";
+    case LabelerType::kAdversarial: return "adversarial";
+    case LabelerType::kSpammer: return "spammer";
+  }
+  return "?";
+}
+
+void LabelerSpec::validate() const {
+  accuracy.validate();
+  CCD_CHECK_MSG(beta > 0.0, "labeler beta must be positive");
+  CCD_CHECK_MSG(omega >= 0.0, "labeler omega must be non-negative");
+}
+
+BatchOutcome label_batch(const LabelerSpec& labeler, double effort,
+                         const std::vector<LabelingTask>& batch,
+                         const std::vector<bool>& plurality,
+                         util::Rng& rng) {
+  labeler.validate();
+  CCD_CHECK_MSG(plurality.empty() || plurality.size() == batch.size(),
+                "plurality vector size mismatch");
+  BatchOutcome outcome;
+  outcome.labels.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const LabelingTask& task = batch[i];
+    bool label;
+    switch (labeler.type) {
+      case LabelerType::kDiligent: {
+        const bool correct = rng.bernoulli(
+            labeler.accuracy.accuracy(effort, task.difficulty));
+        label = correct ? task.true_label : !task.true_label;
+        break;
+      }
+      case LabelerType::kAdversarial: {
+        // Effort buys influence: the adversary lands its target label with
+        // its accuracy curve (plausible-looking wrong answers take work);
+        // residual probability behaves like a lazy diligent worker.
+        const bool lands_target = rng.bernoulli(
+            labeler.accuracy.accuracy(effort, task.difficulty));
+        label = lands_target ? labeler.target_label
+                             : rng.bernoulli(0.5);
+        break;
+      }
+      case LabelerType::kSpammer:
+      default:
+        label = rng.bernoulli(0.5);
+        break;
+    }
+    outcome.labels.push_back(label);
+    if (label == task.true_label) ++outcome.correct;
+    if (!plurality.empty() && label == plurality[i]) ++outcome.agreement;
+    if (label == labeler.target_label) ++outcome.target_hits;
+  }
+  return outcome;
+}
+
+std::vector<bool> majority_vote(const std::vector<std::vector<bool>>& votes,
+                                bool tie_break) {
+  CCD_CHECK_MSG(!votes.empty(), "majority_vote needs at least one voter");
+  const std::size_t n = votes.front().size();
+  for (const auto& v : votes) {
+    CCD_CHECK_MSG(v.size() == n, "vote vectors must have equal length");
+  }
+  std::vector<bool> out(n, tie_break);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t ones = 0;
+    for (const auto& v : votes) {
+      if (v[i]) ++ones;
+    }
+    const std::size_t zeros = votes.size() - ones;
+    if (ones > zeros) out[i] = true;
+    else if (zeros > ones) out[i] = false;
+    else out[i] = tie_break;
+  }
+  return out;
+}
+
+std::vector<bool> weighted_vote(const std::vector<std::vector<bool>>& votes,
+                                const std::vector<double>& weights,
+                                bool tie_break) {
+  CCD_CHECK_MSG(!votes.empty(), "weighted_vote needs at least one voter");
+  CCD_CHECK_MSG(votes.size() == weights.size(),
+                "one weight per voter required");
+  const std::size_t n = votes.front().size();
+  for (const auto& v : votes) {
+    CCD_CHECK_MSG(v.size() == n, "vote vectors must have equal length");
+  }
+  std::vector<bool> out(n, tie_break);
+  for (std::size_t i = 0; i < n; ++i) {
+    double score = 0.0;
+    for (std::size_t w = 0; w < votes.size(); ++w) {
+      score += votes[w][i] ? weights[w] : -weights[w];
+    }
+    if (score > 0.0) out[i] = true;
+    else if (score < 0.0) out[i] = false;
+    else out[i] = tie_break;
+  }
+  return out;
+}
+
+double aggregate_accuracy(const std::vector<bool>& aggregated,
+                          const std::vector<LabelingTask>& batch) {
+  CCD_CHECK_MSG(aggregated.size() == batch.size(),
+                "aggregated labels / batch size mismatch");
+  if (batch.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (aggregated[i] == batch[i].true_label) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(batch.size());
+}
+
+}  // namespace ccd::tasks

@@ -1,0 +1,106 @@
+// Binary-labeling task model — the paper's §VII extension from review tasks
+// to general crowdsourcing (e.g. classification).
+//
+// The mapping onto the contract machinery:
+//
+//   review model                      labeling model
+//   -----------------------------     ------------------------------------
+//   effort level y                    effort level y (time/diligence)
+//   feedback q = psi(y) (upvotes)     agreement count with the plurality
+//                                     label over a batch — observable to
+//                                     the requester, concave increasing
+//                                     in effort (accuracy saturates)
+//   honest / malicious workers        diligent / adversarial / spammer
+//   omega * q (influence motive)      omega * (labels matching the
+//                                     adversary's target class)
+//
+// Per-labeler accuracy follows a saturating curve
+//   accuracy(y) = 0.5 + (cap - 0.5) * (1 - exp(-rate * y))
+// (guessing at zero effort, skill asymptote `cap`), scaled down by task
+// difficulty. Agreement counts over a batch then form (effort, feedback)
+// samples that the standard quadratic psi-fitting consumes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ccd::tasks {
+
+using TaskId = std::uint32_t;
+
+struct LabelingTask {
+  TaskId id = 0;
+  bool true_label = false;
+  /// In (0, 1]: multiplies the worker's above-chance accuracy margin.
+  double difficulty = 1.0;
+};
+
+/// Saturating effort -> accuracy curve.
+struct AccuracyModel {
+  double cap = 0.95;   ///< asymptotic accuracy (in (0.5, 1])
+  double rate = 1.2;   ///< how fast effort buys accuracy (> 0)
+
+  /// Probability of labeling a task of the given difficulty correctly.
+  double accuracy(double effort, double difficulty = 1.0) const;
+
+  void validate() const;
+};
+
+enum class LabelerType {
+  kDiligent,     ///< honest: labels what it believes
+  kAdversarial,  ///< pushes its target class regardless of truth
+  kSpammer,      ///< answers at chance regardless of effort
+};
+
+const char* to_string(LabelerType type);
+
+struct LabelerSpec {
+  std::string name = "labeler";
+  LabelerType type = LabelerType::kDiligent;
+  AccuracyModel accuracy{};
+  /// Effort cost weight (> 0).
+  double beta = 1.0;
+  /// Adversarial influence weight: utility gained per label matching the
+  /// target class (0 for diligent/spammer).
+  double omega = 0.0;
+  /// The class an adversarial labeler pushes.
+  bool target_label = true;
+
+  void validate() const;
+};
+
+/// One labeler's pass over a batch.
+struct BatchOutcome {
+  std::size_t correct = 0;       ///< labels equal to ground truth
+  std::size_t agreement = 0;     ///< labels equal to the batch plurality
+  std::size_t target_hits = 0;   ///< labels equal to the labeler's target
+  std::vector<bool> labels;      ///< the emitted labels, task order
+};
+
+/// Emit labels for `batch` at the given effort. Diligent workers label
+/// truth with accuracy(y); adversarial workers emit their target label with
+/// probability rising in effort (effort buys *influence*: convincing
+/// plausibility on easy tasks); spammers flip coins.
+BatchOutcome label_batch(const LabelerSpec& labeler, double effort,
+                         const std::vector<LabelingTask>& batch,
+                         const std::vector<bool>& plurality,
+                         util::Rng& rng);
+
+/// Majority vote over per-labeler label vectors (ties -> `tie_break`).
+std::vector<bool> majority_vote(const std::vector<std::vector<bool>>& votes,
+                                bool tie_break = false);
+
+/// Weighted vote: per-labeler weights (negative weights flip the vote,
+/// zero ignores it).
+std::vector<bool> weighted_vote(const std::vector<std::vector<bool>>& votes,
+                                const std::vector<double>& weights,
+                                bool tie_break = false);
+
+/// Fraction of aggregated labels equal to ground truth.
+double aggregate_accuracy(const std::vector<bool>& aggregated,
+                          const std::vector<LabelingTask>& batch);
+
+}  // namespace ccd::tasks

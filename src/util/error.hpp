@@ -1,0 +1,74 @@
+// Error types and runtime check macros shared by all ccd libraries.
+//
+// The library reports precondition violations and unrecoverable runtime
+// failures by throwing subclasses of ccd::Error (itself a
+// std::runtime_error), so callers can catch per-domain or catch-all.
+#pragma once
+
+#include <stdexcept>
+#include <sstream>
+#include <string>
+
+namespace ccd {
+
+/// Root of the ccd exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Invalid user-supplied configuration or parameter value.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// Malformed or inconsistent dataset / trace input.
+class DataError : public Error {
+ public:
+  explicit DataError(const std::string& what) : Error(what) {}
+};
+
+/// Numerical failure (singular system, domain violation, non-convergence).
+class MathError : public Error {
+ public:
+  explicit MathError(const std::string& what) : Error(what) {}
+};
+
+/// Contract-construction failure (infeasible piece, invalid effort model).
+class ContractError : public Error {
+ public:
+  explicit ContractError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CCD_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace ccd
+
+/// Runtime precondition check; throws ccd::Error with location on failure.
+/// Always active (not compiled out in release builds): these guard
+/// library-boundary invariants, not internal assertions.
+#define CCD_CHECK(expr)                                                     \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::ccd::detail::throw_check_failure(#expr, __FILE__, __LINE__, "");    \
+  } while (false)
+
+#define CCD_CHECK_MSG(expr, msg)                                            \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      std::ostringstream ccd_check_os_;                                     \
+      ccd_check_os_ << msg;                                                 \
+      ::ccd::detail::throw_check_failure(#expr, __FILE__, __LINE__,         \
+                                         ccd_check_os_.str());              \
+    }                                                                       \
+  } while (false)

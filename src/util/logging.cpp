@@ -1,0 +1,46 @@
+#include "util/logging.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <iostream>
+
+namespace ccd::util {
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(std::ostream* sink) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  sink_ = sink;
+}
+
+void Logger::write(LogLevel level, const std::string& message) {
+  if (!enabled(level)) return;
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t tt = std::chrono::system_clock::to_time_t(now);
+  std::tm tm_buf{};
+  localtime_r(&tt, &tm_buf);
+  char ts[32];
+  std::snprintf(ts, sizeof(ts), "%02d:%02d:%02d", tm_buf.tm_hour,
+                tm_buf.tm_min, tm_buf.tm_sec);
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ostream& os = sink_ != nullptr ? *sink_ : std::cerr;
+  os << '[' << ts << "] [" << to_string(level) << "] " << message << '\n';
+}
+
+}  // namespace ccd::util

@@ -1,0 +1,66 @@
+// Fixed-size thread pool with a blocking task queue and a parallel_for
+// convenience wrapper.
+//
+// The contract-design pipeline decomposes the bilevel program into
+// independent per-worker subproblems (paper §IV); the pool is how we solve
+// them in parallel. Exceptions thrown by tasks submitted through
+// parallel_for are captured and rethrown on the calling thread (first one
+// wins), so failures are not silently lost.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ccd::util {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` selects hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueue a task; the future reports its result or exception.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) throw std::runtime_error("ThreadPool: submit after stop");
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Run fn(i) for i in [0, n), blocking until all complete.
+  /// Rethrows the first task exception on the caller.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Blocked parallel_for over a shared default pool (lazily constructed with
+/// hardware concurrency). Suitable for coarse-grained work items.
+void parallel_for_default(std::size_t n,
+                          const std::function<void(std::size_t)>& fn);
+
+}  // namespace ccd::util

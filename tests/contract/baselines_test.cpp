@@ -1,0 +1,134 @@
+#include "contract/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ccd::contract {
+namespace {
+
+const effort::QuadraticEffort kPsi(-1.0, 8.0, 2.0);
+
+SubproblemSpec base_spec() {
+  SubproblemSpec spec;
+  spec.psi = kPsi;
+  spec.incentives = {1.0, 0.0};
+  spec.weight = 1.0;
+  spec.mu = 1.0;
+  spec.intervals = 20;
+  return spec;
+}
+
+TEST(FixedThresholdTest, GenerousPaymentIsAccepted) {
+  const FixedContractOutcome out =
+      fixed_threshold_baseline(base_spec(), 5.0, 1.0);
+  EXPECT_TRUE(out.accepted);
+  EXPECT_DOUBLE_EQ(out.effort, 1.0);  // honest worker does exactly the minimum
+  EXPECT_DOUBLE_EQ(out.compensation, 5.0);
+  EXPECT_DOUBLE_EQ(out.worker_utility, 5.0 - 1.0);
+}
+
+TEST(FixedThresholdTest, StingyPaymentIsDeclined) {
+  const FixedContractOutcome out =
+      fixed_threshold_baseline(base_spec(), 0.5, 1.0);
+  EXPECT_FALSE(out.accepted);
+  EXPECT_DOUBLE_EQ(out.effort, 0.0);
+  EXPECT_DOUBLE_EQ(out.compensation, 0.0);
+}
+
+TEST(FixedThresholdTest, BreakEvenPaymentDeclined) {
+  // Payment exactly beta * y_min leaves the worker indifferent; ties break
+  // toward not working.
+  const FixedContractOutcome out =
+      fixed_threshold_baseline(base_spec(), 1.0, 1.0);
+  EXPECT_FALSE(out.accepted);
+}
+
+TEST(FixedThresholdTest, MaliciousWorkerMayExceedThreshold) {
+  SubproblemSpec spec = base_spec();
+  spec.incentives.omega = 0.5;
+  const FixedContractOutcome out = fixed_threshold_baseline(spec, 2.0, 1.0);
+  EXPECT_TRUE(out.accepted);
+  // Feedback motive pushes past the minimum effort: psi'(y) = beta/omega = 2
+  // at y = 3.
+  EXPECT_NEAR(out.effort, 3.0, 1e-9);
+}
+
+TEST(FixedThresholdTest, MaliciousWorkerBelowThresholdStillWorks) {
+  SubproblemSpec spec = base_spec();
+  spec.incentives.omega = 0.5;
+  // Small pay, high threshold: worker declines the contract but still exerts
+  // its self-motivated effort.
+  const FixedContractOutcome out = fixed_threshold_baseline(spec, 0.1, 3.5);
+  EXPECT_FALSE(out.accepted);
+  EXPECT_NEAR(out.effort, 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(out.compensation, 0.0);
+}
+
+TEST(FixedThresholdTest, RequesterUtilityConsistent) {
+  const SubproblemSpec spec = base_spec();
+  const FixedContractOutcome out = fixed_threshold_baseline(spec, 3.0, 1.5);
+  EXPECT_NEAR(out.requester_utility,
+              spec.weight * out.feedback - spec.mu * out.compensation, 1e-12);
+}
+
+TEST(FixedThresholdTest, ValidatesInputs) {
+  EXPECT_THROW(fixed_threshold_baseline(base_spec(), -1.0, 1.0), Error);
+  EXPECT_THROW(fixed_threshold_baseline(base_spec(), 1.0, -1.0), Error);
+}
+
+TEST(OracleTest, DominatesDesignedContract) {
+  // The oracle relaxes the contract-shape restriction, so it upper-bounds
+  // the piecewise-linear design.
+  for (const double omega : {0.0, 0.4}) {
+    SubproblemSpec spec = base_spec();
+    spec.incentives.omega = omega;
+    const OracleOutcome oracle = oracle_optimal(spec);
+    const DesignResult designed = design_contract(spec);
+    EXPECT_GE(oracle.requester_utility,
+              designed.requester_utility - 1e-6)
+        << "omega=" << omega;
+  }
+}
+
+TEST(OracleTest, DesignApproachesOracleWithDenseGrid) {
+  SubproblemSpec spec = base_spec();
+  spec.intervals = 160;
+  const OracleOutcome oracle = oracle_optimal(spec);
+  const DesignResult designed = design_contract(spec);
+  EXPECT_NEAR(designed.requester_utility, oracle.requester_utility,
+              0.02 * std::abs(oracle.requester_utility));
+}
+
+TEST(OracleTest, MaliciousEffortIsCheaper) {
+  SubproblemSpec honest = base_spec();
+  SubproblemSpec malicious = base_spec();
+  malicious.incentives.omega = 0.5;
+  const OracleOutcome h = oracle_optimal(honest);
+  const OracleOutcome m = oracle_optimal(malicious);
+  EXPECT_LT(m.compensation, h.compensation);
+}
+
+TEST(OracleTest, ZeroWeightPrefersZeroEffort) {
+  SubproblemSpec spec = base_spec();
+  spec.weight = 1e-9;
+  const OracleOutcome out = oracle_optimal(spec);
+  EXPECT_DOUBLE_EQ(out.effort, 0.0);
+  EXPECT_DOUBLE_EQ(out.compensation, 0.0);
+}
+
+TEST(OracleTest, CompensationIsIndividuallyRational) {
+  const SubproblemSpec spec = base_spec();
+  const OracleOutcome out = oracle_optimal(spec);
+  // c >= beta * y for an honest worker.
+  EXPECT_GE(out.compensation, spec.incentives.beta * out.effort - 1e-9);
+}
+
+TEST(OracleTest, ValidatesGrid) {
+  EXPECT_THROW(oracle_optimal(base_spec(), 1), Error);
+}
+
+}  // namespace
+}  // namespace ccd::contract

@@ -1,0 +1,152 @@
+#include "contract/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "contract/candidate.hpp"
+#include "contract/designer.hpp"
+#include "util/error.hpp"
+
+namespace ccd::contract {
+namespace {
+
+const effort::QuadraticEffort kPsi(-1.0, 8.0, 2.0);
+constexpr double kBeta = 1.0;
+
+TEST(Lemma42Test, UpperBoundsCandidateCompensation) {
+  const WorkerIncentives inc{kBeta, 0.0};
+  const std::size_t m = 16;
+  const double delta = kPsi.usable_domain() / m;
+  for (std::size_t k = 1; k <= m; ++k) {
+    const Contract c = build_candidate(kPsi, delta, m, k, inc);
+    const BestResponse br = best_response(c, kPsi, inc);
+    EXPECT_LE(br.compensation,
+              lemma42_compensation_upper(kPsi, kBeta, delta, k) + 1e-9)
+        << "k=" << k;
+  }
+}
+
+TEST(Lemma43Test, LowerBoundsCandidateCompensation) {
+  const WorkerIncentives inc{kBeta, 0.0};
+  const std::size_t m = 16;
+  const double delta = kPsi.usable_domain() / m;
+  for (std::size_t k = 1; k <= m; ++k) {
+    const Contract c = build_candidate(kPsi, delta, m, k, inc);
+    const BestResponse br = best_response(c, kPsi, inc);
+    EXPECT_GE(br.compensation,
+              lemma43_compensation_lower(kPsi, kBeta, delta, k) - 1e-9)
+        << "k=" << k;
+  }
+}
+
+TEST(Lemma42Test, UpperAboveLowerForAllK) {
+  const double delta = kPsi.usable_domain() / 20;
+  for (std::size_t k = 1; k <= 20; ++k) {
+    EXPECT_GT(lemma42_compensation_upper(kPsi, kBeta, delta, k),
+              lemma43_compensation_lower(kPsi, kBeta, delta, k));
+  }
+}
+
+TEST(Lemma43Test, FirstIntervalLowerBoundIsZero) {
+  EXPECT_DOUBLE_EQ(lemma43_compensation_lower(kPsi, kBeta, 0.3, 1), 0.0);
+}
+
+TEST(Lemma43Test, ScalesWithBetaAndDelta) {
+  EXPECT_DOUBLE_EQ(lemma43_compensation_lower(kPsi, 2.0, 0.5, 5), 4.0);
+}
+
+TEST(Lemma43Test, OmegaSubsidyReducesTheFloor) {
+  // The feedback motive substitutes for pay: the floor shrinks by
+  // omega * (psi(k delta) - psi(0)) and clamps at zero.
+  const double delta = 0.4;
+  const std::size_t k = 4;
+  const double base = lemma43_compensation_lower(kPsi, kBeta, delta, k, 0.0);
+  const double subsidized =
+      lemma43_compensation_lower(kPsi, kBeta, delta, k, 0.1);
+  EXPECT_LT(subsidized, base);
+  EXPECT_NEAR(subsidized,
+              std::max(0.0, base - 0.1 * (kPsi(k * delta) - kPsi(0.0))),
+              1e-12);
+  // Large omega floors at zero.
+  EXPECT_DOUBLE_EQ(lemma43_compensation_lower(kPsi, kBeta, delta, k, 10.0),
+                   0.0);
+}
+
+TEST(BoundsValidationTest, RejectsBadParameters) {
+  EXPECT_THROW(lemma42_compensation_upper(kPsi, 0.0, 0.1, 1), Error);
+  EXPECT_THROW(lemma42_compensation_upper(kPsi, 1.0, 0.0, 1), Error);
+  EXPECT_THROW(lemma42_compensation_upper(kPsi, 1.0, 0.1, 0), Error);
+  EXPECT_THROW(lemma43_compensation_lower(kPsi, 1.0, 0.1, 0), Error);
+  EXPECT_THROW(lemma43_compensation_lower(kPsi, 1.0, 0.1, 1, -0.1), Error);
+  EXPECT_THROW(theorem41_upper_bound(kPsi, 1.0, 1.0, 1.0, 0.1, 0), Error);
+  EXPECT_THROW(theorem41_lower_bound(kPsi, 1.0, 1.0, 1.0, 0.1, 0), Error);
+  // Grid past the domain where psi' > 0:
+  EXPECT_THROW(lemma42_compensation_upper(kPsi, 1.0, 1.0, 5), Error);
+}
+
+TEST(Theorem41Test, BoundsBracketDesignedUtility) {
+  for (const std::size_t m : {5ul, 10ul, 20ul, 40ul}) {
+    SubproblemSpec spec;
+    spec.psi = kPsi;
+    spec.weight = 1.0;
+    spec.mu = 1.0;
+    spec.intervals = m;
+    const DesignResult d = design_contract(spec);
+    EXPECT_LE(d.requester_utility, d.upper_bound + 1e-9) << "m=" << m;
+    EXPECT_GE(d.requester_utility, d.lower_bound - 1e-9) << "m=" << m;
+  }
+}
+
+TEST(Theorem41Test, GapShrinksWithM) {
+  // Fig. 6's message: the designed utility approaches the upper bound as the
+  // effort partition gets denser.
+  double prev_gap = 1e300;
+  for (const std::size_t m : {5ul, 10ul, 20ul, 40ul, 80ul}) {
+    SubproblemSpec spec;
+    spec.psi = kPsi;
+    spec.weight = 1.0;
+    spec.mu = 1.0;
+    spec.intervals = m;
+    const DesignResult d = design_contract(spec);
+    const double gap = d.upper_bound - d.requester_utility;
+    EXPECT_GE(gap, -1e-9);
+    EXPECT_LT(gap, prev_gap + 1e-9) << "m=" << m;
+    prev_gap = gap;
+  }
+}
+
+TEST(Theorem41Test, UpperBoundFormula) {
+  // Direct check of max_l { w psi(l d) - mu beta (l-1) d }.
+  const double w = 2.0;
+  const double mu = 1.5;
+  const double delta = 0.5;
+  const std::size_t m = 4;
+  double expected = -1e300;
+  for (std::size_t l = 1; l <= m; ++l) {
+    expected = std::max(expected,
+                        w * kPsi(delta * l) - mu * kBeta * (l - 1.0) * delta);
+  }
+  EXPECT_DOUBLE_EQ(theorem41_upper_bound(kPsi, w, mu, kBeta, delta, m),
+                   expected);
+  // With omega > 0 the bound can only move up (smaller pay floor + the
+  // free-rider term).
+  EXPECT_GE(theorem41_upper_bound(kPsi, w, mu, kBeta, delta, m, 0.5),
+            expected);
+}
+
+TEST(Theorem41Test, LowerBoundUsesLemma42) {
+  const double w = 2.0;
+  const double mu = 1.5;
+  const double delta = 0.4;
+  const std::size_t k = 3;
+  const double expected =
+      w * kPsi(delta * (k - 1.0)) -
+      mu * lemma42_compensation_upper(kPsi, kBeta, delta, k);
+  EXPECT_DOUBLE_EQ(theorem41_lower_bound(kPsi, w, mu, kBeta, delta, k),
+                   expected);
+}
+
+}  // namespace
+}  // namespace ccd::contract

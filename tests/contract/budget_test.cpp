@@ -1,0 +1,186 @@
+#include "contract/budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ccd::contract {
+namespace {
+
+BudgetMenu menu(std::initializer_list<double> pay,
+                std::initializer_list<double> utility) {
+  BudgetMenu m;
+  m.pay = pay;
+  m.utility = utility;
+  return m;
+}
+
+TEST(BudgetTest, SlackBudgetPicksUnconstrainedOptimum) {
+  const std::vector<BudgetMenu> menus = {
+      menu({1.0, 2.0, 3.0}, {1.0, 2.5, 3.0}),
+      menu({0.5, 1.0}, {0.8, 1.0}),
+  };
+  const BudgetAllocation a = allocate_budget(menus, 100.0);
+  EXPECT_FALSE(a.budget_binding);
+  EXPECT_EQ(a.choices[0].k, 3u);
+  EXPECT_EQ(a.choices[1].k, 2u);
+  EXPECT_DOUBLE_EQ(a.total_utility, 4.0);
+  EXPECT_DOUBLE_EQ(a.total_pay, 4.0);
+}
+
+TEST(BudgetTest, ZeroBudgetOptsEveryoneOut) {
+  const std::vector<BudgetMenu> menus = {
+      menu({1.0}, {5.0}),
+      menu({2.0}, {9.0}),
+  };
+  const BudgetAllocation a = allocate_budget(menus, 0.0);
+  EXPECT_DOUBLE_EQ(a.total_pay, 0.0);
+  EXPECT_DOUBLE_EQ(a.total_utility, 0.0);
+  for (const BudgetChoice& c : a.choices) EXPECT_EQ(c.k, 0u);
+}
+
+TEST(BudgetTest, FreeOptionsSurviveZeroBudget) {
+  const std::vector<BudgetMenu> menus = {
+      menu({0.0, 1.0}, {0.4, 5.0}),
+  };
+  const BudgetAllocation a = allocate_budget(menus, 0.0);
+  EXPECT_EQ(a.choices[0].k, 1u);
+  EXPECT_DOUBLE_EQ(a.total_utility, 0.4);
+}
+
+TEST(BudgetTest, BindingBudgetPrefersDenserWorker) {
+  // Two workers, each with one option; budget fits only one.
+  const std::vector<BudgetMenu> menus = {
+      menu({2.0}, {3.0}),  // density 1.5
+      menu({2.0}, {5.0}),  // density 2.5  <- should win
+  };
+  const BudgetAllocation a = allocate_budget(menus, 2.0);
+  EXPECT_TRUE(a.budget_binding);
+  EXPECT_EQ(a.choices[0].k, 0u);
+  EXPECT_EQ(a.choices[1].k, 1u);
+  EXPECT_DOUBLE_EQ(a.total_utility, 5.0);
+}
+
+TEST(BudgetTest, NeverExceedsBudget) {
+  util::Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<BudgetMenu> menus;
+    const int workers = static_cast<int>(rng.uniform_int(1, 12));
+    for (int w = 0; w < workers; ++w) {
+      BudgetMenu m;
+      double pay = 0.0;
+      double utility = 0.0;
+      const int options = static_cast<int>(rng.uniform_int(1, 6));
+      for (int o = 0; o < options; ++o) {
+        pay += rng.uniform(0.1, 2.0);
+        utility += rng.uniform(0.0, 2.0);
+        m.pay.push_back(pay);
+        m.utility.push_back(utility);
+      }
+      menus.push_back(std::move(m));
+    }
+    const double budget = rng.uniform(0.0, 10.0);
+    const BudgetAllocation a = allocate_budget(menus, budget);
+    EXPECT_LE(a.total_pay, budget + 1e-6);
+  }
+}
+
+TEST(BudgetTest, MatchesExactOnSmallRandomInstances) {
+  util::Rng rng(11);
+  double worst_ratio = 1.0;
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<BudgetMenu> menus;
+    const int workers = static_cast<int>(rng.uniform_int(2, 6));
+    for (int w = 0; w < workers; ++w) {
+      BudgetMenu m;
+      double pay = 0.0;
+      double utility = 0.0;
+      const int options = static_cast<int>(rng.uniform_int(1, 4));
+      for (int o = 0; o < options; ++o) {
+        pay += rng.uniform(0.2, 1.5);
+        utility += rng.uniform(0.1, 1.5);
+        m.pay.push_back(pay);
+        m.utility.push_back(utility);
+      }
+      menus.push_back(std::move(m));
+    }
+    const double budget = rng.uniform(0.5, 4.0);
+    const BudgetAllocation approx = allocate_budget(menus, budget);
+    const BudgetAllocation exact = allocate_budget_exact(menus, budget);
+    EXPECT_LE(approx.total_utility, exact.total_utility + 1e-9);
+    if (exact.total_utility > 1e-9) {
+      worst_ratio =
+          std::min(worst_ratio, approx.total_utility / exact.total_utility);
+    }
+  }
+  // Lagrangian + greedy fill should be near-exact on these instances.
+  EXPECT_GT(worst_ratio, 0.9);
+}
+
+TEST(BudgetTest, MonotoneInBudget) {
+  const std::vector<BudgetMenu> menus = {
+      menu({1.0, 2.0, 4.0}, {1.0, 1.8, 2.2}),
+      menu({1.5, 3.0}, {2.0, 2.4}),
+      menu({0.5}, {0.3}),
+  };
+  double prev = -1.0;
+  for (const double budget : {0.0, 1.0, 2.0, 3.0, 5.0, 8.0, 20.0}) {
+    const double utility = allocate_budget(menus, budget).total_utility;
+    EXPECT_GE(utility, prev - 1e-9) << "budget=" << budget;
+    prev = utility;
+  }
+}
+
+TEST(BudgetTest, MenuFromDesignCarriesColumns) {
+  SubproblemSpec spec;
+  spec.psi = effort::QuadraticEffort(-1.0, 8.0, 2.0);
+  spec.weight = 1.0;
+  spec.mu = 1.0;
+  spec.intervals = 8;
+  const DesignResult d = design_contract(spec);
+  const BudgetMenu m = menu_from_design(d);
+  ASSERT_EQ(m.pay.size(), 8u);
+  ASSERT_EQ(m.utility.size(), 8u);
+  EXPECT_DOUBLE_EQ(m.utility[d.k_opt - 1], d.requester_utility);
+}
+
+TEST(BudgetTest, FleetDesignUnderTightBudget) {
+  // End to end: design menus for a small fleet, then squeeze the budget and
+  // verify spend obeys it while utility degrades gracefully.
+  std::vector<BudgetMenu> menus;
+  for (int i = 0; i < 10; ++i) {
+    SubproblemSpec spec;
+    spec.psi = effort::QuadraticEffort(-1.0, 8.0, 2.0);
+    spec.weight = 0.5 + 0.1 * i;
+    spec.mu = 1.0;
+    spec.intervals = 12;
+    menus.push_back(menu_from_design(design_contract(spec)));
+  }
+  const BudgetAllocation rich = allocate_budget(menus, 1e9);
+  const BudgetAllocation tight =
+      allocate_budget(menus, 0.25 * rich.total_pay);
+  EXPECT_LE(tight.total_pay, 0.25 * rich.total_pay + 1e-6);
+  EXPECT_LT(tight.total_utility, rich.total_utility);
+  EXPECT_GT(tight.total_utility, 0.0);
+}
+
+TEST(BudgetTest, Validation) {
+  EXPECT_THROW(allocate_budget({}, -1.0), Error);
+  BudgetMenu bad;
+  bad.pay = {1.0};
+  bad.utility = {1.0, 2.0};
+  EXPECT_THROW(allocate_budget({bad}, 1.0), Error);
+  BudgetMenu negative;
+  negative.pay = {-1.0};
+  negative.utility = {1.0};
+  EXPECT_THROW(allocate_budget({negative}, 1.0), Error);
+}
+
+TEST(BudgetTest, ExactGuardsAgainstBlowup) {
+  std::vector<BudgetMenu> many(20, menu({1.0}, {1.0}));
+  EXPECT_THROW(allocate_budget_exact(many, 5.0), ContractError);
+}
+
+}  // namespace
+}  // namespace ccd::contract

@@ -1,0 +1,190 @@
+#include "contract/worker_response.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ccd::contract {
+namespace {
+
+const effort::QuadraticEffort kPsi(-1.0, 8.0, 2.0);
+
+TEST(WorkerUtilityTest, MatchesDefinition) {
+  const Contract c = Contract::on_effort_grid(kPsi, 1.0, {0.0, 1.0, 3.0});
+  const WorkerIncentives honest{1.0, 0.0};
+  // U = pay(psi(y)) - beta y.
+  EXPECT_DOUBLE_EQ(worker_utility(c, kPsi, honest, 1.0), 1.0 - 1.0);
+  const WorkerIncentives malicious{1.0, 0.5};
+  // + omega * psi(y) = 0.5 * 9.
+  EXPECT_DOUBLE_EQ(worker_utility(c, kPsi, malicious, 1.0), 0.0 + 4.5);
+  EXPECT_THROW(worker_utility(c, kPsi, honest, -1.0), Error);
+}
+
+// --- Lemma 4.1 classification (corrected boundaries; see DESIGN.md) -------
+
+TEST(ClassifyPieceTest, CorrectedCaseBoundaries) {
+  const WorkerIncentives inc{1.0, 0.0};
+  const double delta = 0.5;
+  const std::size_t l = 3;  // interval [1.0, 1.5)
+  const double s_lo = kPsi.derivative(1.0);  // 6
+  const double s_hi = kPsi.derivative(1.5);  // 5
+  const double alpha_lo = inc.beta / s_lo;   // Case I boundary
+  const double alpha_hi = inc.beta / s_hi;   // Case II boundary
+
+  EXPECT_EQ(classify_piece(kPsi, inc, alpha_lo - 1e-6, l, delta),
+            SlopeCase::kNonIncreasing);
+  EXPECT_EQ(classify_piece(kPsi, inc, alpha_lo, l, delta),
+            SlopeCase::kNonIncreasing);  // boundary: derivative 0 at left end
+  EXPECT_EQ(classify_piece(kPsi, inc, 0.5 * (alpha_lo + alpha_hi), l, delta),
+            SlopeCase::kInterior);
+  EXPECT_EQ(classify_piece(kPsi, inc, alpha_hi, l, delta),
+            SlopeCase::kNonDecreasing);
+  EXPECT_EQ(classify_piece(kPsi, inc, alpha_hi + 1e-6, l, delta),
+            SlopeCase::kNonDecreasing);
+}
+
+TEST(ClassifyPieceTest, OmegaShiftsBoundaries) {
+  const double delta = 0.5;
+  const std::size_t l = 2;
+  const WorkerIncentives honest{1.0, 0.0};
+  const WorkerIncentives malicious{1.0, 0.4};
+  // A slope interior for the honest worker becomes non-decreasing once
+  // omega adds to the effective slope. Interval 2 is [0.5, 1.0): the honest
+  // Case III window is (1/psi'(0.5), 1/psi'(1.0)) = (1/7, 1/6).
+  const double alpha = 0.15;
+  EXPECT_EQ(classify_piece(kPsi, honest, alpha, l, delta),
+            SlopeCase::kInterior);
+  EXPECT_EQ(classify_piece(kPsi, malicious, alpha, l, delta),
+            SlopeCase::kNonDecreasing);
+}
+
+TEST(ClassifyPieceTest, NegativeEffectiveSlopeIsNonIncreasing) {
+  const WorkerIncentives inc{1.0, 0.0};
+  EXPECT_EQ(classify_piece(kPsi, inc, -0.5, 1, 0.5),
+            SlopeCase::kNonIncreasing);
+}
+
+TEST(ClassifyPieceTest, ValidatesInputs) {
+  const WorkerIncentives inc{1.0, 0.0};
+  EXPECT_THROW(classify_piece(kPsi, inc, 0.1, 0, 0.5), Error);
+  EXPECT_THROW(classify_piece(kPsi, inc, 0.1, 1, 0.0), Error);
+  EXPECT_THROW(classify_piece(kPsi, WorkerIncentives{0.0, 0.0}, 0.1, 1, 0.5),
+               Error);
+}
+
+TEST(StationaryEffortTest, SatisfiesFirstOrderCondition) {
+  const WorkerIncentives inc{1.0, 0.3};
+  const double alpha = 0.2;
+  const double y = stationary_effort(kPsi, inc, alpha);
+  // (alpha + omega) psi'(y) = beta.
+  EXPECT_NEAR((alpha + inc.omega) * kPsi.derivative(y), inc.beta, 1e-12);
+  EXPECT_THROW(stationary_effort(kPsi, WorkerIncentives{1.0, 0.0}, -0.1),
+               Error);
+}
+
+TEST(StationaryEffortTest, MatchesEq31ClosedForm) {
+  const WorkerIncentives inc{1.0, 0.5};
+  const double alpha = 0.15;
+  const double y = stationary_effort(kPsi, inc, alpha);
+  const double expected =
+      inc.beta / (2.0 * kPsi.r2() * (alpha + inc.omega)) -
+      kPsi.r1() / (2.0 * kPsi.r2());
+  EXPECT_NEAR(y, expected, 1e-12);
+}
+
+// --- Best response ---------------------------------------------------------
+
+TEST(BestResponseTest, ZeroContractHonestWorkerDeclines) {
+  const WorkerIncentives honest{1.0, 0.0};
+  const BestResponse br = best_response(Contract(), kPsi, honest);
+  EXPECT_DOUBLE_EQ(br.effort, 0.0);
+  EXPECT_EQ(br.interval, 0u);
+  EXPECT_DOUBLE_EQ(br.compensation, 0.0);
+}
+
+TEST(BestResponseTest, ZeroContractMaliciousWorkerStillWorks) {
+  // With omega > 0 the feedback motive alone funds effort up to
+  // psi'(y) = beta / omega.
+  const WorkerIncentives malicious{1.0, 0.5};
+  const BestResponse br = best_response(Contract(), kPsi, malicious);
+  const double expected = kPsi.derivative_inverse(1.0 / 0.5);  // psi'=2 -> y=3
+  EXPECT_NEAR(br.effort, expected, 1e-9);
+  EXPECT_DOUBLE_EQ(br.compensation, 0.0);
+}
+
+TEST(BestResponseTest, UtilityIsGlobalMaxOnDenseGrid) {
+  const Contract c =
+      Contract::on_effort_grid(kPsi, 0.5, {0.0, 0.3, 0.9, 1.0, 1.2, 2.5, 2.6});
+  for (const double omega : {0.0, 0.3, 0.8}) {
+    const WorkerIncentives inc{1.0, omega};
+    const BestResponse br = best_response(c, kPsi, inc);
+    double grid_best = -1e300;
+    for (int i = 0; i <= 4000; ++i) {
+      const double y = kPsi.y_peak() * i / 4000.0;
+      grid_best = std::max(grid_best, worker_utility(c, kPsi, inc, y));
+    }
+    EXPECT_NEAR(br.utility, grid_best, 1e-6) << "omega=" << omega;
+  }
+}
+
+TEST(BestResponseTest, PrefersSmallestEffortOnFlatContract) {
+  // Constant positive payment: honest worker takes the money at zero effort.
+  const Contract c = Contract::on_effort_grid(kPsi, 1.0, {2.0, 2.0, 2.0});
+  const WorkerIncentives honest{1.0, 0.0};
+  const BestResponse br = best_response(c, kPsi, honest);
+  EXPECT_DOUBLE_EQ(br.effort, 0.0);
+  EXPECT_DOUBLE_EQ(br.compensation, 2.0);
+}
+
+TEST(BestResponseTest, SteepContractPushesToGridEnd) {
+  // Slope far above the Case-II threshold everywhere: worker rides to the
+  // end of the grid.
+  const Contract c = Contract::on_effort_grid(kPsi, 1.0, {0.0, 20.0, 40.0});
+  const WorkerIncentives honest{1.0, 0.0};
+  const BestResponse br = best_response(c, kPsi, honest);
+  EXPECT_NEAR(br.effort, 2.0, 1e-9);
+  EXPECT_EQ(br.interval, 2u);
+  EXPECT_NEAR(br.compensation, 40.0, 1e-9);
+}
+
+TEST(BestResponseTest, RespectsEffortLimit) {
+  const Contract c = Contract::on_effort_grid(kPsi, 1.0, {0.0, 20.0, 40.0});
+  const WorkerIncentives honest{1.0, 0.0};
+  const BestResponse br = best_response(c, kPsi, honest, 1.5);
+  EXPECT_LE(br.effort, 1.5 + 1e-12);
+}
+
+TEST(BestResponseTest, FeedbackAndCompensationConsistent) {
+  const Contract c = Contract::on_effort_grid(kPsi, 0.5,
+                                              {0.0, 0.2, 0.5, 0.9, 1.4});
+  const WorkerIncentives inc{1.0, 0.2};
+  const BestResponse br = best_response(c, kPsi, inc);
+  EXPECT_DOUBLE_EQ(br.feedback, kPsi(br.effort));
+  EXPECT_DOUBLE_EQ(br.compensation, c.pay(br.feedback));
+  EXPECT_NEAR(br.utility,
+              br.compensation - inc.beta * br.effort + inc.omega * br.feedback,
+              1e-12);
+}
+
+TEST(BestResponseTest, IntervalIndexMatchesEffort) {
+  const Contract c = Contract::on_effort_grid(kPsi, 0.5,
+                                              {0.0, 0.2, 0.5, 0.9, 1.4});
+  const WorkerIncentives inc{1.0, 0.0};
+  const BestResponse br = best_response(c, kPsi, inc);
+  if (br.effort > 0.0 && br.interval >= 1 && br.interval <= 4) {
+    EXPECT_GE(br.effort, 0.5 * (br.interval - 1) - 1e-9);
+    EXPECT_LE(br.effort, 0.5 * br.interval + 1e-9);
+  }
+}
+
+TEST(BestResponseTest, ValidatesIncentives) {
+  EXPECT_THROW(best_response(Contract(), kPsi, WorkerIncentives{0.0, 0.0}),
+               Error);
+  EXPECT_THROW(best_response(Contract(), kPsi, WorkerIncentives{1.0, -0.1}),
+               Error);
+}
+
+}  // namespace
+}  // namespace ccd::contract

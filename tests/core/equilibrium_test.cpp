@@ -1,0 +1,119 @@
+#include "core/equilibrium.hpp"
+
+#include <gtest/gtest.h>
+
+#include "contract/candidate.hpp"
+#include "contract/designer.hpp"
+#include "data/generator.hpp"
+#include "util/error.hpp"
+
+namespace ccd::core {
+namespace {
+
+const effort::QuadraticEffort kPsi(-1.0, 8.0, 2.0);
+
+TEST(AuditIncentivesTest, DesignedContractPassesAudit) {
+  for (const double omega : {0.0, 0.3}) {
+    contract::SubproblemSpec spec;
+    spec.psi = kPsi;
+    spec.incentives = {1.0, omega};
+    spec.weight = 1.0;
+    spec.mu = 1.0;
+    spec.intervals = 20;
+    const contract::DesignResult d = contract::design_contract(spec);
+    const IncentiveAudit audit =
+        audit_incentives(d.contract, kPsi, spec.incentives, d.response);
+    EXPECT_TRUE(audit.incentive_compatible) << "omega=" << omega;
+    EXPECT_TRUE(audit.individually_rational) << "omega=" << omega;
+    EXPECT_LT(audit.worker_regret, 1e-6);
+    EXPECT_GE(audit.participation_margin, -1e-9);
+  }
+}
+
+TEST(AuditIncentivesTest, DetectsFabricatedResponse) {
+  // Claim the worker would exert peak effort under a near-flat contract:
+  // the audit must flag a large profitable deviation (doing nothing).
+  const contract::Contract flat =
+      contract::Contract::on_effort_grid(kPsi, 1.0, {1.0, 1.0, 1.01});
+  const contract::WorkerIncentives honest{1.0, 0.0};
+  contract::BestResponse fabricated;
+  fabricated.effort = 2.0;
+  fabricated.feedback = kPsi(2.0);
+  fabricated.compensation = flat.pay(fabricated.feedback);
+  fabricated.utility = fabricated.compensation - 2.0;  // = ~ -0.99
+  const IncentiveAudit audit =
+      audit_incentives(flat, kPsi, honest, fabricated);
+  EXPECT_FALSE(audit.incentive_compatible);
+  EXPECT_GT(audit.worker_regret, 1.5);
+  EXPECT_NEAR(audit.best_alternative_effort, 0.0, 1e-6);
+}
+
+TEST(AuditIncentivesTest, DetectsIrViolation) {
+  // A claimed response below the opt-out utility is individually
+  // irrational; construct one by over-reporting effort at zero pay.
+  const contract::Contract zero;
+  const contract::WorkerIncentives honest{1.0, 0.0};
+  contract::BestResponse claimed;
+  claimed.effort = 1.0;
+  claimed.feedback = kPsi(1.0);
+  claimed.compensation = 0.0;
+  claimed.utility = -1.0;  // pays 0, costs beta * 1
+  const IncentiveAudit audit = audit_incentives(zero, kPsi, honest, claimed);
+  EXPECT_FALSE(audit.individually_rational);
+  EXPECT_LT(audit.participation_margin, 0.0);
+}
+
+TEST(AuditIncentivesTest, MisalignedOmegaIsCaught) {
+  // Design for an honest worker, audit as if the worker were strongly
+  // malicious: the self-motivated deviation past the target interval should
+  // show up as regret.
+  contract::SubproblemSpec spec;
+  spec.psi = kPsi;
+  spec.incentives = {1.0, 0.0};
+  spec.weight = 1.0;
+  spec.mu = 1.0;
+  spec.intervals = 10;
+  const contract::DesignResult d = contract::design_contract(spec);
+  const contract::WorkerIncentives actually_malicious{1.0, 1.5};
+  const IncentiveAudit audit = audit_incentives(
+      d.contract, kPsi, actually_malicious, d.response);
+  EXPECT_GT(audit.worker_regret, 0.01);
+}
+
+TEST(AuditIncentivesTest, Validation) {
+  const contract::WorkerIncentives honest{1.0, 0.0};
+  EXPECT_THROW(
+      audit_incentives(contract::Contract(), kPsi, honest, {}, 1),
+      Error);
+  EXPECT_THROW(
+      audit_incentives(contract::Contract(), kPsi, honest, {}, 100, -1.0),
+      Error);
+}
+
+TEST(AuditPipelineTest, FullPipelineIsClean) {
+  const data::ReviewTrace trace =
+      data::generate_trace(data::GeneratorParams::small());
+  const PipelineResult result = run_pipeline(trace, PipelineConfig{});
+  const FleetAudit fleet = audit_pipeline(result);
+  EXPECT_TRUE(fleet.clean())
+      << "IC violations: " << fleet.ic_violations
+      << ", IR violations: " << fleet.ir_violations
+      << ", max regret: " << fleet.max_worker_regret;
+  EXPECT_GT(fleet.audited, 0u);
+  EXPECT_EQ(fleet.subproblems, result.subproblems.size());
+  EXPECT_GE(fleet.min_participation_margin, -1e-9);
+}
+
+TEST(AuditPipelineTest, ExclusionStrategyAuditsOnlyDesigned) {
+  const data::ReviewTrace trace =
+      data::generate_trace(data::GeneratorParams::small());
+  PipelineConfig config;
+  config.strategy = PricingStrategy::kExcludeMalicious;
+  const PipelineResult result = run_pipeline(trace, config);
+  const FleetAudit fleet = audit_pipeline(result);
+  EXPECT_TRUE(fleet.clean());
+  EXPECT_LT(fleet.audited, fleet.subproblems);  // excluded ones skipped
+}
+
+}  // namespace
+}  // namespace ccd::core

@@ -1,0 +1,166 @@
+// Masking-adversary behaviour (the §VII "more sophisticated malicious
+// workers" extension) and its interaction with the adaptive contract.
+#include <gtest/gtest.h>
+
+#include "core/stackelberg.hpp"
+
+namespace ccd::core {
+namespace {
+
+SimWorkerSpec masker(std::size_t period, double duty) {
+  SimWorkerSpec w;
+  w.name = "masker";
+  w.psi = effort::QuadraticEffort(-1.0, 8.0, 2.0);
+  w.accuracy_distance = 0.3;       // the mask persona
+  w.switched_omega = 0.6;          // the attack persona
+  w.switched_accuracy_distance = 2.0;
+  w.masking_period = period;
+  w.masking_duty = duty;
+  return w;
+}
+
+TEST(BehaviourAtTest, PureSwitchSemantics) {
+  SimWorkerSpec w;
+  w.omega = 0.0;
+  w.accuracy_distance = 0.3;
+  w.switch_round = 5;
+  w.switched_omega = 0.7;
+  w.switched_accuracy_distance = 1.5;
+  EXPECT_FALSE(w.behaviour_at(4).malicious_now);
+  EXPECT_DOUBLE_EQ(w.behaviour_at(4).omega, 0.0);
+  EXPECT_TRUE(w.behaviour_at(5).malicious_now);
+  EXPECT_DOUBLE_EQ(w.behaviour_at(5).omega, 0.7);
+  EXPECT_DOUBLE_EQ(w.behaviour_at(100).accuracy_distance, 1.5);
+}
+
+TEST(BehaviourAtTest, NoSwitchNoMaskIsAlwaysBase) {
+  SimWorkerSpec w;
+  w.omega = 0.2;
+  for (std::size_t t = 0; t < 20; ++t) {
+    EXPECT_FALSE(w.behaviour_at(t).malicious_now);
+    EXPECT_DOUBLE_EQ(w.behaviour_at(t).omega, 0.2);
+  }
+}
+
+TEST(BehaviourAtTest, MaskingAlternatesPersonas) {
+  const SimWorkerSpec w = masker(/*period=*/4, /*duty=*/0.5);
+  // duty 0.5 of period 4: rounds 0,1 masked; 2,3 attack; repeat.
+  EXPECT_FALSE(w.behaviour_at(0).malicious_now);
+  EXPECT_FALSE(w.behaviour_at(1).malicious_now);
+  EXPECT_TRUE(w.behaviour_at(2).malicious_now);
+  EXPECT_TRUE(w.behaviour_at(3).malicious_now);
+  EXPECT_FALSE(w.behaviour_at(4).malicious_now);
+  EXPECT_TRUE(w.behaviour_at(6).malicious_now);
+  EXPECT_DOUBLE_EQ(w.behaviour_at(2).omega, 0.6);
+  EXPECT_DOUBLE_EQ(w.behaviour_at(2).accuracy_distance, 2.0);
+  EXPECT_DOUBLE_EQ(w.behaviour_at(0).accuracy_distance, 0.3);
+}
+
+TEST(BehaviourAtTest, FullDutyNeverAttacks) {
+  const SimWorkerSpec w = masker(5, 1.0);
+  for (std::size_t t = 0; t < 20; ++t) {
+    EXPECT_FALSE(w.behaviour_at(t).malicious_now) << "t=" << t;
+  }
+}
+
+TEST(BehaviourAtTest, ZeroDutyAlwaysAttacks) {
+  const SimWorkerSpec w = masker(5, 0.0);
+  for (std::size_t t = 0; t < 20; ++t) {
+    EXPECT_TRUE(w.behaviour_at(t).malicious_now) << "t=" << t;
+  }
+}
+
+TEST(BehaviourAtTest, MaskingStartsAtSwitchRound) {
+  SimWorkerSpec w = masker(4, 0.5);
+  w.switch_round = 10;
+  for (std::size_t t = 0; t < 10; ++t) {
+    EXPECT_FALSE(w.behaviour_at(t).malicious_now) << "t=" << t;
+  }
+  EXPECT_FALSE(w.behaviour_at(10).malicious_now);  // phase 0: masked
+  EXPECT_TRUE(w.behaviour_at(12).malicious_now);   // phase 2: attack
+}
+
+TEST(MaskingSimulationTest, EstimateSitsBetweenHonestAndMalicious) {
+  // A masking adversary should look "greyer" to the EMA estimator than a
+  // full-time malicious worker, but clearly worse than an honest one.
+  SimWorkerSpec honest;
+  honest.psi = effort::QuadraticEffort(-1.0, 8.0, 2.0);
+  honest.accuracy_distance = 0.3;
+
+  SimWorkerSpec full_time = masker(4, 0.0);
+  SimWorkerSpec half_time = masker(4, 0.5);
+
+  SimConfig config;
+  config.rounds = 60;
+  config.seed = 21;
+  config.feedback_noise = 0.2;
+  config.accuracy_noise = 0.05;
+
+  const SimResult r =
+      StackelbergSimulator({honest, full_time, half_time}, config).run();
+  const double honest_est =
+      r.worker_history[0].back().estimated_malicious;
+  const double full_est = r.worker_history[1].back().estimated_malicious;
+  // Average the masker's estimate over the last two cycles to smooth phase.
+  double half_est = 0.0;
+  for (std::size_t t = 52; t < 60; ++t) {
+    half_est += r.worker_history[2][t].estimated_malicious;
+  }
+  half_est /= 8.0;
+
+  EXPECT_LT(honest_est, 0.25);
+  EXPECT_GT(full_est, 0.8);
+  EXPECT_GT(half_est, honest_est + 0.15);
+  EXPECT_LT(half_est, full_est);
+}
+
+TEST(MaskingSimulationTest, MaskingEarnsMoreThanFullTimeAttack) {
+  // The point of masking from the adversary's side: it keeps some of the
+  // pay an overt attacker loses.
+  SimWorkerSpec full_time = masker(4, 0.0);
+  SimWorkerSpec half_time = masker(4, 0.5);
+  SimConfig config;
+  config.rounds = 60;
+  config.seed = 33;
+  const SimResult r =
+      StackelbergSimulator({full_time, half_time}, config).run();
+  double full_pay = 0.0;
+  double half_pay = 0.0;
+  for (std::size_t t = 20; t < 60; ++t) {
+    full_pay += r.worker_history[0][t].compensation;
+    half_pay += r.worker_history[1][t].compensation;
+  }
+  EXPECT_GT(half_pay, full_pay);
+}
+
+TEST(MaskingSimulationTest, SlowEmaSmoothsOutMasking) {
+  // A slower estimator (smaller alpha) is the defence: it integrates over
+  // mask cycles, keeping the masker's estimate high through its honest
+  // phases.
+  SimWorkerSpec half_time = masker(4, 0.5);
+  SimConfig fast;
+  fast.rounds = 80;
+  fast.seed = 5;
+  fast.ema_alpha = 0.8;
+  SimConfig slow = fast;
+  slow.ema_alpha = 0.1;
+
+  const SimResult fast_r =
+      StackelbergSimulator({half_time}, fast).run();
+  const SimResult slow_r =
+      StackelbergSimulator({half_time}, slow).run();
+  // Minimum estimate over the steady-state masked rounds: the fast tracker
+  // forgets between attacks, the slow one doesn't.
+  double fast_min = 1.0;
+  double slow_min = 1.0;
+  for (std::size_t t = 40; t < 80; ++t) {
+    fast_min = std::min(fast_min,
+                        fast_r.worker_history[0][t].estimated_malicious);
+    slow_min = std::min(slow_min,
+                        slow_r.worker_history[0][t].estimated_malicious);
+  }
+  EXPECT_GT(slow_min, fast_min);
+}
+
+}  // namespace
+}  // namespace ccd::core

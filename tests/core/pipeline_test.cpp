@@ -1,0 +1,203 @@
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/generator.hpp"
+#include "util/error.hpp"
+
+namespace ccd::core {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    trace_ = new data::ReviewTrace(
+        data::generate_trace(data::GeneratorParams::small()));
+  }
+  static void TearDownTestSuite() {
+    delete trace_;
+    trace_ = nullptr;
+  }
+  static data::ReviewTrace* trace_;
+};
+
+data::ReviewTrace* PipelineTest::trace_ = nullptr;
+
+TEST_F(PipelineTest, ProducesOutcomeForEveryWorker) {
+  const PipelineResult r = run_pipeline(*trace_, PipelineConfig{});
+  ASSERT_EQ(r.workers.size(), trace_->workers().size());
+  for (std::size_t i = 0; i < r.workers.size(); ++i) {
+    EXPECT_EQ(r.workers[i].id, i);
+    EXPECT_EQ(r.workers[i].true_class, trace_->worker(i).true_class);
+  }
+}
+
+TEST_F(PipelineTest, SubproblemsPartitionWorkers) {
+  const PipelineResult r = run_pipeline(*trace_, PipelineConfig{});
+  std::vector<int> covered(trace_->workers().size(), 0);
+  for (const SubproblemOutcome& sub : r.subproblems) {
+    for (const data::WorkerId id : sub.workers) ++covered[id];
+  }
+  for (std::size_t i = 0; i < covered.size(); ++i) {
+    EXPECT_EQ(covered[i], 1) << "worker " << i;
+  }
+}
+
+TEST_F(PipelineTest, TotalsMatchSubproblemSums) {
+  const PipelineResult r = run_pipeline(*trace_, PipelineConfig{});
+  double utility = 0.0;
+  double compensation = 0.0;
+  for (const SubproblemOutcome& sub : r.subproblems) {
+    utility += sub.design.requester_utility;
+    compensation += sub.design.response.compensation;
+  }
+  EXPECT_NEAR(r.total_requester_utility, utility, 1e-6);
+  EXPECT_NEAR(r.total_compensation, compensation, 1e-6);
+}
+
+TEST_F(PipelineTest, PerWorkerSharesSumToSubproblemTotals) {
+  const PipelineResult r = run_pipeline(*trace_, PipelineConfig{});
+  for (const SubproblemOutcome& sub : r.subproblems) {
+    double share_sum = 0.0;
+    for (const data::WorkerId id : sub.workers) {
+      share_sum += r.workers[id].compensation;
+    }
+    EXPECT_NEAR(share_sum, sub.design.response.compensation, 1e-9);
+  }
+}
+
+TEST_F(PipelineTest, CommunitiesShareOneContract) {
+  const PipelineResult r = run_pipeline(*trace_, PipelineConfig{});
+  for (std::size_t c = 0; c < r.collusion.communities.size(); ++c) {
+    const auto& members = r.collusion.communities[c].members;
+    const std::size_t sub = r.workers[members.front()].subproblem;
+    for (const data::WorkerId id : members) {
+      EXPECT_EQ(r.workers[id].subproblem, sub);
+    }
+    EXPECT_EQ(r.subproblems[sub].workers.size(), members.size());
+  }
+}
+
+TEST_F(PipelineTest, DetectedClassesAreConsistentWithCollusion) {
+  const PipelineResult r = run_pipeline(*trace_, PipelineConfig{});
+  for (const WorkerOutcome& w : r.workers) {
+    if (w.detected_class == DetectedClass::kCollusiveMalicious) {
+      EXPECT_GE(r.collusion.community_of[w.id], 0);
+      EXPECT_GE(w.partners, 1u);
+    } else {
+      EXPECT_EQ(r.collusion.community_of[w.id], -1);
+      EXPECT_EQ(w.partners, 0u);
+    }
+  }
+}
+
+TEST_F(PipelineTest, HonestWorkersEarnMoreThanMalicious) {
+  // Fig. 8(b)'s ordering on means: honest above both malicious classes.
+  const PipelineResult r = run_pipeline(*trace_, PipelineConfig{});
+  const auto mean_comp = [&](data::WorkerClass cls) {
+    const auto v = r.compensations_of_class(cls);
+    double total = 0.0;
+    for (const double x : v) total += x;
+    return v.empty() ? 0.0 : total / static_cast<double>(v.size());
+  };
+  const double honest = mean_comp(data::WorkerClass::kHonest);
+  EXPECT_GT(honest, mean_comp(data::WorkerClass::kNonCollusiveMalicious));
+  EXPECT_GT(honest, mean_comp(data::WorkerClass::kCollusiveMalicious));
+}
+
+TEST_F(PipelineTest, DynamicBeatsExclusionBaseline) {
+  // Fig. 8(c): the dynamic contract extracts extra value from usable
+  // malicious workers that blanket exclusion throws away.
+  PipelineConfig dynamic;
+  PipelineConfig exclusion;
+  exclusion.strategy = PricingStrategy::kExcludeMalicious;
+  const double ours = run_pipeline(*trace_, dynamic).total_requester_utility;
+  const double theirs =
+      run_pipeline(*trace_, exclusion).total_requester_utility;
+  EXPECT_GT(ours, theirs);
+}
+
+TEST_F(PipelineTest, ExclusionZeroesSuspectedMalicious) {
+  PipelineConfig config;
+  config.strategy = PricingStrategy::kExcludeMalicious;
+  const PipelineResult r = run_pipeline(*trace_, config);
+  for (const WorkerOutcome& w : r.workers) {
+    if (w.detected_class != DetectedClass::kHonest) {
+      EXPECT_TRUE(w.excluded);
+      EXPECT_DOUBLE_EQ(w.compensation, 0.0);
+      EXPECT_DOUBLE_EQ(w.requester_utility, 0.0);
+    }
+  }
+  EXPECT_GT(r.excluded_workers, 0u);
+}
+
+TEST_F(PipelineTest, FixedPaymentStrategyRuns) {
+  PipelineConfig config;
+  config.strategy = PricingStrategy::kFixedPayment;
+  config.fixed_payment = 2.0;
+  config.fixed_threshold_effort = 1.0;
+  const PipelineResult r = run_pipeline(*trace_, config);
+  // Accepting workers earn exactly the fixed payment (individuals).
+  for (const SubproblemOutcome& sub : r.subproblems) {
+    if (sub.workers.size() == 1 && sub.design.response.compensation > 0.0) {
+      EXPECT_DOUBLE_EQ(sub.design.response.compensation, 2.0);
+    }
+  }
+}
+
+TEST_F(PipelineTest, FixedPaymentUnderperformsDynamic) {
+  PipelineConfig dynamic;
+  PipelineConfig fixed;
+  fixed.strategy = PricingStrategy::kFixedPayment;
+  fixed.fixed_payment = 2.0;
+  fixed.fixed_threshold_effort = 1.0;
+  EXPECT_GT(run_pipeline(*trace_, dynamic).total_requester_utility,
+            run_pipeline(*trace_, fixed).total_requester_utility);
+}
+
+TEST_F(PipelineTest, GroundTruthLabelsImproveClustering) {
+  PipelineConfig config;
+  config.use_ground_truth_labels = true;
+  const PipelineResult r = run_pipeline(*trace_, config);
+  // With ground-truth labels the clustering must recover the generator's
+  // planted communities exactly.
+  EXPECT_EQ(r.collusion.communities.size(),
+            data::GeneratorParams::small().community_sizes.size());
+}
+
+TEST_F(PipelineTest, DeterministicAcrossRuns) {
+  const PipelineResult a = run_pipeline(*trace_, PipelineConfig{});
+  const PipelineResult b = run_pipeline(*trace_, PipelineConfig{});
+  EXPECT_DOUBLE_EQ(a.total_requester_utility, b.total_requester_utility);
+  EXPECT_DOUBLE_EQ(a.total_compensation, b.total_compensation);
+}
+
+TEST_F(PipelineTest, SingleThreadMatchesParallel) {
+  PipelineConfig serial;
+  serial.threads = 1;
+  PipelineConfig parallel;
+  parallel.threads = 4;
+  const PipelineResult a = run_pipeline(*trace_, serial);
+  const PipelineResult b = run_pipeline(*trace_, parallel);
+  EXPECT_DOUBLE_EQ(a.total_requester_utility, b.total_requester_utility);
+  EXPECT_DOUBLE_EQ(a.total_compensation, b.total_compensation);
+}
+
+TEST_F(PipelineTest, LowerMuRaisesCompensation) {
+  // Fig. 8(b) observation (1): a generous requester (lower mu) pays more.
+  PipelineConfig generous;
+  generous.requester.mu = 0.8;
+  PipelineConfig stingy;
+  stingy.requester.mu = 1.0;
+  EXPECT_GE(run_pipeline(*trace_, generous).total_compensation,
+            run_pipeline(*trace_, stingy).total_compensation - 1e-9);
+}
+
+TEST(PipelineValidationTest, RequiresIndexes) {
+  data::ReviewTrace t;
+  t.add_worker({0, data::WorkerClass::kHonest, data::kNoCommunity, 1.0, false});
+  EXPECT_THROW(run_pipeline(t, PipelineConfig{}), Error);
+}
+
+}  // namespace
+}  // namespace ccd::core

@@ -1,0 +1,80 @@
+#include "core/requester.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ccd::core {
+namespace {
+
+TEST(RequesterConfigTest, DefaultsValidate) {
+  EXPECT_NO_THROW(RequesterConfig{}.validate());
+}
+
+TEST(RequesterConfigTest, CatchesBadFields) {
+  RequesterConfig c;
+  c.rho = 0.0;
+  EXPECT_THROW(c.validate(), Error);
+  c = {};
+  c.mu = -1.0;
+  EXPECT_THROW(c.validate(), Error);
+  c = {};
+  c.beta = 0.0;
+  EXPECT_THROW(c.validate(), Error);
+  c = {};
+  c.intervals = 0;
+  EXPECT_THROW(c.validate(), Error);
+  c = {};
+  c.accuracy_floor = 0.0;
+  EXPECT_THROW(c.validate(), Error);
+}
+
+TEST(FeedbackWeightTest, MatchesEq5) {
+  RequesterConfig c;
+  c.rho = 1.0;
+  c.kappa = 0.1;
+  c.gamma = 0.1;
+  c.weight_cap = 100.0;
+  // w = 1/0.5 - 0.1*0.4 - 0.1*3 = 2 - 0.04 - 0.3.
+  EXPECT_NEAR(feedback_weight(c, 0.5, 0.4, 3), 1.66, 1e-12);
+}
+
+TEST(FeedbackWeightTest, FloorsAccuracyDistance) {
+  RequesterConfig c;
+  c.accuracy_floor = 0.25;
+  c.weight_cap = 100.0;
+  EXPECT_DOUBLE_EQ(feedback_weight(c, 0.0, 0.0, 0),
+                   feedback_weight(c, 0.25, 0.0, 0));
+}
+
+TEST(FeedbackWeightTest, CapsWeight) {
+  RequesterConfig c;
+  c.weight_cap = 4.0;
+  EXPECT_DOUBLE_EQ(feedback_weight(c, 0.25, 0.0, 0), 4.0);
+}
+
+TEST(FeedbackWeightTest, PenaltiesReduceWeight) {
+  RequesterConfig c;
+  const double base = feedback_weight(c, 1.0, 0.0, 0);
+  EXPECT_LT(feedback_weight(c, 1.0, 1.0, 0), base);
+  EXPECT_LT(feedback_weight(c, 1.0, 0.0, 5), base);
+  EXPECT_LT(feedback_weight(c, 1.0, 1.0, 5),
+            feedback_weight(c, 1.0, 1.0, 1));
+}
+
+TEST(FeedbackWeightTest, CanGoNegativeForBadWorkers) {
+  RequesterConfig c;
+  c.gamma = 0.2;
+  // Very inaccurate with many partners: weight below zero => exclusion.
+  EXPECT_LT(feedback_weight(c, 4.0, 1.0, 10), 0.0);
+}
+
+TEST(FeedbackWeightTest, ValidatesArguments) {
+  const RequesterConfig c;
+  EXPECT_THROW(feedback_weight(c, -1.0, 0.0, 0), Error);
+  EXPECT_THROW(feedback_weight(c, 1.0, -0.1, 0), Error);
+  EXPECT_THROW(feedback_weight(c, 1.0, 1.1, 0), Error);
+}
+
+}  // namespace
+}  // namespace ccd::core

@@ -1,0 +1,173 @@
+#include "data/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace ccd::data {
+namespace {
+
+TEST(GeneratorParamsTest, PresetsValidate) {
+  EXPECT_NO_THROW(GeneratorParams::small().validate());
+  EXPECT_NO_THROW(GeneratorParams::medium().validate());
+  EXPECT_NO_THROW(GeneratorParams::amazon2015().validate());
+}
+
+TEST(GeneratorParamsTest, Amazon2015MatchesPaperCensus) {
+  const GeneratorParams p = GeneratorParams::amazon2015();
+  EXPECT_EQ(p.community_sizes.size(), 47u);  // 47 communities
+  std::size_t workers = 0;
+  for (const std::size_t s : p.community_sizes) workers += s;
+  EXPECT_EQ(workers, 212u);  // 212 CM workers
+  EXPECT_EQ(p.n_honest + p.n_ncm + workers, 19686u);  // total reviewers
+}
+
+TEST(GeneratorParamsTest, ValidationCatchesBadBehaviour) {
+  GeneratorParams p = GeneratorParams::small();
+  p.honest.a2 = 0.5;  // convex
+  EXPECT_THROW(p.validate(), Error);
+
+  p = GeneratorParams::small();
+  p.honest.effort_cap = 100.0;  // past the feedback-law peak
+  EXPECT_THROW(p.validate(), Error);
+
+  p = GeneratorParams::small();
+  p.community_sizes = {1};  // community of one is not collusive
+  EXPECT_THROW(p.validate(), Error);
+
+  p = GeneratorParams::small();
+  p.n_products = 10;  // not enough products for malicious pools
+  EXPECT_THROW(p.validate(), Error);
+}
+
+TEST(GenerateTraceTest, DeterministicForSeed) {
+  const ReviewTrace a = generate_trace(GeneratorParams::small());
+  const ReviewTrace b = generate_trace(GeneratorParams::small());
+  ASSERT_EQ(a.reviews().size(), b.reviews().size());
+  for (std::size_t i = 0; i < a.reviews().size(); ++i) {
+    EXPECT_EQ(a.review(i).upvotes, b.review(i).upvotes);
+    EXPECT_EQ(a.review(i).product, b.review(i).product);
+  }
+}
+
+TEST(GenerateTraceTest, DifferentSeedsDiffer) {
+  GeneratorParams p = GeneratorParams::small();
+  const ReviewTrace a = generate_trace(p);
+  p.seed = p.seed + 1;
+  const ReviewTrace b = generate_trace(p);
+  bool any_diff = a.reviews().size() != b.reviews().size();
+  for (std::size_t i = 0; !any_diff && i < a.reviews().size(); ++i) {
+    any_diff = a.review(i).upvotes != b.review(i).upvotes;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GenerateTraceTest, PopulationCountsMatchParams) {
+  const GeneratorParams p = GeneratorParams::small();
+  const ReviewTrace t = generate_trace(p);
+  const TraceStats s = t.stats();
+  EXPECT_EQ(s.honest_workers, p.n_honest);
+  EXPECT_EQ(s.ncm_workers, p.n_ncm);
+  std::size_t cm = 0;
+  for (const std::size_t size : p.community_sizes) cm += size;
+  EXPECT_EQ(s.cm_workers, cm);
+  EXPECT_EQ(s.true_communities, p.community_sizes.size());
+  EXPECT_EQ(s.products, p.n_products);
+}
+
+TEST(GenerateTraceTest, TraceValidates) {
+  EXPECT_NO_THROW(generate_trace(GeneratorParams::small()).validate());
+}
+
+TEST(GenerateTraceTest, EveryWorkerHasMinReviews) {
+  GeneratorParams p = GeneratorParams::small();
+  p.min_reviews = 3;
+  const ReviewTrace t = generate_trace(p);
+  for (const Worker& w : t.workers()) {
+    EXPECT_GE(t.reviews_of_worker(w.id).size(), 3u);
+  }
+}
+
+TEST(GenerateTraceTest, CommunityMembersShareAnchorProduct) {
+  const ReviewTrace t = generate_trace(GeneratorParams::small());
+  // Group CM workers by true community and check pairwise shared targets
+  // through the anchor (first) product.
+  std::map<std::int32_t, std::set<ProductId>> first_products;
+  for (const Worker& w : t.workers()) {
+    if (w.true_class != WorkerClass::kCollusiveMalicious) continue;
+    const ReviewId first = t.reviews_of_worker(w.id).front();
+    first_products[w.true_community].insert(t.review(first).product);
+  }
+  for (const auto& [community, products] : first_products) {
+    EXPECT_EQ(products.size(), 1u)
+        << "community " << community << " lacks a common anchor";
+  }
+}
+
+TEST(GenerateTraceTest, MaliciousWorkersDoNotCrossCommunities) {
+  const ReviewTrace t = generate_trace(GeneratorParams::small());
+  // Map product -> set of true communities of malicious reviewers.
+  std::map<ProductId, std::set<std::int32_t>> touch;
+  for (const Review& r : t.reviews()) {
+    const Worker& w = t.worker(r.worker);
+    if (w.true_class == WorkerClass::kHonest) continue;
+    // NCM workers use pseudo-community -2 - id to be distinct.
+    const std::int32_t tag =
+        w.true_class == WorkerClass::kCollusiveMalicious
+            ? w.true_community
+            : -2 - static_cast<std::int32_t>(w.id);
+    touch[r.product].insert(tag);
+  }
+  for (const auto& [product, tags] : touch) {
+    EXPECT_EQ(tags.size(), 1u)
+        << "product " << product << " is shared across malicious groups";
+  }
+}
+
+TEST(GenerateTraceTest, MaliciousScoresAreBiasedHigh) {
+  const ReviewTrace t = generate_trace(GeneratorParams::small());
+  double honest_dev = 0.0;
+  std::size_t honest_n = 0;
+  double malicious_score = 0.0;
+  std::size_t malicious_n = 0;
+  for (const Review& r : t.reviews()) {
+    if (t.worker(r.worker).true_class == WorkerClass::kHonest) {
+      honest_dev += std::abs(r.score - t.product(r.product).true_quality);
+      ++honest_n;
+    } else {
+      malicious_score += r.score;
+      ++malicious_n;
+    }
+  }
+  EXPECT_LT(honest_dev / static_cast<double>(honest_n), 0.6);
+  EXPECT_GT(malicious_score / static_cast<double>(malicious_n), 4.5);
+}
+
+TEST(GenerateTraceTest, CollusiveFeedbackIsInflated) {
+  const ReviewTrace t = generate_trace(GeneratorParams::medium());
+  double honest = 0.0, cm = 0.0;
+  std::size_t hn = 0, cn = 0;
+  for (const Review& r : t.reviews()) {
+    switch (t.worker(r.worker).true_class) {
+      case WorkerClass::kHonest:
+        honest += r.upvotes;
+        ++hn;
+        break;
+      case WorkerClass::kCollusiveMalicious:
+        cm += r.upvotes;
+        ++cn;
+        break;
+      default:
+        break;
+    }
+  }
+  // Fig. 7's shape: CM feedback well above honest feedback.
+  EXPECT_GT(cm / static_cast<double>(cn), 1.3 * honest / static_cast<double>(hn));
+}
+
+}  // namespace
+}  // namespace ccd::data

@@ -1,0 +1,120 @@
+#include "data/loader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "data/generator.hpp"
+#include "util/error.hpp"
+
+namespace ccd::data {
+namespace {
+
+class LoaderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ccd_loader_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    prefix_ = (dir_ / "trace").string();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+  std::string prefix_;
+};
+
+TEST_F(LoaderTest, RoundTripsGeneratedTrace) {
+  const ReviewTrace original = generate_trace(GeneratorParams::small());
+  save_trace(original, prefix_);
+  const ReviewTrace loaded = load_trace(prefix_);
+
+  ASSERT_EQ(loaded.workers().size(), original.workers().size());
+  ASSERT_EQ(loaded.products().size(), original.products().size());
+  ASSERT_EQ(loaded.reviews().size(), original.reviews().size());
+
+  for (std::size_t i = 0; i < original.workers().size(); ++i) {
+    const Worker& a = original.worker(static_cast<WorkerId>(i));
+    const Worker& b = loaded.worker(static_cast<WorkerId>(i));
+    EXPECT_EQ(a.true_class, b.true_class);
+    EXPECT_EQ(a.true_community, b.true_community);
+    EXPECT_EQ(a.expert_badge, b.expert_badge);
+    EXPECT_NEAR(a.skill, b.skill, 1e-5);
+  }
+  for (std::size_t i = 0; i < original.reviews().size(); ++i) {
+    const Review& a = original.review(static_cast<ReviewId>(i));
+    const Review& b = loaded.review(static_cast<ReviewId>(i));
+    EXPECT_EQ(a.worker, b.worker);
+    EXPECT_EQ(a.product, b.product);
+    EXPECT_EQ(a.round, b.round);
+    EXPECT_EQ(a.upvotes, b.upvotes);
+    EXPECT_EQ(a.length_chars, b.length_chars);
+    EXPECT_EQ(a.verified, b.verified);
+    EXPECT_NEAR(a.score, b.score, 1e-3);
+  }
+}
+
+TEST_F(LoaderTest, LoadedTraceHasIndexes) {
+  save_trace(generate_trace(GeneratorParams::small()), prefix_);
+  const ReviewTrace loaded = load_trace(prefix_);
+  EXPECT_TRUE(loaded.indexes_built());
+  EXPECT_NO_THROW(loaded.reviews_of_worker(0));
+}
+
+TEST_F(LoaderTest, MissingFilesThrow) {
+  EXPECT_THROW(load_trace((dir_ / "nope").string()), DataError);
+}
+
+TEST_F(LoaderTest, BadHeaderThrows) {
+  {
+    std::ofstream out(prefix_ + ".workers.csv");
+    out << "wrong,header\n";
+  }
+  {
+    std::ofstream out(prefix_ + ".products.csv");
+    out << "id,true_quality\n";
+  }
+  {
+    std::ofstream out(prefix_ + ".reviews.csv");
+    out << "id,worker,product,round,score,length_chars,upvotes,verified\n";
+  }
+  EXPECT_THROW(load_trace(prefix_), DataError);
+}
+
+TEST_F(LoaderTest, RaggedRowThrows) {
+  {
+    std::ofstream out(prefix_ + ".workers.csv");
+    out << "id,class,community,skill,expert_badge\n";
+    out << "0,honest,-1\n";  // missing fields
+  }
+  {
+    std::ofstream out(prefix_ + ".products.csv");
+    out << "id,true_quality\n";
+  }
+  {
+    std::ofstream out(prefix_ + ".reviews.csv");
+    out << "id,worker,product,round,score,length_chars,upvotes,verified\n";
+  }
+  EXPECT_THROW(load_trace(prefix_), DataError);
+}
+
+TEST_F(LoaderTest, InconsistentTraceFailsValidation) {
+  {
+    std::ofstream out(prefix_ + ".workers.csv");
+    out << "id,class,community,skill,expert_badge\n";
+    out << "0,cm,-1,1.0,0\n";  // CM worker without a community
+  }
+  {
+    std::ofstream out(prefix_ + ".products.csv");
+    out << "id,true_quality\n";
+  }
+  {
+    std::ofstream out(prefix_ + ".reviews.csv");
+    out << "id,worker,product,round,score,length_chars,upvotes,verified\n";
+  }
+  EXPECT_THROW(load_trace(prefix_), DataError);
+}
+
+}  // namespace
+}  // namespace ccd::data

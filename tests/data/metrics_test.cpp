@@ -1,0 +1,112 @@
+#include "data/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/generator.hpp"
+#include "util/error.hpp"
+
+namespace ccd::data {
+namespace {
+
+ReviewTrace handmade_trace() {
+  ReviewTrace t;
+  t.add_worker({0, WorkerClass::kHonest, kNoCommunity, 1.0, false});
+  t.add_worker({1, WorkerClass::kHonest, kNoCommunity, 1.0, false});
+  t.add_product({0, 3.0});
+  // Worker 0: upvotes 4 and 8 -> expertise 6. Lengths 100, 200.
+  t.add_review({0, 0, 0, 0, 3.0, 100, 4, true});
+  t.add_review({1, 0, 0, 1, 3.0, 200, 8, true});
+  // Worker 1: upvotes 2 -> expertise 2. Length 300.
+  t.add_review({2, 1, 0, 0, 3.0, 300, 2, true});
+  t.build_indexes();
+  return t;
+}
+
+TEST(WorkerMetricsTest, ExpertiseIsMeanUpvotes) {
+  const ReviewTrace t = handmade_trace();
+  const WorkerMetrics m(t);
+  EXPECT_DOUBLE_EQ(m.expertise(0), 6.0);
+  EXPECT_DOUBLE_EQ(m.expertise(1), 2.0);
+}
+
+TEST(WorkerMetricsTest, EffortIsNormalizedExpertiseTimesLength) {
+  const ReviewTrace t = handmade_trace();
+  MetricsConfig config;
+  config.target_mean_effort = 3.0;
+  const WorkerMetrics m(t, config);
+  // Raw efforts: 600, 1200, 600 -> mean 800; scale = 3/800.
+  EXPECT_DOUBLE_EQ(m.effort_scale(), 3.0 / 800.0);
+  EXPECT_DOUBLE_EQ(m.effort_level(0), 600.0 * 3.0 / 800.0);
+  EXPECT_DOUBLE_EQ(m.effort_level(1), 1200.0 * 3.0 / 800.0);
+  // Global mean equals the target.
+  const double mean =
+      (m.effort_level(0) + m.effort_level(1) + m.effort_level(2)) / 3.0;
+  EXPECT_NEAR(mean, 3.0, 1e-12);
+}
+
+TEST(WorkerMetricsTest, FeedbackIsUpvotes) {
+  const ReviewTrace t = handmade_trace();
+  const WorkerMetrics m(t);
+  EXPECT_DOUBLE_EQ(m.feedback(1), 8.0);
+}
+
+TEST(WorkerMetricsTest, SamplesOfClassCoverAllClassReviews) {
+  const ReviewTrace t = generate_trace(GeneratorParams::small());
+  const WorkerMetrics m(t);
+  std::size_t total = 0;
+  for (const WorkerClass cls :
+       {WorkerClass::kHonest, WorkerClass::kNonCollusiveMalicious,
+        WorkerClass::kCollusiveMalicious}) {
+    total += m.samples_of_class(cls).size();
+  }
+  EXPECT_EQ(total, t.reviews().size());
+}
+
+TEST(WorkerMetricsTest, SamplesOfWorkerMatchesIndex) {
+  const ReviewTrace t = handmade_trace();
+  const WorkerMetrics m(t);
+  const auto samples = m.samples_of_worker(0);
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].review, 0u);
+  EXPECT_DOUBLE_EQ(samples[0].feedback, 4.0);
+}
+
+TEST(WorkerMetricsTest, PerWorkerMeans) {
+  const ReviewTrace t = handmade_trace();
+  const WorkerMetrics m(t);
+  EXPECT_DOUBLE_EQ(m.mean_feedback_of_worker(0), 6.0);
+  EXPECT_DOUBLE_EQ(m.mean_feedback_of_worker(1), 2.0);
+  EXPECT_GT(m.mean_effort_of_worker(0), 0.0);
+}
+
+TEST(WorkerMetricsTest, RequiresIndexes) {
+  ReviewTrace t;
+  t.add_worker({0, WorkerClass::kHonest, kNoCommunity, 1.0, false});
+  EXPECT_THROW(WorkerMetrics m(t), Error);
+}
+
+TEST(WorkerMetricsTest, RejectsNonPositiveTarget) {
+  const ReviewTrace t = handmade_trace();
+  MetricsConfig config;
+  config.target_mean_effort = 0.0;
+  EXPECT_THROW(WorkerMetrics(t, config), Error);
+}
+
+TEST(WorkerMetricsTest, SimilarEffortAcrossClassesInGeneratedTrace) {
+  // Fig. 7's first claim: the three classes expend similar average effort.
+  const ReviewTrace t = generate_trace(GeneratorParams::medium());
+  const WorkerMetrics m(t);
+  const auto mean_effort = [&](WorkerClass cls) {
+    const auto samples = m.samples_of_class(cls);
+    double total = 0.0;
+    for (const EffortSample& s : samples) total += s.effort;
+    return total / static_cast<double>(samples.size());
+  };
+  const double honest = mean_effort(WorkerClass::kHonest);
+  const double cm = mean_effort(WorkerClass::kCollusiveMalicious);
+  EXPECT_GT(cm, 0.4 * honest);
+  EXPECT_LT(cm, 2.5 * honest);
+}
+
+}  // namespace
+}  // namespace ccd::data

@@ -1,0 +1,140 @@
+#include "data/splitter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/generator.hpp"
+#include "detect/collusion.hpp"
+#include "util/error.hpp"
+
+namespace ccd::data {
+namespace {
+
+class SplitterTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    trace_ = new ReviewTrace(generate_trace(GeneratorParams::small()));
+    split_ = new TraceSplit(split_trace(*trace_, 0.7, 99));
+  }
+  static void TearDownTestSuite() {
+    delete split_;
+    delete trace_;
+    split_ = nullptr;
+    trace_ = nullptr;
+  }
+  static ReviewTrace* trace_;
+  static TraceSplit* split_;
+};
+
+ReviewTrace* SplitterTest::trace_ = nullptr;
+TraceSplit* SplitterTest::split_ = nullptr;
+
+TEST_F(SplitterTest, WorkersPartitionExactly) {
+  EXPECT_EQ(split_->train.workers().size() + split_->test.workers().size(),
+            trace_->workers().size());
+  std::set<WorkerId> seen;
+  for (const WorkerId id : split_->train_original_ids) seen.insert(id);
+  for (const WorkerId id : split_->test_original_ids) seen.insert(id);
+  EXPECT_EQ(seen.size(), trace_->workers().size());
+}
+
+TEST_F(SplitterTest, ReviewsTravelWithTheirWorkers) {
+  EXPECT_EQ(split_->train.reviews().size() + split_->test.reviews().size(),
+            trace_->reviews().size());
+  // Spot-check: each train worker's review count matches the original.
+  for (std::size_t i = 0; i < split_->train.workers().size(); ++i) {
+    const WorkerId original = split_->train_original_ids[i];
+    EXPECT_EQ(split_->train.reviews_of_worker(static_cast<WorkerId>(i)).size(),
+              trace_->reviews_of_worker(original).size());
+  }
+}
+
+TEST_F(SplitterTest, ProductsSharedAcrossSplits) {
+  EXPECT_EQ(split_->train.products().size(), trace_->products().size());
+  EXPECT_EQ(split_->test.products().size(), trace_->products().size());
+}
+
+TEST_F(SplitterTest, BothSplitsValidate) {
+  EXPECT_NO_THROW(split_->train.validate());
+  EXPECT_NO_THROW(split_->test.validate());
+}
+
+TEST_F(SplitterTest, StratificationKeepsClassMix) {
+  const TraceStats full = trace_->stats();
+  const TraceStats train = split_->train.stats();
+  const double full_malicious_rate =
+      static_cast<double>(full.ncm_workers + full.cm_workers) /
+      static_cast<double>(full.workers);
+  const double train_malicious_rate =
+      static_cast<double>(train.ncm_workers + train.cm_workers) /
+      static_cast<double>(train.workers);
+  EXPECT_NEAR(train_malicious_rate, full_malicious_rate,
+              0.5 * full_malicious_rate);
+}
+
+TEST_F(SplitterTest, CommunitiesStayWhole) {
+  // No ground-truth community may straddle the splits.
+  for (const ReviewTrace* side : {&split_->train, &split_->test}) {
+    for (const Worker& w : side->workers()) {
+      if (w.true_class == WorkerClass::kCollusiveMalicious) {
+        EXPECT_NE(w.true_community, kNoCommunity);
+      }
+    }
+  }
+  std::set<std::int32_t> train_communities;
+  for (const Worker& w : split_->train.workers()) {
+    if (w.true_class == WorkerClass::kCollusiveMalicious) {
+      train_communities.insert(w.true_community);
+    }
+  }
+  // Map back: no test worker may come from a train community.
+  std::set<WorkerId> train_originals(split_->train_original_ids.begin(),
+                                     split_->train_original_ids.end());
+  for (const Worker& w : trace_->workers()) {
+    if (w.true_class != WorkerClass::kCollusiveMalicious) continue;
+    const bool in_train = train_originals.count(w.id) > 0;
+    // All members of this worker's community must be on the same side.
+    for (const Worker& other : trace_->workers()) {
+      if (other.true_community == w.true_community &&
+          other.true_class == WorkerClass::kCollusiveMalicious) {
+        EXPECT_EQ(train_originals.count(other.id) > 0, in_train);
+      }
+    }
+  }
+}
+
+TEST_F(SplitterTest, ClusteringStillWorksPerSplit) {
+  // Each side's planted communities remain recoverable by the same-target
+  // rule after re-indexing.
+  for (const ReviewTrace* side : {&split_->train, &split_->test}) {
+    std::set<std::int32_t> planted;
+    for (const Worker& w : side->workers()) {
+      if (w.true_class == WorkerClass::kCollusiveMalicious) {
+        planted.insert(w.true_community);
+      }
+    }
+    const detect::CollusionResult found =
+        detect::cluster_ground_truth_malicious(*side);
+    EXPECT_EQ(found.communities.size(), planted.size());
+  }
+}
+
+TEST(SplitterValidationTest, RejectsBadFraction) {
+  const ReviewTrace trace = generate_trace(GeneratorParams::small());
+  EXPECT_THROW(split_trace(trace, 0.0, 1), ConfigError);
+  EXPECT_THROW(split_trace(trace, 1.0, 1), ConfigError);
+  EXPECT_THROW(split_trace(trace, -0.5, 1), ConfigError);
+}
+
+TEST(SplitterDeterminismTest, SameSeedSameSplit) {
+  const ReviewTrace trace = generate_trace(GeneratorParams::small());
+  const TraceSplit a = split_trace(trace, 0.6, 7);
+  const TraceSplit b = split_trace(trace, 0.6, 7);
+  EXPECT_EQ(a.train_original_ids, b.train_original_ids);
+  const TraceSplit c = split_trace(trace, 0.6, 8);
+  EXPECT_NE(a.train_original_ids, c.train_original_ids);
+}
+
+}  // namespace
+}  // namespace ccd::data

@@ -1,0 +1,107 @@
+#include "detect/expert.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "data/generator.hpp"
+#include "data/metrics.hpp"
+#include "util/error.hpp"
+
+namespace ccd::detect {
+namespace {
+
+class ExpertPanelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trace_ = data::generate_trace(data::GeneratorParams::small());
+    metrics_ = std::make_unique<data::WorkerMetrics>(trace_);
+  }
+  data::ReviewTrace trace_;
+  std::unique_ptr<data::WorkerMetrics> metrics_;
+};
+
+TEST_F(ExpertPanelTest, FindsSomeExperts) {
+  const ExpertPanel panel(trace_, *metrics_);
+  EXPECT_GT(panel.experts().size(), 0u);
+  EXPECT_LT(panel.experts().size(), trace_.workers().size() / 2);
+}
+
+TEST_F(ExpertPanelTest, BadgedWorkersQualifyWhenTrusted) {
+  const ExpertPanel panel(trace_, *metrics_);
+  for (const data::Worker& w : trace_.workers()) {
+    if (w.expert_badge) {
+      EXPECT_TRUE(panel.is_expert(w.id));
+    }
+  }
+}
+
+TEST_F(ExpertPanelTest, BadgesIgnoredWhenUntrusted) {
+  ExpertConfig config;
+  config.trust_badges = false;
+  config.min_reviews = 1000000;      // impossible
+  config.max_score_deviation = 0.0;  // impossible
+  const ExpertPanel panel(trace_, *metrics_, config);
+  EXPECT_TRUE(panel.experts().empty());
+}
+
+TEST_F(ExpertPanelTest, ExpertsAreMostlyHonest) {
+  const ExpertPanel panel(trace_, *metrics_);
+  std::size_t malicious = 0;
+  for (const data::WorkerId id : panel.experts()) {
+    if (trace_.worker(id).true_class != data::WorkerClass::kHonest) {
+      ++malicious;
+    }
+  }
+  // Malicious workers are inaccurate by construction; the accuracy gate
+  // should keep nearly all of them out.
+  EXPECT_LE(malicious, panel.experts().size() / 10);
+}
+
+TEST_F(ExpertPanelTest, ConsensusTracksTrueQuality) {
+  const ExpertPanel panel(trace_, *metrics_);
+  double err = 0.0;
+  std::size_t n = 0;
+  for (const data::Product& p : trace_.products()) {
+    const auto score = panel.expert_score(p.id);
+    if (!score) continue;
+    err += std::abs(*score - p.true_quality);
+    ++n;
+  }
+  ASSERT_GT(n, 0u);
+  EXPECT_LT(err / static_cast<double>(n), 0.75);
+}
+
+TEST_F(ExpertPanelTest, ConsensusFallsBackToGlobalMean) {
+  const ExpertPanel panel(trace_, *metrics_);
+  // Find an uncovered product (there will be many).
+  for (const data::Product& p : trace_.products()) {
+    if (!panel.expert_score(p.id)) {
+      const double c = panel.consensus(p.id);
+      EXPECT_GE(c, 1.0);
+      EXPECT_LE(c, 5.0);
+      return;
+    }
+  }
+  FAIL() << "expected at least one uncovered product";
+}
+
+TEST_F(ExpertPanelTest, CoverageIsAFraction) {
+  const ExpertPanel panel(trace_, *metrics_);
+  EXPECT_GE(panel.coverage(), 0.0);
+  EXPECT_LE(panel.coverage(), 1.0);
+}
+
+TEST_F(ExpertPanelTest, OutOfRangeQueriesThrow) {
+  const ExpertPanel panel(trace_, *metrics_);
+  EXPECT_THROW(panel.is_expert(static_cast<data::WorkerId>(
+                   trace_.workers().size())),
+               Error);
+  EXPECT_THROW(panel.expert_score(static_cast<data::ProductId>(
+                   trace_.products().size())),
+               Error);
+}
+
+}  // namespace
+}  // namespace ccd::detect

@@ -1,0 +1,106 @@
+#include "detect/malicious.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "data/generator.hpp"
+#include "data/metrics.hpp"
+#include "util/error.hpp"
+
+namespace ccd::detect {
+namespace {
+
+class MaliciousDetectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trace_ = data::generate_trace(data::GeneratorParams::small());
+    metrics_ = std::make_unique<data::WorkerMetrics>(trace_);
+    experts_ = std::make_unique<ExpertPanel>(trace_, *metrics_);
+    detector_ = std::make_unique<MaliciousDetector>(trace_, *experts_);
+  }
+  data::ReviewTrace trace_;
+  std::unique_ptr<data::WorkerMetrics> metrics_;
+  std::unique_ptr<ExpertPanel> experts_;
+  std::unique_ptr<MaliciousDetector> detector_;
+};
+
+TEST_F(MaliciousDetectorTest, ProbabilitiesAreInUnitInterval) {
+  for (const data::Worker& w : trace_.workers()) {
+    const double p = detector_->probability(w.id);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST_F(MaliciousDetectorTest, MaliciousScoreHigherThanHonest) {
+  double honest = 0.0, malicious = 0.0;
+  std::size_t hn = 0, mn = 0;
+  for (const data::Worker& w : trace_.workers()) {
+    if (w.true_class == data::WorkerClass::kHonest) {
+      honest += detector_->probability(w.id);
+      ++hn;
+    } else {
+      malicious += detector_->probability(w.id);
+      ++mn;
+    }
+  }
+  EXPECT_GT(malicious / static_cast<double>(mn),
+            honest / static_cast<double>(hn) + 0.3);
+}
+
+TEST_F(MaliciousDetectorTest, ReasonableDetectionQuality) {
+  const auto q = detector_->evaluate(trace_, 0.5);
+  EXPECT_GT(q.recall(), 0.5);
+  EXPECT_GT(q.precision(), 0.7);
+  EXPECT_GT(q.f1(), 0.6);
+}
+
+TEST_F(MaliciousDetectorTest, FlaggedMatchesThreshold) {
+  const auto flagged = detector_->flagged(0.5);
+  for (const data::WorkerId id : flagged) {
+    EXPECT_GE(detector_->probability(id), 0.5);
+  }
+  // Complement check on a few workers.
+  std::size_t checked = 0;
+  for (const data::Worker& w : trace_.workers()) {
+    if (detector_->probability(w.id) < 0.5) {
+      EXPECT_EQ(std::find(flagged.begin(), flagged.end(), w.id), flagged.end());
+      if (++checked > 20) break;
+    }
+  }
+}
+
+TEST_F(MaliciousDetectorTest, ThresholdOneFlagsAlmostNobody) {
+  EXPECT_LT(detector_->flagged(1.0).size(), trace_.workers().size() / 20);
+}
+
+TEST_F(MaliciousDetectorTest, QualityCountsPartitionWorkers) {
+  const auto q = detector_->evaluate(trace_, 0.5);
+  EXPECT_EQ(q.true_positives + q.false_positives + q.true_negatives +
+                q.false_negatives,
+            trace_.workers().size());
+}
+
+TEST(MaliciousDetectorQualityTest, DegenerateRatios) {
+  MaliciousDetector::Quality q;
+  EXPECT_DOUBLE_EQ(q.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(q.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(q.f1(), 0.0);
+  q.true_positives = 3;
+  q.false_positives = 1;
+  q.false_negatives = 1;
+  EXPECT_DOUBLE_EQ(q.precision(), 0.75);
+  EXPECT_DOUBLE_EQ(q.recall(), 0.75);
+  EXPECT_DOUBLE_EQ(q.f1(), 0.75);
+}
+
+TEST_F(MaliciousDetectorTest, OutOfRangeThrows) {
+  EXPECT_THROW(detector_->probability(static_cast<data::WorkerId>(
+                   trace_.workers().size())),
+               Error);
+}
+
+}  // namespace
+}  // namespace ccd::detect

@@ -1,0 +1,90 @@
+#include "effort/effort_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ccd::effort {
+namespace {
+
+TEST(QuadraticEffortTest, EvaluatesPolynomial) {
+  const QuadraticEffort psi(-1.0, 8.0, 2.0);
+  EXPECT_DOUBLE_EQ(psi(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(psi(1.0), 9.0);
+  EXPECT_DOUBLE_EQ(psi(2.0), 14.0);
+}
+
+TEST(QuadraticEffortTest, AccessorsMatchConstruction) {
+  const QuadraticEffort psi(-0.5, 3.0, 1.0);
+  EXPECT_DOUBLE_EQ(psi.r2(), -0.5);
+  EXPECT_DOUBLE_EQ(psi.r1(), 3.0);
+  EXPECT_DOUBLE_EQ(psi.r0(), 1.0);
+}
+
+TEST(QuadraticEffortTest, DerivativeAndInverseAgree) {
+  const QuadraticEffort psi(-1.5, 6.0, 0.0);
+  for (const double y : {0.0, 0.5, 1.0, 1.9}) {
+    const double slope = psi.derivative(y);
+    EXPECT_NEAR(psi.derivative_inverse(slope), y, 1e-12);
+  }
+}
+
+TEST(QuadraticEffortTest, PeakIsWhereDerivativeVanishes) {
+  const QuadraticEffort psi(-1.0, 8.0, 2.0);
+  EXPECT_DOUBLE_EQ(psi.y_peak(), 4.0);
+  EXPECT_NEAR(psi.derivative(psi.y_peak()), 0.0, 1e-12);
+}
+
+TEST(QuadraticEffortTest, IncreasingOnDomainChecks) {
+  const QuadraticEffort psi(-1.0, 8.0, 2.0);
+  EXPECT_TRUE(psi.increasing_on(3.9));
+  EXPECT_FALSE(psi.increasing_on(4.0));
+  EXPECT_FALSE(psi.increasing_on(5.0));
+}
+
+TEST(QuadraticEffortTest, UsableDomainStaysIncreasing) {
+  const QuadraticEffort psi(-2.0, 10.0, 1.0);
+  const double domain = psi.usable_domain();
+  EXPECT_LT(domain, psi.y_peak());
+  EXPECT_TRUE(psi.increasing_on(domain));
+  EXPECT_DOUBLE_EQ(psi.usable_domain(0.5), 0.5 * psi.y_peak());
+}
+
+TEST(QuadraticEffortTest, MonotoneOnUsableDomain) {
+  const QuadraticEffort psi(-1.0, 8.0, 2.0);
+  double prev = psi(0.0);
+  for (int i = 1; i <= 100; ++i) {
+    const double y = psi.usable_domain() * i / 100.0;
+    const double v = psi(y);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(QuadraticEffortTest, RejectsNonConcave) {
+  EXPECT_THROW(QuadraticEffort(0.0, 1.0, 0.0), ContractError);
+  EXPECT_THROW(QuadraticEffort(1.0, 1.0, 0.0), ContractError);
+}
+
+TEST(QuadraticEffortTest, RejectsNonIncreasingAtZero) {
+  EXPECT_THROW(QuadraticEffort(-1.0, 0.0, 0.0), ContractError);
+  EXPECT_THROW(QuadraticEffort(-1.0, -2.0, 0.0), ContractError);
+}
+
+TEST(QuadraticEffortTest, AsPolynomialMatches) {
+  const QuadraticEffort psi(-1.0, 8.0, 2.0);
+  const auto p = psi.as_polynomial();
+  for (const double y : {0.0, 0.7, 2.2}) {
+    EXPECT_DOUBLE_EQ(p(y), psi(y));
+  }
+}
+
+TEST(QuadraticEffortTest, ToStringShowsCoefficients) {
+  const QuadraticEffort psi(-1.25, 8.5, 2.0);
+  const std::string s = psi.to_string(2);
+  EXPECT_NE(s.find("-1.25"), std::string::npos);
+  EXPECT_NE(s.find("8.50"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccd::effort

@@ -1,0 +1,49 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ccd::graph {
+namespace {
+
+TEST(GraphTest, EmptyGraph) {
+  const Graph g(0);
+  EXPECT_EQ(g.vertex_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(GraphTest, AddEdgeIsUndirected) {
+  Graph g(3);
+  g.add_edge(0, 2);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(GraphTest, NeighborsListBothDirections) {
+  Graph g(4);
+  g.add_edge(1, 2);
+  g.add_edge(1, 3);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(2), 1u);
+  EXPECT_EQ(g.neighbors(2).front(), 1u);
+}
+
+TEST(GraphTest, SelfLoopCountsOnce) {
+  Graph g(2);
+  g.add_edge(0, 0);
+  EXPECT_TRUE(g.has_edge(0, 0));
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(GraphTest, OutOfRangeThrows) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 2), Error);
+  EXPECT_THROW(g.neighbors(5), Error);
+  EXPECT_THROW(g.has_edge(0, 9), Error);
+}
+
+}  // namespace
+}  // namespace ccd::graph

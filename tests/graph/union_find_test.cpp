@@ -1,0 +1,77 @@
+#include "graph/union_find.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ccd::graph {
+namespace {
+
+TEST(UnionFindTest, InitiallyAllSingletons) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.component_count(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.find(i), i);
+    EXPECT_EQ(uf.component_size(i), 1u);
+  }
+}
+
+TEST(UnionFindTest, UniteMergesComponents) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.connected(0, 1));
+  EXPECT_FALSE(uf.connected(0, 2));
+  EXPECT_EQ(uf.component_count(), 3u);
+  EXPECT_EQ(uf.component_size(1), 2u);
+}
+
+TEST(UnionFindTest, UniteSameSetReturnsFalse) {
+  UnionFind uf(3);
+  uf.unite(0, 1);
+  EXPECT_FALSE(uf.unite(1, 0));
+  EXPECT_EQ(uf.component_count(), 2u);
+}
+
+TEST(UnionFindTest, TransitiveConnectivity) {
+  UnionFind uf(5);
+  uf.unite(0, 1);
+  uf.unite(1, 2);
+  uf.unite(3, 4);
+  EXPECT_TRUE(uf.connected(0, 2));
+  EXPECT_FALSE(uf.connected(2, 3));
+  EXPECT_EQ(uf.component_size(0), 3u);
+  EXPECT_EQ(uf.component_size(4), 2u);
+}
+
+TEST(UnionFindTest, OutOfRangeThrows) {
+  UnionFind uf(2);
+  EXPECT_THROW(uf.find(2), Error);
+}
+
+TEST(UnionFindTest, RandomizedAgainstNaiveLabels) {
+  util::Rng rng(77);
+  const std::size_t n = 200;
+  UnionFind uf(n);
+  std::vector<std::size_t> label(n);
+  for (std::size_t i = 0; i < n; ++i) label[i] = i;
+  const auto relabel = [&](std::size_t from, std::size_t to) {
+    for (auto& l : label) {
+      if (l == from) l = to;
+    }
+  };
+  for (int step = 0; step < 500; ++step) {
+    const auto a = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+    const auto b = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+    uf.unite(a, b);
+    relabel(label[a], label[b]);
+  }
+  for (int probe = 0; probe < 1000; ++probe) {
+    const auto a = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+    const auto b = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+    EXPECT_EQ(uf.connected(a, b), label[a] == label[b]);
+  }
+}
+
+}  // namespace
+}  // namespace ccd::graph

@@ -1,0 +1,204 @@
+// Property-based sweeps (parameterized) over the contract machinery:
+// the paper's analytic guarantees must hold across a grid of effort-function
+// shapes, incentive parameters, and partition densities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "contract/baselines.hpp"
+#include "contract/bounds.hpp"
+#include "contract/candidate.hpp"
+#include "contract/designer.hpp"
+#include "util/rng.hpp"
+
+namespace ccd::contract {
+namespace {
+
+struct PsiShape {
+  double r2;
+  double r1;
+  double r0;
+};
+
+// (psi shape, beta, omega, m)
+using ContractParam = std::tuple<PsiShape, double, double, std::size_t>;
+
+class ContractPropertyTest : public ::testing::TestWithParam<ContractParam> {
+ protected:
+  effort::QuadraticEffort psi() const {
+    const PsiShape s = std::get<0>(GetParam());
+    return effort::QuadraticEffort(s.r2, s.r1, s.r0);
+  }
+  WorkerIncentives incentives() const {
+    return {std::get<1>(GetParam()), std::get<2>(GetParam())};
+  }
+  std::size_t m() const { return std::get<3>(GetParam()); }
+  SubproblemSpec spec(double weight = 1.0, double mu = 1.0) const {
+    SubproblemSpec s;
+    s.psi = psi();
+    s.incentives = incentives();
+    s.weight = weight;
+    s.mu = mu;
+    s.intervals = m();
+    return s;
+  }
+};
+
+TEST_P(ContractPropertyTest, CandidateTargetsItsInterval) {
+  const auto p = psi();
+  const auto inc = incentives();
+  const double delta = p.usable_domain() / static_cast<double>(m());
+  // When omega * psi'(0) >= beta the feedback motive alone can carry the
+  // worker past the flat region beyond k delta, so exact targeting is only
+  // guaranteed in the no-overshoot regime; otherwise the worker must still
+  // never fall short of the target interval.
+  const bool no_overshoot = inc.omega * p.r1() < inc.beta;
+  for (std::size_t k = 1; k <= m(); ++k) {
+    const Contract c = build_candidate(p, delta, m(), k, inc);
+    const BestResponse br = best_response(c, p, inc);
+    if (no_overshoot) {
+      EXPECT_EQ(br.interval, k) << "k=" << k;
+    } else {
+      EXPECT_GE(br.interval, k) << "k=" << k;
+    }
+  }
+}
+
+TEST_P(ContractPropertyTest, CandidatePaymentsAreMonotone) {
+  const auto p = psi();
+  const auto inc = incentives();
+  const double delta = p.usable_domain() / static_cast<double>(m());
+  for (std::size_t k = 1; k <= m(); ++k) {
+    const Contract c = build_candidate(p, delta, m(), k, inc);
+    for (std::size_t l = 1; l <= m(); ++l) {
+      EXPECT_GE(c.payment(l), c.payment(l - 1) - 1e-12);
+    }
+  }
+}
+
+TEST_P(ContractPropertyTest, CompensationWithinLemmaBounds) {
+  const auto p = psi();
+  const auto inc = incentives();
+  const double delta = p.usable_domain() / static_cast<double>(m());
+  for (std::size_t k = 1; k <= m(); ++k) {
+    const Contract c = build_candidate(p, delta, m(), k, inc);
+    const BestResponse br = best_response(c, p, inc);
+    // Lemma 4.2's cap applies to the targeted response; when the worker
+    // overshoots past k (large omega), pay saturates at the same level, so
+    // restrict the check to responses that landed in k.
+    if (br.interval != k) continue;
+    EXPECT_LE(br.compensation,
+              lemma42_compensation_upper(p, inc.beta, delta, k) + 1e-9)
+        << "k=" << k;
+  }
+}
+
+TEST_P(ContractPropertyTest, DesignRespectsTheoremBounds) {
+  const DesignResult d = design_contract(spec());
+  EXPECT_LE(d.requester_utility, d.upper_bound + 1e-9);
+  EXPECT_GE(d.requester_utility, d.lower_bound - 1e-9);
+}
+
+TEST_P(ContractPropertyTest, WorkerParticipationIsRational) {
+  const auto s = spec();
+  const DesignResult d = design_contract(s);
+  const double outside = worker_utility(d.contract, s.psi, s.incentives, 0.0);
+  EXPECT_GE(d.response.utility, outside - 1e-9);
+}
+
+TEST_P(ContractPropertyTest, OracleDominatesDesign) {
+  const auto s = spec();
+  const DesignResult d = design_contract(s);
+  const OracleOutcome oracle = oracle_optimal(s);
+  EXPECT_GE(oracle.requester_utility, d.requester_utility - 1e-6);
+}
+
+TEST_P(ContractPropertyTest, BestResponseBeatsDenseGridSearch) {
+  const auto s = spec();
+  const DesignResult d = design_contract(s);
+  double grid_best = -1e300;
+  for (int i = 0; i <= 2000; ++i) {
+    const double y = s.psi.y_peak() * i / 2000.0;
+    grid_best = std::max(grid_best,
+                         worker_utility(d.contract, s.psi, s.incentives, y));
+  }
+  EXPECT_GE(d.response.utility, grid_best - 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeSweep, ContractPropertyTest,
+    ::testing::Combine(
+        ::testing::Values(PsiShape{-1.0, 8.0, 2.0}, PsiShape{-0.5, 4.0, 0.5},
+                          PsiShape{-2.5, 14.0, 4.0},
+                          PsiShape{-0.08, 1.2, 0.1}),
+        ::testing::Values(0.5, 1.0, 2.0),   // beta
+        ::testing::Values(0.0, 0.1),        // omega (positive-slope regime)
+        ::testing::Values(4u, 11u, 24u)));  // m
+
+// --- Convergence sweep: utility gap shrinks as m grows --------------------
+
+class ConvergenceTest : public ::testing::TestWithParam<PsiShape> {};
+
+TEST_P(ConvergenceTest, UtilityGapShrinksMonotonically) {
+  const PsiShape s = GetParam();
+  const effort::QuadraticEffort psi(s.r2, s.r1, s.r0);
+  double prev_gap = 1e300;
+  for (const std::size_t m : {4ul, 8ul, 16ul, 32ul, 64ul}) {
+    SubproblemSpec spec;
+    spec.psi = psi;
+    spec.incentives = {1.0, 0.0};
+    spec.weight = 1.0;
+    spec.mu = 1.0;
+    spec.intervals = m;
+    const DesignResult d = design_contract(spec);
+    const double gap = d.upper_bound - d.requester_utility;
+    EXPECT_GE(gap, -1e-9) << "m=" << m;
+    EXPECT_LE(gap, prev_gap + 1e-9) << "m=" << m;
+    prev_gap = gap;
+  }
+  // The final gap should be a small fraction of the utility scale.
+  EXPECT_LT(prev_gap, 0.1 * std::abs(psi(psi.usable_domain())));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ConvergenceTest,
+                         ::testing::Values(PsiShape{-1.0, 8.0, 2.0},
+                                           PsiShape{-0.5, 4.0, 0.5},
+                                           PsiShape{-2.0, 10.0, 1.0}));
+
+// --- Randomized fuzz over feasible specs -----------------------------------
+
+TEST(ContractFuzzTest, RandomSpecsNeverViolateInvariants) {
+  util::Rng rng(2024);
+  for (int trial = 0; trial < 150; ++trial) {
+    const double r2 = -rng.uniform(0.05, 3.0);
+    const double r1 = rng.uniform(0.5, 15.0);
+    const double r0 = rng.uniform(0.0, 5.0);
+    SubproblemSpec spec;
+    spec.psi = effort::QuadraticEffort(r2, r1, r0);
+    spec.incentives.beta = rng.uniform(0.2, 3.0);
+    spec.incentives.omega = rng.uniform(0.0, 1.0);
+    spec.weight = rng.uniform(-0.5, 4.0);
+    spec.mu = rng.uniform(0.5, 3.0);
+    spec.intervals = static_cast<std::size_t>(rng.uniform_int(1, 40));
+
+    const DesignResult d = design_contract(spec);
+    if (spec.weight <= 0.0) {
+      EXPECT_TRUE(d.excluded);
+      continue;
+    }
+    // Invariants: monotone non-negative payments, bounds bracket utility,
+    // response consistent with the contract.
+    for (std::size_t l = 1; l <= d.contract.intervals(); ++l) {
+      ASSERT_GE(d.contract.payment(l), d.contract.payment(l - 1) - 1e-12);
+      ASSERT_GE(d.contract.payment(l - 1), 0.0);
+    }
+    ASSERT_LE(d.requester_utility, d.upper_bound + 1e-6) << "trial " << trial;
+    ASSERT_GE(d.requester_utility, d.lower_bound - 1e-6) << "trial " << trial;
+    ASSERT_NEAR(d.response.compensation, d.contract.pay(d.response.feedback),
+                1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace ccd::contract

@@ -1,0 +1,120 @@
+#include "math/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ccd::math {
+namespace {
+
+TEST(SolveLuTest, SolvesKnownSystem) {
+  const Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  const std::vector<double> b = {5.0, 10.0};
+  const std::vector<double> x = solve_lu(a, b);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveLuTest, RequiresPivoting) {
+  // Leading zero forces a row swap.
+  const Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  const std::vector<double> x = solve_lu(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SolveLuTest, SingularMatrixThrows) {
+  const Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_THROW(solve_lu(a, {1.0, 2.0}), MathError);
+}
+
+TEST(SolveLuTest, ShapeChecks) {
+  EXPECT_THROW(solve_lu(Matrix(2, 3), {1.0, 2.0}), Error);
+  EXPECT_THROW(solve_lu(Matrix(2, 2), {1.0}), Error);
+}
+
+TEST(SolveLuTest, RandomSystemsRoundTrip) {
+  util::Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(1, 6));
+    Matrix a(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.normal();
+      a(r, r) += 5.0;  // diagonally dominant => well conditioned
+    }
+    std::vector<double> x_true(n);
+    for (double& v : x_true) v = rng.normal();
+    const std::vector<double> b = a * x_true;
+    const std::vector<double> x = solve_lu(a, b);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(x[i], x_true[i], 1e-9);
+    }
+  }
+}
+
+TEST(LeastSquaresTest, ExactSystemHasZeroResidual) {
+  const Matrix a{{1.0, 0.0}, {0.0, 1.0}, {1.0, 1.0}};
+  const std::vector<double> b = {2.0, 3.0, 5.0};  // consistent
+  const LeastSquaresResult r = solve_least_squares(a, b);
+  EXPECT_NEAR(r.coefficients[0], 2.0, 1e-12);
+  EXPECT_NEAR(r.coefficients[1], 3.0, 1e-12);
+  EXPECT_NEAR(r.residual_norm, 0.0, 1e-10);
+}
+
+TEST(LeastSquaresTest, MatchesNormalEquations) {
+  // Overdetermined line fit: y = 2x + 1 with symmetric perturbation.
+  Matrix a(4, 2);
+  std::vector<double> b(4);
+  const double xs[] = {0.0, 1.0, 2.0, 3.0};
+  const double ys[] = {1.1, 2.9, 5.1, 6.9};
+  for (std::size_t i = 0; i < 4; ++i) {
+    a(i, 0) = 1.0;
+    a(i, 1) = xs[i];
+    b[i] = ys[i];
+  }
+  const LeastSquaresResult r = solve_least_squares(a, b);
+  EXPECT_NEAR(r.coefficients[1], 1.96, 1e-9);
+  EXPECT_NEAR(r.coefficients[0], 1.06, 1e-9);
+  // Residual equals direct computation.
+  double rss = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const double pred = r.coefficients[0] + r.coefficients[1] * xs[i];
+    rss += (ys[i] - pred) * (ys[i] - pred);
+  }
+  EXPECT_NEAR(r.residual_norm, std::sqrt(rss), 1e-9);
+}
+
+TEST(LeastSquaresTest, RankDeficientThrows) {
+  Matrix a(3, 2);
+  for (std::size_t i = 0; i < 3; ++i) {
+    a(i, 0) = 1.0;
+    a(i, 1) = 2.0;  // second column is a multiple of the first
+  }
+  EXPECT_THROW(solve_least_squares(a, {1.0, 2.0, 3.0}), MathError);
+}
+
+TEST(LeastSquaresTest, UnderdeterminedThrows) {
+  EXPECT_THROW(solve_least_squares(Matrix(2, 3), {1.0, 2.0}), Error);
+}
+
+TEST(DeterminantTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(determinant(Matrix{{2.0}}), 2.0);
+  EXPECT_DOUBLE_EQ(determinant(Matrix{{1.0, 2.0}, {3.0, 4.0}}), -2.0);
+  EXPECT_DOUBLE_EQ(determinant(Matrix::identity(4)), 1.0);
+}
+
+TEST(DeterminantTest, SingularIsZero) {
+  EXPECT_DOUBLE_EQ(determinant(Matrix{{1.0, 2.0}, {2.0, 4.0}}), 0.0);
+}
+
+TEST(DeterminantTest, SwapChangesSign) {
+  // Permutation matrix with one swap has determinant -1.
+  const Matrix p{{0.0, 1.0}, {1.0, 0.0}};
+  EXPECT_DOUBLE_EQ(determinant(p), -1.0);
+}
+
+}  // namespace
+}  // namespace ccd::math

@@ -1,0 +1,78 @@
+#include "math/optimize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ccd::math {
+namespace {
+
+TEST(GoldenSectionTest, FindsParabolaMaximum) {
+  const auto f = [](double x) { return -(x - 2.0) * (x - 2.0) + 5.0; };
+  const ScalarOptimum opt = golden_section_max(f, 0.0, 10.0, 1e-10);
+  EXPECT_NEAR(opt.x, 2.0, 1e-7);
+  EXPECT_NEAR(opt.value, 5.0, 1e-12);
+}
+
+TEST(GoldenSectionTest, MaximumAtBoundary) {
+  const auto f = [](double x) { return x; };  // increasing
+  const ScalarOptimum opt = golden_section_max(f, 0.0, 3.0, 1e-10);
+  EXPECT_NEAR(opt.x, 3.0, 1e-7);
+}
+
+TEST(GoldenSectionTest, DegenerateInterval) {
+  const auto f = [](double x) { return -x * x; };
+  const ScalarOptimum opt = golden_section_max(f, 1.0, 1.0, 1e-10);
+  EXPECT_DOUBLE_EQ(opt.x, 1.0);
+  EXPECT_THROW(golden_section_max(f, 2.0, 1.0), Error);
+}
+
+TEST(GridRefineTest, FindsGlobalMaxOfMultimodal) {
+  // Two humps: the taller one is at x ~ 4.
+  const auto f = [](double x) {
+    return std::exp(-(x - 1.0) * (x - 1.0)) +
+           1.5 * std::exp(-(x - 4.0) * (x - 4.0));
+  };
+  const ScalarOptimum opt = grid_refine_max(f, 0.0, 6.0, 301, 5);
+  EXPECT_NEAR(opt.x, 4.0, 1e-3);
+  EXPECT_NEAR(opt.value, 1.5, 1e-3);
+}
+
+TEST(GridRefineTest, HandlesConstantFunction) {
+  const auto f = [](double) { return 7.0; };
+  const ScalarOptimum opt = grid_refine_max(f, -1.0, 1.0);
+  EXPECT_DOUBLE_EQ(opt.value, 7.0);
+}
+
+TEST(GridRefineTest, InputValidation) {
+  const auto f = [](double x) { return x; };
+  EXPECT_THROW(grid_refine_max(f, 1.0, 0.0), Error);
+  EXPECT_THROW(grid_refine_max(f, 0.0, 1.0, 2), Error);
+}
+
+TEST(BisectRootTest, FindsRootOfCubic) {
+  const auto f = [](double x) { return x * x * x - 2.0; };
+  const double root = bisect_root(f, 0.0, 2.0);
+  EXPECT_NEAR(root, std::cbrt(2.0), 1e-9);
+}
+
+TEST(BisectRootTest, ExactEndpointRoots) {
+  const auto f = [](double x) { return x - 1.0; };
+  EXPECT_DOUBLE_EQ(bisect_root(f, 1.0, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(bisect_root(f, -3.0, 1.0), 1.0);
+}
+
+TEST(BisectRootTest, NoSignChangeThrows) {
+  const auto f = [](double x) { return x * x + 1.0; };
+  EXPECT_THROW(bisect_root(f, -1.0, 1.0), MathError);
+}
+
+TEST(BisectRootTest, DecreasingFunction) {
+  const auto f = [](double x) { return 3.0 - x; };
+  EXPECT_NEAR(bisect_root(f, 0.0, 10.0), 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ccd::math

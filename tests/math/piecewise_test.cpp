@@ -1,0 +1,92 @@
+#include "math/piecewise.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ccd::math {
+namespace {
+
+PiecewiseLinear ramp() {
+  return PiecewiseLinear({0.0, 1.0, 3.0}, {0.0, 2.0, 2.0});
+}
+
+TEST(PiecewiseLinearTest, EvaluatesAtKnots) {
+  const PiecewiseLinear f = ramp();
+  EXPECT_DOUBLE_EQ(f(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(f(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(f(3.0), 2.0);
+}
+
+TEST(PiecewiseLinearTest, InterpolatesBetweenKnots) {
+  const PiecewiseLinear f = ramp();
+  EXPECT_DOUBLE_EQ(f(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(f(2.0), 2.0);  // flat segment
+}
+
+TEST(PiecewiseLinearTest, ClampsOutsideDomain) {
+  const PiecewiseLinear f = ramp();
+  EXPECT_DOUBLE_EQ(f(-5.0), 0.0);
+  EXPECT_DOUBLE_EQ(f(100.0), 2.0);
+}
+
+TEST(PiecewiseLinearTest, Slopes) {
+  const PiecewiseLinear f = ramp();
+  EXPECT_DOUBLE_EQ(f.slope(0), 2.0);
+  EXPECT_DOUBLE_EQ(f.slope(1), 0.0);
+  EXPECT_THROW(f.slope(2), Error);
+}
+
+TEST(PiecewiseLinearTest, SegmentOf) {
+  const PiecewiseLinear f = ramp();
+  EXPECT_EQ(f.segment_of(-1.0), 0u);
+  EXPECT_EQ(f.segment_of(0.5), 0u);
+  EXPECT_EQ(f.segment_of(1.5), 1u);
+  EXPECT_EQ(f.segment_of(99.0), 1u);
+}
+
+TEST(PiecewiseLinearTest, MonotonicityDetection) {
+  EXPECT_TRUE(ramp().is_monotone_non_decreasing());
+  const PiecewiseLinear dec({0.0, 1.0}, {2.0, 1.0});
+  EXPECT_FALSE(dec.is_monotone_non_decreasing());
+}
+
+TEST(PiecewiseLinearTest, InverseOnMonotone) {
+  const PiecewiseLinear f = ramp();
+  EXPECT_DOUBLE_EQ(f.inverse(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(f.inverse(0.0), 0.0);
+  // Flat region: smallest preimage.
+  EXPECT_DOUBLE_EQ(f.inverse(2.0), 1.0);
+}
+
+TEST(PiecewiseLinearTest, InverseRejectsOutOfRange) {
+  const PiecewiseLinear f = ramp();
+  EXPECT_THROW(f.inverse(3.0), MathError);
+  EXPECT_THROW(f.inverse(-1.0), MathError);
+}
+
+TEST(PiecewiseLinearTest, InverseRejectsNonMonotone) {
+  const PiecewiseLinear dec({0.0, 1.0}, {2.0, 1.0});
+  EXPECT_THROW(dec.inverse(1.5), Error);
+}
+
+TEST(PiecewiseLinearTest, SingleKnotActsAsConstant) {
+  const PiecewiseLinear f({1.0}, {5.0});
+  EXPECT_DOUBLE_EQ(f(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(f(2.0), 5.0);
+}
+
+TEST(PiecewiseLinearTest, ConstructionValidation) {
+  EXPECT_THROW(PiecewiseLinear({}, {}), Error);
+  EXPECT_THROW(PiecewiseLinear({0.0, 0.0}, {1.0, 2.0}), Error);  // not strict
+  EXPECT_THROW(PiecewiseLinear({0.0, 1.0}, {1.0}), Error);       // mismatch
+}
+
+TEST(PiecewiseLinearTest, ToStringListsKnots) {
+  const std::string s = ramp().to_string(1);
+  EXPECT_NE(s.find("(0.0, 0.0)"), std::string::npos);
+  EXPECT_NE(s.find("->"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccd::math

@@ -1,0 +1,107 @@
+#include "math/polyfit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ccd::math {
+namespace {
+
+TEST(PolyFitTest, RecoversExactQuadratic) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i <= 10; ++i) {
+    const double x = 0.3 * i;
+    xs.push_back(x);
+    ys.push_back(2.0 - 1.5 * x + 0.5 * x * x);
+  }
+  const PolyFitResult fit = polyfit(xs, ys, 2);
+  EXPECT_NEAR(fit.polynomial.coefficient(0), 2.0, 1e-9);
+  EXPECT_NEAR(fit.polynomial.coefficient(1), -1.5, 1e-9);
+  EXPECT_NEAR(fit.polynomial.coefficient(2), 0.5, 1e-9);
+  EXPECT_NEAR(fit.norm_of_residuals, 0.0, 1e-9);
+}
+
+TEST(PolyFitTest, RecoversLine) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys = {3.0, 5.0, 7.0, 9.0};  // 2x + 1
+  const PolyFitResult fit = polyfit(xs, ys, 1);
+  EXPECT_NEAR(fit.polynomial.coefficient(0), 1.0, 1e-9);
+  EXPECT_NEAR(fit.polynomial.coefficient(1), 2.0, 1e-9);
+}
+
+TEST(PolyFitTest, NoisyQuadraticCloseToTruth) {
+  util::Rng rng(4);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(0.0, 4.0);
+    xs.push_back(x);
+    ys.push_back(-1.0 * x * x + 8.0 * x + 2.0 + rng.normal(0.0, 0.3));
+  }
+  const PolyFitResult fit = polyfit(xs, ys, 2);
+  EXPECT_NEAR(fit.polynomial.coefficient(2), -1.0, 0.1);
+  EXPECT_NEAR(fit.polynomial.coefficient(1), 8.0, 0.3);
+  EXPECT_NEAR(fit.polynomial.coefficient(0), 2.0, 0.3);
+}
+
+TEST(PolyFitTest, ResidualNormMatchesDirectComputation) {
+  util::Rng rng(8);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(rng.uniform(0.0, 1.0));
+    ys.push_back(rng.uniform(0.0, 1.0));
+  }
+  const PolyFitResult fit = polyfit(xs, ys, 3);
+  EXPECT_NEAR(fit.norm_of_residuals,
+              norm_of_residuals(fit.polynomial, xs, ys), 1e-6);
+}
+
+TEST(PolyFitTest, HigherDegreeNeverIncreasesResidual) {
+  util::Rng rng(15);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.uniform(0.0, 5.0);
+    xs.push_back(x);
+    ys.push_back(std::sin(x) + rng.normal(0.0, 0.1));
+  }
+  const std::vector<double> nors = nor_by_degree(xs, ys, 1, 6);
+  ASSERT_EQ(nors.size(), 6u);
+  for (std::size_t i = 1; i < nors.size(); ++i) {
+    EXPECT_LE(nors[i], nors[i - 1] + 1e-9)
+        << "degree " << i + 1 << " fits worse than degree " << i;
+  }
+}
+
+TEST(PolyFitTest, DegenerateXFallsBackToConstant) {
+  // All x identical: only a constant is identifiable; the internal scale
+  // guard must avoid dividing by zero. Degree-0 fit is the mean.
+  const std::vector<double> xs = {2.0, 2.0, 2.0};
+  const std::vector<double> ys = {1.0, 2.0, 3.0};
+  const PolyFitResult fit = polyfit(xs, ys, 0);
+  EXPECT_NEAR(fit.polynomial(2.0), 2.0, 1e-12);
+}
+
+TEST(PolyFitTest, InputValidation) {
+  EXPECT_THROW(polyfit({1.0, 2.0}, {1.0}, 1), Error);
+  EXPECT_THROW(polyfit({1.0, 2.0}, {1.0, 2.0}, 2), Error);  // too few points
+  EXPECT_THROW(nor_by_degree({1.0, 2.0, 3.0}, {1.0, 2.0, 3.0}, 3, 1), Error);
+}
+
+TEST(PolyFitTest, WideXRangeIsWellConditioned) {
+  // Centering/scaling should keep large-x Vandermonde systems solvable.
+  std::vector<double> xs, ys;
+  for (int i = 0; i <= 60; ++i) {
+    const double x = 1000.0 + 10.0 * i;
+    xs.push_back(x);
+    ys.push_back(3.0 + 0.001 * x + 2e-6 * x * x);
+  }
+  const PolyFitResult fit = polyfit(xs, ys, 2);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_NEAR(fit.polynomial(xs[i]), ys[i], 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace ccd::math

@@ -1,0 +1,122 @@
+#include "math/polynomial.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ccd::math {
+namespace {
+
+TEST(PolynomialTest, EvaluationHorner) {
+  const Polynomial p({1.0, -2.0, 3.0});  // 1 - 2x + 3x^2
+  EXPECT_DOUBLE_EQ(p(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(p(2.0), 9.0);
+  EXPECT_DOUBLE_EQ(p(-1.0), 6.0);
+}
+
+TEST(PolynomialTest, DefaultIsZero) {
+  const Polynomial p;
+  EXPECT_EQ(p.degree(), 0u);
+  EXPECT_DOUBLE_EQ(p(123.0), 0.0);
+}
+
+TEST(PolynomialTest, TrailingZerosTrimmed) {
+  const Polynomial p({1.0, 2.0, 0.0, 0.0});
+  EXPECT_EQ(p.degree(), 1u);
+}
+
+TEST(PolynomialTest, CoefficientBeyondDegreeIsZero) {
+  const Polynomial p({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(p.coefficient(5), 0.0);
+}
+
+TEST(PolynomialTest, FactoryHelpers) {
+  EXPECT_DOUBLE_EQ(Polynomial::constant(4.0)(10.0), 4.0);
+  EXPECT_DOUBLE_EQ(Polynomial::linear(1.0, 2.0)(3.0), 7.0);
+  EXPECT_DOUBLE_EQ(Polynomial::quadratic(0.0, 0.0, 1.0)(3.0), 9.0);
+}
+
+TEST(PolynomialTest, Derivative) {
+  const Polynomial p({5.0, 3.0, 2.0, 1.0});  // 5 + 3x + 2x^2 + x^3
+  const Polynomial d = p.derivative();
+  // 3 + 4x + 3x^2
+  EXPECT_DOUBLE_EQ(d.coefficient(0), 3.0);
+  EXPECT_DOUBLE_EQ(d.coefficient(1), 4.0);
+  EXPECT_DOUBLE_EQ(d.coefficient(2), 3.0);
+  EXPECT_EQ(Polynomial::constant(7.0).derivative().degree(), 0u);
+  EXPECT_DOUBLE_EQ(Polynomial::constant(7.0).derivative()(1.0), 0.0);
+}
+
+TEST(PolynomialTest, AntiderivativeInvertsDerivative) {
+  const Polynomial p({1.0, 2.0, 3.0});
+  const Polynomial back = p.antiderivative(42.0).derivative();
+  for (double x : {-2.0, 0.0, 1.5}) {
+    EXPECT_NEAR(back(x), p(x), 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(p.antiderivative(42.0)(0.0), 42.0);
+}
+
+TEST(PolynomialTest, Arithmetic) {
+  const Polynomial a({1.0, 1.0});        // 1 + x
+  const Polynomial b({0.0, 0.0, 2.0});   // 2x^2
+  EXPECT_DOUBLE_EQ((a + b)(2.0), 11.0);
+  EXPECT_DOUBLE_EQ((b - a)(2.0), 5.0);
+  EXPECT_DOUBLE_EQ((a * 3.0)(1.0), 6.0);
+}
+
+TEST(PolynomialTest, ProductExpandsCorrectly) {
+  const Polynomial a({1.0, 1.0});   // (1 + x)
+  const Polynomial b({-1.0, 1.0});  // (x - 1)
+  const Polynomial c = a * b;       // x^2 - 1
+  EXPECT_DOUBLE_EQ(c.coefficient(0), -1.0);
+  EXPECT_DOUBLE_EQ(c.coefficient(1), 0.0);
+  EXPECT_DOUBLE_EQ(c.coefficient(2), 1.0);
+}
+
+TEST(PolynomialTest, LinearRoot) {
+  const Polynomial p = Polynomial::linear(-6.0, 2.0);  // 2x - 6
+  const auto roots = p.real_roots();
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_DOUBLE_EQ(roots[0], 3.0);
+}
+
+TEST(PolynomialTest, QuadraticTwoRoots) {
+  const Polynomial p = Polynomial::quadratic(-6.0, 1.0, 1.0);  // x^2 + x - 6
+  const auto roots = p.real_roots();
+  ASSERT_EQ(roots.size(), 2u);
+  EXPECT_NEAR(roots[0], -3.0, 1e-12);
+  EXPECT_NEAR(roots[1], 2.0, 1e-12);
+}
+
+TEST(PolynomialTest, QuadraticNoRealRoots) {
+  const Polynomial p = Polynomial::quadratic(1.0, 0.0, 1.0);  // x^2 + 1
+  EXPECT_TRUE(p.real_roots().empty());
+}
+
+TEST(PolynomialTest, QuadraticDoubleRoot) {
+  const Polynomial p = Polynomial::quadratic(1.0, -2.0, 1.0);  // (x-1)^2
+  const auto roots = p.real_roots();
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_DOUBLE_EQ(roots[0], 1.0);
+}
+
+TEST(PolynomialTest, RootsOfConstant) {
+  EXPECT_TRUE(Polynomial::constant(5.0).real_roots().empty());
+  EXPECT_THROW(Polynomial::constant(0.0).real_roots(), MathError);
+}
+
+TEST(PolynomialTest, RootsOfHighDegreeThrow) {
+  const Polynomial p({0.0, 0.0, 0.0, 1.0});  // x^3
+  EXPECT_THROW(p.real_roots(), MathError);
+}
+
+TEST(PolynomialTest, ToStringReadable) {
+  const Polynomial p = Polynomial::quadratic(2.0, -8.0, 1.0);
+  const std::string s = p.to_string(1);
+  EXPECT_NE(s.find("y^2"), std::string::npos);
+  EXPECT_NE(s.find("8.0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccd::math

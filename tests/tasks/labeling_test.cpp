@@ -1,0 +1,170 @@
+#include "tasks/labeling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ccd::tasks {
+namespace {
+
+std::vector<LabelingTask> batch_of(std::size_t n, bool label = true,
+                                   double difficulty = 1.0) {
+  std::vector<LabelingTask> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i].id = static_cast<TaskId>(i);
+    out[i].true_label = label;
+    out[i].difficulty = difficulty;
+  }
+  return out;
+}
+
+TEST(AccuracyModelTest, ChanceAtZeroEffortAndSaturation) {
+  AccuracyModel m;
+  m.cap = 0.9;
+  m.rate = 1.0;
+  EXPECT_DOUBLE_EQ(m.accuracy(0.0), 0.5);
+  EXPECT_NEAR(m.accuracy(50.0), 0.9, 1e-9);
+}
+
+TEST(AccuracyModelTest, MonotoneInEffortAndEasiness) {
+  AccuracyModel m;
+  double prev = 0.0;
+  for (const double y : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+    const double acc = m.accuracy(y);
+    EXPECT_GT(acc, prev - 1e-12);
+    prev = acc;
+  }
+  EXPECT_GT(m.accuracy(1.0, 1.0), m.accuracy(1.0, 0.5));
+}
+
+TEST(AccuracyModelTest, Validation) {
+  AccuracyModel m;
+  m.cap = 0.5;
+  EXPECT_THROW(m.validate(), Error);
+  m = {};
+  m.rate = 0.0;
+  EXPECT_THROW(m.validate(), Error);
+  m = {};
+  EXPECT_THROW(m.accuracy(-1.0), Error);
+  EXPECT_THROW(m.accuracy(1.0, 0.0), Error);
+  EXPECT_THROW(m.accuracy(1.0, 1.5), Error);
+}
+
+TEST(LabelerTypeTest, Names) {
+  EXPECT_STREQ(to_string(LabelerType::kDiligent), "diligent");
+  EXPECT_STREQ(to_string(LabelerType::kAdversarial), "adversarial");
+  EXPECT_STREQ(to_string(LabelerType::kSpammer), "spammer");
+}
+
+TEST(LabelBatchTest, DiligentAccuracyTracksEffort) {
+  LabelerSpec spec;
+  spec.accuracy.cap = 0.95;
+  spec.accuracy.rate = 1.2;
+  util::Rng rng(3);
+  const auto batch = batch_of(4000);
+  const BatchOutcome lazy = label_batch(spec, 0.0, batch, {}, rng);
+  const BatchOutcome hard = label_batch(spec, 3.0, batch, {}, rng);
+  EXPECT_NEAR(static_cast<double>(lazy.correct) / 4000.0, 0.5, 0.03);
+  EXPECT_NEAR(static_cast<double>(hard.correct) / 4000.0,
+              spec.accuracy.accuracy(3.0), 0.03);
+}
+
+TEST(LabelBatchTest, AdversaryPushesTargetWithEffort) {
+  LabelerSpec spec;
+  spec.type = LabelerType::kAdversarial;
+  spec.target_label = false;  // pushes "false" on all-true tasks
+  util::Rng rng(7);
+  const auto batch = batch_of(4000, /*label=*/true);
+  const BatchOutcome out = label_batch(spec, 3.0, batch, {}, rng);
+  // Mostly wrong on purpose: correctness well below chance.
+  EXPECT_LT(static_cast<double>(out.correct) / 4000.0, 0.25);
+  EXPECT_GT(static_cast<double>(out.target_hits) / 4000.0, 0.75);
+}
+
+TEST(LabelBatchTest, SpammerIgnoresEffort) {
+  LabelerSpec spec;
+  spec.type = LabelerType::kSpammer;
+  util::Rng rng(9);
+  const auto batch = batch_of(4000);
+  const BatchOutcome out = label_batch(spec, 10.0, batch, {}, rng);
+  EXPECT_NEAR(static_cast<double>(out.correct) / 4000.0, 0.5, 0.03);
+}
+
+TEST(LabelBatchTest, AgreementCountedAgainstPlurality) {
+  LabelerSpec spec;
+  util::Rng rng(11);
+  const auto batch = batch_of(100);
+  const std::vector<bool> plurality(100, true);
+  const BatchOutcome out = label_batch(spec, 2.0, batch, plurality, rng);
+  // On all-true tasks with an all-true plurality, agreement == correct.
+  EXPECT_EQ(out.agreement, out.correct);
+}
+
+TEST(LabelBatchTest, PluralitySizeMismatchThrows) {
+  LabelerSpec spec;
+  util::Rng rng(13);
+  const auto batch = batch_of(10);
+  const std::vector<bool> wrong(5, true);
+  EXPECT_THROW(label_batch(spec, 1.0, batch, wrong, rng), Error);
+}
+
+TEST(MajorityVoteTest, BasicAndTies) {
+  const std::vector<std::vector<bool>> votes = {
+      {true, false, true},
+      {true, false, false},
+      {false, true, true},
+  };
+  const std::vector<bool> out = majority_vote(votes);
+  EXPECT_TRUE(out[0]);
+  EXPECT_FALSE(out[1]);
+  EXPECT_TRUE(out[2]);
+  // Even panel with a tie.
+  const std::vector<std::vector<bool>> even = {{true}, {false}};
+  EXPECT_FALSE(majority_vote(even, false)[0]);
+  EXPECT_TRUE(majority_vote(even, true)[0]);
+}
+
+TEST(MajorityVoteTest, Validation) {
+  EXPECT_THROW(majority_vote({}), Error);
+  EXPECT_THROW(majority_vote({{true}, {true, false}}), Error);
+}
+
+TEST(WeightedVoteTest, WeightsDominate) {
+  const std::vector<std::vector<bool>> votes = {
+      {true},
+      {false},
+      {false},
+  };
+  // One heavyweight truthful voter outvotes two lightweights.
+  const std::vector<bool> out = weighted_vote(votes, {5.0, 1.0, 1.0});
+  EXPECT_TRUE(out[0]);
+}
+
+TEST(WeightedVoteTest, ZeroWeightIgnored) {
+  const std::vector<std::vector<bool>> votes = {{true}, {false}};
+  EXPECT_TRUE(weighted_vote(votes, {1.0, 0.0})[0]);
+  EXPECT_FALSE(weighted_vote(votes, {0.0, 1.0})[0]);
+}
+
+TEST(WeightedVoteTest, Validation) {
+  EXPECT_THROW(weighted_vote({{true}}, {1.0, 2.0}), Error);
+}
+
+TEST(AggregateAccuracyTest, CountsMatches) {
+  const auto batch = batch_of(4, true);
+  EXPECT_DOUBLE_EQ(aggregate_accuracy({true, true, false, true}, batch),
+                   0.75);
+  EXPECT_THROW(aggregate_accuracy({true}, batch), Error);
+}
+
+TEST(LabelerSpecTest, Validation) {
+  LabelerSpec spec;
+  spec.beta = 0.0;
+  EXPECT_THROW(spec.validate(), Error);
+  spec = {};
+  spec.omega = -1.0;
+  EXPECT_THROW(spec.validate(), Error);
+}
+
+}  // namespace
+}  // namespace ccd::tasks

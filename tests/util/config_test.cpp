@@ -1,0 +1,71 @@
+#include "util/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ccd::util {
+namespace {
+
+ParamMap from_tokens(std::initializer_list<const char*> tokens) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), tokens.begin(), tokens.end());
+  return ParamMap::from_args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ParamMapTest, ParsesKeyValueArgs) {
+  const ParamMap map = from_tokens({"mu=0.9", "m=40", "verbose=true"});
+  EXPECT_DOUBLE_EQ(map.get_double("mu", 1.0), 0.9);
+  EXPECT_EQ(map.get_int("m", 10), 40);
+  EXPECT_TRUE(map.get_bool("verbose", false));
+}
+
+TEST(ParamMapTest, SkipsTokensWithoutEquals) {
+  const ParamMap map = from_tokens({"--flag", "mu=2.0"});
+  EXPECT_FALSE(map.contains("--flag"));
+  EXPECT_TRUE(map.contains("mu"));
+}
+
+TEST(ParamMapTest, FallbacksWhenMissing) {
+  const ParamMap map = from_tokens({});
+  EXPECT_DOUBLE_EQ(map.get_double("mu", 1.25), 1.25);
+  EXPECT_EQ(map.get_int("m", 7), 7);
+  EXPECT_FALSE(map.get_bool("flag", false));
+  EXPECT_EQ(map.get_string("name", "dflt"), "dflt");
+}
+
+TEST(ParamMapTest, ValueWithEqualsSign) {
+  const ParamMap map = from_tokens({"expr=a=b"});
+  EXPECT_EQ(map.get_string("expr", ""), "a=b");
+}
+
+TEST(ParamMapTest, BadValueThrows) {
+  const ParamMap map = from_tokens({"mu=abc"});
+  EXPECT_THROW(map.get_double("mu", 1.0), ConfigError);
+}
+
+TEST(ParamMapTest, AssertAllConsumedCatchesTypos) {
+  const ParamMap map = from_tokens({"mu=1.0", "typo_key=3"});
+  (void)map.get_double("mu", 1.0);
+  EXPECT_THROW(map.assert_all_consumed(), ConfigError);
+}
+
+TEST(ParamMapTest, AssertAllConsumedPassesWhenAllRead) {
+  const ParamMap map = from_tokens({"mu=1.0", "m=5"});
+  (void)map.get_double("mu", 1.0);
+  (void)map.get_int("m", 1);
+  EXPECT_NO_THROW(map.assert_all_consumed());
+}
+
+TEST(ParamMapTest, SetAndKeys) {
+  ParamMap map;
+  map.set("a", "1");
+  map.set("b", "2");
+  const auto keys = map.keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "a");
+  EXPECT_EQ(keys[1], "b");
+}
+
+}  // namespace
+}  // namespace ccd::util

@@ -1,0 +1,122 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace ccd::util {
+namespace {
+
+class CsvFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("ccd_csv_test_" + std::to_string(::getpid()) + ".csv"))
+                .string();
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST(ParseCsvLineTest, PlainFields) {
+  const CsvRow row = parse_csv_line("a,b,c");
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0], "a");
+  EXPECT_EQ(row[2], "c");
+}
+
+TEST(ParseCsvLineTest, QuotedFieldWithComma) {
+  const CsvRow row = parse_csv_line("a,\"b,c\",d");
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[1], "b,c");
+}
+
+TEST(ParseCsvLineTest, DoubledQuotesEscape) {
+  const CsvRow row = parse_csv_line("\"he said \"\"hi\"\"\"");
+  ASSERT_EQ(row.size(), 1u);
+  EXPECT_EQ(row[0], "he said \"hi\"");
+}
+
+TEST(ParseCsvLineTest, EmptyFields) {
+  const CsvRow row = parse_csv_line(",,");
+  ASSERT_EQ(row.size(), 3u);
+  for (const std::string& f : row) EXPECT_TRUE(f.empty());
+}
+
+TEST(ParseCsvLineTest, RejectsUnterminatedQuote) {
+  EXPECT_THROW(parse_csv_line("\"open"), DataError);
+}
+
+TEST(ParseCsvLineTest, RejectsMidFieldQuote) {
+  EXPECT_THROW(parse_csv_line("ab\"c\""), DataError);
+}
+
+TEST(CsvEscapeTest, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST_F(CsvFileTest, RoundTripsRows) {
+  {
+    CsvWriter writer(path_);
+    writer.write_row({"id", "name", "note"});
+    writer.write_row({"1", "alpha", "plain"});
+    writer.write_row({"2", "beta", "has,comma"});
+    writer.write_row({"3", "gamma", "has \"quote\""});
+  }
+  CsvReader reader(path_);
+  CsvRow row;
+  ASSERT_TRUE(reader.next(row));
+  EXPECT_EQ(row, (CsvRow{"id", "name", "note"}));
+  ASSERT_TRUE(reader.next(row));
+  EXPECT_EQ(row[2], "plain");
+  ASSERT_TRUE(reader.next(row));
+  EXPECT_EQ(row[2], "has,comma");
+  ASSERT_TRUE(reader.next(row));
+  EXPECT_EQ(row[2], "has \"quote\"");
+  EXPECT_FALSE(reader.next(row));
+}
+
+TEST_F(CsvFileTest, TracksLineNumbers) {
+  {
+    CsvWriter writer(path_);
+    writer.write_row({"a"});
+    writer.write_row({"b"});
+  }
+  CsvReader reader(path_);
+  CsvRow row;
+  reader.next(row);
+  EXPECT_EQ(reader.line_number(), 1u);
+  reader.next(row);
+  EXPECT_EQ(reader.line_number(), 2u);
+}
+
+TEST_F(CsvFileTest, HandlesCrLfLineEndings) {
+  {
+    std::ofstream out(path_);
+    out << "x,y\r\n1,2\r\n";
+  }
+  CsvReader reader(path_);
+  CsvRow row;
+  ASSERT_TRUE(reader.next(row));
+  EXPECT_EQ(row[1], "y");  // no trailing \r
+  ASSERT_TRUE(reader.next(row));
+  EXPECT_EQ(row[1], "2");
+}
+
+TEST(CsvReaderTest, MissingFileThrows) {
+  EXPECT_THROW(CsvReader("/nonexistent/dir/file.csv"), DataError);
+}
+
+TEST(CsvWriterTest, UnwritablePathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent/dir/file.csv"), DataError);
+}
+
+}  // namespace
+}  // namespace ccd::util

@@ -1,0 +1,85 @@
+#include "util/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace ccd {
+namespace {
+
+TEST(ErrorTest, HierarchyIsCatchableAsBase) {
+  EXPECT_THROW(throw ConfigError("c"), Error);
+  EXPECT_THROW(throw DataError("d"), Error);
+  EXPECT_THROW(throw MathError("m"), Error);
+  EXPECT_THROW(throw ContractError("x"), Error);
+  EXPECT_THROW(throw Error("e"), std::runtime_error);
+}
+
+TEST(ErrorTest, MessagesArePreserved) {
+  try {
+    throw DataError("broken row 17");
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "broken row 17");
+  }
+}
+
+TEST(CheckMacroTest, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(CCD_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(CCD_CHECK_MSG(true, "never shown"));
+}
+
+TEST(CheckMacroTest, FailureCarriesExpressionAndLocation) {
+  try {
+    CCD_CHECK(2 + 2 == 5);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos);
+    EXPECT_NE(what.find("error_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(CheckMacroTest, MessageStreamingWorks) {
+  try {
+    const int got = 7;
+    CCD_CHECK_MSG(got == 3, "expected 3, got " << got);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("expected 3, got 7"),
+              std::string::npos);
+  }
+}
+
+TEST(LoggerTest, RespectsLevelThreshold) {
+  util::Logger& logger = util::Logger::instance();
+  std::ostringstream sink;
+  logger.set_sink(&sink);
+  const util::LogLevel old_level = logger.level();
+
+  logger.set_level(util::LogLevel::kWarn);
+  CCD_LOG_INFO << "info-hidden";
+  CCD_LOG_WARN << "warn-shown";
+  CCD_LOG_ERROR << "error-shown";
+
+  logger.set_level(old_level);
+  logger.set_sink(nullptr);
+
+  const std::string out = sink.str();
+  EXPECT_EQ(out.find("info-hidden"), std::string::npos);
+  EXPECT_NE(out.find("warn-shown"), std::string::npos);
+  EXPECT_NE(out.find("error-shown"), std::string::npos);
+  EXPECT_NE(out.find("[WARN]"), std::string::npos);
+}
+
+TEST(LoggerTest, LevelNames) {
+  EXPECT_STREQ(util::to_string(util::LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(util::to_string(util::LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(util::to_string(util::LogLevel::kWarn), "WARN");
+  EXPECT_STREQ(util::to_string(util::LogLevel::kError), "ERROR");
+  EXPECT_STREQ(util::to_string(util::LogLevel::kOff), "OFF");
+}
+
+}  // namespace
+}  // namespace ccd

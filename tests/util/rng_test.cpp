@@ -1,0 +1,188 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ccd::util {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsHalf) {
+  Rng rng(11);
+  double total = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) total += rng.uniform();
+  EXPECT_NEAR(total / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+  EXPECT_THROW(rng.uniform(1.0, 0.0), Error);
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusively) {
+  Rng rng(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all 5 values should appear
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(17);
+  EXPECT_EQ(rng.uniform_int(4, 4), 4);
+  EXPECT_THROW(rng.uniform_int(5, 4), Error);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(19);
+  const int n = 200000;
+  double sum = 0.0;
+  double sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.02);
+}
+
+TEST(RngTest, NormalShiftScale) {
+  Rng rng(23);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+  EXPECT_THROW(rng.normal(0.0, -1.0), Error);
+}
+
+TEST(RngTest, LognormalIsPositive) {
+  Rng rng(29);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.lognormal(0.0, 1.0), 0.0);
+  }
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(31);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+  EXPECT_THROW(rng.exponential(0.0), Error);
+}
+
+TEST(RngTest, PoissonSmallMean) {
+  Rng rng(37);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(3.0));
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(RngTest, PoissonLargeMeanUsesNormalApprox) {
+  Rng rng(41);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(100.0));
+  EXPECT_NEAR(sum / n, 100.0, 0.5);
+}
+
+TEST(RngTest, PoissonZeroMean) {
+  Rng rng(43);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(47);
+  const int n = 100000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+  EXPECT_THROW(rng.bernoulli(1.5), Error);
+}
+
+TEST(RngTest, DiscreteRespectsWeights) {
+  Rng rng(53);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.discrete(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, DiscreteRejectsBadWeights) {
+  Rng rng(59);
+  EXPECT_THROW(rng.discrete({}), Error);
+  EXPECT_THROW(rng.discrete({0.0, 0.0}), Error);
+  EXPECT_THROW(rng.discrete({1.0, -1.0}), Error);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(61);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, SplitStreamsAreIndependent) {
+  Rng parent(71);
+  Rng child = parent.split();
+  // The child stream should not reproduce the parent's outputs.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace ccd::util

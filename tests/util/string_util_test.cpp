@@ -1,0 +1,109 @@
+#include "util/string_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ccd::util {
+namespace {
+
+TEST(SplitTest, SplitsOnDelimiter) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  const auto parts = split("a,,c,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(SplitTest, SingleFieldWithoutDelimiter) {
+  const auto parts = split("alone", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "alone");
+}
+
+TEST(SplitTest, EmptyStringYieldsOneEmptyField) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(SplitWsTest, DropsRunsOfWhitespace) {
+  const auto parts = split_ws("  alpha \t beta\ngamma  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "alpha");
+  EXPECT_EQ(parts[1], "beta");
+  EXPECT_EQ(parts[2], "gamma");
+}
+
+TEST(SplitWsTest, EmptyAndAllWhitespace) {
+  EXPECT_TRUE(split_ws("").empty());
+  EXPECT_TRUE(split_ws(" \t\n ").empty());
+}
+
+TEST(TrimTest, TrimsBothEnds) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(ToLowerTest, LowercasesAscii) {
+  EXPECT_EQ(to_lower("AbC-12"), "abc-12");
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(starts_with("feedback", "feed"));
+  EXPECT_FALSE(starts_with("feed", "feedback"));
+  EXPECT_TRUE(starts_with("x", ""));
+}
+
+TEST(ParseDoubleTest, ParsesAndTrims) {
+  EXPECT_DOUBLE_EQ(parse_double(" 2.5 "), 2.5);
+  EXPECT_DOUBLE_EQ(parse_double("-1e3"), -1000.0);
+}
+
+TEST(ParseDoubleTest, RejectsGarbage) {
+  EXPECT_THROW(parse_double("abc"), ConfigError);
+  EXPECT_THROW(parse_double("1.5x"), ConfigError);
+  EXPECT_THROW(parse_double(""), ConfigError);
+}
+
+TEST(ParseIntTest, ParsesAndRejects) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int("-7"), -7);
+  EXPECT_THROW(parse_int("4.2"), ConfigError);
+  EXPECT_THROW(parse_int("x"), ConfigError);
+}
+
+TEST(ParseBoolTest, AcceptsCommonForms) {
+  EXPECT_TRUE(parse_bool("1"));
+  EXPECT_TRUE(parse_bool("True"));
+  EXPECT_TRUE(parse_bool("YES"));
+  EXPECT_TRUE(parse_bool("on"));
+  EXPECT_FALSE(parse_bool("0"));
+  EXPECT_FALSE(parse_bool("false"));
+  EXPECT_FALSE(parse_bool("No"));
+  EXPECT_FALSE(parse_bool("off"));
+  EXPECT_THROW(parse_bool("maybe"), ConfigError);
+}
+
+TEST(FormatDoubleTest, FixedPrecision) {
+  EXPECT_EQ(format_double(1.23456, 2), "1.23");
+  EXPECT_EQ(format_double(-0.5, 3), "-0.500");
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+}  // namespace
+}  // namespace ccd::util

@@ -1,0 +1,258 @@
+// ccdctl — command-line front end to the libccd pipeline.
+//
+//   ccdctl generate out=<prefix> [preset=small|medium|full] [seed=N]
+//       Generate a synthetic review trace and save it as CSV.
+//
+//   ccdctl inspect trace=<prefix> [threshold=0.5]
+//       Dataset statistics, expert coverage, detector quality, and the
+//       collusive-community census for a saved trace.
+//
+//   ccdctl design trace=<prefix> [mu=1.0] [strategy=dynamic|exclude|fixed]
+//          [out=<contracts.csv>]
+//       Run the full contract-design pipeline and (optionally) export the
+//       per-worker contracts.
+//
+//   ccdctl simulate [rounds=40] [workers=6] [malicious=2] [seed=1]
+//       Multi-round Stackelberg simulation with a mixed fleet.
+//
+// All arguments are key=value; unknown keys are rejected.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/equilibrium.hpp"
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "core/stackelberg.hpp"
+#include "data/analytics.hpp"
+#include "data/generator.hpp"
+#include "data/loader.hpp"
+#include "data/metrics.hpp"
+#include "detect/collusion.hpp"
+#include "detect/expert.hpp"
+#include "detect/malicious.hpp"
+#include "util/config.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ccd;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ccdctl <generate|inspect|design|simulate> "
+               "[key=value ...]\n"
+               "  generate out=<prefix> [preset=small|medium|full] [seed=N]\n"
+               "  inspect  trace=<prefix> [threshold=0.5]\n"
+               "  design   trace=<prefix> [mu=1.0] "
+               "[strategy=dynamic|exclude|fixed] [out=<file.csv>]\n"
+               "  simulate [rounds=40] [workers=6] [malicious=2] [seed=1]\n");
+  return 2;
+}
+
+data::GeneratorParams preset_by_name(const std::string& name) {
+  if (name == "small") return data::GeneratorParams::small();
+  if (name == "medium") return data::GeneratorParams::medium();
+  if (name == "full") return data::GeneratorParams::amazon2015();
+  throw ConfigError("unknown preset '" + name + "'");
+}
+
+int cmd_generate(const util::ParamMap& params) {
+  const std::string out = params.get_string("out", "");
+  data::GeneratorParams gen =
+      preset_by_name(params.get_string("preset", "medium"));
+  if (params.contains("seed")) {
+    gen.seed = static_cast<std::uint64_t>(params.get_int("seed", 42));
+  }
+  params.assert_all_consumed();
+  if (out.empty()) {
+    std::fprintf(stderr, "generate: missing out=<prefix>\n");
+    return 2;
+  }
+  const data::ReviewTrace trace = data::generate_trace(gen);
+  data::save_trace(trace, out);
+  std::printf("wrote %s.{workers,products,reviews}.csv\n", out.c_str());
+  std::printf("%s\n", trace.stats().to_string().c_str());
+  return 0;
+}
+
+int cmd_inspect(const util::ParamMap& params) {
+  const std::string prefix = params.get_string("trace", "");
+  const double threshold = params.get_double("threshold", 0.5);
+  params.assert_all_consumed();
+  if (prefix.empty()) {
+    std::fprintf(stderr, "inspect: missing trace=<prefix>\n");
+    return 2;
+  }
+  const data::ReviewTrace trace = data::load_trace(prefix);
+  std::printf("trace: %s\n", trace.stats().to_string().c_str());
+
+  const data::WorkerMetrics metrics(trace);
+  const detect::ExpertPanel experts(trace, metrics);
+  std::printf("experts: %zu (%.1f%% product coverage)\n",
+              experts.experts().size(), 100.0 * experts.coverage());
+
+  const detect::MaliciousDetector detector(trace, experts);
+  const auto quality = detector.evaluate(trace, threshold);
+  std::printf("detector @ %.2f: precision %.3f recall %.3f F1 %.3f\n",
+              threshold, quality.precision(), quality.recall(), quality.f1());
+
+  const detect::CollusionResult detected =
+      detect::cluster_collusive_workers(trace, detector.flagged(threshold));
+  std::printf("detected collusion: %s\n",
+              detect::census(detected).to_string().c_str());
+  const detect::CollusionResult truth =
+      detect::cluster_ground_truth_malicious(trace);
+  std::printf("ground-truth collusion: %s\n",
+              detect::census(truth).to_string().c_str());
+
+  std::printf("\ndistributions:\n%s",
+              data::render_distributions(data::trace_distributions(trace))
+                  .c_str());
+  const auto inflated = data::most_inflated_products(trace, 5, 3);
+  if (!inflated.empty()) {
+    std::printf("\nmost score-inflated products (audit candidates):\n");
+    for (const data::ProductSummary& p : inflated) {
+      std::printf("  product %u: %zu reviews, score %.2f vs quality %.2f "
+                  "(+%.2f), malicious share %.0f%%\n",
+                  p.id, p.reviews, p.mean_score, p.true_quality,
+                  p.score_inflation, 100.0 * p.malicious_share);
+    }
+  }
+  return 0;
+}
+
+core::PricingStrategy strategy_by_name(const std::string& name) {
+  if (name == "dynamic") return core::PricingStrategy::kDynamicContract;
+  if (name == "exclude") return core::PricingStrategy::kExcludeMalicious;
+  if (name == "fixed") return core::PricingStrategy::kFixedPayment;
+  throw ConfigError("unknown strategy '" + name + "'");
+}
+
+void export_contracts(const core::PipelineResult& result,
+                      const std::string& path) {
+  util::CsvWriter writer(path);
+  writer.write_row({"worker", "excluded", "k_opt", "effort", "feedback",
+                    "compensation", "knot_feedback", "knot_payment"});
+  for (const core::WorkerOutcome& w : result.workers) {
+    const core::SubproblemOutcome& sub = result.subproblems[w.subproblem];
+    std::string knots;
+    std::string payments;
+    const contract::Contract& c = sub.design.contract;
+    for (std::size_t l = 0; !c.is_zero() && l <= c.intervals(); ++l) {
+      if (l > 0) {
+        knots += ';';
+        payments += ';';
+      }
+      knots += util::format_double(c.knot(l), 4);
+      payments += util::format_double(c.payment(l), 4);
+    }
+    writer.write_row({std::to_string(w.id), w.excluded ? "1" : "0",
+                      std::to_string(sub.design.k_opt),
+                      util::format_double(w.effort, 4),
+                      util::format_double(w.feedback, 4),
+                      util::format_double(w.compensation, 4), knots,
+                      payments});
+  }
+}
+
+int cmd_design(const util::ParamMap& params) {
+  const std::string prefix = params.get_string("trace", "");
+  const double mu = params.get_double("mu", 1.0);
+  const std::string strategy = params.get_string("strategy", "dynamic");
+  const std::string out = params.get_string("out", "");
+  params.assert_all_consumed();
+  if (prefix.empty()) {
+    std::fprintf(stderr, "design: missing trace=<prefix>\n");
+    return 2;
+  }
+  const data::ReviewTrace trace = data::load_trace(prefix);
+
+  core::PipelineConfig config;
+  config.requester.mu = mu;
+  config.strategy = strategy_by_name(strategy);
+  const core::PipelineResult result = core::run_pipeline(trace, config);
+
+  std::printf("%s\n", core::describe_pipeline_result(result).c_str());
+  std::printf("%s\n",
+              core::render_class_table(core::compensation_by_class(result),
+                                       "comp")
+                  .c_str());
+
+  // Certify the designed contracts before posting them.
+  const core::FleetAudit audit = core::audit_pipeline(result);
+  std::printf("equilibrium audit: %zu/%zu contracts audited, %s (max worker "
+              "regret %.2e, min participation margin %.2e)\n",
+              audit.audited, audit.subproblems,
+              audit.clean() ? "all IC/IR clean" : "VIOLATIONS FOUND",
+              audit.max_worker_regret, audit.min_participation_margin);
+  if (!out.empty()) {
+    export_contracts(result, out);
+    std::printf("wrote per-worker contracts to %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int cmd_simulate(const util::ParamMap& params) {
+  const auto rounds = static_cast<std::size_t>(params.get_int("rounds", 40));
+  const auto n_workers = static_cast<std::size_t>(params.get_int("workers", 6));
+  const auto n_malicious =
+      static_cast<std::size_t>(params.get_int("malicious", 2));
+  const auto seed = static_cast<std::uint64_t>(params.get_int("seed", 1));
+  params.assert_all_consumed();
+  if (n_malicious > n_workers) {
+    std::fprintf(stderr, "simulate: malicious > workers\n");
+    return 2;
+  }
+
+  std::vector<core::SimWorkerSpec> fleet;
+  for (std::size_t i = 0; i < n_workers; ++i) {
+    core::SimWorkerSpec w;
+    const bool malicious = i < n_malicious;
+    w.name = (malicious ? "malicious" : "honest") + std::to_string(i);
+    w.psi = effort::QuadraticEffort(-1.0, 8.0, 2.0);
+    w.omega = malicious ? 0.6 : 0.0;
+    w.accuracy_distance = malicious ? 1.7 : 0.3;
+    fleet.push_back(w);
+  }
+  core::SimConfig config;
+  config.rounds = rounds;
+  config.seed = seed;
+  const core::SimResult result =
+      core::StackelbergSimulator(fleet, config).run();
+
+  util::TextTable table({"round", "requester utility", "total pay"});
+  const std::size_t step = std::max<std::size_t>(1, rounds / 12);
+  for (std::size_t t = 0; t < rounds; t += step) {
+    table.add_row({std::to_string(t),
+                   util::format_double(result.rounds[t].requester_utility, 3),
+                   util::format_double(result.rounds[t].total_compensation,
+                                       3)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("cumulative requester utility: %.3f\n",
+              result.cumulative_requester_utility);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const util::ParamMap params =
+      util::ParamMap::from_args(argc - 1, argv + 1);
+  try {
+    if (command == "generate") return cmd_generate(params);
+    if (command == "inspect") return cmd_inspect(params);
+    if (command == "design") return cmd_design(params);
+    if (command == "simulate") return cmd_simulate(params);
+    return usage();
+  } catch (const ccd::Error& e) {
+    std::fprintf(stderr, "ccdctl %s: %s\n", command.c_str(), e.what());
+    return 1;
+  }
+}
