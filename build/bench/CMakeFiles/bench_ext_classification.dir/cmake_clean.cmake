@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_classification.dir/bench_ext_classification.cpp.o"
+  "CMakeFiles/bench_ext_classification.dir/bench_ext_classification.cpp.o.d"
+  "bench_ext_classification"
+  "bench_ext_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_masking.dir/bench_ext_masking.cpp.o"
+  "CMakeFiles/bench_ext_masking.dir/bench_ext_masking.cpp.o.d"
+  "bench_ext_masking"
+  "bench_ext_masking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_masking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

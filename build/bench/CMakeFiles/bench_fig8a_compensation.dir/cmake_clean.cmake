@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8a_compensation.dir/bench_fig8a_compensation.cpp.o"
+  "CMakeFiles/bench_fig8a_compensation.dir/bench_fig8a_compensation.cpp.o.d"
+  "bench_fig8a_compensation"
+  "bench_fig8a_compensation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8a_compensation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_communities.cpp" "bench/CMakeFiles/bench_table2_communities.dir/bench_table2_communities.cpp.o" "gcc" "bench/CMakeFiles/bench_table2_communities.dir/bench_table2_communities.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ccd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasks/CMakeFiles/ccd_tasks.dir/DependInfo.cmake"
+  "/root/repo/build/src/contract/CMakeFiles/ccd_contract.dir/DependInfo.cmake"
+  "/root/repo/build/src/effort/CMakeFiles/ccd_effort.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/ccd_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ccd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ccd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/ccd_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

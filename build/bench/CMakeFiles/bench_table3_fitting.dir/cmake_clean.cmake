@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_fitting.dir/bench_table3_fitting.cpp.o"
+  "CMakeFiles/bench_table3_fitting.dir/bench_table3_fitting.cpp.o.d"
+  "bench_table3_fitting"
+  "bench_table3_fitting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_fitting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collusion_forensics.dir/collusion_forensics.cpp.o"
+  "CMakeFiles/collusion_forensics.dir/collusion_forensics.cpp.o.d"
+  "collusion_forensics"
+  "collusion_forensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collusion_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_rounds.dir/dynamic_rounds.cpp.o"
+  "CMakeFiles/dynamic_rounds.dir/dynamic_rounds.cpp.o.d"
+  "dynamic_rounds"
+  "dynamic_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/label_campaign.dir/label_campaign.cpp.o"
+  "CMakeFiles/label_campaign.dir/label_campaign.cpp.o.d"
+  "label_campaign"
+  "label_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/label_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/review_campaign.dir/review_campaign.cpp.o"
+  "CMakeFiles/review_campaign.dir/review_campaign.cpp.o.d"
+  "review_campaign"
+  "review_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/review_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

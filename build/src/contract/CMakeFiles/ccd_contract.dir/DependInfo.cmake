@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/contract/baselines.cpp" "src/contract/CMakeFiles/ccd_contract.dir/baselines.cpp.o" "gcc" "src/contract/CMakeFiles/ccd_contract.dir/baselines.cpp.o.d"
+  "/root/repo/src/contract/bounds.cpp" "src/contract/CMakeFiles/ccd_contract.dir/bounds.cpp.o" "gcc" "src/contract/CMakeFiles/ccd_contract.dir/bounds.cpp.o.d"
+  "/root/repo/src/contract/budget.cpp" "src/contract/CMakeFiles/ccd_contract.dir/budget.cpp.o" "gcc" "src/contract/CMakeFiles/ccd_contract.dir/budget.cpp.o.d"
+  "/root/repo/src/contract/candidate.cpp" "src/contract/CMakeFiles/ccd_contract.dir/candidate.cpp.o" "gcc" "src/contract/CMakeFiles/ccd_contract.dir/candidate.cpp.o.d"
+  "/root/repo/src/contract/contract.cpp" "src/contract/CMakeFiles/ccd_contract.dir/contract.cpp.o" "gcc" "src/contract/CMakeFiles/ccd_contract.dir/contract.cpp.o.d"
+  "/root/repo/src/contract/designer.cpp" "src/contract/CMakeFiles/ccd_contract.dir/designer.cpp.o" "gcc" "src/contract/CMakeFiles/ccd_contract.dir/designer.cpp.o.d"
+  "/root/repo/src/contract/worker_response.cpp" "src/contract/CMakeFiles/ccd_contract.dir/worker_response.cpp.o" "gcc" "src/contract/CMakeFiles/ccd_contract.dir/worker_response.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ccd_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/ccd_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/effort/CMakeFiles/ccd_effort.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/ccd_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ccd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ccd_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccd_contract.dir/baselines.cpp.o"
+  "CMakeFiles/ccd_contract.dir/baselines.cpp.o.d"
+  "CMakeFiles/ccd_contract.dir/bounds.cpp.o"
+  "CMakeFiles/ccd_contract.dir/bounds.cpp.o.d"
+  "CMakeFiles/ccd_contract.dir/budget.cpp.o"
+  "CMakeFiles/ccd_contract.dir/budget.cpp.o.d"
+  "CMakeFiles/ccd_contract.dir/candidate.cpp.o"
+  "CMakeFiles/ccd_contract.dir/candidate.cpp.o.d"
+  "CMakeFiles/ccd_contract.dir/contract.cpp.o"
+  "CMakeFiles/ccd_contract.dir/contract.cpp.o.d"
+  "CMakeFiles/ccd_contract.dir/designer.cpp.o"
+  "CMakeFiles/ccd_contract.dir/designer.cpp.o.d"
+  "CMakeFiles/ccd_contract.dir/worker_response.cpp.o"
+  "CMakeFiles/ccd_contract.dir/worker_response.cpp.o.d"
+  "libccd_contract.a"
+  "libccd_contract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccd_contract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccd_core.dir/equilibrium.cpp.o"
+  "CMakeFiles/ccd_core.dir/equilibrium.cpp.o.d"
+  "CMakeFiles/ccd_core.dir/pipeline.cpp.o"
+  "CMakeFiles/ccd_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/ccd_core.dir/report.cpp.o"
+  "CMakeFiles/ccd_core.dir/report.cpp.o.d"
+  "CMakeFiles/ccd_core.dir/requester.cpp.o"
+  "CMakeFiles/ccd_core.dir/requester.cpp.o.d"
+  "CMakeFiles/ccd_core.dir/stackelberg.cpp.o"
+  "CMakeFiles/ccd_core.dir/stackelberg.cpp.o.d"
+  "libccd_core.a"
+  "libccd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

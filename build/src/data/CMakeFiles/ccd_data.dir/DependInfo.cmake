@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/analytics.cpp" "src/data/CMakeFiles/ccd_data.dir/analytics.cpp.o" "gcc" "src/data/CMakeFiles/ccd_data.dir/analytics.cpp.o.d"
+  "/root/repo/src/data/generator.cpp" "src/data/CMakeFiles/ccd_data.dir/generator.cpp.o" "gcc" "src/data/CMakeFiles/ccd_data.dir/generator.cpp.o.d"
+  "/root/repo/src/data/loader.cpp" "src/data/CMakeFiles/ccd_data.dir/loader.cpp.o" "gcc" "src/data/CMakeFiles/ccd_data.dir/loader.cpp.o.d"
+  "/root/repo/src/data/metrics.cpp" "src/data/CMakeFiles/ccd_data.dir/metrics.cpp.o" "gcc" "src/data/CMakeFiles/ccd_data.dir/metrics.cpp.o.d"
+  "/root/repo/src/data/splitter.cpp" "src/data/CMakeFiles/ccd_data.dir/splitter.cpp.o" "gcc" "src/data/CMakeFiles/ccd_data.dir/splitter.cpp.o.d"
+  "/root/repo/src/data/trace.cpp" "src/data/CMakeFiles/ccd_data.dir/trace.cpp.o" "gcc" "src/data/CMakeFiles/ccd_data.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ccd_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/ccd_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

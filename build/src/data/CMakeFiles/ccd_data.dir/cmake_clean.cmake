@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccd_data.dir/analytics.cpp.o"
+  "CMakeFiles/ccd_data.dir/analytics.cpp.o.d"
+  "CMakeFiles/ccd_data.dir/generator.cpp.o"
+  "CMakeFiles/ccd_data.dir/generator.cpp.o.d"
+  "CMakeFiles/ccd_data.dir/loader.cpp.o"
+  "CMakeFiles/ccd_data.dir/loader.cpp.o.d"
+  "CMakeFiles/ccd_data.dir/metrics.cpp.o"
+  "CMakeFiles/ccd_data.dir/metrics.cpp.o.d"
+  "CMakeFiles/ccd_data.dir/splitter.cpp.o"
+  "CMakeFiles/ccd_data.dir/splitter.cpp.o.d"
+  "CMakeFiles/ccd_data.dir/trace.cpp.o"
+  "CMakeFiles/ccd_data.dir/trace.cpp.o.d"
+  "libccd_data.a"
+  "libccd_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccd_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccd_detect.dir/collusion.cpp.o"
+  "CMakeFiles/ccd_detect.dir/collusion.cpp.o.d"
+  "CMakeFiles/ccd_detect.dir/expert.cpp.o"
+  "CMakeFiles/ccd_detect.dir/expert.cpp.o.d"
+  "CMakeFiles/ccd_detect.dir/malicious.cpp.o"
+  "CMakeFiles/ccd_detect.dir/malicious.cpp.o.d"
+  "libccd_detect.a"
+  "libccd_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccd_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/effort/effort_model.cpp" "src/effort/CMakeFiles/ccd_effort.dir/effort_model.cpp.o" "gcc" "src/effort/CMakeFiles/ccd_effort.dir/effort_model.cpp.o.d"
+  "/root/repo/src/effort/fitting.cpp" "src/effort/CMakeFiles/ccd_effort.dir/fitting.cpp.o" "gcc" "src/effort/CMakeFiles/ccd_effort.dir/fitting.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ccd_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/ccd_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ccd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/ccd_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ccd_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

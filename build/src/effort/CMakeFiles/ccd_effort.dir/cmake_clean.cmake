@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccd_effort.dir/effort_model.cpp.o"
+  "CMakeFiles/ccd_effort.dir/effort_model.cpp.o.d"
+  "CMakeFiles/ccd_effort.dir/fitting.cpp.o"
+  "CMakeFiles/ccd_effort.dir/fitting.cpp.o.d"
+  "libccd_effort.a"
+  "libccd_effort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccd_effort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccd_graph.dir/components.cpp.o"
+  "CMakeFiles/ccd_graph.dir/components.cpp.o.d"
+  "CMakeFiles/ccd_graph.dir/graph.cpp.o"
+  "CMakeFiles/ccd_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/ccd_graph.dir/union_find.cpp.o"
+  "CMakeFiles/ccd_graph.dir/union_find.cpp.o.d"
+  "libccd_graph.a"
+  "libccd_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccd_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

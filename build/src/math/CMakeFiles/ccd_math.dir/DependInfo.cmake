@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/linalg.cpp" "src/math/CMakeFiles/ccd_math.dir/linalg.cpp.o" "gcc" "src/math/CMakeFiles/ccd_math.dir/linalg.cpp.o.d"
+  "/root/repo/src/math/matrix.cpp" "src/math/CMakeFiles/ccd_math.dir/matrix.cpp.o" "gcc" "src/math/CMakeFiles/ccd_math.dir/matrix.cpp.o.d"
+  "/root/repo/src/math/optimize.cpp" "src/math/CMakeFiles/ccd_math.dir/optimize.cpp.o" "gcc" "src/math/CMakeFiles/ccd_math.dir/optimize.cpp.o.d"
+  "/root/repo/src/math/piecewise.cpp" "src/math/CMakeFiles/ccd_math.dir/piecewise.cpp.o" "gcc" "src/math/CMakeFiles/ccd_math.dir/piecewise.cpp.o.d"
+  "/root/repo/src/math/polyfit.cpp" "src/math/CMakeFiles/ccd_math.dir/polyfit.cpp.o" "gcc" "src/math/CMakeFiles/ccd_math.dir/polyfit.cpp.o.d"
+  "/root/repo/src/math/polynomial.cpp" "src/math/CMakeFiles/ccd_math.dir/polynomial.cpp.o" "gcc" "src/math/CMakeFiles/ccd_math.dir/polynomial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ccd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccd_math.dir/linalg.cpp.o"
+  "CMakeFiles/ccd_math.dir/linalg.cpp.o.d"
+  "CMakeFiles/ccd_math.dir/matrix.cpp.o"
+  "CMakeFiles/ccd_math.dir/matrix.cpp.o.d"
+  "CMakeFiles/ccd_math.dir/optimize.cpp.o"
+  "CMakeFiles/ccd_math.dir/optimize.cpp.o.d"
+  "CMakeFiles/ccd_math.dir/piecewise.cpp.o"
+  "CMakeFiles/ccd_math.dir/piecewise.cpp.o.d"
+  "CMakeFiles/ccd_math.dir/polyfit.cpp.o"
+  "CMakeFiles/ccd_math.dir/polyfit.cpp.o.d"
+  "CMakeFiles/ccd_math.dir/polynomial.cpp.o"
+  "CMakeFiles/ccd_math.dir/polynomial.cpp.o.d"
+  "libccd_math.a"
+  "libccd_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccd_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccd_tasks.dir/campaign.cpp.o"
+  "CMakeFiles/ccd_tasks.dir/campaign.cpp.o.d"
+  "CMakeFiles/ccd_tasks.dir/labeling.cpp.o"
+  "CMakeFiles/ccd_tasks.dir/labeling.cpp.o.d"
+  "libccd_tasks.a"
+  "libccd_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccd_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ccd_tasks.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccd_util.dir/config.cpp.o"
+  "CMakeFiles/ccd_util.dir/config.cpp.o.d"
+  "CMakeFiles/ccd_util.dir/csv.cpp.o"
+  "CMakeFiles/ccd_util.dir/csv.cpp.o.d"
+  "CMakeFiles/ccd_util.dir/logging.cpp.o"
+  "CMakeFiles/ccd_util.dir/logging.cpp.o.d"
+  "CMakeFiles/ccd_util.dir/rng.cpp.o"
+  "CMakeFiles/ccd_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ccd_util.dir/stats.cpp.o"
+  "CMakeFiles/ccd_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ccd_util.dir/string_util.cpp.o"
+  "CMakeFiles/ccd_util.dir/string_util.cpp.o.d"
+  "CMakeFiles/ccd_util.dir/table.cpp.o"
+  "CMakeFiles/ccd_util.dir/table.cpp.o.d"
+  "CMakeFiles/ccd_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/ccd_util.dir/thread_pool.cpp.o.d"
+  "libccd_util.a"
+  "libccd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

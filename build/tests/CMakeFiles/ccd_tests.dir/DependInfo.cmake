@@ -1,0 +1,73 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/contract/baselines_test.cpp" "tests/CMakeFiles/ccd_tests.dir/contract/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/ccd_tests.dir/contract/baselines_test.cpp.o.d"
+  "/root/repo/tests/contract/bounds_test.cpp" "tests/CMakeFiles/ccd_tests.dir/contract/bounds_test.cpp.o" "gcc" "tests/CMakeFiles/ccd_tests.dir/contract/bounds_test.cpp.o.d"
+  "/root/repo/tests/contract/budget_test.cpp" "tests/CMakeFiles/ccd_tests.dir/contract/budget_test.cpp.o" "gcc" "tests/CMakeFiles/ccd_tests.dir/contract/budget_test.cpp.o.d"
+  "/root/repo/tests/contract/candidate_test.cpp" "tests/CMakeFiles/ccd_tests.dir/contract/candidate_test.cpp.o" "gcc" "tests/CMakeFiles/ccd_tests.dir/contract/candidate_test.cpp.o.d"
+  "/root/repo/tests/contract/contract_test.cpp" "tests/CMakeFiles/ccd_tests.dir/contract/contract_test.cpp.o" "gcc" "tests/CMakeFiles/ccd_tests.dir/contract/contract_test.cpp.o.d"
+  "/root/repo/tests/contract/designer_test.cpp" "tests/CMakeFiles/ccd_tests.dir/contract/designer_test.cpp.o" "gcc" "tests/CMakeFiles/ccd_tests.dir/contract/designer_test.cpp.o.d"
+  "/root/repo/tests/contract/worker_response_test.cpp" "tests/CMakeFiles/ccd_tests.dir/contract/worker_response_test.cpp.o" "gcc" "tests/CMakeFiles/ccd_tests.dir/contract/worker_response_test.cpp.o.d"
+  "/root/repo/tests/core/equilibrium_test.cpp" "tests/CMakeFiles/ccd_tests.dir/core/equilibrium_test.cpp.o" "gcc" "tests/CMakeFiles/ccd_tests.dir/core/equilibrium_test.cpp.o.d"
+  "/root/repo/tests/core/masking_test.cpp" "tests/CMakeFiles/ccd_tests.dir/core/masking_test.cpp.o" "gcc" "tests/CMakeFiles/ccd_tests.dir/core/masking_test.cpp.o.d"
+  "/root/repo/tests/core/pipeline_test.cpp" "tests/CMakeFiles/ccd_tests.dir/core/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/ccd_tests.dir/core/pipeline_test.cpp.o.d"
+  "/root/repo/tests/core/report_test.cpp" "tests/CMakeFiles/ccd_tests.dir/core/report_test.cpp.o" "gcc" "tests/CMakeFiles/ccd_tests.dir/core/report_test.cpp.o.d"
+  "/root/repo/tests/core/requester_test.cpp" "tests/CMakeFiles/ccd_tests.dir/core/requester_test.cpp.o" "gcc" "tests/CMakeFiles/ccd_tests.dir/core/requester_test.cpp.o.d"
+  "/root/repo/tests/core/stackelberg_test.cpp" "tests/CMakeFiles/ccd_tests.dir/core/stackelberg_test.cpp.o" "gcc" "tests/CMakeFiles/ccd_tests.dir/core/stackelberg_test.cpp.o.d"
+  "/root/repo/tests/data/analytics_test.cpp" "tests/CMakeFiles/ccd_tests.dir/data/analytics_test.cpp.o" "gcc" "tests/CMakeFiles/ccd_tests.dir/data/analytics_test.cpp.o.d"
+  "/root/repo/tests/data/generator_test.cpp" "tests/CMakeFiles/ccd_tests.dir/data/generator_test.cpp.o" "gcc" "tests/CMakeFiles/ccd_tests.dir/data/generator_test.cpp.o.d"
+  "/root/repo/tests/data/loader_test.cpp" "tests/CMakeFiles/ccd_tests.dir/data/loader_test.cpp.o" "gcc" "tests/CMakeFiles/ccd_tests.dir/data/loader_test.cpp.o.d"
+  "/root/repo/tests/data/metrics_test.cpp" "tests/CMakeFiles/ccd_tests.dir/data/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/ccd_tests.dir/data/metrics_test.cpp.o.d"
+  "/root/repo/tests/data/splitter_test.cpp" "tests/CMakeFiles/ccd_tests.dir/data/splitter_test.cpp.o" "gcc" "tests/CMakeFiles/ccd_tests.dir/data/splitter_test.cpp.o.d"
+  "/root/repo/tests/data/trace_test.cpp" "tests/CMakeFiles/ccd_tests.dir/data/trace_test.cpp.o" "gcc" "tests/CMakeFiles/ccd_tests.dir/data/trace_test.cpp.o.d"
+  "/root/repo/tests/detect/collusion_test.cpp" "tests/CMakeFiles/ccd_tests.dir/detect/collusion_test.cpp.o" "gcc" "tests/CMakeFiles/ccd_tests.dir/detect/collusion_test.cpp.o.d"
+  "/root/repo/tests/detect/expert_test.cpp" "tests/CMakeFiles/ccd_tests.dir/detect/expert_test.cpp.o" "gcc" "tests/CMakeFiles/ccd_tests.dir/detect/expert_test.cpp.o.d"
+  "/root/repo/tests/detect/malicious_test.cpp" "tests/CMakeFiles/ccd_tests.dir/detect/malicious_test.cpp.o" "gcc" "tests/CMakeFiles/ccd_tests.dir/detect/malicious_test.cpp.o.d"
+  "/root/repo/tests/effort/effort_model_test.cpp" "tests/CMakeFiles/ccd_tests.dir/effort/effort_model_test.cpp.o" "gcc" "tests/CMakeFiles/ccd_tests.dir/effort/effort_model_test.cpp.o.d"
+  "/root/repo/tests/effort/fitting_test.cpp" "tests/CMakeFiles/ccd_tests.dir/effort/fitting_test.cpp.o" "gcc" "tests/CMakeFiles/ccd_tests.dir/effort/fitting_test.cpp.o.d"
+  "/root/repo/tests/graph/components_test.cpp" "tests/CMakeFiles/ccd_tests.dir/graph/components_test.cpp.o" "gcc" "tests/CMakeFiles/ccd_tests.dir/graph/components_test.cpp.o.d"
+  "/root/repo/tests/graph/graph_test.cpp" "tests/CMakeFiles/ccd_tests.dir/graph/graph_test.cpp.o" "gcc" "tests/CMakeFiles/ccd_tests.dir/graph/graph_test.cpp.o.d"
+  "/root/repo/tests/graph/union_find_test.cpp" "tests/CMakeFiles/ccd_tests.dir/graph/union_find_test.cpp.o" "gcc" "tests/CMakeFiles/ccd_tests.dir/graph/union_find_test.cpp.o.d"
+  "/root/repo/tests/integration/contract_properties_test.cpp" "tests/CMakeFiles/ccd_tests.dir/integration/contract_properties_test.cpp.o" "gcc" "tests/CMakeFiles/ccd_tests.dir/integration/contract_properties_test.cpp.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cpp" "tests/CMakeFiles/ccd_tests.dir/integration/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/ccd_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/integration/fleet_properties_test.cpp" "tests/CMakeFiles/ccd_tests.dir/integration/fleet_properties_test.cpp.o" "gcc" "tests/CMakeFiles/ccd_tests.dir/integration/fleet_properties_test.cpp.o.d"
+  "/root/repo/tests/math/linalg_test.cpp" "tests/CMakeFiles/ccd_tests.dir/math/linalg_test.cpp.o" "gcc" "tests/CMakeFiles/ccd_tests.dir/math/linalg_test.cpp.o.d"
+  "/root/repo/tests/math/matrix_test.cpp" "tests/CMakeFiles/ccd_tests.dir/math/matrix_test.cpp.o" "gcc" "tests/CMakeFiles/ccd_tests.dir/math/matrix_test.cpp.o.d"
+  "/root/repo/tests/math/optimize_test.cpp" "tests/CMakeFiles/ccd_tests.dir/math/optimize_test.cpp.o" "gcc" "tests/CMakeFiles/ccd_tests.dir/math/optimize_test.cpp.o.d"
+  "/root/repo/tests/math/piecewise_test.cpp" "tests/CMakeFiles/ccd_tests.dir/math/piecewise_test.cpp.o" "gcc" "tests/CMakeFiles/ccd_tests.dir/math/piecewise_test.cpp.o.d"
+  "/root/repo/tests/math/polyfit_test.cpp" "tests/CMakeFiles/ccd_tests.dir/math/polyfit_test.cpp.o" "gcc" "tests/CMakeFiles/ccd_tests.dir/math/polyfit_test.cpp.o.d"
+  "/root/repo/tests/math/polynomial_test.cpp" "tests/CMakeFiles/ccd_tests.dir/math/polynomial_test.cpp.o" "gcc" "tests/CMakeFiles/ccd_tests.dir/math/polynomial_test.cpp.o.d"
+  "/root/repo/tests/tasks/campaign_test.cpp" "tests/CMakeFiles/ccd_tests.dir/tasks/campaign_test.cpp.o" "gcc" "tests/CMakeFiles/ccd_tests.dir/tasks/campaign_test.cpp.o.d"
+  "/root/repo/tests/tasks/labeling_test.cpp" "tests/CMakeFiles/ccd_tests.dir/tasks/labeling_test.cpp.o" "gcc" "tests/CMakeFiles/ccd_tests.dir/tasks/labeling_test.cpp.o.d"
+  "/root/repo/tests/util/config_test.cpp" "tests/CMakeFiles/ccd_tests.dir/util/config_test.cpp.o" "gcc" "tests/CMakeFiles/ccd_tests.dir/util/config_test.cpp.o.d"
+  "/root/repo/tests/util/csv_test.cpp" "tests/CMakeFiles/ccd_tests.dir/util/csv_test.cpp.o" "gcc" "tests/CMakeFiles/ccd_tests.dir/util/csv_test.cpp.o.d"
+  "/root/repo/tests/util/error_test.cpp" "tests/CMakeFiles/ccd_tests.dir/util/error_test.cpp.o" "gcc" "tests/CMakeFiles/ccd_tests.dir/util/error_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/ccd_tests.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/ccd_tests.dir/util/rng_test.cpp.o.d"
+  "/root/repo/tests/util/stats_test.cpp" "tests/CMakeFiles/ccd_tests.dir/util/stats_test.cpp.o" "gcc" "tests/CMakeFiles/ccd_tests.dir/util/stats_test.cpp.o.d"
+  "/root/repo/tests/util/string_util_test.cpp" "tests/CMakeFiles/ccd_tests.dir/util/string_util_test.cpp.o" "gcc" "tests/CMakeFiles/ccd_tests.dir/util/string_util_test.cpp.o.d"
+  "/root/repo/tests/util/table_test.cpp" "tests/CMakeFiles/ccd_tests.dir/util/table_test.cpp.o" "gcc" "tests/CMakeFiles/ccd_tests.dir/util/table_test.cpp.o.d"
+  "/root/repo/tests/util/thread_pool_test.cpp" "tests/CMakeFiles/ccd_tests.dir/util/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/ccd_tests.dir/util/thread_pool_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ccd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasks/CMakeFiles/ccd_tasks.dir/DependInfo.cmake"
+  "/root/repo/build/src/contract/CMakeFiles/ccd_contract.dir/DependInfo.cmake"
+  "/root/repo/build/src/effort/CMakeFiles/ccd_effort.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/ccd_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ccd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ccd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/ccd_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

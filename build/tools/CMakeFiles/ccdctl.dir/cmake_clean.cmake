@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccdctl.dir/ccdctl.cpp.o"
+  "CMakeFiles/ccdctl.dir/ccdctl.cpp.o.d"
+  "ccdctl"
+  "ccdctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccdctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
