@@ -13,6 +13,7 @@
 
 #include "core/requester.hpp"
 #include "contract/bounds.hpp"
+#include "contract/design_cache.hpp"
 #include "contract/designer.hpp"
 #include "data/generator.hpp"
 #include "data/metrics.hpp"
@@ -59,8 +60,11 @@ int main(int argc, char** argv) {
   util::TextTable table({"m", "mean comp", "mean bound", "mean gap",
                          "max gap", "gap/comp %"});
   for (const std::size_t m : {10ul, 20ul, 40ul}) {
-    std::vector<double> comps;
-    std::vector<double> gaps;
+    // The whole cohort shares (psi, beta, mu, m) and differs only in the
+    // Eq. 5 weight — exactly the sharing design_contracts_batch exploits
+    // (one k-sweep for all 200 workers).
+    std::vector<contract::SubproblemSpec> specs;
+    specs.reserve(cohort.size());
     for (const data::WorkerId id : cohort) {
       // Per-worker accuracy drives the weight (Eq. 5); honest workers have
       // no partners and a low detector score.
@@ -78,10 +82,18 @@ int main(int argc, char** argv) {
                                           detector.probability(id), 0);
       spec.mu = requester.mu;
       spec.intervals = m;
-      const contract::DesignResult d = contract::design_contract(spec);
+      specs.push_back(spec);
+    }
+    const std::vector<contract::DesignResult> designs =
+        contract::design_contracts_batch(specs);
+
+    std::vector<double> comps;
+    std::vector<double> gaps;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const contract::DesignResult& d = designs[i];
       if (d.excluded) continue;
       const double bound = contract::lemma43_compensation_lower(
-          spec.psi, requester.beta, spec.delta(), d.k_opt);
+          specs[i].psi, requester.beta, specs[i].delta(), d.k_opt);
       comps.push_back(d.response.compensation);
       gaps.push_back(d.response.compensation - bound);
     }

@@ -3,10 +3,15 @@
 // motivation for decomposing the bilevel program), and clustering cost.
 #include <benchmark/benchmark.h>
 
+#include <cstddef>
+#include <vector>
+
+#include "contract/design_cache.hpp"
 #include "contract/designer.hpp"
 #include "core/pipeline.hpp"
 #include "data/generator.hpp"
 #include "detect/collusion.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -42,6 +47,83 @@ void BM_BestResponse(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BestResponse)->RangeMultiplier(4)->Range(4, 256);
+
+// A fleet with the pipeline's solve-stage shape: every worker of a
+// detected class shares one weight-independent spec, only the Eq. 5
+// weight varies.
+std::vector<ccd::contract::SubproblemSpec> fleet_specs(std::size_t n) {
+  const struct {
+    double r2, r1, r0, omega;
+  } classes[] = {
+      {-1.0, 8.0, 2.0, 0.0},  // honest
+      {-0.8, 6.0, 1.5, 0.3},  // non-collusive malicious
+      {-1.2, 9.0, 2.5, 0.5},  // collusive community fit
+      {-0.9, 7.0, 1.0, 0.2},  // a second community fit
+  };
+  std::vector<ccd::contract::SubproblemSpec> specs;
+  specs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& cls = classes[i % (sizeof(classes) / sizeof(classes[0]))];
+    ccd::contract::SubproblemSpec spec;
+    spec.psi = ccd::effort::QuadraticEffort(cls.r2, cls.r1, cls.r0);
+    spec.incentives = {1.0, cls.omega};
+    spec.weight = 0.2 + 0.8 * static_cast<double>(i) / static_cast<double>(n);
+    spec.mu = 1.0;
+    spec.intervals = 20;
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+// Solve-stage throughput, batched + cached: one k-sweep per distinct spec,
+// cheap per-worker resolve. Args are {workers, threads}.
+void BM_SolveStageBatched(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t threads = static_cast<std::size_t>(state.range(1));
+  const std::vector<ccd::contract::SubproblemSpec> specs = fleet_specs(n);
+  ccd::util::ThreadPool pool(threads);
+  ccd::contract::BatchOptions options;
+  options.pool = &pool;
+  ccd::contract::DesignCacheStats stats;
+  for (auto _ : state) {
+    std::vector<ccd::contract::DesignResult> results =
+        ccd::contract::design_contracts_batch(specs, options, &stats);
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * n));
+  // Last iteration's counters: sweeps the uncached path would have run vs
+  // what the cache actually computed.
+  state.counters["cache_hits"] = static_cast<double>(stats.hits);
+  state.counters["ksweeps"] = static_cast<double>(stats.misses);
+  state.counters["ksweeps_uncached"] = static_cast<double>(stats.lookups);
+}
+BENCHMARK(BM_SolveStageBatched)
+    ->Args({1000, 1})->Args({1000, 8})
+    ->Args({10000, 1})->Args({10000, 8})
+    ->Args({100000, 1})->Args({100000, 8})
+    ->Unit(benchmark::kMillisecond);
+
+// Uncached per-worker baseline (the pre-batch pipeline behaviour): a full
+// k-sweep for every worker. 1e5 omitted — it is exactly the cost this
+// engine removes.
+void BM_SolveStagePerWorker(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t threads = static_cast<std::size_t>(state.range(1));
+  const std::vector<ccd::contract::SubproblemSpec> specs = fleet_specs(n);
+  ccd::util::ThreadPool pool(threads);
+  for (auto _ : state) {
+    std::vector<ccd::contract::DesignResult> results(n);
+    pool.parallel_for(n, [&](std::size_t i) {
+      results[i] = ccd::contract::design_contract(specs[i]);
+    });
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_SolveStagePerWorker)
+    ->Args({1000, 1})->Args({1000, 8})
+    ->Args({10000, 1})->Args({10000, 8})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_PipelineThreads(benchmark::State& state) {
   const auto& trace = medium_trace();

@@ -1,0 +1,207 @@
+#include "contract/design_cache.hpp"
+
+#include <atomic>
+#include <bit>
+#include <utility>
+
+#include "util/thread_pool.hpp"
+
+namespace ccd::contract {
+namespace {
+
+// Table passed for weight-excluded specs; resolve_design never reads it
+// when spec.weight <= 0.
+const DesignTable kEmptyTable{};
+
+}  // namespace
+
+DesignCacheKey DesignCacheKey::of(const SubproblemSpec& spec) {
+  DesignCacheKey key;
+  key.r2 = spec.psi.r2();
+  key.r1 = spec.psi.r1();
+  key.r0 = spec.psi.r0();
+  key.beta = spec.incentives.beta;
+  key.omega = spec.incentives.omega;
+  key.mu = spec.mu;
+  key.intervals = spec.intervals;
+  key.domain = spec.resolved_domain();
+  return key;
+}
+
+std::size_t DesignCacheKeyHash::operator()(const DesignCacheKey& key) const {
+  // boost::hash_combine-style mix over the bit patterns; doubles hash by
+  // representation to mirror the key's bitwise equality.
+  std::uint64_t h = 0x9e3779b97f4a7c15ull;
+  const auto mix = [&h](std::uint64_t v) {
+    v *= 0xff51afd7ed558ccdull;
+    v ^= v >> 33;
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  };
+  mix(std::bit_cast<std::uint64_t>(key.r2));
+  mix(std::bit_cast<std::uint64_t>(key.r1));
+  mix(std::bit_cast<std::uint64_t>(key.r0));
+  mix(std::bit_cast<std::uint64_t>(key.beta));
+  mix(std::bit_cast<std::uint64_t>(key.omega));
+  mix(std::bit_cast<std::uint64_t>(key.mu));
+  mix(key.intervals);
+  mix(std::bit_cast<std::uint64_t>(key.domain));
+  return static_cast<std::size_t>(h);
+}
+
+DesignCacheStats& DesignCacheStats::operator+=(const DesignCacheStats& other) {
+  lookups += other.lookups;
+  hits += other.hits;
+  misses += other.misses;
+  sweep_steps_computed += other.sweep_steps_computed;
+  sweep_steps_avoided += other.sweep_steps_avoided;
+  return *this;
+}
+
+DesignResult DesignCache::design(const SubproblemSpec& spec) {
+  spec.validate();
+  if (spec.weight <= 0.0) return resolve_design(spec, kEmptyTable);
+  const std::shared_ptr<const DesignTable> table = table_for(spec);
+  return resolve_design(spec, *table);
+}
+
+std::shared_ptr<const DesignTable> DesignCache::table_for(
+    const SubproblemSpec& spec, bool* was_hit) {
+  const DesignCacheKey key = DesignCacheKey::of(spec);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = tables_.find(key);
+    if (it != tables_.end()) {
+      ++stats_.lookups;
+      ++stats_.hits;
+      stats_.sweep_steps_avoided += spec.intervals;
+      if (was_hit) *was_hit = true;
+      return it->second;
+    }
+  }
+  auto table = std::make_shared<const DesignTable>(build_design_table(spec));
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.lookups;
+  const auto [it, inserted] = tables_.emplace(key, std::move(table));
+  if (inserted) {
+    ++stats_.misses;
+    stats_.sweep_steps_computed += spec.intervals;
+  } else {
+    // Lost a race to another thread building the same spec: count as a hit
+    // and use the winner's (identical) table.
+    ++stats_.hits;
+    stats_.sweep_steps_avoided += spec.intervals;
+  }
+  if (was_hit) *was_hit = !inserted;
+  return it->second;
+}
+
+DesignCacheStats DesignCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t DesignCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return tables_.size();
+}
+
+void DesignCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  tables_.clear();
+  stats_ = DesignCacheStats{};
+}
+
+void DesignCache::record(const DesignCacheStats& delta) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  stats_ += delta;
+}
+
+std::vector<DesignResult> design_contracts_batch(
+    const std::vector<SubproblemSpec>& specs, const BatchOptions& options,
+    DesignCacheStats* stats) {
+  DesignCache local_cache;
+  DesignCache& cache = options.cache ? *options.cache : local_cache;
+  util::ThreadPool& pool = options.pool ? *options.pool : util::shared_pool();
+
+  const std::size_t n = specs.size();
+  std::vector<DesignResult> results(n);
+
+  // Group cacheable specs (weight > 0) by canonical key; group order
+  // follows first occurrence, so grouping itself is deterministic.
+  constexpr std::size_t kNoGroup = static_cast<std::size_t>(-1);
+  std::unordered_map<DesignCacheKey, std::size_t, DesignCacheKeyHash>
+      group_of_key;
+  std::vector<std::size_t> representative;  // group -> first spec index
+  std::vector<std::size_t> group_of(n, kNoGroup);
+  for (std::size_t i = 0; i < n; ++i) {
+    specs[i].validate();
+    if (specs[i].weight <= 0.0) continue;
+    const DesignCacheKey key = DesignCacheKey::of(specs[i]);
+    const auto [it, inserted] =
+        group_of_key.emplace(key, representative.size());
+    if (inserted) representative.push_back(i);
+    group_of[i] = it->second;
+  }
+
+  // One k-sweep per distinct spec, distinct specs in parallel.
+  std::vector<std::shared_ptr<const DesignTable>> tables(
+      representative.size());
+  std::atomic<std::size_t> computed{0};
+  std::atomic<std::uint64_t> steps_computed{0};
+  pool.parallel_for(representative.size(), [&](std::size_t g) {
+    bool was_hit = false;
+    tables[g] = cache.table_for(specs[representative[g]], &was_hit);
+    if (!was_hit) {
+      computed.fetch_add(1, std::memory_order_relaxed);
+      steps_computed.fetch_add(specs[representative[g]].intervals,
+                               std::memory_order_relaxed);
+    }
+  });
+
+  // Per-worker resolve: cheap argmax over the shared table.
+  pool.parallel_for(n, [&](std::size_t i) {
+    if (group_of[i] == kNoGroup) {
+      results[i] = resolve_design(specs[i], kEmptyTable);
+    } else {
+      results[i] = resolve_design(specs[i], *tables[group_of[i]]);
+    }
+  });
+
+  // Per-call counters: every cacheable spec is one lookup; only the
+  // distinct specs not already in `cache` paid for a sweep.
+  std::size_t cacheable = 0;
+  std::size_t cacheable_steps = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (group_of[i] == kNoGroup) continue;
+    ++cacheable;
+    cacheable_steps += specs[i].intervals;
+  }
+  DesignCacheStats call_stats;
+  call_stats.lookups = cacheable;
+  call_stats.misses = computed.load();
+  call_stats.hits = call_stats.lookups - call_stats.misses;
+  call_stats.sweep_steps_computed =
+      static_cast<std::size_t>(steps_computed.load());
+  call_stats.sweep_steps_avoided =
+      cacheable_steps - call_stats.sweep_steps_computed;
+  if (stats) *stats = call_stats;
+
+  if (options.cache) {
+    // table_for() above only recorded one lookup per distinct group; fold
+    // in the per-worker resolutions the batch served without touching the
+    // map, so a shared cache's cumulative stats count every resolution.
+    std::size_t representative_steps = 0;
+    for (const std::size_t i : representative) {
+      representative_steps += specs[i].intervals;
+    }
+    DesignCacheStats extra;
+    extra.lookups = cacheable - representative.size();
+    extra.hits = extra.lookups;
+    extra.sweep_steps_avoided = cacheable_steps - representative_steps;
+    cache.record(extra);
+  }
+
+  return results;
+}
+
+}  // namespace ccd::contract

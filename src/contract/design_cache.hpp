@@ -1,0 +1,126 @@
+// Spec-keyed memoization of the contract designer's k-sweep, and a batched
+// front end for fleet-scale design.
+//
+// The pipeline's decomposition (§IV-B) hands every worker of the same
+// detected class an identical (psi, beta, omega, mu, intervals, domain)
+// subproblem — only the Eq. 5 weight differs. The k-sweep
+// (build_candidate + best_response per k) is weight-independent, so the
+// cache computes one DesignTable per distinct spec and resolves each
+// worker as a cheap argmax_k (weight * feedback_k - mu * pay_k) over the
+// cached per-k table. Results are bitwise-identical to the uncached
+// per-worker design_contract() path (tested), and independent of thread
+// count: parallelism only reorders which spec computes its table first,
+// never what the table contains.
+//
+// Keys compare doubles bitwise. That is deliberate: the sharing pattern we
+// exploit is "same class fit object copied into many specs", which is
+// exact; a near-miss spec simply misses and computes its own table.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "contract/designer.hpp"
+
+namespace ccd::util {
+class ThreadPool;
+}
+
+namespace ccd::contract {
+
+/// Canonical cache key: every SubproblemSpec field the k-sweep reads —
+/// i.e. everything except `weight`. The effort domain is stored resolved,
+/// so an explicit domain equal to psi.usable_domain() shares a table with
+/// the default.
+struct DesignCacheKey {
+  double r2 = 0.0;  ///< psi coefficients
+  double r1 = 0.0;
+  double r0 = 0.0;
+  double beta = 0.0;
+  double omega = 0.0;
+  double mu = 0.0;
+  std::uint64_t intervals = 0;
+  double domain = 0.0;  ///< resolved effort domain
+
+  static DesignCacheKey of(const SubproblemSpec& spec);
+  bool operator==(const DesignCacheKey& other) const = default;
+};
+
+struct DesignCacheKeyHash {
+  std::size_t operator()(const DesignCacheKey& key) const;
+};
+
+/// Counters describing how much k-sweep work the cache absorbed. A
+/// "lookup" is one cacheable resolution (spec.weight > 0; weight-excluded
+/// workers never touch the cache). One k-sweep is `intervals` candidate
+/// builds + best responses, so the uncached path would have run
+/// `lookups` sweeps where the cache ran `misses`.
+struct DesignCacheStats {
+  std::size_t lookups = 0;
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  /// Candidate evaluations actually run (sum of intervals over misses).
+  std::size_t sweep_steps_computed = 0;
+  /// Candidate evaluations served from cache (sum of intervals over hits).
+  std::size_t sweep_steps_avoided = 0;
+
+  DesignCacheStats& operator+=(const DesignCacheStats& other);
+};
+
+/// Thread-safe table cache. Lookup and insertion hold a mutex; table
+/// construction runs outside it, so concurrent misses on *different* specs
+/// proceed in parallel. Two threads missing the same spec may both build
+/// it — the first insert wins and both use that table, keeping results
+/// deterministic.
+class DesignCache {
+ public:
+  /// Design one contract through the cache. Equivalent (bitwise) to
+  /// design_contract(spec).
+  DesignResult design(const SubproblemSpec& spec);
+
+  /// Fetch (or compute and insert) the table for a spec. `was_hit`, when
+  /// non-null, reports whether the table already existed.
+  std::shared_ptr<const DesignTable> table_for(const SubproblemSpec& spec,
+                                               bool* was_hit = nullptr);
+
+  DesignCacheStats stats() const;
+  std::size_t size() const;
+  void clear();  ///< drops tables and resets counters
+
+ private:
+  friend std::vector<DesignResult> design_contracts_batch(
+      const std::vector<SubproblemSpec>&, const struct BatchOptions&,
+      DesignCacheStats*);
+
+  void record(const DesignCacheStats& delta);
+
+  mutable std::mutex mutex_;
+  std::unordered_map<DesignCacheKey, std::shared_ptr<const DesignTable>,
+                     DesignCacheKeyHash>
+      tables_;
+  DesignCacheStats stats_;
+};
+
+struct BatchOptions {
+  /// Pool for the fan-out; null uses util::shared_pool().
+  util::ThreadPool* pool = nullptr;
+  /// Cache reused across calls (e.g. across pipeline rounds); null gives
+  /// the call a private cache.
+  DesignCache* cache = nullptr;
+};
+
+/// Design contracts for a whole fleet: one k-sweep per distinct spec
+/// (computed in parallel), then a parallel per-worker resolve. Output
+/// order matches `specs`, and results[i] is bitwise-identical to
+/// design_contract(specs[i]) regardless of thread count or cache state.
+/// `stats`, when non-null, receives this call's counters (prior contents
+/// overwritten).
+std::vector<DesignResult> design_contracts_batch(
+    const std::vector<SubproblemSpec>& specs,
+    const BatchOptions& options = {}, DesignCacheStats* stats = nullptr);
+
+}  // namespace ccd::contract

@@ -1,6 +1,7 @@
 #include "contract/designer.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/error.hpp"
 
@@ -30,45 +31,79 @@ double requester_utility(const SubproblemSpec& spec,
   return spec.weight * response.feedback - spec.mu * response.compensation;
 }
 
-DesignResult design_contract(const SubproblemSpec& spec) {
-  spec.validate();
+namespace {
+
+/// The zero-contract outcome shared by both exclusion paths (weight <= 0
+/// and the max_k utility < 0 fallback).
+DesignResult excluded_result(const SubproblemSpec& spec) {
   DesignResult result;
+  result.excluded = true;
+  result.contract = Contract();
+  result.response = best_response(result.contract, spec.psi, spec.incentives);
+  result.requester_utility = 0.0;
+  return result;
+}
+
+}  // namespace
+
+DesignTable build_design_table(const SubproblemSpec& spec) {
+  spec.validate();
+  const double delta = spec.delta();
+  const std::size_t m = spec.intervals;
+  DesignTable table;
+  table.candidates.reserve(m);
+  for (std::size_t k = 1; k <= m; ++k) {
+    CandidateOutcome outcome;
+    outcome.contract = build_candidate(spec.psi, delta, m, k, spec.incentives);
+    outcome.response =
+        best_response(outcome.contract, spec.psi, spec.incentives);
+    table.candidates.push_back(std::move(outcome));
+  }
+  return table;
+}
+
+DesignResult resolve_design(const SubproblemSpec& spec,
+                            const DesignTable& table) {
+  spec.validate();
 
   // Non-positive feedback weight: no payment is worth it; exclude (§V's
   // "automatically eliminated" workers get the zero contract). The
   // requester drops their feedback entirely: zero utility, zero pay.
-  if (spec.weight <= 0.0) {
-    result.excluded = true;
-    result.contract = Contract();
-    result.response =
-        best_response(result.contract, spec.psi, spec.incentives);
-    result.requester_utility = 0.0;
-    return result;
-  }
+  if (spec.weight <= 0.0) return excluded_result(spec);
 
-  const double delta = spec.delta();
   const std::size_t m = spec.intervals;
+  CCD_CHECK_MSG(table.candidates.size() == m,
+                "design table does not match spec.intervals");
 
+  DesignResult result;
   result.utility_by_k.assign(m, 0.0);
   result.pay_by_k.assign(m, 0.0);
   bool have_best = false;
   for (std::size_t k = 1; k <= m; ++k) {
-    Contract candidate = build_candidate(spec.psi, delta, m, k,
-                                         spec.incentives);
-    const BestResponse response =
-        best_response(candidate, spec.psi, spec.incentives);
-    const double utility = requester_utility(spec, response);
+    const CandidateOutcome& candidate = table.candidates[k - 1];
+    const double utility = requester_utility(spec, candidate.response);
     result.utility_by_k[k - 1] = utility;
-    result.pay_by_k[k - 1] = response.compensation;
+    result.pay_by_k[k - 1] = candidate.response.compensation;
     if (!have_best || utility > result.requester_utility) {
       have_best = true;
       result.requester_utility = utility;
       result.k_opt = k;
-      result.contract = std::move(candidate);
-      result.response = response;
+      result.contract = candidate.contract;
+      result.response = candidate.response;
     }
   }
 
+  // §V elimination fallback: when even the best candidate loses the
+  // requester money, the zero contract (utility 0) strictly dominates.
+  // Keep the per-k diagnostics so callers can see what was rejected.
+  if (result.requester_utility < 0.0) {
+    DesignResult fallback = excluded_result(spec);
+    fallback.utility_by_k = std::move(result.utility_by_k);
+    fallback.pay_by_k = std::move(result.pay_by_k);
+    return fallback;
+  }
+
+  const double delta = spec.delta();
   result.upper_bound =
       theorem41_upper_bound(spec.psi, spec.weight, spec.mu,
                             spec.incentives.beta, delta, m,
@@ -77,6 +112,12 @@ DesignResult design_contract(const SubproblemSpec& spec) {
       spec.psi, spec.weight, spec.mu, spec.incentives.beta, delta,
       result.k_opt);
   return result;
+}
+
+DesignResult design_contract(const SubproblemSpec& spec) {
+  spec.validate();
+  if (spec.weight <= 0.0) return excluded_result(spec);
+  return resolve_design(spec, build_design_table(spec));
 }
 
 }  // namespace ccd::contract

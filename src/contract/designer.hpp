@@ -8,7 +8,16 @@
 // meta-worker with the community effort function (Eq. 3). Workers whose
 // feedback weight w is non-positive get the zero contract — they are
 // "automatically eliminated" (paper §V): no payment can make their feedback
-// worth buying.
+// worth buying. The same elimination rule applies when every candidate
+// contract loses the requester money (max_k utility < 0): the requester
+// strictly prefers the zero contract's utility of 0.
+//
+// The k-sweep (build_candidate + best_response per k) depends only on
+// (psi, beta, omega, intervals, effort domain) — not on `weight` — so it is
+// factored out as build_design_table() and shared across all workers of a
+// detected class; resolve_design() scalarizes a table for one worker's
+// weight. design_contract() composes the two and is the reference
+// sequential path; design_cache.hpp provides the memoized batch front end.
 #pragma once
 
 #include <cstddef>
@@ -52,7 +61,8 @@ struct DesignResult {
   double upper_bound = 0.0;
   double lower_bound = 0.0;
   /// Requester utility each candidate k would have achieved (diagnostics;
-  /// empty for excluded workers).
+  /// empty for weight-excluded workers, populated — all negative — for
+  /// workers excluded by the max_k utility < 0 fallback).
   std::vector<double> utility_by_k;
   /// Compensation each candidate k would have paid (same indexing; feeds
   /// the budget-feasible allocator in contract/budget.hpp).
@@ -64,7 +74,33 @@ struct DesignResult {
 double requester_utility(const SubproblemSpec& spec,
                          const BestResponse& response);
 
-/// Solve one subproblem end to end.
+/// Candidate contract ξ^(k) together with the worker's exact best response
+/// to it — the weight-independent work of one k-sweep step.
+struct CandidateOutcome {
+  Contract contract;
+  BestResponse response;
+};
+
+/// The weight-independent slice of design_contract: candidates and best
+/// responses for k = 1..spec.intervals. Workers of the same detected class
+/// share (psi, beta, omega, mu, intervals, domain) and differ only in
+/// weight, so one table serves the whole class (see design_cache.hpp).
+struct DesignTable {
+  std::vector<CandidateOutcome> candidates;  ///< indexed by k - 1
+};
+
+/// Run the k-sweep for a spec (ignores spec.weight).
+DesignTable build_design_table(const SubproblemSpec& spec);
+
+/// Scalarize a precomputed table for one worker's weight:
+/// argmax_k (weight * feedback_k - mu * pay_k), Theorem 4.1 bounds, and
+/// the §V exclusion fallback. Bitwise-identical to design_contract(spec)
+/// when the table was built from the same spec. The table is only read
+/// when spec.weight > 0, so weight-excluded workers may pass an empty one.
+DesignResult resolve_design(const SubproblemSpec& spec,
+                            const DesignTable& table);
+
+/// Solve one subproblem end to end (build_design_table + resolve_design).
 DesignResult design_contract(const SubproblemSpec& spec);
 
 }  // namespace ccd::contract

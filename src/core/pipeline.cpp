@@ -76,11 +76,12 @@ PipelineResult run_pipeline(const data::ReviewTrace& trace,
   result.class_fits = effort::fit_all_classes(metrics, config.fit);
 
   // ---- Per-worker attributes ---------------------------------------------
-  std::vector<bool> is_malicious(n, false);
-  for (const data::WorkerId id : malicious) is_malicious[id] = true;
+  // NCM = flagged malicious that clustering did not absorb into a
+  // community; derive it from the flagged set itself so the detector and
+  // the clustering stay one source of truth.
   std::vector<bool> is_ncm(n, false);
-  for (const data::WorkerId id : result.collusion.non_collusive) {
-    is_ncm[id] = true;
+  for (const data::WorkerId id : malicious) {
+    is_ncm[id] = result.collusion.community_of[id] < 0;
   }
 
   for (data::WorkerId id = 0; id < n; ++id) {
@@ -152,32 +153,49 @@ PipelineResult run_pipeline(const data::ReviewTrace& trace,
     result.subproblems.push_back(std::move(sub));
   }
 
-  // ---- Strategy-specific solve (parallel over subproblems) --------------
-  util::ThreadPool pool(config.threads);
-  const PricingStrategy strategy = config.strategy;
-  const double fixed_payment = config.fixed_payment;
-  const double fixed_threshold = config.fixed_threshold_effort;
-  pool.parallel_for(result.subproblems.size(), [&](std::size_t i) {
-    SubproblemOutcome& sub = result.subproblems[i];
-    const bool suspected_malicious =
-        sub.workers.size() > 1 ||
-        result.workers[sub.workers.front()].detected_class !=
-            DetectedClass::kHonest;
-    switch (strategy) {
-      case PricingStrategy::kDynamicContract:
-        sub.design = contract::design_contract(sub.spec);
-        break;
-      case PricingStrategy::kExcludeMalicious: {
-        if (suspected_malicious) {
-          contract::SubproblemSpec excluded = sub.spec;
-          excluded.weight = 0.0;  // forces the zero contract
-          sub.design = contract::design_contract(excluded);
-        } else {
-          sub.design = contract::design_contract(sub.spec);
+  // ---- Strategy-specific solve (batched, cache-aware) --------------------
+  // All workers of one detected class share the same weight-independent
+  // spec, so the contract strategies go through design_contracts_batch:
+  // one k-sweep per distinct spec, then a cheap per-worker resolve. The
+  // fan-out reuses the process-wide shared pool unless the caller pins an
+  // explicit thread count.
+  const std::size_t nsub = result.subproblems.size();
+  util::ThreadPool* pool = &util::shared_pool();
+  std::optional<util::ThreadPool> local_pool;
+  if (config.threads != 0) {
+    local_pool.emplace(config.threads);
+    pool = &*local_pool;
+  }
+
+  switch (config.strategy) {
+    case PricingStrategy::kDynamicContract:
+    case PricingStrategy::kExcludeMalicious: {
+      std::vector<contract::SubproblemSpec> specs(nsub);
+      for (std::size_t i = 0; i < nsub; ++i) {
+        const SubproblemOutcome& sub = result.subproblems[i];
+        specs[i] = sub.spec;
+        if (config.strategy == PricingStrategy::kExcludeMalicious) {
+          const bool suspected_malicious =
+              sub.workers.size() > 1 ||
+              result.workers[sub.workers.front()].detected_class !=
+                  DetectedClass::kHonest;
+          if (suspected_malicious) specs[i].weight = 0.0;  // zero contract
         }
-        break;
       }
-      case PricingStrategy::kFixedPayment: {
+      contract::BatchOptions batch;
+      batch.pool = pool;
+      std::vector<contract::DesignResult> designs =
+          contract::design_contracts_batch(specs, batch, &result.design_cache);
+      for (std::size_t i = 0; i < nsub; ++i) {
+        result.subproblems[i].design = std::move(designs[i]);
+      }
+      break;
+    }
+    case PricingStrategy::kFixedPayment: {
+      const double fixed_payment = config.fixed_payment;
+      const double fixed_threshold = config.fixed_threshold_effort;
+      pool->parallel_for(nsub, [&](std::size_t i) {
+        SubproblemOutcome& sub = result.subproblems[i];
         const contract::FixedContractOutcome outcome =
             contract::fixed_threshold_baseline(sub.spec, fixed_payment,
                                                fixed_threshold);
@@ -188,10 +206,10 @@ PipelineResult run_pipeline(const data::ReviewTrace& trace,
         sub.design.response.compensation = outcome.compensation;
         sub.design.response.utility = outcome.worker_utility;
         sub.design.requester_utility = outcome.requester_utility;
-        break;
-      }
+      });
+      break;
     }
-  });
+  }
 
   // ---- Aggregation --------------------------------------------------------
   for (std::size_t i = 0; i < result.subproblems.size(); ++i) {
@@ -214,7 +232,9 @@ PipelineResult run_pipeline(const data::ReviewTrace& trace,
   CCD_LOG_DEBUG << "pipeline: utility="
                 << result.total_requester_utility
                 << " compensation=" << result.total_compensation
-                << " excluded=" << result.excluded_workers;
+                << " excluded=" << result.excluded_workers
+                << " design-cache hits=" << result.design_cache.hits
+                << "/" << result.design_cache.lookups;
   return result;
 }
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "contract/baselines.hpp"
+#include "contract/design_cache.hpp"
 #include "contract/designer.hpp"
 #include "core/requester.hpp"
 #include "data/metrics.hpp"
@@ -48,7 +49,10 @@ struct PipelineConfig {
   /// Fixed-payment baseline knobs (used when strategy == kFixedPayment).
   double fixed_payment = 1.0;
   double fixed_threshold_effort = 1.0;
-  /// Worker threads for the subproblem fan-out (0 = hardware concurrency).
+  /// Worker threads for the subproblem fan-out. 0 reuses the process-wide
+  /// util::shared_pool() (hardware concurrency); a positive value runs the
+  /// solve stage on a dedicated pool of that size. Results are identical
+  /// either way.
   std::size_t threads = 0;
 };
 
@@ -88,6 +92,10 @@ struct PipelineResult {
   detect::CollusionResult collusion;
   effort::ClassFits class_fits;
   detect::MaliciousDetector::Quality detector_quality;
+  /// Solve-stage cache counters: one k-sweep per distinct subproblem spec,
+  /// hits for every worker resolved from a shared table (empty for the
+  /// fixed-payment strategy, which designs no contracts).
+  contract::DesignCacheStats design_cache;
   double total_requester_utility = 0.0;
   double total_compensation = 0.0;
   std::size_t excluded_workers = 0;

@@ -5,6 +5,13 @@
 #include <exception>
 
 namespace ccd::util {
+namespace {
+
+// Identifies which pool (if any) owns the current thread; lets
+// parallel_for detect nested use and fall back to inline execution.
+thread_local const ThreadPool* tls_current_pool = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -16,16 +23,24 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+bool ThreadPool::on_worker_thread() const {
+  return tls_current_pool == this;
+}
+
+void ThreadPool::shutdown() {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
   for (std::thread& t : workers_) t.join();
+  workers_.clear();
 }
 
 void ThreadPool::worker_loop() {
+  tls_current_pool = this;
   while (true) {
     std::function<void()> task;
     {
@@ -45,6 +60,13 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  // Nested use: an outer task calling parallel_for on its own pool would
+  // block on futures that can only run on the slots the outer tasks hold.
+  // Run inline instead (also the degraded mode after shutdown()).
+  if (on_worker_thread() || workers_.empty()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
   // Chunk so that each thread gets a handful of blocks; per-index dispatch
   // would drown small tasks in queue overhead.
   const std::size_t chunks =
@@ -79,10 +101,27 @@ void ThreadPool::parallel_for(std::size_t n,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+namespace {
+
+std::once_flag shared_pool_once;
+ThreadPool* shared_pool_instance = nullptr;
+
+}  // namespace
+
+ThreadPool& shared_pool() {
+  // Leaked on purpose: a function-local static would join its threads
+  // during static destruction, racing destructors in other translation
+  // units. shutdown_shared_pool() provides the explicit teardown.
+  std::call_once(shared_pool_once,
+                 [] { shared_pool_instance = new ThreadPool(); });
+  return *shared_pool_instance;
+}
+
+void shutdown_shared_pool() { shared_pool().shutdown(); }
+
 void parallel_for_default(std::size_t n,
                           const std::function<void(std::size_t)>& fn) {
-  static ThreadPool pool;  // shared process-wide pool
-  pool.parallel_for(n, fn);
+  shared_pool().parallel_for(n, fn);
 }
 
 }  // namespace ccd::util

@@ -6,6 +6,19 @@
 // them in parallel. Exceptions thrown by tasks submitted through
 // parallel_for are captured and rethrown on the calling thread (first one
 // wins), so failures are not silently lost.
+//
+// Threading model:
+//  * parallel_for is reentrant. When called from one of the pool's own
+//    worker threads it runs every index inline on the caller: the outer
+//    task already occupies a worker slot and would otherwise block on
+//    future::get() for chunks that can never be scheduled (deadlock once
+//    all slots are held by blocked outer tasks).
+//  * A process-wide pool is available via shared_pool(). It is created on
+//    first use and intentionally never destroyed, so no thread joins race
+//    other objects during static destruction; call shutdown_shared_pool()
+//    (or ThreadPool::shutdown()) when deterministic teardown is needed.
+//  * After shutdown() a pool keeps working in degraded form: parallel_for
+//    runs inline and submit throws.
 #pragma once
 
 #include <condition_variable>
@@ -27,7 +40,16 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  /// Worker threads still attached (0 after shutdown()).
   std::size_t thread_count() const { return workers_.size(); }
+
+  /// True when the calling thread is one of this pool's workers.
+  bool on_worker_thread() const;
+
+  /// Stop accepting new work, drain the queue, and join all workers.
+  /// Idempotent; must not be called from one of the pool's own tasks.
+  /// The destructor calls it implicitly.
+  void shutdown();
 
   /// Enqueue a task; the future reports its result or exception.
   template <typename F>
@@ -45,7 +67,9 @@ class ThreadPool {
   }
 
   /// Run fn(i) for i in [0, n), blocking until all complete.
-  /// Rethrows the first task exception on the caller.
+  /// Rethrows the first task exception on the caller. Reentrant: nested
+  /// calls from a worker of this pool (and calls after shutdown) run
+  /// inline on the calling thread.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
@@ -58,8 +82,18 @@ class ThreadPool {
   bool stopping_ = false;
 };
 
-/// Blocked parallel_for over a shared default pool (lazily constructed with
-/// hardware concurrency). Suitable for coarse-grained work items.
+/// The process-wide shared pool (hardware concurrency). Constructed on
+/// first use and deliberately leaked: its threads are joined only by an
+/// explicit shutdown_shared_pool(), never during static destruction.
+ThreadPool& shared_pool();
+
+/// Explicitly stop the shared pool (idempotent). Afterwards parallel_for
+/// on the shared pool degrades to inline execution, so late callers still
+/// make progress.
+void shutdown_shared_pool();
+
+/// Blocked parallel_for over shared_pool(). Suitable for coarse-grained
+/// work items.
 void parallel_for_default(std::size_t n,
                           const std::function<void(std::size_t)>& fn);
 

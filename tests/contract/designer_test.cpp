@@ -105,6 +105,46 @@ TEST(DesignContractTest, NonPositiveWeightExcludes) {
   EXPECT_TRUE(design_contract(spec).excluded);
 }
 
+TEST(DesignContractTest, AllCandidatesNegativeFallsBackToExclusion) {
+  // Regression (§V elimination rule): with a stingy requester (high mu)
+  // and a near-worthless worker (low weight) every candidate contract
+  // loses money; the designer must prefer the zero contract (utility 0)
+  // instead of returning the least-bad losing candidate.
+  SubproblemSpec spec = base_spec();
+  spec.mu = 50.0;
+  spec.weight = 0.1;
+  const DesignResult d = design_contract(spec);
+  ASSERT_EQ(d.utility_by_k.size(), spec.intervals);
+  for (const double u : d.utility_by_k) EXPECT_LT(u, 0.0);
+  EXPECT_TRUE(d.excluded);
+  EXPECT_TRUE(d.contract.is_zero());
+  EXPECT_EQ(d.k_opt, 0u);
+  EXPECT_DOUBLE_EQ(d.requester_utility, 0.0);
+  EXPECT_DOUBLE_EQ(d.response.compensation, 0.0);
+  EXPECT_DOUBLE_EQ(d.upper_bound, 0.0);
+  EXPECT_DOUBLE_EQ(d.lower_bound, 0.0);
+}
+
+TEST(DesignContractTest, TableResolveMatchesDirectDesign) {
+  // design_contract == build_design_table + resolve_design, bitwise.
+  for (const double w : {0.1, 0.5, 1.0, 3.0}) {
+    SubproblemSpec spec = base_spec();
+    spec.incentives.omega = 0.25;
+    spec.weight = w;
+    const DesignResult direct = design_contract(spec);
+    const DesignResult via_table =
+        resolve_design(spec, build_design_table(spec));
+    EXPECT_EQ(direct.requester_utility, via_table.requester_utility);
+    EXPECT_EQ(direct.k_opt, via_table.k_opt);
+    EXPECT_EQ(direct.response.effort, via_table.response.effort);
+    EXPECT_EQ(direct.response.compensation, via_table.response.compensation);
+    EXPECT_EQ(direct.upper_bound, via_table.upper_bound);
+    EXPECT_EQ(direct.lower_bound, via_table.lower_bound);
+    EXPECT_EQ(direct.utility_by_k, via_table.utility_by_k);
+    EXPECT_EQ(direct.pay_by_k, via_table.pay_by_k);
+  }
+}
+
 TEST(DesignContractTest, HigherWeightNeverLowersUtility) {
   double prev = -1e300;
   for (const double w : {0.3, 0.6, 1.0, 2.0, 4.0}) {

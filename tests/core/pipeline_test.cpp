@@ -4,6 +4,7 @@
 
 #include "data/generator.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ccd::core {
 namespace {
@@ -191,6 +192,31 @@ TEST_F(PipelineTest, LowerMuRaisesCompensation) {
   stingy.requester.mu = 1.0;
   EXPECT_GE(run_pipeline(*trace_, generous).total_compensation,
             run_pipeline(*trace_, stingy).total_compensation - 1e-9);
+}
+
+TEST_F(PipelineTest, DesignCacheCollapsesSweeps) {
+  // Workers of one detected class share a weight-independent spec, so the
+  // solve stage needs far fewer k-sweeps than subproblems.
+  const PipelineResult r = run_pipeline(*trace_, PipelineConfig{});
+  EXPECT_EQ(r.design_cache.lookups,
+            r.design_cache.hits + r.design_cache.misses);
+  EXPECT_LE(r.design_cache.lookups, r.subproblems.size());
+  EXPECT_GT(r.design_cache.hits, 0u);
+  EXPECT_LT(r.design_cache.misses, r.design_cache.lookups);
+  EXPECT_GT(r.design_cache.sweep_steps_avoided, 0u);
+}
+
+TEST_F(PipelineTest, RunsNestedInsideAPoolTask) {
+  // The solve stage reuses the shared pool; invoking the pipeline from
+  // inside a shared-pool task must complete (reentrant parallel_for) and
+  // produce identical results.
+  auto future = util::shared_pool().submit(
+      [] { return run_pipeline(*trace_, PipelineConfig{}); });
+  const PipelineResult nested = future.get();
+  const PipelineResult direct = run_pipeline(*trace_, PipelineConfig{});
+  EXPECT_DOUBLE_EQ(nested.total_requester_utility,
+                   direct.total_requester_utility);
+  EXPECT_DOUBLE_EQ(nested.total_compensation, direct.total_compensation);
 }
 
 TEST(PipelineValidationTest, RequiresIndexes) {

@@ -84,11 +84,80 @@ TEST(ThreadPoolTest, ManySmallSubmissions) {
   EXPECT_EQ(total, 199 * 200 / 2);
 }
 
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  // Regression: an outer task calling parallel_for on its own pool used to
+  // deadlock — the outer chunks held every worker slot while blocking on
+  // inner futures that could never be scheduled.
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    pool.parallel_for(8, [&](std::size_t) { counter.fetch_add(1); });
+  });
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPoolTest, NestedParallelForPropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(2,
+                        [&](std::size_t) {
+                          pool.parallel_for(4, [&](std::size_t i) {
+                            if (i == 3) throw std::runtime_error("inner");
+                          });
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, OnWorkerThreadDetection) {
+  ThreadPool pool(2);
+  std::atomic<bool> inside{false};
+  pool.parallel_for(1, [&](std::size_t) {
+    inside.store(pool.on_worker_thread());
+  });
+  EXPECT_TRUE(inside.load());
+  EXPECT_FALSE(pool.on_worker_thread());
+}
+
+TEST(ThreadPoolTest, WorkerOfAnotherPoolIsNotNested) {
+  ThreadPool outer(2);
+  ThreadPool inner(2);
+  std::atomic<bool> on_inner{true};
+  outer.parallel_for(1, [&](std::size_t) {
+    on_inner.store(inner.on_worker_thread());
+  });
+  EXPECT_FALSE(on_inner.load());
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotentAndDegradesToInline) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  pool.shutdown();
+  EXPECT_EQ(pool.thread_count(), 0u);
+  // parallel_for still makes progress (inline), submit refuses.
+  std::atomic<int> counter{0};
+  pool.parallel_for(10, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 10);
+  EXPECT_THROW(pool.submit([] { return 1; }), std::runtime_error);
+}
+
+TEST(SharedPoolTest, IsAProcessWideSingleton) {
+  EXPECT_EQ(&shared_pool(), &shared_pool());
+  EXPECT_GE(shared_pool().thread_count(), 1u);
+}
+
 TEST(ParallelForDefaultTest, Works) {
   std::vector<std::atomic<int>> hits(256);
   parallel_for_default(hits.size(),
                        [&](std::size_t i) { hits[i].fetch_add(1); });
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForDefaultTest, NestedThroughSharedPool) {
+  std::atomic<int> counter{0};
+  parallel_for_default(3, [&](std::size_t) {
+    parallel_for_default(5, [&](std::size_t) { counter.fetch_add(1); });
+  });
+  EXPECT_EQ(counter.load(), 15);
 }
 
 }  // namespace
