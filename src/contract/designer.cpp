@@ -1,9 +1,11 @@
 #include "contract/designer.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <utility>
 
 #include "util/error.hpp"
+#include "util/fault_injection.hpp"
 
 namespace ccd::contract {
 
@@ -44,6 +46,17 @@ DesignResult excluded_result(const SubproblemSpec& spec) {
   return result;
 }
 
+/// Stable per-spec key for fault injection: mixes the bit patterns of the
+/// fields that distinguish one subproblem from another.
+std::uint64_t fault_key(const SubproblemSpec& spec) {
+  std::uint64_t bits_w = 0;
+  std::uint64_t bits_mu = 0;
+  std::memcpy(&bits_w, &spec.weight, sizeof(bits_w));
+  std::memcpy(&bits_mu, &spec.mu, sizeof(bits_mu));
+  return bits_w ^ (bits_mu * 0x9e3779b97f4a7c15ULL) ^
+         (static_cast<std::uint64_t>(spec.intervals) << 48);
+}
+
 }  // namespace
 
 DesignTable build_design_table(const SubproblemSpec& spec) {
@@ -70,6 +83,8 @@ DesignResult resolve_design(const SubproblemSpec& spec,
   // "automatically eliminated" workers get the zero contract). The
   // requester drops their feedback entirely: zero utility, zero pay.
   if (spec.weight <= 0.0) return excluded_result(spec);
+
+  CCD_FAULT_POINT("contract.design", fault_key(spec), ContractError);
 
   const std::size_t m = spec.intervals;
   CCD_CHECK_MSG(table.candidates.size() == m,

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
+#include <sstream>
+#include <utility>
 
 #include "util/error.hpp"
+#include "util/fault_injection.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
 
@@ -35,7 +39,89 @@ const effort::EffortFit& class_fit(const effort::ClassFits& fits,
   return fits.honest;
 }
 
+/// Fail-fast sanitize: reject non-finite fields outright, naming the
+/// offender. Lenient modes route through data::sanitize_trace instead.
+void check_trace_finite(const data::ReviewTrace& trace) {
+  for (const data::Worker& w : trace.workers()) {
+    if (!std::isfinite(w.skill)) {
+      DataError e("non-finite skill for worker " + std::to_string(w.id));
+      e.with_stage("sanitize").with_worker(w.id);
+      throw e;
+    }
+  }
+  for (const data::Product& p : trace.products()) {
+    if (!std::isfinite(p.true_quality)) {
+      DataError e("non-finite quality for product " + std::to_string(p.id));
+      e.with_stage("sanitize");
+      throw e;
+    }
+  }
+  for (const data::Review& r : trace.reviews()) {
+    if (!std::isfinite(r.score)) {
+      DataError e("non-finite score in review " + std::to_string(r.id));
+      e.with_stage("sanitize").with_worker(r.worker).with_round(r.round);
+      throw e;
+    }
+  }
+}
+
+/// The all-zero design used for quarantined subproblems: no contract, no
+/// payment, no utility. Distinct from the designer's own exclusion result
+/// (`excluded` stays false; WorkerOutcome::quarantined marks the cause).
+contract::DesignResult quarantined_design() { return contract::DesignResult{}; }
+
 }  // namespace
+
+const char* to_string(StageMode mode) {
+  switch (mode) {
+    case StageMode::kFailFast: return "fail-fast";
+    case StageMode::kQuarantine: return "quarantine";
+    case StageMode::kFallback: return "fallback";
+  }
+  return "?";
+}
+
+const char* to_string(PipelineStage stage) {
+  switch (stage) {
+    case PipelineStage::kSanitize: return "sanitize";
+    case PipelineStage::kDetect: return "detect";
+    case PipelineStage::kCluster: return "cluster";
+    case PipelineStage::kFit: return "fit";
+    case PipelineStage::kSolve: return "solve";
+  }
+  return "?";
+}
+
+StageMode FaultPolicy::mode_for(PipelineStage stage) const {
+  switch (stage) {
+    case PipelineStage::kSanitize: return sanitize;
+    case PipelineStage::kDetect: return detect;
+    case PipelineStage::kCluster: return cluster;
+    case PipelineStage::kFit: return fit;
+    case PipelineStage::kSolve: return solve;
+  }
+  return StageMode::kFailFast;
+}
+
+std::string DegradationEvent::to_string() const {
+  std::ostringstream os;
+  os << ccd::core::to_string(stage) << '/' << ccd::core::to_string(action)
+     << " [" << ccd::to_string(code) << "] " << detail;
+  if (worker >= 0) os << " worker=" << worker;
+  if (subproblem >= 0) os << " subproblem=" << subproblem;
+  return os.str();
+}
+
+std::string HealthReport::to_string() const {
+  if (!degraded() && !sanitized) return "health: clean";
+  std::ostringstream os;
+  os << "health: " << events.size() << " event(s), quarantined_workers="
+     << quarantined_workers << " fallback_workers=" << fallback_workers
+     << " fit_fallbacks=" << fit_fallbacks;
+  if (sanitized) os << "; " << sanitize.to_string();
+  for (const DegradationEvent& e : events) os << "\n  " << e.to_string();
+  return os.str();
+}
 
 std::vector<double> PipelineResult::compensations_of_class(
     data::WorkerClass cls) const {
@@ -52,28 +138,119 @@ PipelineResult run_pipeline(const data::ReviewTrace& trace,
   CCD_CHECK_MSG(trace.indexes_built(), "pipeline requires trace indexes");
 
   PipelineResult result;
-  const std::size_t n = trace.workers().size();
+  HealthReport& health = result.health;
+  const FaultPolicy& policy = config.faults;
+
+  // ---- Sanitize stage ----------------------------------------------------
+  // Fail-fast scans for the one corruption class ReviewTrace::validate()
+  // historically missed at build time (non-finite fields reach here when a
+  // trace is assembled in memory rather than loaded); the lenient modes
+  // rebuild the trace through the sanitizer and keep going.
+  const data::ReviewTrace* active = &trace;
+  std::optional<data::SanitizedTrace> sanitized_storage;
+  if (policy.sanitize == StageMode::kFailFast) {
+    check_trace_finite(trace);
+  } else {
+    sanitized_storage = data::sanitize_trace(trace, config.sanitize);
+    health.sanitize = sanitized_storage->report;
+    health.sanitized = true;
+    if (!health.sanitize.clean()) {
+      DegradationEvent ev;
+      ev.stage = PipelineStage::kSanitize;
+      ev.action = policy.sanitize;
+      ev.code = ErrorCode::kData;
+      ev.detail = health.sanitize.to_string();
+      health.events.push_back(std::move(ev));
+    }
+    active = &sanitized_storage->trace;
+  }
+  const data::ReviewTrace& t = *active;
+
+  const std::size_t n = t.workers().size();
   result.workers.resize(n);
 
-  // ---- Detection stage ------------------------------------------------
-  const data::WorkerMetrics metrics(trace);
-  const detect::ExpertPanel experts(trace, metrics, config.expert);
-  const detect::MaliciousDetector detector(trace, experts, config.detector);
-  result.detector_quality =
-      detector.evaluate(trace, config.malicious_threshold);
-
+  // ---- Detection stage ---------------------------------------------------
+  std::optional<data::WorkerMetrics> metrics;
+  std::optional<detect::ExpertPanel> experts;
+  std::optional<detect::MaliciousDetector> detector;
   std::vector<data::WorkerId> malicious;
+  try {
+    metrics.emplace(t);
+    experts.emplace(t, *metrics, config.expert);
+    detector.emplace(t, *experts, config.detector);
+    result.detector_quality =
+        detector->evaluate(t, config.malicious_threshold);
+    if (!config.use_ground_truth_labels) {
+      malicious = detector->flagged(config.malicious_threshold);
+    }
+  } catch (Error& e) {
+    if (policy.detect == StageMode::kFailFast) {
+      e.with_stage("detect");
+      throw;
+    }
+    // Degraded detection: treat the fleet as honest (no flags, neutral
+    // probabilities). Contracts are still designed for everyone, so the
+    // run stays useful as an upper bound on trust.
+    DegradationEvent ev;
+    ev.stage = PipelineStage::kDetect;
+    ev.action = policy.detect;
+    ev.code = e.code();
+    ev.detail = e.message();
+    health.events.push_back(std::move(ev));
+    malicious.clear();
+    result.detector_quality = {};
+  }
   if (config.use_ground_truth_labels) {
-    for (const data::Worker& w : trace.workers()) {
+    for (const data::Worker& w : t.workers()) {
       if (w.true_class != data::WorkerClass::kHonest) malicious.push_back(w.id);
     }
-  } else {
-    malicious = detector.flagged(config.malicious_threshold);
   }
-  result.collusion = detect::cluster_collusive_workers(trace, malicious);
 
-  // ---- Fitting stage ----------------------------------------------------
-  result.class_fits = effort::fit_all_classes(metrics, config.fit);
+  // ---- Clustering stage --------------------------------------------------
+  try {
+    result.collusion = detect::cluster_collusive_workers(t, malicious);
+  } catch (Error& e) {
+    if (policy.cluster == StageMode::kFailFast) {
+      e.with_stage("cluster");
+      throw;
+    }
+    DegradationEvent ev;
+    ev.stage = PipelineStage::kCluster;
+    ev.action = policy.cluster;
+    ev.code = e.code();
+    ev.detail = e.message();
+    health.events.push_back(std::move(ev));
+    // Degraded clustering: no communities; flagged workers stay NCM.
+    result.collusion = {};
+    result.collusion.community_of.assign(n, -1);
+    result.collusion.non_collusive = malicious;
+  }
+
+  // ---- Fitting stage -----------------------------------------------------
+  try {
+    CCD_CHECK_MSG(metrics.has_value(),
+                  "worker metrics unavailable (detect stage failed)");
+    result.class_fits = effort::fit_all_classes(*metrics, config.fit);
+  } catch (Error& e) {
+    if (policy.fit == StageMode::kFailFast) {
+      e.with_stage("fit");
+      throw;
+    }
+    DegradationEvent ev;
+    ev.stage = PipelineStage::kFit;
+    ev.action = policy.fit;
+    ev.code = e.code();
+    ev.detail = e.message();
+    health.events.push_back(std::move(ev));
+    // Degraded fitting: the library default concave model for every class.
+    effort::EffortFit def;
+    def.model = effort::QuadraticEffort(-1.0, 8.0, 2.0);
+    def.fallback = true;
+    result.class_fits.honest = def;
+    result.class_fits.ncm = def;
+    result.class_fits.cm = def;
+    ++health.fit_fallbacks;
+  }
 
   // ---- Per-worker attributes ---------------------------------------------
   // NCM = flagged malicious that clustering did not absorb into a
@@ -87,9 +264,10 @@ PipelineResult run_pipeline(const data::ReviewTrace& trace,
   for (data::WorkerId id = 0; id < n; ++id) {
     WorkerOutcome& out = result.workers[id];
     out.id = id;
-    out.true_class = trace.worker(id).true_class;
-    out.malicious_probability = detector.probability(id);
-    out.accuracy_distance = accuracy_distance(trace, experts, id);
+    out.true_class = t.worker(id).true_class;
+    out.malicious_probability = detector ? detector->probability(id) : 0.0;
+    out.accuracy_distance =
+        experts ? accuracy_distance(t, *experts, id) : 0.0;
     const std::int32_t community = result.collusion.community_of[id];
     if (community >= 0) {
       out.detected_class = DetectedClass::kCollusiveMalicious;
@@ -141,14 +319,37 @@ PipelineResult run_pipeline(const data::ReviewTrace& trace,
     }
     weight /= static_cast<double>(community.members.size());
 
-    const std::vector<data::EffortSample> samples =
-        effort::community_sum_samples(trace, metrics, community.members);
-    effort::EffortFit fit = result.class_fits.cm;
-    if (samples.size() >= config.min_community_fit_samples) {
-      fit = effort::fit_effort_function(samples, config.fit);
-    }
     SubproblemOutcome sub;
     sub.workers = community.members;
+    effort::EffortFit fit = result.class_fits.cm;
+    if (metrics) {
+      const std::vector<data::EffortSample> samples =
+          effort::community_sum_samples(t, *metrics, community.members);
+      if (samples.size() >= config.min_community_fit_samples) {
+        try {
+          fit = effort::fit_effort_function(samples, config.fit);
+        } catch (Error& e) {
+          if (policy.fit == StageMode::kFailFast) {
+            e.with_stage("fit").with_worker(community.members.front());
+            throw;
+          }
+          DegradationEvent ev;
+          ev.stage = PipelineStage::kFit;
+          ev.action = policy.fit;
+          ev.code = e.code();
+          ev.detail = e.message();
+          ev.worker = community.members.front();
+          ev.subproblem =
+              static_cast<std::int64_t>(result.subproblems.size());
+          health.events.push_back(std::move(ev));
+          if (policy.fit == StageMode::kQuarantine) {
+            sub.quarantined = true;
+          } else {
+            ++health.fit_fallbacks;  // keep the CM class fit
+          }
+        }
+      }
+    }
     sub.spec = make_spec(fit, config.requester.omega_malicious, weight);
     result.subproblems.push_back(std::move(sub));
   }
@@ -167,49 +368,139 @@ PipelineResult run_pipeline(const data::ReviewTrace& trace,
     pool = &*local_pool;
   }
 
-  switch (config.strategy) {
-    case PricingStrategy::kDynamicContract:
-    case PricingStrategy::kExcludeMalicious: {
-      std::vector<contract::SubproblemSpec> specs(nsub);
-      for (std::size_t i = 0; i < nsub; ++i) {
-        const SubproblemOutcome& sub = result.subproblems[i];
-        specs[i] = sub.spec;
-        if (config.strategy == PricingStrategy::kExcludeMalicious) {
-          const bool suspected_malicious =
-              sub.workers.size() > 1 ||
-              result.workers[sub.workers.front()].detected_class !=
-                  DetectedClass::kHonest;
-          if (suspected_malicious) specs[i].weight = 0.0;  // zero contract
+  const auto suspected_malicious = [&](const SubproblemOutcome& sub) {
+    return sub.workers.size() > 1 ||
+           result.workers[sub.workers.front()].detected_class !=
+               DetectedClass::kHonest;
+  };
+  const auto fixed_design = [&](const contract::SubproblemSpec& spec) {
+    const contract::FixedContractOutcome outcome =
+        contract::fixed_threshold_baseline(spec, config.fixed_payment,
+                                           config.fixed_threshold_effort);
+    // Represent the outcome in DesignResult form for uniform reporting.
+    contract::DesignResult design;
+    design.response.effort = outcome.effort;
+    design.response.feedback = outcome.feedback;
+    design.response.compensation = outcome.compensation;
+    design.response.utility = outcome.worker_utility;
+    design.requester_utility = outcome.requester_utility;
+    return design;
+  };
+
+  if (policy.solve == StageMode::kFailFast) {
+    try {
+      switch (config.strategy) {
+        case PricingStrategy::kDynamicContract:
+        case PricingStrategy::kExcludeMalicious: {
+          std::vector<contract::SubproblemSpec> specs(nsub);
+          for (std::size_t i = 0; i < nsub; ++i) {
+            const SubproblemOutcome& sub = result.subproblems[i];
+            specs[i] = sub.spec;
+            // Quarantined (fit stage) and strategy-excluded subproblems get
+            // the zero-weight shortcut: no k-sweep, no fault point.
+            if (sub.quarantined) specs[i].weight = 0.0;
+            if (config.strategy == PricingStrategy::kExcludeMalicious &&
+                suspected_malicious(sub)) {
+              specs[i].weight = 0.0;  // zero contract
+            }
+          }
+          contract::BatchOptions batch;
+          batch.pool = pool;
+          std::vector<contract::DesignResult> designs =
+              contract::design_contracts_batch(specs, batch,
+                                               &result.design_cache);
+          for (std::size_t i = 0; i < nsub; ++i) {
+            result.subproblems[i].design = std::move(designs[i]);
+          }
+          break;
+        }
+        case PricingStrategy::kFixedPayment: {
+          pool->parallel_for(nsub, [&](std::size_t i) {
+            SubproblemOutcome& sub = result.subproblems[i];
+            if (sub.quarantined) return;
+            sub.design = fixed_design(sub.spec);
+          });
+          break;
         }
       }
-      contract::BatchOptions batch;
-      batch.pool = pool;
-      std::vector<contract::DesignResult> designs =
-          contract::design_contracts_batch(specs, batch, &result.design_cache);
-      for (std::size_t i = 0; i < nsub; ++i) {
-        result.subproblems[i].design = std::move(designs[i]);
+    } catch (Error& e) {
+      e.with_stage("solve");
+      throw;
+    }
+    for (std::size_t i = 0; i < nsub; ++i) {
+      if (result.subproblems[i].quarantined) {
+        result.subproblems[i].design = quarantined_design();
       }
-      break;
     }
-    case PricingStrategy::kFixedPayment: {
-      const double fixed_payment = config.fixed_payment;
-      const double fixed_threshold = config.fixed_threshold_effort;
-      pool->parallel_for(nsub, [&](std::size_t i) {
-        SubproblemOutcome& sub = result.subproblems[i];
-        const contract::FixedContractOutcome outcome =
-            contract::fixed_threshold_baseline(sub.spec, fixed_payment,
-                                               fixed_threshold);
-        // Represent the outcome in DesignResult form for uniform reporting.
-        sub.design = contract::DesignResult{};
-        sub.design.response.effort = outcome.effort;
-        sub.design.response.feedback = outcome.feedback;
-        sub.design.response.compensation = outcome.compensation;
-        sub.design.response.utility = outcome.worker_utility;
-        sub.design.requester_utility = outcome.requester_utility;
-      });
-      break;
-    }
+  } else {
+    // Lenient solve: per-subproblem tasks with a shared table cache; each
+    // task absorbs its own failure (quarantine or fixed-payment fallback)
+    // instead of cancelling the fan-out.
+    contract::DesignCache cache;
+    std::mutex events_mutex;
+    const StageMode solve_mode = policy.solve;
+    pool->parallel_for(nsub, [&](std::size_t i) {
+      SubproblemOutcome& sub = result.subproblems[i];
+      if (sub.quarantined) {
+        sub.design = quarantined_design();
+        return;
+      }
+      contract::SubproblemSpec spec = sub.spec;
+      if (config.strategy == PricingStrategy::kExcludeMalicious &&
+          suspected_malicious(sub)) {
+        spec.weight = 0.0;
+      }
+      try {
+        CCD_FAULT_POINT("pipeline.solve_task", i, Error);
+        sub.design = config.strategy == PricingStrategy::kFixedPayment
+                         ? fixed_design(spec)
+                         : cache.design(spec);
+        return;
+      } catch (const Error& e) {
+        std::lock_guard<std::mutex> lock(events_mutex);
+        DegradationEvent ev;
+        ev.stage = PipelineStage::kSolve;
+        ev.action = solve_mode;
+        ev.code = e.code();
+        ev.detail = e.message();
+        ev.worker = sub.workers.front();
+        ev.subproblem = static_cast<std::int64_t>(i);
+        health.events.push_back(std::move(ev));
+      }
+      if (solve_mode == StageMode::kFallback &&
+          config.strategy != PricingStrategy::kFixedPayment) {
+        try {
+          sub.design = fixed_design(spec);
+          sub.fallback = true;
+          return;
+        } catch (const Error& e) {
+          std::lock_guard<std::mutex> lock(events_mutex);
+          DegradationEvent ev;
+          ev.stage = PipelineStage::kSolve;
+          ev.action = StageMode::kQuarantine;
+          ev.code = e.code();
+          ev.detail = "fallback failed: " + e.message();
+          ev.worker = sub.workers.front();
+          ev.subproblem = static_cast<std::int64_t>(i);
+          health.events.push_back(std::move(ev));
+        }
+      }
+      sub.quarantined = true;
+      sub.design = quarantined_design();
+    });
+    result.design_cache = cache.stats();
   }
+
+  // Parallel tasks record events in completion order; sort for stable,
+  // reproducible reports.
+  std::stable_sort(health.events.begin(), health.events.end(),
+                   [](const DegradationEvent& a, const DegradationEvent& b) {
+                     if (a.stage != b.stage) return a.stage < b.stage;
+                     if (a.subproblem != b.subproblem) {
+                       return a.subproblem < b.subproblem;
+                     }
+                     return a.worker < b.worker;
+                   });
 
   // ---- Aggregation --------------------------------------------------------
   for (std::size_t i = 0; i < result.subproblems.size(); ++i) {
@@ -221,11 +512,15 @@ PipelineResult run_pipeline(const data::ReviewTrace& trace,
       WorkerOutcome& out = result.workers[id];
       out.subproblem = i;
       out.excluded = sub.design.excluded;
+      out.quarantined = sub.quarantined;
+      out.fallback = sub.fallback;
       out.requester_utility = sub.design.requester_utility * share;
       out.compensation = sub.design.response.compensation * share;
       out.effort = sub.design.response.effort * share;
       out.feedback = sub.design.response.feedback * share;
       if (out.excluded) ++result.excluded_workers;
+      if (out.quarantined) ++health.quarantined_workers;
+      if (out.fallback) ++health.fallback_workers;
     }
   }
 
@@ -235,6 +530,9 @@ PipelineResult run_pipeline(const data::ReviewTrace& trace,
                 << " excluded=" << result.excluded_workers
                 << " design-cache hits=" << result.design_cache.hits
                 << "/" << result.design_cache.lookups;
+  if (health.degraded()) {
+    CCD_LOG_INFO << "pipeline degraded: " << health.to_string();
+  }
   return result;
 }
 

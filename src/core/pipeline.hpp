@@ -1,17 +1,39 @@
 // End-to-end contract-design pipeline (the paper's Fig. 4 strategy
 // framework):
 //
-//   trace -> expert panel -> maliciousness estimates -> collusion
-//   clustering -> effort-function fitting -> BiP decomposition ->
+//   trace -> sanitize -> expert panel -> maliciousness estimates ->
+//   collusion clustering -> effort-function fitting -> BiP decomposition ->
 //   per-subproblem contract design (in parallel) -> fleet outcome.
 //
 // The pipeline also runs the exclusion baseline of Fig. 8(c) (drop every
 // suspected malicious worker) and a fleet-wide fixed-payment baseline, so
 // experiments can compare strategies on identical inputs.
+//
+// Fault tolerance: every stage runs inside a recovery boundary governed by
+// a per-stage StageMode in PipelineConfig::faults.
+//
+//  * kFailFast   — any error aborts the run (the historical behavior and
+//                  the default); the thrown ccd::Error is annotated with
+//                  the stage (and worker, where known) before it escapes.
+//  * kQuarantine — the offending record / worker / subproblem is dropped
+//                  with a zero contract (the §V "eliminated worker"
+//                  treatment) and the run continues.
+//  * kFallback   — a cheaper substitute is used instead: the sanitizer
+//                  repairs the trace, a failed detector treats everyone as
+//                  honest, a failed community fit reuses the CM class fit,
+//                  and a failed contract design falls back to the
+//                  fixed-payment baseline. If the substitute also fails,
+//                  the unit is quarantined.
+//
+// Everything absorbed this way is recorded in PipelineResult::health —
+// counters reconcile exactly: every worker ends up solved, excluded, or
+// quarantined.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "contract/baselines.hpp"
@@ -19,11 +41,13 @@
 #include "contract/designer.hpp"
 #include "core/requester.hpp"
 #include "data/metrics.hpp"
+#include "data/sanitize.hpp"
 #include "data/trace.hpp"
 #include "detect/collusion.hpp"
 #include "detect/expert.hpp"
 #include "detect/malicious.hpp"
 #include "effort/fitting.hpp"
+#include "util/error.hpp"
 
 namespace ccd::core {
 
@@ -31,6 +55,76 @@ enum class PricingStrategy {
   kDynamicContract,   ///< the paper's method
   kExcludeMalicious,  ///< Fig. 8(c) baseline: drop all suspected malicious
   kFixedPayment,      ///< flat per-task payment with a quality threshold
+};
+
+/// Degradation mode for one pipeline stage.
+enum class StageMode {
+  kFailFast,    ///< propagate the error (historical behavior; default)
+  kQuarantine,  ///< drop the offending unit with a zero contract
+  kFallback,    ///< substitute a degraded result; quarantine if that fails
+};
+
+const char* to_string(StageMode mode);
+
+/// Stages with a recovery boundary (in execution order).
+enum class PipelineStage { kSanitize, kDetect, kCluster, kFit, kSolve };
+
+const char* to_string(PipelineStage stage);
+
+/// Per-stage degradation policy.
+struct FaultPolicy {
+  StageMode sanitize = StageMode::kFailFast;
+  StageMode detect = StageMode::kFailFast;
+  StageMode cluster = StageMode::kFailFast;
+  StageMode fit = StageMode::kFailFast;
+  StageMode solve = StageMode::kFailFast;
+
+  StageMode mode_for(PipelineStage stage) const;
+
+  /// All stages kFailFast (the default-constructed policy, spelled out).
+  static FaultPolicy fail_fast() { return {}; }
+  /// All stages kQuarantine.
+  static FaultPolicy quarantine() { return uniform(StageMode::kQuarantine); }
+  /// All stages kFallback.
+  static FaultPolicy fallback() { return uniform(StageMode::kFallback); }
+  static FaultPolicy uniform(StageMode mode) {
+    FaultPolicy p;
+    p.sanitize = p.detect = p.cluster = p.fit = p.solve = mode;
+    return p;
+  }
+};
+
+/// One absorbed failure: which stage, what the boundary did, and the error
+/// it swallowed.
+struct DegradationEvent {
+  PipelineStage stage = PipelineStage::kSanitize;
+  StageMode action = StageMode::kQuarantine;  ///< what the boundary did
+  ErrorCode code = ErrorCode::kGeneric;
+  std::string detail;             ///< the swallowed error's message
+  std::int64_t worker = -1;       ///< offending worker id, when known
+  std::int64_t subproblem = -1;   ///< offending subproblem index, when known
+
+  std::string to_string() const;
+};
+
+/// Everything the recovery boundaries absorbed during a run. Counters
+/// reconcile exactly with PipelineResult: quarantined_workers workers carry
+/// WorkerOutcome::quarantined, fallback_workers carry ::fallback, and
+/// quarantined + excluded + solved == total workers.
+struct HealthReport {
+  /// Sanitizer counters (meaningful when `sanitized` is true).
+  data::SanitizeReport sanitize;
+  bool sanitized = false;  ///< the sanitize stage rebuilt the trace
+
+  std::vector<DegradationEvent> events;
+  std::size_t quarantined_workers = 0;  ///< zero contract due to a failure
+  std::size_t fallback_workers = 0;     ///< priced by the fallback baseline
+  std::size_t fit_fallbacks = 0;        ///< effort fits replaced by a default
+
+  /// True when any boundary absorbed a failure.
+  bool degraded() const { return !events.empty(); }
+
+  std::string to_string() const;
 };
 
 struct PipelineConfig {
@@ -46,7 +140,8 @@ struct PipelineConfig {
   /// Minimum per-round samples before a community gets its own effort fit
   /// (falls back to the CM class fit otherwise).
   std::size_t min_community_fit_samples = 10;
-  /// Fixed-payment baseline knobs (used when strategy == kFixedPayment).
+  /// Fixed-payment baseline knobs (used when strategy == kFixedPayment, and
+  /// by the solve stage's kFallback boundary).
   double fixed_payment = 1.0;
   double fixed_threshold_effort = 1.0;
   /// Worker threads for the subproblem fan-out. 0 reuses the process-wide
@@ -54,6 +149,10 @@ struct PipelineConfig {
   /// solve stage on a dedicated pool of that size. Results are identical
   /// either way.
   std::size_t threads = 0;
+  /// Per-stage degradation policy (all kFailFast by default).
+  FaultPolicy faults{};
+  /// Sanitizer knobs for the sanitize stage's lenient modes.
+  data::SanitizeConfig sanitize{};
 };
 
 /// How the requester classified a worker (from detector + clustering; may
@@ -69,6 +168,12 @@ struct WorkerOutcome {
   std::size_t partners = 0;  ///< A_i (detected community size - 1)
   double weight = 0.0;       ///< w_i (Eq. 5)
   bool excluded = false;
+  /// Zero contract because a stage failed on this worker's subproblem
+  /// (kQuarantine), not because the designer chose exclusion.
+  bool quarantined = false;
+  /// Priced by the fixed-payment fallback after the designer failed
+  /// (kFallback).
+  bool fallback = false;
   /// Per-worker requester utility and compensation (community members carry
   /// an equal share of the community totals).
   double requester_utility = 0.0;
@@ -84,6 +189,8 @@ struct SubproblemOutcome {
   std::vector<data::WorkerId> workers;
   contract::SubproblemSpec spec;
   contract::DesignResult design;
+  bool quarantined = false;  ///< zero contract due to an absorbed failure
+  bool fallback = false;     ///< design is the fixed-payment fallback
 };
 
 struct PipelineResult {
@@ -96,6 +203,8 @@ struct PipelineResult {
   /// hits for every worker resolved from a shared table (empty for the
   /// fixed-payment strategy, which designs no contracts).
   contract::DesignCacheStats design_cache;
+  /// What the recovery boundaries absorbed (empty under a clean run).
+  HealthReport health;
   double total_requester_utility = 0.0;
   double total_compensation = 0.0;
   std::size_t excluded_workers = 0;

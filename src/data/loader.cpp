@@ -1,5 +1,8 @@
 #include "data/loader.hpp"
 
+#include <cmath>
+#include <limits>
+
 #include "util/csv.hpp"
 #include "util/error.hpp"
 #include "util/string_util.hpp"
@@ -20,6 +23,74 @@ void expect_header(util::CsvReader& reader, const std::vector<std::string>& want
   if (!reader.next(row) || row != want) {
     throw DataError("bad or missing header in " + path);
   }
+}
+
+[[noreturn]] void bad_row(const std::string& what, const std::string& path,
+                          std::size_t line) {
+  throw DataError(what + " in " + path + " line " + std::to_string(line));
+}
+
+std::uint32_t parse_id(const std::string& cell, const char* field,
+                       const std::string& path, std::size_t line) {
+  const long long v = util::parse_int(cell);
+  if (v < 0 || v > std::numeric_limits<std::uint32_t>::max()) {
+    bad_row(std::string("out-of-range ") + field + " id", path, line);
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+/// Parses one worker row; throws DataError/ConfigError describing the cell.
+Worker parse_worker_row(const util::CsvRow& row, const std::string& path,
+                        std::size_t line) {
+  if (row.size() != kWorkerHeader.size()) bad_row("bad worker row", path, line);
+  Worker w;
+  w.id = parse_id(row[0], "worker", path, line);
+  w.true_class = worker_class_from_string(row[1]);
+  w.true_community = static_cast<std::int32_t>(util::parse_int(row[2]));
+  w.skill = util::parse_double(row[3]);
+  w.expert_badge = util::parse_bool(row[4]);
+  return w;
+}
+
+Product parse_product_row(const util::CsvRow& row, const std::string& path,
+                          std::size_t line) {
+  if (row.size() != kProductHeader.size()) {
+    bad_row("bad product row", path, line);
+  }
+  Product p;
+  p.id = parse_id(row[0], "product", path, line);
+  p.true_quality = util::parse_double(row[1]);
+  return p;
+}
+
+/// Parses one review row. The raw feedback (upvotes) is parsed as a double
+/// so lenient mode can route negative or non-finite values to the
+/// sanitizer; strict mode rejects them. `round_raw` likewise preserves
+/// negative rounds for the sanitizer.
+ReviewRecord parse_review_row(const util::CsvRow& row, const std::string& path,
+                              std::size_t line) {
+  if (row.size() != kReviewHeader.size()) bad_row("bad review row", path, line);
+  ReviewRecord rec;
+  Review& r = rec.review;
+  r.id = parse_id(row[0], "review", path, line);
+  r.worker = parse_id(row[1], "worker", path, line);
+  r.product = parse_id(row[2], "product", path, line);
+  const long long round = util::parse_int(row[3]);
+  // Negative / oversized rounds saturate; the sanitizer quarantines them as
+  // out-of-range and strict mode rejects the row outright.
+  r.round = (round < 0 || round > std::numeric_limits<std::uint32_t>::max())
+                ? std::numeric_limits<std::uint32_t>::max()
+                : static_cast<std::uint32_t>(round);
+  r.score = util::parse_double(row[4]);
+  const long long length = util::parse_int(row[5]);
+  if (length < 0) bad_row("negative length_chars", path, line);
+  r.length_chars = static_cast<std::uint32_t>(length);
+  rec.feedback = util::parse_double(row[6]);
+  r.upvotes = (rec.feedback >= 0.0 && std::isfinite(rec.feedback))
+                  ? static_cast<std::uint32_t>(std::llround(rec.feedback))
+                  : 0;
+  r.verified = util::parse_bool(row[7]);
+  return rec;
 }
 
 }  // namespace
@@ -65,16 +136,17 @@ ReviewTrace load_trace(const std::string& prefix) {
     expect_header(reader, kWorkerHeader, path);
     util::CsvRow row;
     while (reader.next(row)) {
-      if (row.size() != kWorkerHeader.size()) {
-        throw DataError("bad worker row in " + path + " line " +
-                        std::to_string(reader.line_number()));
-      }
+      const std::size_t line = reader.line_number();
       Worker w;
-      w.id = static_cast<WorkerId>(util::parse_int(row[0]));
-      w.true_class = worker_class_from_string(row[1]);
-      w.true_community = static_cast<std::int32_t>(util::parse_int(row[2]));
-      w.skill = util::parse_double(row[3]);
-      w.expert_badge = util::parse_bool(row[4]);
+      try {
+        w = parse_worker_row(row, path, line);
+      } catch (const DataError&) {
+        throw;
+      } catch (const Error& e) {
+        bad_row(std::string("bad worker row (") + e.message() + ")", path,
+                line);
+      }
+      if (!std::isfinite(w.skill)) bad_row("non-finite skill", path, line);
       trace.add_worker(w);
     }
   }
@@ -84,13 +156,19 @@ ReviewTrace load_trace(const std::string& prefix) {
     expect_header(reader, kProductHeader, path);
     util::CsvRow row;
     while (reader.next(row)) {
-      if (row.size() != kProductHeader.size()) {
-        throw DataError("bad product row in " + path + " line " +
-                        std::to_string(reader.line_number()));
-      }
+      const std::size_t line = reader.line_number();
       Product p;
-      p.id = static_cast<ProductId>(util::parse_int(row[0]));
-      p.true_quality = util::parse_double(row[1]);
+      try {
+        p = parse_product_row(row, path, line);
+      } catch (const DataError&) {
+        throw;
+      } catch (const Error& e) {
+        bad_row(std::string("bad product row (") + e.message() + ")", path,
+                line);
+      }
+      if (!std::isfinite(p.true_quality)) {
+        bad_row("non-finite true_quality", path, line);
+      }
       trace.add_product(p);
     }
   }
@@ -100,25 +178,86 @@ ReviewTrace load_trace(const std::string& prefix) {
     expect_header(reader, kReviewHeader, path);
     util::CsvRow row;
     while (reader.next(row)) {
-      if (row.size() != kReviewHeader.size()) {
-        throw DataError("bad review row in " + path + " line " +
-                        std::to_string(reader.line_number()));
+      const std::size_t line = reader.line_number();
+      ReviewRecord rec;
+      try {
+        rec = parse_review_row(row, path, line);
+      } catch (const DataError&) {
+        throw;
+      } catch (const Error& e) {
+        bad_row(std::string("bad review row (") + e.message() + ")", path,
+                line);
       }
-      Review r;
-      r.id = static_cast<ReviewId>(util::parse_int(row[0]));
-      r.worker = static_cast<WorkerId>(util::parse_int(row[1]));
-      r.product = static_cast<ProductId>(util::parse_int(row[2]));
-      r.round = static_cast<std::uint32_t>(util::parse_int(row[3]));
-      r.score = util::parse_double(row[4]);
-      r.length_chars = static_cast<std::uint32_t>(util::parse_int(row[5]));
-      r.upvotes = static_cast<std::uint32_t>(util::parse_int(row[6]));
-      r.verified = util::parse_bool(row[7]);
-      trace.add_review(r);
+      if (!std::isfinite(rec.review.score)) {
+        bad_row("non-finite score", path, line);
+      }
+      if (!std::isfinite(rec.feedback)) {
+        bad_row("non-finite feedback (upvotes)", path, line);
+      }
+      if (rec.feedback < 0.0) bad_row("negative feedback (upvotes)", path, line);
+      if (rec.review.round == std::numeric_limits<std::uint32_t>::max()) {
+        bad_row("out-of-range round", path, line);
+      }
+      trace.add_review(rec.review);
     }
   }
   trace.build_indexes();
   trace.validate();
   return trace;
+}
+
+SanitizedTrace load_trace_sanitized(const std::string& prefix,
+                                    const SanitizeConfig& config) {
+  std::vector<Worker> workers;
+  std::vector<Product> products;
+  std::vector<ReviewRecord> reviews;
+  std::size_t unparseable = 0;
+
+  {
+    const std::string path = prefix + ".workers.csv";
+    util::CsvReader reader(path);
+    expect_header(reader, kWorkerHeader, path);
+    util::CsvRow row;
+    while (reader.next(row)) {
+      try {
+        workers.push_back(
+            parse_worker_row(row, path, reader.line_number()));
+      } catch (const Error&) {
+        ++unparseable;
+      }
+    }
+  }
+  {
+    const std::string path = prefix + ".products.csv";
+    util::CsvReader reader(path);
+    expect_header(reader, kProductHeader, path);
+    util::CsvRow row;
+    while (reader.next(row)) {
+      try {
+        products.push_back(
+            parse_product_row(row, path, reader.line_number()));
+      } catch (const Error&) {
+        ++unparseable;
+      }
+    }
+  }
+  {
+    const std::string path = prefix + ".reviews.csv";
+    util::CsvReader reader(path);
+    expect_header(reader, kReviewHeader, path);
+    util::CsvRow row;
+    while (reader.next(row)) {
+      try {
+        reviews.push_back(parse_review_row(row, path, reader.line_number()));
+      } catch (const Error&) {
+        ++unparseable;
+      }
+    }
+  }
+
+  SanitizedTrace out = sanitize_trace(workers, products, reviews, config);
+  out.report.unparseable_rows = unparseable;
+  return out;
 }
 
 }  // namespace ccd::data

@@ -2,10 +2,20 @@
 //
 // Lets experiments generate a trace once and reuse it, and lets users run
 // the pipeline on their own data by exporting to this simple format.
+//
+// Two loading modes:
+//  * load_trace — strict: any malformed row (bad header, ragged row,
+//    unparseable cell, non-finite score, negative feedback/length) throws
+//    ccd::DataError naming the file and line.
+//  * load_trace_sanitized — lenient: unparseable rows are skipped (counted
+//    in SanitizeReport::unparseable_rows) and everything else is routed
+//    through data::sanitize_trace, which quarantines or repairs dirty
+//    records instead of aborting.
 #pragma once
 
 #include <string>
 
+#include "data/sanitize.hpp"
 #include "data/trace.hpp"
 
 namespace ccd::data {
@@ -15,7 +25,12 @@ namespace ccd::data {
 void save_trace(const ReviewTrace& trace, const std::string& prefix);
 
 /// Loads a trace saved by save_trace; builds indexes and validates.
-/// Throws ccd::DataError on malformed input.
+/// Throws ccd::DataError on malformed input, naming the offending row.
 ReviewTrace load_trace(const std::string& prefix);
+
+/// Lenient load: parse what can be parsed, sanitize the rest. Only missing
+/// files and bad headers still throw (there is nothing to salvage).
+SanitizedTrace load_trace_sanitized(const std::string& prefix,
+                                    const SanitizeConfig& config = {});
 
 }  // namespace ccd::data

@@ -1,0 +1,158 @@
+#include "data/sanitize.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace ccd::data {
+
+std::string SanitizeReport::to_string() const {
+  std::ostringstream os;
+  os << "sanitize: kept " << input_workers - quarantined_workers() << '/'
+     << input_workers << " workers, "
+     << input_products - quarantined_products() << '/' << input_products
+     << " products, " << input_reviews - quarantined_reviews() << '/'
+     << input_reviews << " reviews";
+  os << "; quarantined=" << total_quarantined()
+     << " (dup_worker=" << duplicate_worker_ids
+     << " dup_product=" << duplicate_product_ids
+     << " bad_quality=" << non_finite_quality
+     << " bad_feedback=" << non_finite_feedback + negative_feedback
+     << " bad_score=" << non_finite_score
+     << " bad_round=" << out_of_range_round
+     << " dangling=" << dangling_reviews << ')';
+  os << " repaired=" << total_repaired()
+     << " (remapped_ids=" << remapped_worker_ids
+     << " skill=" << repaired_skill
+     << " labels=" << repaired_class_labels
+     << " clamped=" << clamped_quality + clamped_scores
+     << " renumbered_rounds=" << renumbered_rounds << ')';
+  if (unparseable_rows > 0) os << " unparseable_rows=" << unparseable_rows;
+  return os.str();
+}
+
+SanitizedTrace sanitize_trace(const std::vector<Worker>& workers,
+                              const std::vector<Product>& products,
+                              const std::vector<ReviewRecord>& reviews,
+                              const SanitizeConfig& config) {
+  CCD_CHECK_MSG(config.min_score <= config.max_score,
+                "sanitize score range is inverted");
+  CCD_CHECK_MSG(config.min_score >= 1.0 && config.max_score <= 5.0,
+                "sanitize score range must stay within the schema's [1, 5]");
+  SanitizedTrace out;
+  SanitizeReport& report = out.report;
+  report.input_workers = workers.size();
+  report.input_products = products.size();
+  report.input_reviews = reviews.size();
+
+  // ---- Workers: dedup, densify, repair ----------------------------------
+  std::unordered_map<WorkerId, WorkerId> worker_id_map;
+  worker_id_map.reserve(workers.size());
+  for (const Worker& in : workers) {
+    if (worker_id_map.count(in.id) > 0) {
+      ++report.duplicate_worker_ids;
+      continue;
+    }
+    Worker w = in;
+    const WorkerId dense = static_cast<WorkerId>(worker_id_map.size());
+    if (w.id != dense) ++report.remapped_worker_ids;
+    worker_id_map.emplace(w.id, dense);
+    w.id = dense;
+    if (!std::isfinite(w.skill)) {
+      w.skill = 1.0;
+      ++report.repaired_skill;
+    }
+    if (w.true_class == WorkerClass::kCollusiveMalicious &&
+        w.true_community == kNoCommunity) {
+      w.true_class = WorkerClass::kNonCollusiveMalicious;
+      ++report.repaired_class_labels;
+    } else if (w.true_class != WorkerClass::kCollusiveMalicious &&
+               w.true_community != kNoCommunity) {
+      w.true_community = kNoCommunity;
+      ++report.repaired_class_labels;
+    }
+    out.trace.add_worker(w);
+  }
+
+  // ---- Products: dedup, quarantine non-finite, clamp --------------------
+  std::unordered_map<ProductId, ProductId> product_id_map;
+  product_id_map.reserve(products.size());
+  for (const Product& in : products) {
+    if (product_id_map.count(in.id) > 0) {
+      ++report.duplicate_product_ids;
+      continue;
+    }
+    if (!std::isfinite(in.true_quality)) {
+      ++report.non_finite_quality;
+      continue;  // id not mapped: its reviews quarantine as dangling
+    }
+    Product p = in;
+    const ProductId dense = static_cast<ProductId>(product_id_map.size());
+    product_id_map.emplace(p.id, dense);
+    p.id = dense;
+    if (p.true_quality < 1.0 || p.true_quality > 5.0) {
+      p.true_quality = std::min(5.0, std::max(1.0, p.true_quality));
+      ++report.clamped_quality;
+    }
+    out.trace.add_product(p);
+  }
+
+  // ---- Reviews: quarantine, clamp, renumber rounds ----------------------
+  std::vector<std::uint32_t> next_round(worker_id_map.size(), 0);
+  ReviewId next_review_id = 0;
+  for (const ReviewRecord& in : reviews) {
+    const auto wit = worker_id_map.find(in.review.worker);
+    const auto pit = product_id_map.find(in.review.product);
+    if (wit == worker_id_map.end() || pit == product_id_map.end()) {
+      ++report.dangling_reviews;
+      continue;
+    }
+    if (!std::isfinite(in.feedback)) {
+      ++report.non_finite_feedback;
+      continue;
+    }
+    if (in.feedback < 0.0) {
+      ++report.negative_feedback;
+      continue;
+    }
+    if (!std::isfinite(in.review.score)) {
+      ++report.non_finite_score;
+      continue;
+    }
+    if (in.review.round > config.max_round) {
+      ++report.out_of_range_round;
+      continue;
+    }
+    Review r = in.review;
+    r.id = next_review_id++;
+    r.worker = wit->second;
+    r.product = pit->second;
+    r.upvotes = static_cast<std::uint32_t>(std::llround(in.feedback));
+    if (r.score < config.min_score || r.score > config.max_score) {
+      r.score = std::min(config.max_score, std::max(config.min_score, r.score));
+      ++report.clamped_scores;
+    }
+    const std::uint32_t round = next_round[r.worker]++;
+    if (r.round != round) ++report.renumbered_rounds;
+    r.round = round;
+    out.trace.add_review(r);
+  }
+
+  out.trace.build_indexes();
+  out.trace.validate();
+  return out;
+}
+
+SanitizedTrace sanitize_trace(const ReviewTrace& trace,
+                              const SanitizeConfig& config) {
+  std::vector<ReviewRecord> records;
+  records.reserve(trace.reviews().size());
+  for (const Review& r : trace.reviews()) {
+    records.push_back({r, static_cast<double>(r.upvotes)});
+  }
+  return sanitize_trace(trace.workers(), trace.products(), records, config);
+}
+
+}  // namespace ccd::data

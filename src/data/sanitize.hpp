@@ -1,0 +1,126 @@
+// Trace sanitization: quarantine or repair dirty records before they reach
+// the pipeline.
+//
+// Real crowdsourcing traces are dirty — non-finite feedback, negative
+// upvotes, duplicate ids, rounds from a corrupted export. The strict path
+// (load_trace / ReviewTrace::validate) rejects such input outright; this
+// pass instead rebuilds a clean trace, quarantining what cannot be
+// repaired and counting everything it touched, so a fleet solve can absorb
+// a few bad records instead of aborting on the first one.
+//
+// Per-record rules:
+//  * workers:  duplicate ids -> keep the first, quarantine the rest;
+//              non-dense ids -> remapped densely (order preserved);
+//              non-finite skill -> repaired to 1.0;
+//              inconsistent class/community labels -> repaired (a CM worker
+//              without a community becomes NCM, a non-CM community label is
+//              cleared).
+//  * products: duplicate ids -> keep first; non-finite quality ->
+//              quarantined (its reviews become dangling and are quarantined
+//              too); out-of-range quality -> clamped into [1, 5].
+//  * reviews:  non-finite or negative feedback -> quarantined;
+//              non-finite score -> quarantined; out-of-range score ->
+//              clamped; dangling worker/product refs -> quarantined;
+//              round > max_round -> quarantined; surviving rounds are
+//              renumbered sequentially per worker (counted when changed).
+//
+// The output trace always passes ReviewTrace::validate().
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "data/trace.hpp"
+
+namespace ccd::data {
+
+struct SanitizeConfig {
+  double min_score = 1.0;
+  double max_score = 5.0;
+  /// Rounds above this are treated as corrupted (e.g. negative values that
+  /// wrapped around on export) and quarantined.
+  std::uint32_t max_round = 1u << 20;
+};
+
+/// One unvalidated review observation: the raw feedback rides alongside so
+/// negative or non-finite values (unrepresentable in Review::upvotes) can
+/// still reach the sanitizer from a lenient loader.
+struct ReviewRecord {
+  Review review;
+  double feedback = 0.0;
+};
+
+struct SanitizeReport {
+  std::size_t input_workers = 0;
+  std::size_t input_products = 0;
+  std::size_t input_reviews = 0;
+
+  // Quarantined (dropped) records.
+  std::size_t duplicate_worker_ids = 0;
+  std::size_t duplicate_product_ids = 0;
+  std::size_t non_finite_quality = 0;
+  std::size_t non_finite_feedback = 0;
+  std::size_t negative_feedback = 0;
+  std::size_t non_finite_score = 0;
+  std::size_t out_of_range_round = 0;
+  std::size_t dangling_reviews = 0;  ///< refs to missing/quarantined rows
+
+  // Repaired (kept) records.
+  std::size_t remapped_worker_ids = 0;
+  std::size_t repaired_skill = 0;
+  std::size_t repaired_class_labels = 0;
+  std::size_t clamped_quality = 0;
+  std::size_t clamped_scores = 0;
+  std::size_t renumbered_rounds = 0;
+
+  /// Rows a lenient loader could not parse at all (filled by
+  /// load_trace_sanitized, not by sanitize_trace).
+  std::size_t unparseable_rows = 0;
+
+  std::size_t quarantined_workers() const { return duplicate_worker_ids; }
+  std::size_t quarantined_products() const {
+    return duplicate_product_ids + non_finite_quality;
+  }
+  std::size_t quarantined_reviews() const {
+    return non_finite_feedback + negative_feedback + non_finite_score +
+           out_of_range_round + dangling_reviews;
+  }
+  std::size_t total_quarantined() const {
+    return quarantined_workers() + quarantined_products() +
+           quarantined_reviews();
+  }
+  std::size_t total_repaired() const {
+    return remapped_worker_ids + repaired_skill + repaired_class_labels +
+           clamped_quality + clamped_scores + renumbered_rounds;
+  }
+  /// True when the input needed no quarantine, repair, or row skipping.
+  bool clean() const {
+    return total_quarantined() == 0 && total_repaired() == 0 &&
+           unparseable_rows == 0;
+  }
+
+  std::string to_string() const;
+};
+
+struct SanitizedTrace {
+  ReviewTrace trace;
+  SanitizeReport report;
+};
+
+/// Sanitize raw (unvalidated) records into a clean trace. Clean input
+/// passes through bit-for-bit (modulo dense renumbering of review ids,
+/// which preserves input order).
+SanitizedTrace sanitize_trace(const std::vector<Worker>& workers,
+                              const std::vector<Product>& products,
+                              const std::vector<ReviewRecord>& reviews,
+                              const SanitizeConfig& config = {});
+
+/// Convenience overload for an already-built trace (feedback taken from
+/// Review::upvotes). Used by the pipeline's sanitize stage to quarantine
+/// records that slipped past validate() — notably NaN scores, which pass
+/// range comparisons.
+SanitizedTrace sanitize_trace(const ReviewTrace& trace,
+                              const SanitizeConfig& config = {});
+
+}  // namespace ccd::data

@@ -1,5 +1,6 @@
 #include "data/trace.hpp"
 
+#include <cmath>
 #include <set>
 #include <sstream>
 
@@ -111,6 +112,9 @@ void ReviewTrace::validate() const {
   for (std::size_t i = 0; i < workers_.size(); ++i) {
     const Worker& w = workers_[i];
     if (w.id != i) throw DataError("worker id not dense at index " + std::to_string(i));
+    if (!std::isfinite(w.skill)) {
+      throw DataError("non-finite skill for worker " + std::to_string(i));
+    }
     if (w.true_class == WorkerClass::kCollusiveMalicious &&
         w.true_community == kNoCommunity) {
       throw DataError("CM worker " + std::to_string(i) + " has no community");
@@ -125,7 +129,8 @@ void ReviewTrace::validate() const {
     if (products_[i].id != i) {
       throw DataError("product id not dense at index " + std::to_string(i));
     }
-    if (products_[i].true_quality < 1.0 || products_[i].true_quality > 5.0) {
+    if (!std::isfinite(products_[i].true_quality) ||
+        products_[i].true_quality < 1.0 || products_[i].true_quality > 5.0) {
       throw DataError("product quality outside [1,5] at " + std::to_string(i));
     }
   }
@@ -135,7 +140,7 @@ void ReviewTrace::validate() const {
     if (r.id != i) throw DataError("review id not dense at index " + std::to_string(i));
     if (r.worker >= workers_.size()) throw DataError("review worker out of range");
     if (r.product >= products_.size()) throw DataError("review product out of range");
-    if (r.score < 1.0 || r.score > 5.0) {
+    if (!std::isfinite(r.score) || r.score < 1.0 || r.score > 5.0) {
       throw DataError("review score outside [1,5] at " + std::to_string(i));
     }
     if (r.round != next_round[r.worker]) {

@@ -6,6 +6,7 @@
 
 #include "math/polyfit.hpp"
 #include "util/error.hpp"
+#include "util/fault_injection.hpp"
 #include "util/logging.hpp"
 
 namespace ccd::effort {
@@ -34,6 +35,10 @@ EffortFit fit_effort_function(const std::vector<data::EffortSample>& samples,
   CCD_CHECK_MSG(samples.size() >= 3,
                 "effort fitting needs at least 3 samples, got "
                     << samples.size());
+  CCD_FAULT_POINT("effort.fit",
+                  (static_cast<std::uint64_t>(samples.front().worker) << 24) ^
+                      samples.size(),
+                  MathError);
   std::vector<double> xs, ys;
   split_samples(samples, xs, ys);
 

@@ -2,9 +2,12 @@
 
 #include <cmath>
 
+#include <cstring>
+
 #include "math/linalg.hpp"
 #include "math/matrix.hpp"
 #include "util/error.hpp"
+#include "util/fault_injection.hpp"
 
 namespace ccd::math {
 namespace {
@@ -23,6 +26,18 @@ Polynomial unscale(const Polynomial& in_u, double shift, double scale) {
   return result;
 }
 
+/// Stable per-call key for fault injection: mixes the sample count with the
+/// bit patterns of the first sample so distinct fits get distinct keys.
+std::uint64_t fault_key(const std::vector<double>& xs,
+                        const std::vector<double>& ys, std::size_t degree) {
+  std::uint64_t bits_x = 0;
+  std::uint64_t bits_y = 0;
+  if (!xs.empty()) std::memcpy(&bits_x, &xs[0], sizeof(bits_x));
+  if (!ys.empty()) std::memcpy(&bits_y, &ys[0], sizeof(bits_y));
+  return (static_cast<std::uint64_t>(xs.size()) << 32) ^ bits_x ^
+         (bits_y * 0x9e3779b97f4a7c15ULL) ^ degree;
+}
+
 }  // namespace
 
 PolyFitResult polyfit(const std::vector<double>& xs,
@@ -30,6 +45,7 @@ PolyFitResult polyfit(const std::vector<double>& xs,
   CCD_CHECK_MSG(xs.size() == ys.size(), "polyfit sample size mismatch");
   CCD_CHECK_MSG(xs.size() >= degree + 1,
                 "polyfit needs at least degree+1 samples");
+  CCD_FAULT_POINT("math.polyfit", fault_key(xs, ys, degree), MathError);
 
   // Center/scale x for Vandermonde conditioning.
   double lo = xs[0];

@@ -1,0 +1,65 @@
+#include "util/fault_injection.hpp"
+
+namespace ccd::util {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(const char* s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (; *s != '\0'; ++s) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(*s));
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::configure(const FaultInjectorConfig& config) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  config_ = config;
+  counts_.clear();
+  total_.store(0, std::memory_order_relaxed);
+  armed_.store(config.enabled, std::memory_order_relaxed);
+}
+
+void FaultInjector::disable() { configure(FaultInjectorConfig{}); }
+
+bool FaultInjector::should_inject(const char* site, std::uint64_t key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!config_.enabled) return false;
+  double rate = config_.rate;
+  const auto it = config_.site_rates.find(site);
+  if (it != config_.site_rates.end()) rate = it->second;
+  if (rate <= 0.0) return false;
+
+  // Pure function of (seed, site, key): u in [0, 1) from a mixed hash.
+  const std::uint64_t h =
+      splitmix64(splitmix64(config_.seed ^ fnv1a(site)) ^ key);
+  const double u =
+      static_cast<double>(h >> 11) * 0x1.0p-53;  // 53-bit mantissa
+  if (u >= rate) return false;
+
+  ++counts_[site];
+  total_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::size_t FaultInjector::injected(const std::string& site) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counts_.find(site);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+}  // namespace ccd::util

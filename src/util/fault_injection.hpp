@@ -1,0 +1,98 @@
+// Deterministic, seeded fault injection for chaos testing.
+//
+// A FaultInjector decides, per named injection site and per entity key,
+// whether to throw an injected fault. The decision is a pure function of
+// (seed, site, key) — never of thread scheduling or call order — so a run
+// at a given seed and rate injects the exact same faults no matter how the
+// work is parallelized, and a chaos test can assert exact invariants.
+//
+// The injector is compiled in always and off by default. The disabled fast
+// path is a single relaxed atomic load (see CCD_FAULT_POINT), so production
+// code pays effectively nothing for carrying the sites.
+//
+// Usage:
+//
+//   // at an injection site (key must be deterministic for the entity):
+//   CCD_FAULT_POINT("contract.design", spec_key, ContractError);
+//
+//   // in a chaos test:
+//   util::FaultInjectorConfig chaos;
+//   chaos.enabled = true;
+//   chaos.seed = 7;
+//   chaos.rate = 0.05;                       // all sites at 5%...
+//   chaos.site_rates["math.polyfit"] = 0.2;  // ...except this one
+//   util::FaultInjector::instance().configure(chaos);
+//   ... run the pipeline, assert invariants ...
+//   util::FaultInjector::instance().disable();
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace ccd::util {
+
+struct FaultInjectorConfig {
+  bool enabled = false;
+  std::uint64_t seed = 0;
+  /// Default injection probability for every site in [0, 1].
+  double rate = 0.0;
+  /// Per-site overrides of `rate`.
+  std::map<std::string, double> site_rates;
+};
+
+class FaultInjector {
+ public:
+  /// The process-wide injector used by CCD_FAULT_POINT.
+  static FaultInjector& instance();
+
+  /// Install a configuration (also resets the injection counters).
+  void configure(const FaultInjectorConfig& config);
+
+  /// Turn injection off and clear counters (equivalent to configure({})).
+  void disable();
+
+  /// True when injection is configured on. Single relaxed load — this is
+  /// the only cost on the production path.
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Deterministic decision for (site, key) under the current config, and
+  /// counts the injection when it fires. Meaningful only while armed.
+  bool should_inject(const char* site, std::uint64_t key);
+
+  /// Injections fired at `site` since the last configure/disable.
+  std::size_t injected(const std::string& site) const;
+
+  /// Total injections fired since the last configure/disable.
+  std::size_t total_injected() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  FaultInjector() = default;
+
+  std::atomic<bool> armed_{false};
+  std::atomic<std::size_t> total_{0};
+  mutable std::mutex mutex_;
+  FaultInjectorConfig config_;
+  std::map<std::string, std::size_t> counts_;
+};
+
+}  // namespace ccd::util
+
+/// Injection site: throws ExceptionType when the process-wide injector is
+/// armed and elects (site, key). `key` must identify the work unit
+/// deterministically (an id, an index, or a hash of the inputs) so runs are
+/// reproducible. Zero-cost when disarmed beyond one relaxed atomic load.
+#define CCD_FAULT_POINT(site, key, ExceptionType)                            \
+  do {                                                                       \
+    ::ccd::util::FaultInjector& ccd_fi_ =                                    \
+        ::ccd::util::FaultInjector::instance();                              \
+    if (ccd_fi_.armed() &&                                                   \
+        ccd_fi_.should_inject(site, static_cast<std::uint64_t>(key))) {      \
+      throw ExceptionType(std::string("injected fault at ") + site);         \
+    }                                                                        \
+  } while (false)

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <sstream>
+
+#include "util/error.hpp"
 
 namespace ccd::util {
 namespace {
@@ -74,6 +77,7 @@ void ThreadPool::parallel_for(std::size_t n,
   const std::size_t chunk_size = (n + chunks - 1) / chunks;
 
   std::atomic<bool> failed{false};
+  std::atomic<std::size_t> failure_count{0};
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
@@ -89,6 +93,7 @@ void ThreadPool::parallel_for(std::size_t n,
         try {
           fn(i);
         } catch (...) {
+          failure_count.fetch_add(1, std::memory_order_relaxed);
           const std::lock_guard<std::mutex> lock(error_mutex);
           if (!first_error) first_error = std::current_exception();
           failed.store(true, std::memory_order_relaxed);
@@ -98,7 +103,29 @@ void ThreadPool::parallel_for(std::size_t n,
     }));
   }
   for (auto& f : futures) f.get();
-  if (first_error) std::rethrow_exception(first_error);
+  if (!first_error) return;
+
+  // Rethrow the first failure; when other chunks also threw, those
+  // exceptions would otherwise vanish silently, so their count is appended
+  // to the rethrown error ("(+K more task failures)").
+  const std::size_t suppressed = failure_count.load() - 1;
+  if (suppressed == 0) std::rethrow_exception(first_error);
+  try {
+    std::rethrow_exception(first_error);
+  } catch (Error& e) {
+    // Mutate-and-rethrow preserves the dynamic exception type.
+    e.with_suppressed_failures(suppressed);
+    throw;
+  } catch (const std::exception& e) {
+    std::ostringstream os;
+    os << e.what() << " (+" << suppressed << " more task failures)";
+    throw std::runtime_error(os.str());
+  } catch (...) {
+    std::ostringstream os;
+    os << "parallel_for task failed (+" << suppressed
+       << " more task failures)";
+    throw std::runtime_error(os.str());
+  }
 }
 
 namespace {

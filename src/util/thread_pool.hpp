@@ -4,8 +4,12 @@
 // The contract-design pipeline decomposes the bilevel program into
 // independent per-worker subproblems (paper §IV); the pool is how we solve
 // them in parallel. Exceptions thrown by tasks submitted through
-// parallel_for are captured and rethrown on the calling thread (first one
-// wins), so failures are not silently lost.
+// parallel_for are captured and rethrown on the calling thread: the first
+// failure is rethrown verbatim, and when several chunks threw, the count of
+// the additional failures is appended to its message ("(+K more task
+// failures)" — attached as ErrorContext::suppressed_failures for ccd::Error,
+// re-wrapped as std::runtime_error otherwise), so no failure is silently
+// lost.
 //
 // Threading model:
 //  * parallel_for is reentrant. When called from one of the pool's own
@@ -67,9 +71,10 @@ class ThreadPool {
   }
 
   /// Run fn(i) for i in [0, n), blocking until all complete.
-  /// Rethrows the first task exception on the caller. Reentrant: nested
-  /// calls from a worker of this pool (and calls after shutdown) run
-  /// inline on the calling thread.
+  /// Rethrows the first task exception on the caller, with the number of
+  /// additional (suppressed) task failures appended to its message.
+  /// Reentrant: nested calls from a worker of this pool (and calls after
+  /// shutdown) run inline on the calling thread.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:

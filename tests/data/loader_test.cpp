@@ -116,5 +116,128 @@ TEST_F(LoaderTest, InconsistentTraceFailsValidation) {
   EXPECT_THROW(load_trace(prefix_), DataError);
 }
 
+class MalformedLoaderTest : public LoaderTest {
+ protected:
+  /// Writes a minimal valid trace with one review row replaced by `row`.
+  void write_with_review_row(const std::string& row) {
+    {
+      std::ofstream out(prefix_ + ".workers.csv");
+      out << "id,class,community,skill,expert_badge\n";
+      out << "0,honest,-1,1.0,0\n";
+    }
+    {
+      std::ofstream out(prefix_ + ".products.csv");
+      out << "id,true_quality\n";
+      out << "0,3.0\n";
+    }
+    {
+      std::ofstream out(prefix_ + ".reviews.csv");
+      out << "id,worker,product,round,score,length_chars,upvotes,verified\n";
+      out << row << "\n";
+    }
+  }
+
+  std::string data_error_for(const std::string& row) {
+    write_with_review_row(row);
+    try {
+      load_trace(prefix_);
+    } catch (const DataError& e) {
+      return e.what();
+    }
+    return "";
+  }
+};
+
+TEST_F(MalformedLoaderTest, StrictRejectsNaNScoreNamingRow) {
+  // std::from_chars happily parses "nan"; the loader must still reject it.
+  const std::string what = data_error_for("0,0,0,0,nan,10,1,1");
+  EXPECT_NE(what.find("non-finite score"), std::string::npos) << what;
+  EXPECT_NE(what.find("reviews.csv line 2"), std::string::npos) << what;
+}
+
+TEST_F(MalformedLoaderTest, StrictRejectsInfiniteFeedback) {
+  const std::string what = data_error_for("0,0,0,0,3.0,10,inf,1");
+  EXPECT_NE(what.find("non-finite feedback"), std::string::npos) << what;
+  EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+}
+
+TEST_F(MalformedLoaderTest, StrictRejectsNegativeFeedback) {
+  const std::string what = data_error_for("0,0,0,0,3.0,10,-4,1");
+  EXPECT_NE(what.find("negative feedback"), std::string::npos) << what;
+  EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+}
+
+TEST_F(MalformedLoaderTest, StrictRejectsNegativeRoundAndLength) {
+  EXPECT_NE(data_error_for("0,0,0,-1,3.0,10,1,1").find("out-of-range round"),
+            std::string::npos);
+  EXPECT_NE(
+      data_error_for("0,0,0,0,3.0,-10,1,1").find("negative length_chars"),
+      std::string::npos);
+}
+
+TEST_F(MalformedLoaderTest, StrictNamesRowForUnparseableCell) {
+  const std::string what = data_error_for("0,0,0,zero,3.0,10,1,1");
+  EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+}
+
+TEST_F(MalformedLoaderTest, LenientLoadQuarantinesDirtyRowsWithCounts) {
+  {
+    std::ofstream out(prefix_ + ".workers.csv");
+    out << "id,class,community,skill,expert_badge\n";
+    out << "0,honest,-1,1.0,0\n";
+    out << "1,honest,-1,nan,0\n";      // repaired skill
+    out << "2,martian,-1,1.0,0\n";     // unparseable class
+  }
+  {
+    std::ofstream out(prefix_ + ".products.csv");
+    out << "id,true_quality\n";
+    out << "0,3.0\n";
+  }
+  {
+    std::ofstream out(prefix_ + ".reviews.csv");
+    out << "id,worker,product,round,score,length_chars,upvotes,verified\n";
+    out << "0,0,0,0,4.0,10,2,1\n";      // clean
+    out << "1,0,0,1,nan,10,2,1\n";      // NaN score -> quarantined
+    out << "2,1,0,0,3.0,10,-5,1\n";     // negative feedback -> quarantined
+    out << "3,0,0,not_a_round,3.0,10,2,1\n";  // unparseable
+  }
+
+  const SanitizedTrace out = load_trace_sanitized(prefix_);
+  EXPECT_EQ(out.report.unparseable_rows, 2u);  // worker 2 + review 3
+  EXPECT_EQ(out.report.repaired_skill, 1u);
+  EXPECT_EQ(out.report.non_finite_score, 1u);
+  EXPECT_EQ(out.report.negative_feedback, 1u);
+  ASSERT_EQ(out.trace.workers().size(), 2u);
+  ASSERT_EQ(out.trace.reviews().size(), 1u);
+  EXPECT_EQ(out.trace.review(0).upvotes, 2u);
+  EXPECT_NO_THROW(out.trace.validate());
+  EXPECT_TRUE(out.trace.indexes_built());
+}
+
+TEST_F(MalformedLoaderTest, LenientLoadOnCleanTraceIsClean) {
+  save_trace(generate_trace(GeneratorParams::small()), prefix_);
+  const SanitizedTrace out = load_trace_sanitized(prefix_);
+  EXPECT_TRUE(out.report.clean()) << out.report.to_string();
+  const ReviewTrace strict = load_trace(prefix_);
+  EXPECT_EQ(out.trace.workers().size(), strict.workers().size());
+  EXPECT_EQ(out.trace.reviews().size(), strict.reviews().size());
+}
+
+TEST_F(MalformedLoaderTest, LenientLoadStillRejectsBadHeader) {
+  {
+    std::ofstream out(prefix_ + ".workers.csv");
+    out << "totally,wrong\n";
+  }
+  {
+    std::ofstream out(prefix_ + ".products.csv");
+    out << "id,true_quality\n";
+  }
+  {
+    std::ofstream out(prefix_ + ".reviews.csv");
+    out << "id,worker,product,round,score,length_chars,upvotes,verified\n";
+  }
+  EXPECT_THROW(load_trace_sanitized(prefix_), DataError);
+}
+
 }  // namespace
 }  // namespace ccd::data

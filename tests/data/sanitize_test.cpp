@@ -1,0 +1,193 @@
+#include "data/sanitize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "data/generator.hpp"
+#include "util/error.hpp"
+
+namespace ccd::data {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+Worker make_worker(WorkerId id) {
+  Worker w;
+  w.id = id;
+  return w;
+}
+
+Product make_product(ProductId id, double quality = 3.0) {
+  Product p;
+  p.id = id;
+  p.true_quality = quality;
+  return p;
+}
+
+ReviewRecord make_review(ReviewId id, WorkerId worker, ProductId product,
+                         std::uint32_t round, double score, double feedback) {
+  ReviewRecord rec;
+  rec.review.id = id;
+  rec.review.worker = worker;
+  rec.review.product = product;
+  rec.review.round = round;
+  rec.review.score = score;
+  rec.feedback = feedback;
+  return rec;
+}
+
+TEST(SanitizeTest, CleanInputPassesThroughUntouched) {
+  const std::vector<Worker> workers = {make_worker(0), make_worker(1)};
+  const std::vector<Product> products = {make_product(0), make_product(1)};
+  const std::vector<ReviewRecord> reviews = {
+      make_review(0, 0, 0, 0, 4.0, 2.0), make_review(1, 1, 1, 0, 3.0, 1.0),
+      make_review(2, 0, 1, 1, 2.0, 0.0)};
+
+  const SanitizedTrace out = sanitize_trace(workers, products, reviews);
+  EXPECT_TRUE(out.report.clean());
+  EXPECT_EQ(out.report.total_quarantined(), 0u);
+  ASSERT_EQ(out.trace.workers().size(), 2u);
+  ASSERT_EQ(out.trace.reviews().size(), 3u);
+  EXPECT_DOUBLE_EQ(out.trace.review(0).score, 4.0);
+  EXPECT_EQ(out.trace.review(0).upvotes, 2u);
+  EXPECT_NO_THROW(out.trace.validate());
+}
+
+TEST(SanitizeTest, QuarantinesNonFiniteAndNegativeFeedback) {
+  const std::vector<Worker> workers = {make_worker(0)};
+  const std::vector<Product> products = {make_product(0)};
+  const std::vector<ReviewRecord> reviews = {
+      make_review(0, 0, 0, 0, 4.0, kNaN),
+      make_review(1, 0, 0, 1, 4.0, kInf),
+      make_review(2, 0, 0, 2, 4.0, -3.0),
+      make_review(3, 0, 0, 3, 4.0, 5.0)};
+
+  const SanitizedTrace out = sanitize_trace(workers, products, reviews);
+  EXPECT_EQ(out.report.non_finite_feedback, 2u);
+  EXPECT_EQ(out.report.negative_feedback, 1u);
+  ASSERT_EQ(out.trace.reviews().size(), 1u);
+  EXPECT_EQ(out.trace.review(0).upvotes, 5u);
+  // The survivor is renumbered to round 0 (its original round was 3).
+  EXPECT_EQ(out.trace.review(0).round, 0u);
+  EXPECT_EQ(out.report.renumbered_rounds, 1u);
+}
+
+TEST(SanitizeTest, QuarantinesNaNScoresAndClampsOutOfRange) {
+  const std::vector<Worker> workers = {make_worker(0)};
+  const std::vector<Product> products = {make_product(0)};
+  const std::vector<ReviewRecord> reviews = {
+      make_review(0, 0, 0, 0, kNaN, 1.0), make_review(1, 0, 0, 1, 7.5, 1.0),
+      make_review(2, 0, 0, 2, 0.2, 1.0)};
+
+  const SanitizedTrace out = sanitize_trace(workers, products, reviews);
+  EXPECT_EQ(out.report.non_finite_score, 1u);
+  EXPECT_EQ(out.report.clamped_scores, 2u);
+  ASSERT_EQ(out.trace.reviews().size(), 2u);
+  EXPECT_DOUBLE_EQ(out.trace.review(0).score, 5.0);
+  EXPECT_DOUBLE_EQ(out.trace.review(1).score, 1.0);
+  EXPECT_NO_THROW(out.trace.validate());
+}
+
+TEST(SanitizeTest, DeduplicatesWorkersKeepingFirstAndRemapsIds) {
+  std::vector<Worker> workers;
+  Worker a = make_worker(7);
+  a.skill = 2.0;
+  Worker dup = make_worker(7);
+  dup.skill = 9.0;
+  Worker b = make_worker(3);
+  workers = {a, dup, b};
+  const std::vector<Product> products = {make_product(0)};
+  const std::vector<ReviewRecord> reviews = {make_review(0, 7, 0, 0, 3.0, 1.0),
+                                             make_review(1, 3, 0, 0, 3.0, 1.0)};
+
+  const SanitizedTrace out = sanitize_trace(workers, products, reviews);
+  EXPECT_EQ(out.report.duplicate_worker_ids, 1u);
+  EXPECT_EQ(out.report.quarantined_workers(), 1u);
+  EXPECT_EQ(out.report.remapped_worker_ids, 2u);  // 7 -> 0, 3 -> 1
+  ASSERT_EQ(out.trace.workers().size(), 2u);
+  EXPECT_DOUBLE_EQ(out.trace.worker(0).skill, 2.0);  // first instance kept
+  ASSERT_EQ(out.trace.reviews().size(), 2u);
+  EXPECT_EQ(out.trace.review(0).worker, 0u);
+  EXPECT_EQ(out.trace.review(1).worker, 1u);
+}
+
+TEST(SanitizeTest, QuarantinesDanglingAndOutOfRangeRoundReviews) {
+  const std::vector<Worker> workers = {make_worker(0)};
+  const std::vector<Product> products = {make_product(0),
+                                         make_product(1, kNaN)};
+  const std::vector<ReviewRecord> reviews = {
+      make_review(0, 0, 0, 0, 3.0, 1.0),
+      make_review(1, 5, 0, 0, 3.0, 1.0),   // unknown worker
+      make_review(2, 0, 9, 0, 3.0, 1.0),   // unknown product
+      make_review(3, 0, 1, 0, 3.0, 1.0),   // product quarantined (NaN quality)
+      make_review(4, 0, 0, (1u << 20) + 1, 3.0, 1.0)};  // corrupted round
+
+  const SanitizedTrace out = sanitize_trace(workers, products, reviews);
+  EXPECT_EQ(out.report.non_finite_quality, 1u);
+  EXPECT_EQ(out.report.dangling_reviews, 3u);
+  EXPECT_EQ(out.report.out_of_range_round, 1u);
+  ASSERT_EQ(out.trace.reviews().size(), 1u);
+  EXPECT_EQ(out.report.quarantined_reviews(), 4u);
+}
+
+TEST(SanitizeTest, RepairsSkillAndClassLabels) {
+  Worker nan_skill = make_worker(0);
+  nan_skill.skill = kNaN;
+  Worker cm_without_community = make_worker(1);
+  cm_without_community.true_class = WorkerClass::kCollusiveMalicious;
+  cm_without_community.true_community = kNoCommunity;
+  Worker honest_with_community = make_worker(2);
+  honest_with_community.true_community = 4;
+
+  const SanitizedTrace out = sanitize_trace(
+      {nan_skill, cm_without_community, honest_with_community}, {}, {});
+  EXPECT_EQ(out.report.repaired_skill, 1u);
+  EXPECT_EQ(out.report.repaired_class_labels, 2u);
+  EXPECT_DOUBLE_EQ(out.trace.worker(0).skill, 1.0);
+  EXPECT_EQ(out.trace.worker(1).true_class,
+            WorkerClass::kNonCollusiveMalicious);
+  EXPECT_EQ(out.trace.worker(2).true_community, kNoCommunity);
+  EXPECT_NO_THROW(out.trace.validate());
+}
+
+TEST(SanitizeTest, TraceOverloadPassesCleanGeneratedTraceThrough) {
+  const ReviewTrace trace = generate_trace(GeneratorParams::small());
+  const SanitizedTrace out = sanitize_trace(trace);
+  EXPECT_TRUE(out.report.clean()) << out.report.to_string();
+  ASSERT_EQ(out.trace.workers().size(), trace.workers().size());
+  ASSERT_EQ(out.trace.reviews().size(), trace.reviews().size());
+  for (std::size_t i = 0; i < trace.reviews().size(); ++i) {
+    const Review& a = trace.review(static_cast<ReviewId>(i));
+    const Review& b = out.trace.review(static_cast<ReviewId>(i));
+    EXPECT_EQ(a.worker, b.worker);
+    EXPECT_EQ(a.round, b.round);
+    EXPECT_EQ(a.score, b.score);
+    EXPECT_EQ(a.upvotes, b.upvotes);
+  }
+}
+
+TEST(SanitizeTest, RejectsInvalidScoreRangeConfig) {
+  SanitizeConfig config;
+  config.min_score = 4.0;
+  config.max_score = 2.0;
+  EXPECT_THROW(sanitize_trace({}, {}, {}, config), Error);
+  config.min_score = 0.0;
+  config.max_score = 9.0;
+  EXPECT_THROW(sanitize_trace({}, {}, {}, config), Error);
+}
+
+TEST(SanitizeTest, ReportToStringMentionsCounts) {
+  const std::vector<Worker> workers = {make_worker(0)};
+  const std::vector<Product> products = {make_product(0)};
+  const std::vector<ReviewRecord> reviews = {make_review(0, 0, 0, 0, 3.0, kNaN)};
+  const SanitizedTrace out = sanitize_trace(workers, products, reviews);
+  const std::string text = out.report.to_string();
+  EXPECT_NE(text.find("quarantined=1"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace ccd::data

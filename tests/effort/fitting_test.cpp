@@ -164,6 +164,41 @@ TEST(FitAllClassesTest, FallsBackWhenClassesAreEmpty) {
   EXPECT_DOUBLE_EQ(fits.cm.model.r2(), fits.honest.model.r2());
 }
 
+TEST(FitEffortFunctionTest, ConvexDataProjectsToValidConcaveModel) {
+  // Nearly linear feedback with a whisper of convexity: the raw quadratic
+  // fit lands at r2 > 0, violating the r2 < 0 concavity requirement, so the
+  // projection branch must pin curvature and still return a usable model.
+  std::vector<data::EffortSample> samples;
+  for (std::size_t i = 1; i <= 12; ++i) {
+    data::EffortSample s;
+    s.effort = 0.5 * static_cast<double>(i);
+    s.feedback = 2.0 * s.effort + 1.0 + 0.01 * s.effort * s.effort;
+    samples.push_back(s);
+  }
+  const EffortFit fit = fit_effort_function(samples);
+  EXPECT_TRUE(fit.projected);
+  EXPECT_LT(fit.model.r2(), 0.0);
+  EXPECT_GT(fit.model.r1(), 0.0);
+  // The projected model still tracks the data direction: increasing on the
+  // sampled range.
+  EXPECT_GT(fit.model(samples.back().effort), fit.model(samples.front().effort));
+}
+
+TEST(FitEffortFunctionTest, ConvexCurvatureProjectsToo) {
+  // Strictly convex data (r2 > 0): same projection branch, harder input.
+  std::vector<data::EffortSample> samples;
+  for (std::size_t i = 1; i <= 12; ++i) {
+    data::EffortSample s;
+    s.effort = 0.4 * static_cast<double>(i);
+    s.feedback = 0.8 * s.effort * s.effort + 0.3 * s.effort + 0.5;
+    samples.push_back(s);
+  }
+  const EffortFit fit = fit_effort_function(samples);
+  EXPECT_TRUE(fit.projected);
+  EXPECT_LT(fit.model.r2(), 0.0);
+  EXPECT_GT(fit.model.r1(), 0.0);
+}
+
 TEST(CommunitySumSamplesTest, RejectsEmptyCommunity) {
   const data::ReviewTrace trace =
       data::generate_trace(data::GeneratorParams::small());

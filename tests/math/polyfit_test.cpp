@@ -89,6 +89,15 @@ TEST(PolyFitTest, InputValidation) {
   EXPECT_THROW(nor_by_degree({1.0, 2.0, 3.0}, {1.0, 2.0, 3.0}, 3, 1), Error);
 }
 
+TEST(PolyFitTest, SingularDesignMatrixThrowsMathError) {
+  // All-equal x at degree 2: centering collapses to u == 0 everywhere, so
+  // the Vandermonde columns beyond the constant are identically zero and
+  // least squares must report rank deficiency (not return garbage).
+  const std::vector<double> xs = {2.0, 2.0, 2.0, 2.0};
+  const std::vector<double> ys = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_THROW(polyfit(xs, ys, 2), MathError);
+}
+
 TEST(PolyFitTest, WideXRangeIsWellConditioned) {
   // Centering/scaling should keep large-x Vandermonde systems solvable.
   std::vector<double> xs, ys;

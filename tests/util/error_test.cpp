@@ -25,6 +25,79 @@ TEST(ErrorTest, MessagesArePreserved) {
   }
 }
 
+TEST(ErrorTest, StableCodesAndExitCodes) {
+  EXPECT_EQ(Error("e").code(), ErrorCode::kGeneric);
+  EXPECT_EQ(ConfigError("c").code(), ErrorCode::kConfig);
+  EXPECT_EQ(DataError("d").code(), ErrorCode::kData);
+  EXPECT_EQ(MathError("m").code(), ErrorCode::kMath);
+  EXPECT_EQ(ContractError("x").code(), ErrorCode::kContract);
+  EXPECT_EQ(exit_code(ErrorCode::kGeneric), 1);
+  EXPECT_EQ(exit_code(ErrorCode::kConfig), 2);
+  EXPECT_EQ(exit_code(ErrorCode::kData), 3);
+  EXPECT_EQ(exit_code(ErrorCode::kMath), 4);
+  EXPECT_EQ(exit_code(ErrorCode::kContract), 5);
+  EXPECT_STREQ(to_string(ErrorCode::kMath), "math");
+}
+
+TEST(ErrorTest, ContextRendersInWhat) {
+  MathError e("singular matrix");
+  e.with_stage("fit").with_worker(12).with_round(3);
+  EXPECT_STREQ(e.what(), "singular matrix [stage=fit worker=12 round=3]");
+  EXPECT_EQ(e.message(), "singular matrix");
+  EXPECT_EQ(e.context().stage, "fit");
+  EXPECT_EQ(e.context().worker, 12);
+  EXPECT_EQ(e.context().round, 3);
+}
+
+TEST(ErrorTest, InnermostAnnotationWins) {
+  DataError e("bad record");
+  e.with_worker(7);
+  e.with_worker(99);  // outer boundary annotates later; must not overwrite
+  e.with_stage("sanitize");
+  e.with_stage("solve");
+  EXPECT_EQ(e.context().worker, 7);
+  EXPECT_EQ(e.context().stage, "sanitize");
+}
+
+TEST(ErrorTest, ContextMergeFillsOnlyUnsetFields) {
+  ErrorContext inner;
+  inner.worker = 4;
+  ErrorContext outer;
+  outer.worker = 8;
+  outer.stage = "solve";
+  inner.merge(outer);
+  EXPECT_EQ(inner.worker, 4);
+  EXPECT_EQ(inner.stage, "solve");
+
+  Error e("boom");
+  e.with_context(inner);
+  EXPECT_STREQ(e.what(), "boom [stage=solve worker=4]");
+}
+
+TEST(ErrorTest, SuppressedFailuresAppendNote) {
+  MathError e("first failure");
+  e.with_suppressed_failures(3);
+  EXPECT_STREQ(e.what(), "first failure (+3 more task failures)");
+  e.with_stage("solve");
+  EXPECT_STREQ(e.what(), "first failure [stage=solve] (+3 more task failures)");
+}
+
+TEST(ErrorTest, RethrowPreservesDynamicType) {
+  // The mutate-and-rethrow idiom at recovery boundaries must not slice.
+  try {
+    try {
+      throw MathError("inner");
+    } catch (Error& e) {
+      e.with_stage("fit");
+      throw;
+    }
+  } catch (const MathError& e) {
+    EXPECT_STREQ(e.what(), "inner [stage=fit]");
+  } catch (...) {
+    FAIL() << "dynamic type was lost";
+  }
+}
+
 TEST(CheckMacroTest, PassingCheckIsSilent) {
   EXPECT_NO_THROW(CCD_CHECK(1 + 1 == 2));
   EXPECT_NO_THROW(CCD_CHECK_MSG(true, "never shown"));

@@ -1,0 +1,162 @@
+#include "util/fault_injection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ccd::util {
+namespace {
+
+/// RAII guard: every test leaves the process-wide injector disarmed.
+struct InjectorGuard {
+  ~InjectorGuard() { FaultInjector::instance().disable(); }
+};
+
+TEST(FaultInjectorTest, DisabledByDefaultAndZeroRateNeverFires) {
+  InjectorGuard guard;
+  FaultInjector& fi = FaultInjector::instance();
+  EXPECT_FALSE(fi.armed());
+
+  FaultInjectorConfig config;
+  config.enabled = true;
+  config.seed = 1;
+  config.rate = 0.0;
+  fi.configure(config);
+  EXPECT_TRUE(fi.armed());
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    EXPECT_FALSE(fi.should_inject("site.a", key));
+  }
+  EXPECT_EQ(fi.total_injected(), 0u);
+}
+
+TEST(FaultInjectorTest, RateOneAlwaysFires) {
+  InjectorGuard guard;
+  FaultInjector& fi = FaultInjector::instance();
+  FaultInjectorConfig config;
+  config.enabled = true;
+  config.seed = 9;
+  config.rate = 1.0;
+  fi.configure(config);
+  for (std::uint64_t key = 0; key < 100; ++key) {
+    EXPECT_TRUE(fi.should_inject("site.a", key));
+  }
+  EXPECT_EQ(fi.total_injected(), 100u);
+  EXPECT_EQ(fi.injected("site.a"), 100u);
+  EXPECT_EQ(fi.injected("site.b"), 0u);
+}
+
+TEST(FaultInjectorTest, DecisionIsDeterministicPerSeedSiteKey) {
+  InjectorGuard guard;
+  FaultInjector& fi = FaultInjector::instance();
+  FaultInjectorConfig config;
+  config.enabled = true;
+  config.seed = 1234;
+  config.rate = 0.3;
+  fi.configure(config);
+
+  std::vector<bool> first;
+  for (std::uint64_t key = 0; key < 500; ++key) {
+    first.push_back(fi.should_inject("site.det", key));
+  }
+  // Same config again (counters reset): identical decisions, any order.
+  fi.configure(config);
+  for (int key = 499; key >= 0; --key) {
+    EXPECT_EQ(fi.should_inject("site.det", static_cast<std::uint64_t>(key)),
+              first[static_cast<std::size_t>(key)])
+        << key;
+  }
+}
+
+TEST(FaultInjectorTest, SeedAndSiteChangeTheDecisionPattern) {
+  InjectorGuard guard;
+  FaultInjector& fi = FaultInjector::instance();
+  FaultInjectorConfig config;
+  config.enabled = true;
+  config.seed = 1;
+  config.rate = 0.5;
+  fi.configure(config);
+  std::vector<bool> seed1, site_b;
+  for (std::uint64_t key = 0; key < 300; ++key) {
+    seed1.push_back(fi.should_inject("site.a", key));
+    site_b.push_back(fi.should_inject("site.b", key));
+  }
+  config.seed = 2;
+  fi.configure(config);
+  std::vector<bool> seed2;
+  for (std::uint64_t key = 0; key < 300; ++key) {
+    seed2.push_back(fi.should_inject("site.a", key));
+  }
+  EXPECT_NE(seed1, seed2);
+  EXPECT_NE(seed1, site_b);
+}
+
+TEST(FaultInjectorTest, RateIsApproximatelyHonored) {
+  InjectorGuard guard;
+  FaultInjector& fi = FaultInjector::instance();
+  FaultInjectorConfig config;
+  config.enabled = true;
+  config.seed = 77;
+  config.rate = 0.1;
+  fi.configure(config);
+  const std::size_t n = 20000;
+  std::size_t fired = 0;
+  for (std::uint64_t key = 0; key < n; ++key) {
+    if (fi.should_inject("site.rate", key)) ++fired;
+  }
+  const double observed = static_cast<double>(fired) / n;
+  EXPECT_NEAR(observed, 0.1, 0.02);
+}
+
+TEST(FaultInjectorTest, PerSiteRateOverridesDefault) {
+  InjectorGuard guard;
+  FaultInjector& fi = FaultInjector::instance();
+  FaultInjectorConfig config;
+  config.enabled = true;
+  config.seed = 5;
+  config.rate = 0.0;
+  config.site_rates["site.hot"] = 1.0;
+  fi.configure(config);
+  EXPECT_TRUE(fi.should_inject("site.hot", 42));
+  EXPECT_FALSE(fi.should_inject("site.cold", 42));
+  EXPECT_EQ(fi.injected("site.hot"), 1u);
+}
+
+TEST(FaultInjectorTest, FaultPointMacroThrowsConfiguredType) {
+  InjectorGuard guard;
+  FaultInjectorConfig config;
+  config.enabled = true;
+  config.seed = 3;
+  config.rate = 1.0;
+  FaultInjector::instance().configure(config);
+  try {
+    CCD_FAULT_POINT("site.macro", 7, MathError);
+    FAIL() << "should have thrown";
+  } catch (const MathError& e) {
+    EXPECT_NE(std::string(e.what()).find("injected fault at site.macro"),
+              std::string::npos);
+  }
+  FaultInjector::instance().disable();
+  EXPECT_NO_THROW(CCD_FAULT_POINT("site.macro", 7, MathError));
+}
+
+TEST(FaultInjectorTest, DisableResetsCounters) {
+  InjectorGuard guard;
+  FaultInjector& fi = FaultInjector::instance();
+  FaultInjectorConfig config;
+  config.enabled = true;
+  config.seed = 3;
+  config.rate = 1.0;
+  fi.configure(config);
+  (void)fi.should_inject("site.x", 1);
+  EXPECT_EQ(fi.total_injected(), 1u);
+  fi.disable();
+  EXPECT_FALSE(fi.armed());
+  EXPECT_EQ(fi.total_injected(), 0u);
+  EXPECT_EQ(fi.injected("site.x"), 0u);
+}
+
+}  // namespace
+}  // namespace ccd::util

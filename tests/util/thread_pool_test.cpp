@@ -3,9 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <latch>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
+
+#include "util/error.hpp"
 
 namespace ccd::util {
 namespace {
@@ -63,6 +67,59 @@ TEST(ThreadPoolTest, ParallelForRethrowsTaskException) {
                           if (i == 37) throw std::runtime_error("task 37");
                         }),
       std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForCountsSuppressedFailures) {
+  // Four chunks of one index each (n == threads), synchronized on a latch
+  // so every task is already past the early-cancel check before the first
+  // throw — all four must fail, deterministically.
+  ThreadPool pool(4);
+  std::latch sync(4);
+  try {
+    pool.parallel_for(4, [&](std::size_t i) {
+      sync.arrive_and_wait();
+      throw std::runtime_error("task " + std::to_string(i));
+    });
+    FAIL() << "should have thrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("(+3 more task failures)"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ThreadPoolTest, SuppressedFailuresPreserveCcdErrorType) {
+  ThreadPool pool(4);
+  std::latch sync(4);
+  try {
+    pool.parallel_for(4, [&](std::size_t i) {
+      sync.arrive_and_wait();
+      throw MathError("chunk " + std::to_string(i));
+    });
+    FAIL() << "should have thrown";
+  } catch (const MathError& e) {
+    EXPECT_EQ(e.context().suppressed_failures, 3u);
+    EXPECT_NE(std::string(e.what()).find("(+3 more task failures)"),
+              std::string::npos)
+        << e.what();
+  } catch (const std::exception& e) {
+    FAIL() << "dynamic type was lost: " << e.what();
+  }
+}
+
+TEST(ThreadPoolTest, SingleFailureHasNoSuppressedNote) {
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(100, [&](std::size_t i) {
+      if (i == 37) throw MathError("task 37");
+    });
+    FAIL() << "should have thrown";
+  } catch (const MathError& e) {
+    EXPECT_EQ(e.context().suppressed_failures, 0u);
+    EXPECT_EQ(std::string(e.what()).find("more task failures"),
+              std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(ThreadPoolTest, ParallelForSingleThreadPool) {

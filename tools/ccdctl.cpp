@@ -8,17 +8,27 @@
 //       collusive-community census for a saved trace.
 //
 //   ccdctl design trace=<prefix> [mu=1.0] [strategy=dynamic|exclude|fixed]
-//          [out=<contracts.csv>]
+//          [policy=failfast|quarantine|fallback] [lenient_load=0|1]
+//          [fault_rate=0.0] [fault_seed=0] [out=<contracts.csv>]
 //       Run the full contract-design pipeline and (optionally) export the
-//       per-worker contracts.
+//       per-worker contracts. `policy` selects the per-stage degradation
+//       mode, `lenient_load` routes dirty CSVs through the sanitizer, and
+//       fault_rate/fault_seed arm the deterministic fault injector (chaos
+//       drills).
 //
 //   ccdctl simulate [rounds=40] [workers=6] [malicious=2] [seed=1]
 //       Multi-round Stackelberg simulation with a mixed fleet.
 //
 // All arguments are key=value; unknown keys are rejected.
+//
+// Exit codes mirror the ccd::Error hierarchy (see util/error.hpp):
+//   0 success, 1 generic error, 2 usage / ConfigError, 3 DataError,
+//   4 MathError, 5 ContractError.
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
 
 #include "core/equilibrium.hpp"
 #include "core/pipeline.hpp"
@@ -34,6 +44,7 @@
 #include "util/config.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/fault_injection.hpp"
 #include "util/string_util.hpp"
 #include "util/table.hpp"
 
@@ -48,8 +59,13 @@ int usage() {
                "  generate out=<prefix> [preset=small|medium|full] [seed=N]\n"
                "  inspect  trace=<prefix> [threshold=0.5]\n"
                "  design   trace=<prefix> [mu=1.0] "
-               "[strategy=dynamic|exclude|fixed] [out=<file.csv>]\n"
-               "  simulate [rounds=40] [workers=6] [malicious=2] [seed=1]\n");
+               "[strategy=dynamic|exclude|fixed]\n"
+               "           [policy=failfast|quarantine|fallback] "
+               "[lenient_load=0|1]\n"
+               "           [fault_rate=0.0] [fault_seed=0] [out=<file.csv>]\n"
+               "  simulate [rounds=40] [workers=6] [malicious=2] [seed=1]\n"
+               "exit codes: 0 ok, 1 error, 2 usage/config, 3 data, 4 math, "
+               "5 contract\n");
   return 2;
 }
 
@@ -125,6 +141,13 @@ int cmd_inspect(const util::ParamMap& params) {
   return 0;
 }
 
+core::FaultPolicy policy_by_name(const std::string& name) {
+  if (name == "failfast") return core::FaultPolicy::fail_fast();
+  if (name == "quarantine") return core::FaultPolicy::quarantine();
+  if (name == "fallback") return core::FaultPolicy::fallback();
+  throw ConfigError("unknown policy '" + name + "'");
+}
+
 core::PricingStrategy strategy_by_name(const std::string& name) {
   if (name == "dynamic") return core::PricingStrategy::kDynamicContract;
   if (name == "exclude") return core::PricingStrategy::kExcludeMalicious;
@@ -163,18 +186,53 @@ int cmd_design(const util::ParamMap& params) {
   const std::string prefix = params.get_string("trace", "");
   const double mu = params.get_double("mu", 1.0);
   const std::string strategy = params.get_string("strategy", "dynamic");
+  const std::string policy = params.get_string("policy", "failfast");
+  const bool lenient_load = params.get_bool("lenient_load", false);
+  const double fault_rate = params.get_double("fault_rate", 0.0);
+  const auto fault_seed =
+      static_cast<std::uint64_t>(params.get_int("fault_seed", 0));
   const std::string out = params.get_string("out", "");
   params.assert_all_consumed();
   if (prefix.empty()) {
     std::fprintf(stderr, "design: missing trace=<prefix>\n");
     return 2;
   }
-  const data::ReviewTrace trace = data::load_trace(prefix);
 
   core::PipelineConfig config;
   config.requester.mu = mu;
   config.strategy = strategy_by_name(strategy);
+  config.faults = policy_by_name(policy);
+
+  data::ReviewTrace trace;
+  if (lenient_load) {
+    data::SanitizedTrace sanitized =
+        data::load_trace_sanitized(prefix, config.sanitize);
+    if (!sanitized.report.clean()) {
+      std::printf("%s\n", sanitized.report.to_string().c_str());
+    }
+    trace = std::move(sanitized.trace);
+  } else {
+    trace = data::load_trace(prefix);
+  }
+
+  if (fault_rate > 0.0) {
+    util::FaultInjectorConfig chaos;
+    chaos.enabled = true;
+    chaos.seed = fault_seed;
+    chaos.rate = fault_rate;
+    util::FaultInjector::instance().configure(chaos);
+    std::printf("fault injector armed: rate=%.3f seed=%llu\n", fault_rate,
+                static_cast<unsigned long long>(fault_seed));
+  }
   const core::PipelineResult result = core::run_pipeline(trace, config);
+  if (fault_rate > 0.0) {
+    std::printf("fault injector: %zu fault(s) fired\n",
+                util::FaultInjector::instance().total_injected());
+    util::FaultInjector::instance().disable();
+  }
+  if (result.health.degraded()) {
+    std::printf("%s\n", result.health.to_string().c_str());
+  }
 
   std::printf("%s\n", core::describe_pipeline_result(result).c_str());
   std::printf("%s\n",
@@ -253,6 +311,6 @@ int main(int argc, char** argv) {
     return usage();
   } catch (const ccd::Error& e) {
     std::fprintf(stderr, "ccdctl %s: %s\n", command.c_str(), e.what());
-    return 1;
+    return ccd::exit_code(e.code());
   }
 }
