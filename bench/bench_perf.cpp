@@ -1,9 +1,16 @@
 // Performance microbenchmarks (google-benchmark): subproblem solve cost vs
 // partition density, pipeline throughput vs thread count (the paper's
-// motivation for decomposing the bilevel program), and clustering cost.
+// motivation for decomposing the bilevel program), clustering cost, and the
+// overhead of the util::metrics instrumentation (armed vs disarmed).
+//
+// Unless the caller passes its own --benchmark_out, results are written as
+// machine-readable JSON to BENCH_perf.json in the working directory (CI
+// uploads it as an artifact).
 #include <benchmark/benchmark.h>
 
 #include <cstddef>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "contract/design_cache.hpp"
@@ -11,6 +18,7 @@
 #include "core/pipeline.hpp"
 #include "data/generator.hpp"
 #include "detect/collusion.hpp"
+#include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -159,6 +167,83 @@ void BM_TraceGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_TraceGeneration)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// util::metrics overhead. Arg 0 = disarmed (set_enabled(false): every
+// mutation should reduce to one relaxed load + branch), arg 1 = armed.
+// Under -DCCD_NO_METRICS the loop bodies are inline no-ops, so the same
+// scenarios double as proof the stubs vanish.
+
+void BM_MetricsCounterAdd(benchmark::State& state) {
+  namespace metrics = ccd::util::metrics;
+  const bool was = metrics::enabled();
+  metrics::set_enabled(state.range(0) != 0);
+  metrics::Counter counter;
+  for (auto _ : state) {
+    counter.add(1);
+    benchmark::ClobberMemory();
+  }
+  metrics::set_enabled(was);
+  state.SetLabel(state.range(0) != 0 ? "armed" : "disarmed");
+}
+BENCHMARK(BM_MetricsCounterAdd)->Arg(0)->Arg(1);
+
+void BM_MetricsHistogramRecord(benchmark::State& state) {
+  namespace metrics = ccd::util::metrics;
+  const bool was = metrics::enabled();
+  metrics::set_enabled(state.range(0) != 0);
+  metrics::Histogram hist;
+  double value = 1.0;
+  for (auto _ : state) {
+    hist.record(value);
+    value = value < 1.0e6 ? value * 1.7 : 1.0;
+    benchmark::ClobberMemory();
+  }
+  metrics::set_enabled(was);
+  state.SetLabel(state.range(0) != 0 ? "armed" : "disarmed");
+}
+BENCHMARK(BM_MetricsHistogramRecord)->Arg(0)->Arg(1);
+
+// End-to-end check that instrumentation does not tax the pipeline: the
+// armed/disarmed pair should be indistinguishable within noise.
+void BM_PipelineMetricsOverhead(benchmark::State& state) {
+  namespace metrics = ccd::util::metrics;
+  const auto& trace = medium_trace();
+  ccd::core::PipelineConfig config;
+  config.threads = 1;
+  const bool was = metrics::enabled();
+  metrics::set_enabled(state.range(0) != 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ccd::core::run_pipeline(trace, config));
+  }
+  metrics::set_enabled(was);
+  state.SetLabel(state.range(0) != 0 ? "armed" : "disarmed");
+}
+BENCHMARK(BM_PipelineMetricsOverhead)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN(), plus a default JSON sink: unless the caller supplied
+// --benchmark_out, write results to BENCH_perf.json so CI always has a
+// machine-readable artifact.
+int main(int argc, char** argv) {
+  bool have_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) have_out = true;
+  }
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_perf.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!have_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

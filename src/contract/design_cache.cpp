@@ -13,6 +13,39 @@ namespace {
 // when spec.weight <= 0.
 const DesignTable kEmptyTable{};
 
+// Process-wide atomic mirrors of every cache's counters (`ccd.cache.*`).
+// Handles are resolved once; increments are lock-free and disarm to a
+// branch (or compile out entirely under -DCCD_NO_METRICS).
+struct CacheMetrics {
+  util::metrics::Counter& lookups;
+  util::metrics::Counter& hits;
+  util::metrics::Counter& misses;
+  util::metrics::Counter& sweep_steps_computed;
+  util::metrics::Counter& sweep_steps_avoided;
+  util::metrics::Counter& evictions;
+
+  static CacheMetrics& get() {
+    static CacheMetrics* const m = [] {
+      util::metrics::MetricsRegistry& reg = util::metrics::registry();
+      return new CacheMetrics{reg.counter("ccd.cache.lookups"),
+                              reg.counter("ccd.cache.hits"),
+                              reg.counter("ccd.cache.misses"),
+                              reg.counter("ccd.cache.sweep_steps_computed"),
+                              reg.counter("ccd.cache.sweep_steps_avoided"),
+                              reg.counter("ccd.cache.evictions")};
+    }();
+    return *m;
+  }
+
+  void add(const DesignCacheStats& delta) {
+    lookups.add(delta.lookups);
+    hits.add(delta.hits);
+    misses.add(delta.misses);
+    sweep_steps_computed.add(delta.sweep_steps_computed);
+    sweep_steps_avoided.add(delta.sweep_steps_avoided);
+  }
+};
+
 }  // namespace
 
 DesignCacheKey DesignCacheKey::of(const SubproblemSpec& spec) {
@@ -66,6 +99,7 @@ DesignResult DesignCache::design(const SubproblemSpec& spec) {
 
 std::shared_ptr<const DesignTable> DesignCache::table_for(
     const SubproblemSpec& spec, bool* was_hit) {
+  CacheMetrics& cm = CacheMetrics::get();
   const DesignCacheKey key = DesignCacheKey::of(spec);
   {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -75,24 +109,41 @@ std::shared_ptr<const DesignTable> DesignCache::table_for(
       ++stats_.hits;
       stats_.sweep_steps_avoided += spec.intervals;
       if (was_hit) *was_hit = true;
+      cm.lookups.add(1);
+      cm.hits.add(1);
+      cm.sweep_steps_avoided.add(spec.intervals);
       return it->second;
     }
   }
   auto table = std::make_shared<const DesignTable>(build_design_table(spec));
-  const std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.lookups;
-  const auto [it, inserted] = tables_.emplace(key, std::move(table));
+  std::shared_ptr<const DesignTable> winner;
+  bool inserted;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.lookups;
+    const auto [it, fresh] = tables_.emplace(key, std::move(table));
+    inserted = fresh;
+    if (inserted) {
+      ++stats_.misses;
+      stats_.sweep_steps_computed += spec.intervals;
+    } else {
+      // Lost a race to another thread building the same spec: count as a
+      // hit and use the winner's (identical) table.
+      ++stats_.hits;
+      stats_.sweep_steps_avoided += spec.intervals;
+    }
+    winner = it->second;
+  }
+  cm.lookups.add(1);
   if (inserted) {
-    ++stats_.misses;
-    stats_.sweep_steps_computed += spec.intervals;
+    cm.misses.add(1);
+    cm.sweep_steps_computed.add(spec.intervals);
   } else {
-    // Lost a race to another thread building the same spec: count as a hit
-    // and use the winner's (identical) table.
-    ++stats_.hits;
-    stats_.sweep_steps_avoided += spec.intervals;
+    cm.hits.add(1);
+    cm.sweep_steps_avoided.add(spec.intervals);
   }
   if (was_hit) *was_hit = !inserted;
-  return it->second;
+  return winner;
 }
 
 DesignCacheStats DesignCache::stats() const {
@@ -106,14 +157,22 @@ std::size_t DesignCache::size() const {
 }
 
 void DesignCache::clear() {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  tables_.clear();
-  stats_ = DesignCacheStats{};
+  std::size_t dropped;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    dropped = tables_.size();
+    tables_.clear();
+    stats_ = DesignCacheStats{};
+  }
+  CacheMetrics::get().evictions.add(dropped);
 }
 
 void DesignCache::record(const DesignCacheStats& delta) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  stats_ += delta;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stats_ += delta;
+  }
+  CacheMetrics::get().add(delta);
 }
 
 std::vector<DesignResult> design_contracts_batch(
@@ -150,7 +209,13 @@ std::vector<DesignResult> design_contracts_batch(
   std::atomic<std::uint64_t> steps_computed{0};
   pool.parallel_for(representative.size(), [&](std::size_t g) {
     bool was_hit = false;
-    tables[g] = cache.table_for(specs[representative[g]], &was_hit);
+    {
+      // Span of this distinct spec's design (the per-community solve span
+      // when the spec is a community fit; a cache hit records the cheap
+      // lookup instead of a sweep).
+      util::metrics::ScopedTimer timer(options.sweep_histogram);
+      tables[g] = cache.table_for(specs[representative[g]], &was_hit);
+    }
     if (!was_hit) {
       computed.fetch_add(1, std::memory_order_relaxed);
       steps_computed.fetch_add(specs[representative[g]].intervals,
@@ -186,20 +251,20 @@ std::vector<DesignResult> design_contracts_batch(
       cacheable_steps - call_stats.sweep_steps_computed;
   if (stats) *stats = call_stats;
 
-  if (options.cache) {
-    // table_for() above only recorded one lookup per distinct group; fold
-    // in the per-worker resolutions the batch served without touching the
-    // map, so a shared cache's cumulative stats count every resolution.
-    std::size_t representative_steps = 0;
-    for (const std::size_t i : representative) {
-      representative_steps += specs[i].intervals;
-    }
-    DesignCacheStats extra;
-    extra.lookups = cacheable - representative.size();
-    extra.hits = extra.lookups;
-    extra.sweep_steps_avoided = cacheable_steps - representative_steps;
-    cache.record(extra);
+  // table_for() above only recorded one lookup per distinct group; fold in
+  // the per-worker resolutions the batch served without touching the map,
+  // so cumulative stats (and the process-wide `ccd.cache.*` registry
+  // counters the cache mirrors into) count every resolution — also when
+  // the batch ran on its own private cache.
+  std::size_t representative_steps = 0;
+  for (const std::size_t i : representative) {
+    representative_steps += specs[i].intervals;
   }
+  DesignCacheStats extra;
+  extra.lookups = cacheable - representative.size();
+  extra.hits = extra.lookups;
+  extra.sweep_steps_avoided = cacheable_steps - representative_steps;
+  cache.record(extra);
 
   return results;
 }

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "contract/designer.hpp"
+#include "util/metrics.hpp"
 
 namespace ccd::util {
 class ThreadPool;
@@ -59,6 +60,12 @@ struct DesignCacheKeyHash {
 /// workers never touch the cache). One k-sweep is `intervals` candidate
 /// builds + best responses, so the uncached path would have run
 /// `lookups` sweeps where the cache ran `misses`.
+///
+/// These per-cache (or per-call) stats are snapshots taken under the cache
+/// mutex / after the batch joins — safe to read single-threaded. The
+/// authoritative process-wide counters are the atomic `ccd.cache.*`
+/// registry metrics (see util/metrics.hpp), which every cache mirrors its
+/// increments into; hot paths must never bump plain fields concurrently.
 struct DesignCacheStats {
   std::size_t lookups = 0;
   std::size_t hits = 0;
@@ -89,7 +96,9 @@ class DesignCache {
 
   DesignCacheStats stats() const;
   std::size_t size() const;
-  void clear();  ///< drops tables and resets counters
+  /// Drops tables and resets the per-cache counters (the dropped-table
+  /// count is added to the `ccd.cache.evictions` registry counter).
+  void clear();
 
  private:
   friend std::vector<DesignResult> design_contracts_batch(
@@ -111,6 +120,11 @@ struct BatchOptions {
   /// Cache reused across calls (e.g. across pipeline rounds); null gives
   /// the call a private cache.
   DesignCache* cache = nullptr;
+  /// When non-null, each distinct-spec k-sweep records its wall time here
+  /// (microseconds) — the batched path's per-community/per-class solve
+  /// spans. Per-worker resolves are not timed: they are orders of
+  /// magnitude cheaper than a sweep and the clock reads would dominate.
+  util::metrics::Histogram* sweep_histogram = nullptr;
 };
 
 /// Design contracts for a whole fleet: one k-sweep per distinct spec

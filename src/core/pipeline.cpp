@@ -9,10 +9,18 @@
 #include "util/error.hpp"
 #include "util/fault_injection.hpp"
 #include "util/logging.hpp"
+#include "util/metrics.hpp"
+#include "util/string_util.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ccd::core {
 namespace {
+
+/// Registry histogram for one pipeline stage's latency (microseconds).
+util::metrics::Histogram* stage_histogram(const char* stage) {
+  return &util::metrics::registry().histogram(std::string("ccd.pipeline.") +
+                                              stage + "_us");
+}
 
 /// Mean |score - expert consensus| for a worker; a worker with no reviews
 /// brings no usable feedback (infinite distance => excluded).
@@ -123,6 +131,21 @@ std::string HealthReport::to_string() const {
   return os.str();
 }
 
+std::string StageTimings::to_string() const {
+  const auto ms = [](double s) { return util::format_double(s * 1e3, 2); };
+  std::ostringstream os;
+  os << "timings (ms): sanitize=" << ms(sanitize_s)
+     << " detect=" << ms(detect_s) << " cluster=" << ms(cluster_s)
+     << " fit=" << ms(fit_s) << " solve=" << ms(solve_s)
+     << " total=" << ms(total_s);
+  if (solve_spans.count > 0) {
+    os << "; solve spans (us): n=" << solve_spans.count
+       << " p50=" << util::format_double(solve_spans.p50(), 1)
+       << " p95=" << util::format_double(solve_spans.p95(), 1);
+  }
+  return os.str();
+}
+
 std::vector<double> PipelineResult::compensations_of_class(
     data::WorkerClass cls) const {
   std::vector<double> out;
@@ -141,11 +164,20 @@ PipelineResult run_pipeline(const data::ReviewTrace& trace,
   HealthReport& health = result.health;
   const FaultPolicy& policy = config.faults;
 
+  // Observability: per-stage RAII spans write this run's wall clock into
+  // result.timings and the process-wide ccd.pipeline.* latency histograms
+  // (stopped explicitly so the figures land before `result` is returned).
+  util::metrics::registry().counter("ccd.pipeline.runs").add(1);
+  util::metrics::ScopedTimer total_timer(stage_histogram("total"),
+                                         &result.timings.total_s);
+
   // ---- Sanitize stage ----------------------------------------------------
   // Fail-fast scans for the one corruption class ReviewTrace::validate()
   // historically missed at build time (non-finite fields reach here when a
   // trace is assembled in memory rather than loaded); the lenient modes
   // rebuild the trace through the sanitizer and keep going.
+  util::metrics::ScopedTimer sanitize_timer(stage_histogram("sanitize"),
+                                            &result.timings.sanitize_s);
   const data::ReviewTrace* active = &trace;
   std::optional<data::SanitizedTrace> sanitized_storage;
   if (policy.sanitize == StageMode::kFailFast) {
@@ -164,12 +196,15 @@ PipelineResult run_pipeline(const data::ReviewTrace& trace,
     }
     active = &sanitized_storage->trace;
   }
+  sanitize_timer.stop();
   const data::ReviewTrace& t = *active;
 
   const std::size_t n = t.workers().size();
   result.workers.resize(n);
 
   // ---- Detection stage ---------------------------------------------------
+  util::metrics::ScopedTimer detect_timer(stage_histogram("detect"),
+                                          &result.timings.detect_s);
   std::optional<data::WorkerMetrics> metrics;
   std::optional<detect::ExpertPanel> experts;
   std::optional<detect::MaliciousDetector> detector;
@@ -205,8 +240,11 @@ PipelineResult run_pipeline(const data::ReviewTrace& trace,
       if (w.true_class != data::WorkerClass::kHonest) malicious.push_back(w.id);
     }
   }
+  detect_timer.stop();
 
   // ---- Clustering stage --------------------------------------------------
+  util::metrics::ScopedTimer cluster_timer(stage_histogram("cluster"),
+                                           &result.timings.cluster_s);
   try {
     result.collusion = detect::cluster_collusive_workers(t, malicious);
   } catch (Error& e) {
@@ -225,8 +263,13 @@ PipelineResult run_pipeline(const data::ReviewTrace& trace,
     result.collusion.community_of.assign(n, -1);
     result.collusion.non_collusive = malicious;
   }
+  cluster_timer.stop();
 
   // ---- Fitting stage -----------------------------------------------------
+  // The fit span covers the class fits here plus the per-community fits
+  // below (they run inside subproblem construction).
+  util::metrics::ScopedTimer fit_timer(stage_histogram("fit"),
+                                       &result.timings.fit_s);
   try {
     CCD_CHECK_MSG(metrics.has_value(),
                   "worker metrics unavailable (detect stage failed)");
@@ -353,6 +396,7 @@ PipelineResult run_pipeline(const data::ReviewTrace& trace,
     sub.spec = make_spec(fit, config.requester.omega_malicious, weight);
     result.subproblems.push_back(std::move(sub));
   }
+  fit_timer.stop();
 
   // ---- Strategy-specific solve (batched, cache-aware) --------------------
   // All workers of one detected class share the same weight-independent
@@ -360,6 +404,11 @@ PipelineResult run_pipeline(const data::ReviewTrace& trace,
   // one k-sweep per distinct spec, then a cheap per-worker resolve. The
   // fan-out reuses the process-wide shared pool unless the caller pins an
   // explicit thread count.
+  util::metrics::ScopedTimer solve_timer(stage_histogram("solve"),
+                                         &result.timings.solve_s);
+  // Per-community / per-distinct-spec solve spans for this run; snapshotted
+  // into result.timings and rolled up into ccd.pipeline.solve_task_us.
+  util::metrics::Histogram solve_spans;
   const std::size_t nsub = result.subproblems.size();
   util::ThreadPool* pool = &util::shared_pool();
   std::optional<util::ThreadPool> local_pool;
@@ -406,6 +455,7 @@ PipelineResult run_pipeline(const data::ReviewTrace& trace,
           }
           contract::BatchOptions batch;
           batch.pool = pool;
+          batch.sweep_histogram = &solve_spans;
           std::vector<contract::DesignResult> designs =
               contract::design_contracts_batch(specs, batch,
                                                &result.design_cache);
@@ -418,6 +468,7 @@ PipelineResult run_pipeline(const data::ReviewTrace& trace,
           pool->parallel_for(nsub, [&](std::size_t i) {
             SubproblemOutcome& sub = result.subproblems[i];
             if (sub.quarantined) return;
+            util::metrics::ScopedTimer span(&solve_spans);
             sub.design = fixed_design(sub.spec);
           });
           break;
@@ -451,6 +502,7 @@ PipelineResult run_pipeline(const data::ReviewTrace& trace,
         spec.weight = 0.0;
       }
       try {
+        util::metrics::ScopedTimer span(&solve_spans);
         CCD_FAULT_POINT("pipeline.solve_task", i, Error);
         sub.design = config.strategy == PricingStrategy::kFixedPayment
                          ? fixed_design(spec)
@@ -490,6 +542,11 @@ PipelineResult run_pipeline(const data::ReviewTrace& trace,
     });
     result.design_cache = cache.stats();
   }
+  solve_timer.stop();
+  result.timings.solve_spans = solve_spans.snapshot();
+  util::metrics::registry()
+      .histogram("ccd.pipeline.solve_task_us")
+      .merge(result.timings.solve_spans);
 
   // Parallel tasks record events in completion order; sort for stable,
   // reproducible reports.
@@ -524,12 +581,17 @@ PipelineResult run_pipeline(const data::ReviewTrace& trace,
     }
   }
 
+  // Stopped explicitly: relying on the destructor would race NRVO (the
+  // write could land after `result` is copied out on non-eliding paths).
+  total_timer.stop();
+
   CCD_LOG_DEBUG << "pipeline: utility="
                 << result.total_requester_utility
                 << " compensation=" << result.total_compensation
                 << " excluded=" << result.excluded_workers
                 << " design-cache hits=" << result.design_cache.hits
                 << "/" << result.design_cache.lookups;
+  CCD_LOG_DEBUG << "pipeline: " << result.timings.to_string();
   if (health.degraded()) {
     CCD_LOG_INFO << "pipeline degraded: " << health.to_string();
   }

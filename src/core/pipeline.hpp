@@ -48,6 +48,7 @@
 #include "detect/malicious.hpp"
 #include "effort/fitting.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 
 namespace ccd::core {
 
@@ -193,6 +194,30 @@ struct SubproblemOutcome {
   bool fallback = false;     ///< design is the fixed-payment fallback
 };
 
+/// Wall-clock timings of one run. Stage seconds are measured whenever
+/// metrics are compiled in (two clock reads per stage, independent of the
+/// runtime enable flag); the solve-span histogram obeys the enable flag.
+/// Everything is zero/empty under -DCCD_NO_METRICS. Every figure is also
+/// rolled up into the process-wide `ccd.pipeline.*` registry metrics, so
+/// p50/p95 across runs are exportable (util/metrics.hpp). Timing fields
+/// never feed back into results: two runs on the same trace and config
+/// are bitwise-identical in every other field regardless of timings
+/// (tested in tests/integration/determinism_test.cpp).
+struct StageTimings {
+  double sanitize_s = 0.0;
+  double detect_s = 0.0;
+  double cluster_s = 0.0;
+  double fit_s = 0.0;     ///< class fits + per-community fits
+  double solve_s = 0.0;   ///< strategy solve over all subproblems
+  double total_s = 0.0;   ///< whole run_pipeline call
+  /// Per-community / per-distinct-spec solve spans in microseconds: one
+  /// entry per k-sweep in the batched path, one per subproblem task in
+  /// the lenient (quarantine/fallback) path.
+  util::metrics::HistogramSnapshot solve_spans;
+
+  std::string to_string() const;
+};
+
 struct PipelineResult {
   std::vector<WorkerOutcome> workers;        ///< indexed by worker id
   std::vector<SubproblemOutcome> subproblems;
@@ -205,6 +230,8 @@ struct PipelineResult {
   contract::DesignCacheStats design_cache;
   /// What the recovery boundaries absorbed (empty under a clean run).
   HealthReport health;
+  /// Per-stage wall-clock timings of this run (see StageTimings).
+  StageTimings timings;
   double total_requester_utility = 0.0;
   double total_compensation = 0.0;
   std::size_t excluded_workers = 0;

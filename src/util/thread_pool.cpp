@@ -20,6 +20,11 @@ ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+  metrics::MetricsRegistry& reg = metrics::registry();
+  tasks_completed_ = &reg.counter("ccd.pool.tasks");
+  task_us_ = &reg.histogram("ccd.pool.task_us");
+  queue_depth_ = &reg.gauge("ccd.pool.queue_depth");
+  busy_workers_ = &reg.gauge("ccd.pool.busy_workers");
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -46,6 +51,7 @@ void ThreadPool::worker_loop() {
   tls_current_pool = this;
   while (true) {
     std::function<void()> task;
+    std::size_t depth;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -55,8 +61,16 @@ void ThreadPool::worker_loop() {
       }
       task = std::move(queue_.front());
       queue_.pop();
+      depth = queue_.size();
     }
-    task();  // packaged_task captures exceptions into its future
+    queue_depth_->set(static_cast<double>(depth));
+    busy_workers_->add(1.0);
+    {
+      metrics::ScopedTimer timer(task_us_);
+      task();  // packaged_task captures exceptions into its future
+    }
+    busy_workers_->add(-1.0);
+    tasks_completed_->add(1);
   }
 }
 
@@ -139,8 +153,11 @@ ThreadPool& shared_pool() {
   // Leaked on purpose: a function-local static would join its threads
   // during static destruction, racing destructors in other translation
   // units. shutdown_shared_pool() provides the explicit teardown.
-  std::call_once(shared_pool_once,
-                 [] { shared_pool_instance = new ThreadPool(); });
+  std::call_once(shared_pool_once, [] {
+    shared_pool_instance = new ThreadPool();
+    metrics::registry().gauge("ccd.pool.threads")
+        .set(static_cast<double>(shared_pool_instance->thread_count()));
+  });
   return *shared_pool_instance;
 }
 

@@ -23,6 +23,12 @@
 //    (or ThreadPool::shutdown()) when deterministic teardown is needed.
 //  * After shutdown() a pool keeps working in degraded form: parallel_for
 //    runs inline and submit throws.
+//
+// Observability: every pool reports into the process-wide `ccd.pool.*`
+// metrics — queue depth and busy-worker gauges, a task-latency histogram
+// (execution time of each dequeued task, microseconds), and a completed-
+// task counter. `ccd.pool.threads` carries the shared pool's size. See
+// util/metrics.hpp for the export paths and the -DCCD_NO_METRICS switch.
 #pragma once
 
 #include <condition_variable>
@@ -33,6 +39,8 @@
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/metrics.hpp"
 
 namespace ccd::util {
 
@@ -61,11 +69,14 @@ class ThreadPool {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> result = task->get_future();
+    std::size_t depth;
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       if (stopping_) throw std::runtime_error("ThreadPool: submit after stop");
       queue_.emplace([task] { (*task)(); });
+      depth = queue_.size();
     }
+    queue_depth_->set(static_cast<double>(depth));
     cv_.notify_one();
     return result;
   }
@@ -85,6 +96,14 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+
+  // Observability handles (process-wide `ccd.pool.*` metrics, aggregated
+  // across every pool). Resolved once at construction; all mutation is
+  // lock-free and compiles out under -DCCD_NO_METRICS.
+  metrics::Counter* tasks_completed_;
+  metrics::Histogram* task_us_;
+  metrics::Gauge* queue_depth_;
+  metrics::Gauge* busy_workers_;
 };
 
 /// The process-wide shared pool (hardware concurrency). Constructed on

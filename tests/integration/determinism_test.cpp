@@ -1,0 +1,93 @@
+// Determinism: the pipeline's observable outputs are a pure function of
+// (trace, config) — the thread count and the observability layer never leak
+// into results. Two runs over the same trace, one on a single-thread pool
+// and one on a 4-thread pool, must agree bitwise on every payment, effort,
+// feedback, and utility (timings and metrics excluded: they measure the
+// run, not the answer).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "core/pipeline.hpp"
+#include "data/generator.hpp"
+#include "util/metrics.hpp"
+
+namespace ccd {
+namespace {
+
+void expect_bitwise_equal(const core::PipelineResult& a,
+                          const core::PipelineResult& b) {
+  // Totals first: a mismatch here gives the quickest signal.
+  EXPECT_EQ(a.total_requester_utility, b.total_requester_utility);
+  EXPECT_EQ(a.total_compensation, b.total_compensation);
+  EXPECT_EQ(a.excluded_workers, b.excluded_workers);
+
+  ASSERT_EQ(a.workers.size(), b.workers.size());
+  for (std::size_t i = 0; i < a.workers.size(); ++i) {
+    const core::WorkerOutcome& wa = a.workers[i];
+    const core::WorkerOutcome& wb = b.workers[i];
+    EXPECT_EQ(wa.id, wb.id) << "worker " << i;
+    EXPECT_EQ(wa.excluded, wb.excluded) << "worker " << i;
+    EXPECT_EQ(wa.subproblem, wb.subproblem) << "worker " << i;
+    // operator== on doubles: bitwise-identical values required, not just
+    // close ones. Any cross-thread reduction-order leak fails here.
+    EXPECT_EQ(wa.compensation, wb.compensation) << "worker " << i;
+    EXPECT_EQ(wa.requester_utility, wb.requester_utility) << "worker " << i;
+    EXPECT_EQ(wa.effort, wb.effort) << "worker " << i;
+    EXPECT_EQ(wa.feedback, wb.feedback) << "worker " << i;
+    EXPECT_EQ(wa.weight, wb.weight) << "worker " << i;
+    EXPECT_EQ(wa.malicious_probability, wb.malicious_probability)
+        << "worker " << i;
+  }
+
+  ASSERT_EQ(a.subproblems.size(), b.subproblems.size());
+  for (std::size_t i = 0; i < a.subproblems.size(); ++i) {
+    const core::SubproblemOutcome& sa = a.subproblems[i];
+    const core::SubproblemOutcome& sb = b.subproblems[i];
+    EXPECT_EQ(sa.workers, sb.workers) << "subproblem " << i;
+    EXPECT_EQ(sa.design.k_opt, sb.design.k_opt) << "subproblem " << i;
+    EXPECT_EQ(sa.design.requester_utility, sb.design.requester_utility)
+        << "subproblem " << i;
+    EXPECT_EQ(sa.design.response.effort, sb.design.response.effort)
+        << "subproblem " << i;
+  }
+}
+
+TEST(DeterminismTest, ThreadCountDoesNotChangeResults) {
+  const data::ReviewTrace trace =
+      data::generate_trace(data::GeneratorParams::medium());
+  core::PipelineConfig sequential;
+  sequential.threads = 1;
+  core::PipelineConfig parallel = sequential;
+  parallel.threads = 4;
+
+  const core::PipelineResult a = core::run_pipeline(trace, sequential);
+  const core::PipelineResult b = core::run_pipeline(trace, parallel);
+  expect_bitwise_equal(a, b);
+}
+
+TEST(DeterminismTest, RepeatedRunsAreBitwiseIdentical) {
+  const data::ReviewTrace trace =
+      data::generate_trace(data::GeneratorParams::small());
+  const core::PipelineConfig config;
+  const core::PipelineResult a = core::run_pipeline(trace, config);
+  const core::PipelineResult b = core::run_pipeline(trace, config);
+  expect_bitwise_equal(a, b);
+}
+
+TEST(DeterminismTest, MetricsArmingDoesNotChangeResults) {
+  namespace metrics = util::metrics;
+  const data::ReviewTrace trace =
+      data::generate_trace(data::GeneratorParams::small());
+  const core::PipelineConfig config;
+  const bool was = metrics::enabled();
+  metrics::set_enabled(true);
+  const core::PipelineResult armed = core::run_pipeline(trace, config);
+  metrics::set_enabled(false);
+  const core::PipelineResult disarmed = core::run_pipeline(trace, config);
+  metrics::set_enabled(was);
+  expect_bitwise_equal(armed, disarmed);
+}
+
+}  // namespace
+}  // namespace ccd

@@ -7,19 +7,26 @@
 //       Dataset statistics, expert coverage, detector quality, and the
 //       collusive-community census for a saved trace.
 //
-//   ccdctl design trace=<prefix> [mu=1.0] [strategy=dynamic|exclude|fixed]
+//   ccdctl design trace=<prefix>|preset=small|medium|full [mu=1.0]
+//          [strategy=dynamic|exclude|fixed] [seed=N]
 //          [policy=failfast|quarantine|fallback] [lenient_load=0|1]
 //          [fault_rate=0.0] [fault_seed=0] [out=<contracts.csv>]
 //       Run the full contract-design pipeline and (optionally) export the
-//       per-worker contracts. `policy` selects the per-stage degradation
-//       mode, `lenient_load` routes dirty CSVs through the sanitizer, and
-//       fault_rate/fault_seed arm the deterministic fault injector (chaos
-//       drills).
+//       per-worker contracts. `preset` generates the bundled example trace
+//       in memory instead of loading CSVs. `policy` selects the per-stage
+//       degradation mode, `lenient_load` routes dirty CSVs through the
+//       sanitizer, and fault_rate/fault_seed arm the deterministic fault
+//       injector (chaos drills).
 //
 //   ccdctl simulate [rounds=40] [workers=6] [malicious=2] [seed=1]
 //       Multi-round Stackelberg simulation with a mixed fleet.
 //
-// All arguments are key=value; unknown keys are rejected.
+// All arguments are key=value; unknown keys are rejected. One flag is the
+// exception: `--metrics[=FILE]` (any command) prints the observability
+// summary — per-stage latency percentiles, thread-pool utilization,
+// design-cache hit rate — after the command finishes, and with =FILE also
+// writes the full registry dump (Prometheus text format when FILE ends in
+// .prom, JSON otherwise).
 //
 // Exit codes mirror the ccd::Error hierarchy (see util/error.hpp):
 //   0 success, 1 generic error, 2 usage / ConfigError, 3 DataError,
@@ -27,6 +34,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <utility>
 
@@ -45,6 +53,7 @@
 #include "util/csv.hpp"
 #include "util/error.hpp"
 #include "util/fault_injection.hpp"
+#include "util/metrics.hpp"
 #include "util/string_util.hpp"
 #include "util/table.hpp"
 
@@ -55,15 +64,20 @@ using namespace ccd;
 int usage() {
   std::fprintf(stderr,
                "usage: ccdctl <generate|inspect|design|simulate> "
-               "[key=value ...]\n"
+               "[key=value ...] [--metrics[=FILE]]\n"
                "  generate out=<prefix> [preset=small|medium|full] [seed=N]\n"
                "  inspect  trace=<prefix> [threshold=0.5]\n"
-               "  design   trace=<prefix> [mu=1.0] "
-               "[strategy=dynamic|exclude|fixed]\n"
+               "  design   trace=<prefix>|preset=small|medium|full [mu=1.0] "
+               "[seed=N]\n"
+               "           [strategy=dynamic|exclude|fixed]\n"
                "           [policy=failfast|quarantine|fallback] "
                "[lenient_load=0|1]\n"
                "           [fault_rate=0.0] [fault_seed=0] [out=<file.csv>]\n"
                "  simulate [rounds=40] [workers=6] [malicious=2] [seed=1]\n"
+               "  --metrics[=FILE]  print the metrics summary after the "
+               "command;\n"
+               "                    with =FILE also dump the registry "
+               "(.prom -> Prometheus, else JSON)\n"
                "exit codes: 0 ok, 1 error, 2 usage/config, 3 data, 4 math, "
                "5 contract\n");
   return 2;
@@ -184,6 +198,7 @@ void export_contracts(const core::PipelineResult& result,
 
 int cmd_design(const util::ParamMap& params) {
   const std::string prefix = params.get_string("trace", "");
+  const std::string preset = params.get_string("preset", "");
   const double mu = params.get_double("mu", 1.0);
   const std::string strategy = params.get_string("strategy", "dynamic");
   const std::string policy = params.get_string("policy", "failfast");
@@ -192,9 +207,19 @@ int cmd_design(const util::ParamMap& params) {
   const auto fault_seed =
       static_cast<std::uint64_t>(params.get_int("fault_seed", 0));
   const std::string out = params.get_string("out", "");
+  data::GeneratorParams gen;
+  if (!preset.empty()) {
+    gen = preset_by_name(preset);
+    if (params.contains("seed")) {
+      gen.seed = static_cast<std::uint64_t>(
+          params.get_int("seed", static_cast<long long>(gen.seed)));
+    }
+  }
   params.assert_all_consumed();
-  if (prefix.empty()) {
-    std::fprintf(stderr, "design: missing trace=<prefix>\n");
+  if (prefix.empty() == preset.empty()) {
+    std::fprintf(stderr,
+                 "design: need exactly one of trace=<prefix> or "
+                 "preset=small|medium|full\n");
     return 2;
   }
 
@@ -204,7 +229,11 @@ int cmd_design(const util::ParamMap& params) {
   config.faults = policy_by_name(policy);
 
   data::ReviewTrace trace;
-  if (lenient_load) {
+  if (!preset.empty()) {
+    trace = data::generate_trace(gen);
+    std::printf("generated preset '%s': %s\n", preset.c_str(),
+                trace.stats().to_string().c_str());
+  } else if (lenient_load) {
     data::SanitizedTrace sanitized =
         data::load_trace_sanitized(prefix, config.sanitize);
     if (!sanitized.report.clean()) {
@@ -296,19 +325,65 @@ int cmd_simulate(const util::ParamMap& params) {
   return 0;
 }
 
+/// Print the observability summary (and optionally dump the registry to
+/// `file`: Prometheus text when the name ends in .prom, JSON otherwise).
+void report_metrics(const std::string& file) {
+  namespace metrics = util::metrics;
+  if (!metrics::compiled_in()) {
+    std::printf("\nmetrics: compiled out (-DCCD_NO_METRICS)\n");
+    return;
+  }
+  const std::string summary = metrics::render_summary();
+  std::printf("\n%s", summary.empty() ? "metrics: nothing recorded\n"
+                                      : summary.c_str());
+  if (file.empty()) return;
+  const bool prom =
+      file.size() >= 5 && file.compare(file.size() - 5, 5, ".prom") == 0;
+  std::ofstream out(file);
+  if (!out) {
+    std::fprintf(stderr, "ccdctl: cannot write metrics to %s\n", file.c_str());
+    return;
+  }
+  out << (prom ? metrics::to_prometheus() : metrics::to_json());
+  std::printf("wrote metrics (%s) to %s\n", prom ? "prometheus" : "json",
+              file.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Peel off --metrics[=FILE] before key=value parsing (the '=' form would
+  // otherwise be misread as a parameter named "--metrics").
+  bool want_metrics = false;
+  std::string metrics_file;
+  int kept = 0;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      want_metrics = true;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
+      want_metrics = true;
+      metrics_file = argv[i] + 10;
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  argc = kept;
+
   if (argc < 2) return usage();
   const std::string command = argv[1];
   const util::ParamMap params =
       util::ParamMap::from_args(argc - 1, argv + 1);
   try {
-    if (command == "generate") return cmd_generate(params);
-    if (command == "inspect") return cmd_inspect(params);
-    if (command == "design") return cmd_design(params);
-    if (command == "simulate") return cmd_simulate(params);
-    return usage();
+    int rc = 2;
+    if (command == "generate") rc = cmd_generate(params);
+    else if (command == "inspect") rc = cmd_inspect(params);
+    else if (command == "design") rc = cmd_design(params);
+    else if (command == "simulate") rc = cmd_simulate(params);
+    else return usage();
+    if (want_metrics) report_metrics(metrics_file);
+    return rc;
   } catch (const ccd::Error& e) {
     std::fprintf(stderr, "ccdctl %s: %s\n", command.c_str(), e.what());
     return ccd::exit_code(e.code());
