@@ -18,6 +18,7 @@
 #include "core/pipeline.hpp"
 #include "data/generator.hpp"
 #include "detect/collusion.hpp"
+#include "util/cancellation.hpp"
 #include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
 
@@ -220,6 +221,33 @@ void BM_PipelineMetricsOverhead(benchmark::State& state) {
 }
 BENCHMARK(BM_PipelineMetricsOverhead)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond);
+
+// Cost of the cooperative-cancellation checks sprinkled through hot loops
+// (thread_pool chunks, the solve fan-out, simulation rounds). cancelled()
+// is the per-index check and must stay in the low single-digit ns — the
+// budget the durability design promises (<= ~2 ns/check); poll() adds a
+// steady_clock read and is only called at coarse boundaries.
+void BM_CancelCheck(benchmark::State& state) {
+  const ccd::util::CancellationToken token;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(token.cancelled());
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_CancelCheck);
+
+void BM_CancelPoll(benchmark::State& state) {
+  ccd::util::CancellationToken token;
+  if (state.range(0) != 0) {
+    token.set_deadline(ccd::util::Deadline::after(3600.0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(token.poll());
+    benchmark::ClobberMemory();
+  }
+  state.SetLabel(state.range(0) != 0 ? "armed-deadline" : "no-deadline");
+}
+BENCHMARK(BM_CancelPoll)->Arg(0)->Arg(1);
 
 }  // namespace
 

@@ -184,6 +184,10 @@ std::vector<DesignResult> design_contracts_batch(
 
   const std::size_t n = specs.size();
   std::vector<DesignResult> results(n);
+  std::vector<std::uint8_t> resolved_local;
+  std::vector<std::uint8_t>& resolved =
+      options.resolved ? *options.resolved : resolved_local;
+  resolved.assign(n, 0);
 
   // Group cacheable specs (weight > 0) by canonical key; group order
   // follows first occurrence, so grouping itself is deterministic.
@@ -221,34 +225,44 @@ std::vector<DesignResult> design_contracts_batch(
       steps_computed.fetch_add(specs[representative[g]].intervals,
                                std::memory_order_relaxed);
     }
-  });
+  }, options.cancel);
 
-  // Per-worker resolve: cheap argmax over the shared table.
+  // Per-worker resolve: cheap argmax over the shared table. Groups whose
+  // sweep was skipped by cancellation have a null table; their workers
+  // stay unresolved (results default-constructed, resolved flag 0).
   pool.parallel_for(n, [&](std::size_t i) {
     if (group_of[i] == kNoGroup) {
       results[i] = resolve_design(specs[i], kEmptyTable);
-    } else {
+    } else if (tables[group_of[i]] != nullptr) {
       results[i] = resolve_design(specs[i], *tables[group_of[i]]);
+    } else {
+      return;
     }
-  });
+    resolved[i] = 1;
+  }, options.cancel);
 
-  // Per-call counters: every cacheable spec is one lookup; only the
-  // distinct specs not already in `cache` paid for a sweep.
+  // Per-call counters: every cacheable spec the batch actually resolved is
+  // one lookup; only the distinct specs not already in `cache` paid for a
+  // sweep. Counting resolved specs (rather than all of them) keeps the
+  // arithmetic consistent when cancellation skipped part of the batch.
   std::size_t cacheable = 0;
   std::size_t cacheable_steps = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    if (group_of[i] == kNoGroup) continue;
+    if (group_of[i] == kNoGroup || !resolved[i]) continue;
     ++cacheable;
     cacheable_steps += specs[i].intervals;
   }
   DesignCacheStats call_stats;
   call_stats.lookups = cacheable;
   call_stats.misses = computed.load();
-  call_stats.hits = call_stats.lookups - call_stats.misses;
+  call_stats.hits =
+      call_stats.lookups > call_stats.misses
+          ? call_stats.lookups - call_stats.misses : 0;
   call_stats.sweep_steps_computed =
       static_cast<std::size_t>(steps_computed.load());
   call_stats.sweep_steps_avoided =
-      cacheable_steps - call_stats.sweep_steps_computed;
+      cacheable_steps > call_stats.sweep_steps_computed
+          ? cacheable_steps - call_stats.sweep_steps_computed : 0;
   if (stats) *stats = call_stats;
 
   // table_for() above only recorded one lookup per distinct group; fold in
@@ -256,14 +270,19 @@ std::vector<DesignResult> design_contracts_batch(
   // so cumulative stats (and the process-wide `ccd.cache.*` registry
   // counters the cache mirrors into) count every resolution — also when
   // the batch ran on its own private cache.
-  std::size_t representative_steps = 0;
-  for (const std::size_t i : representative) {
-    representative_steps += specs[i].intervals;
+  std::size_t groups_ran = 0;
+  std::size_t groups_ran_steps = 0;
+  for (std::size_t g = 0; g < representative.size(); ++g) {
+    if (tables[g] == nullptr) continue;  // sweep skipped by cancellation
+    ++groups_ran;
+    groups_ran_steps += specs[representative[g]].intervals;
   }
   DesignCacheStats extra;
-  extra.lookups = cacheable - representative.size();
+  extra.lookups = cacheable > groups_ran ? cacheable - groups_ran : 0;
   extra.hits = extra.lookups;
-  extra.sweep_steps_avoided = cacheable_steps - representative_steps;
+  extra.sweep_steps_avoided =
+      cacheable_steps > groups_ran_steps ? cacheable_steps - groups_ran_steps
+                                         : 0;
   cache.record(extra);
 
   return results;

@@ -28,6 +28,7 @@
 #include "util/metrics.hpp"
 
 namespace ccd::util {
+class CancellationToken;
 class ThreadPool;
 }
 
@@ -125,6 +126,14 @@ struct BatchOptions {
   /// spans. Per-worker resolves are not timed: they are orders of
   /// magnitude cheaper than a sweep and the clock reads would dominate.
   util::metrics::Histogram* sweep_histogram = nullptr;
+  /// Cooperative cancellation (null runs to completion). Polled between
+  /// k-sweeps and per resolved worker; after cancellation the batch
+  /// returns with the remaining results left default-constructed. Callers
+  /// use `resolved` to tell completed entries apart.
+  const util::CancellationToken* cancel = nullptr;
+  /// When non-null, resized to specs.size(); (*resolved)[i] is 1 iff
+  /// results[i] was actually designed (always all-ones unless cancelled).
+  std::vector<std::uint8_t>* resolved = nullptr;
 };
 
 /// Design contracts for a whole fleet: one k-sweep per distinct spec

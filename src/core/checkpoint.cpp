@@ -1,0 +1,385 @@
+#include "core/checkpoint.hpp"
+
+#include <bit>
+#include <cstddef>
+
+#include "util/atomic_file.hpp"
+#include "util/error.hpp"
+#include "util/fault_injection.hpp"
+
+namespace ccd::core {
+namespace {
+
+constexpr const char* kTag = "SCKP";
+
+// Minimal little-endian byte stream. Doubles travel as their exact bit
+// patterns (bit_cast through u64): the checkpoint contract is bitwise
+// resume, which a text round-trip cannot guarantee.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<char>(v >> (8 * i)));
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<char>(v >> (8 * i)));
+  }
+
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+  void str(const std::string& s) {
+    u64(s.size());
+    out_.append(s);
+  }
+
+  void f64_vec(const std::vector<double>& v) {
+    u64(v.size());
+    for (const double x : v) f64(x);
+  }
+
+  std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::string& in) : in_(in) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(in_[pos_++]);
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(in_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(in_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  std::string str() {
+    const std::uint64_t size = u64();
+    need(size);
+    std::string s = in_.substr(pos_, size);
+    pos_ += size;
+    return s;
+  }
+
+  std::vector<double> f64_vec() {
+    const std::uint64_t size = u64();
+    need(size * 8);
+    std::vector<double> v;
+    v.reserve(size);
+    for (std::uint64_t i = 0; i < size; ++i) v.push_back(f64());
+    return v;
+  }
+
+  /// A count that is about to drive element-wise reads; bounded by the
+  /// remaining bytes so corrupt (yet checksum-valid) data cannot request
+  /// absurd allocations.
+  std::size_t count(std::size_t min_element_bytes) {
+    const std::uint64_t n = u64();
+    if (min_element_bytes > 0 && n > remaining() / min_element_bytes) {
+      throw DataError("checkpoint payload count exceeds remaining bytes");
+    }
+    return static_cast<std::size_t>(n);
+  }
+
+  void finish() const {
+    if (pos_ != in_.size()) {
+      throw DataError("checkpoint payload has trailing bytes");
+    }
+  }
+
+ private:
+  std::size_t remaining() const { return in_.size() - pos_; }
+
+  void need(std::uint64_t bytes) const {
+    if (bytes > remaining()) {
+      throw DataError("checkpoint payload truncated");
+    }
+  }
+
+  const std::string& in_;
+  std::size_t pos_ = 0;
+};
+
+void write_config(ByteWriter& w, const SimConfig& config) {
+  w.u64(config.rounds);
+  w.f64(config.requester.rho);
+  w.f64(config.requester.kappa);
+  w.f64(config.requester.gamma);
+  w.f64(config.requester.mu);
+  w.f64(config.requester.beta);
+  w.f64(config.requester.omega_malicious);
+  w.u64(config.requester.intervals);
+  w.f64(config.requester.accuracy_floor);
+  w.f64(config.requester.weight_cap);
+  w.f64(config.feedback_noise);
+  w.f64(config.accuracy_noise);
+  w.u64(config.redesign_every);
+  w.f64(config.ema_alpha);
+  w.f64(config.suspicion_threshold);
+  w.u64(config.seed);
+  w.u64(config.checkpoint_every);
+  w.str(config.checkpoint_path);
+  w.u64(config.threads);
+}
+
+SimConfig read_config(ByteReader& r) {
+  SimConfig config;
+  config.rounds = r.u64();
+  config.requester.rho = r.f64();
+  config.requester.kappa = r.f64();
+  config.requester.gamma = r.f64();
+  config.requester.mu = r.f64();
+  config.requester.beta = r.f64();
+  config.requester.omega_malicious = r.f64();
+  config.requester.intervals = r.u64();
+  config.requester.accuracy_floor = r.f64();
+  config.requester.weight_cap = r.f64();
+  config.feedback_noise = r.f64();
+  config.accuracy_noise = r.f64();
+  config.redesign_every = r.u64();
+  config.ema_alpha = r.f64();
+  config.suspicion_threshold = r.f64();
+  config.seed = r.u64();
+  config.checkpoint_every = r.u64();
+  config.checkpoint_path = r.str();
+  config.threads = r.u64();
+  return config;
+}
+
+void write_worker(ByteWriter& w, const SimWorkerSpec& spec) {
+  w.str(spec.name);
+  w.f64(spec.psi.r2());
+  w.f64(spec.psi.r1());
+  w.f64(spec.psi.r0());
+  w.f64(spec.beta);
+  w.f64(spec.omega);
+  w.f64(spec.accuracy_distance);
+  w.u64(spec.partners);
+  w.u8(spec.switch_round.has_value() ? 1 : 0);
+  w.u64(spec.switch_round.value_or(0));
+  w.f64(spec.switched_omega);
+  w.f64(spec.switched_accuracy_distance);
+  w.u8(spec.masking_period.has_value() ? 1 : 0);
+  w.u64(spec.masking_period.value_or(0));
+  w.f64(spec.masking_duty);
+}
+
+SimWorkerSpec read_worker(ByteReader& r) {
+  SimWorkerSpec spec;
+  spec.name = r.str();
+  const double r2 = r.f64();
+  const double r1 = r.f64();
+  const double r0 = r.f64();
+  spec.psi = effort::QuadraticEffort(r2, r1, r0);
+  spec.beta = r.f64();
+  spec.omega = r.f64();
+  spec.accuracy_distance = r.f64();
+  spec.partners = r.u64();
+  const bool has_switch = r.u8() != 0;
+  const std::uint64_t switch_round = r.u64();
+  if (has_switch) spec.switch_round = switch_round;
+  spec.switched_omega = r.f64();
+  spec.switched_accuracy_distance = r.f64();
+  const bool has_masking = r.u8() != 0;
+  const std::uint64_t masking_period = r.u64();
+  if (has_masking) spec.masking_period = masking_period;
+  spec.masking_duty = r.f64();
+  return spec;
+}
+
+void write_contract(ByteWriter& w, const contract::Contract& contract) {
+  if (contract.is_zero()) {
+    w.u64(0);
+    return;
+  }
+  const std::size_t knots = contract.intervals() + 1;
+  w.u64(knots);
+  w.f64(contract.delta());
+  for (std::size_t l = 0; l < knots; ++l) w.f64(contract.knot(l));
+  for (std::size_t l = 0; l < knots; ++l) w.f64(contract.payment(l));
+}
+
+contract::Contract read_contract(ByteReader& r) {
+  const std::size_t knots = r.count(16);
+  if (knots == 0) return contract::Contract{};
+  const double delta = r.f64();
+  std::vector<double> feedback_knots;
+  std::vector<double> payments;
+  feedback_knots.reserve(knots);
+  payments.reserve(knots);
+  for (std::size_t l = 0; l < knots; ++l) feedback_knots.push_back(r.f64());
+  for (std::size_t l = 0; l < knots; ++l) payments.push_back(r.f64());
+  return contract::Contract(delta, std::move(feedback_knots),
+                            std::move(payments));
+}
+
+void write_history(ByteWriter& w, const SimResult& history) {
+  w.u64(history.rounds.size());
+  for (const RoundRecord& record : history.rounds) {
+    w.u64(record.round);
+    w.f64(record.requester_utility);
+    w.f64(record.total_compensation);
+    w.f64(record.weighted_feedback);
+  }
+  w.u64(history.worker_history.size());
+  for (const std::vector<WorkerRound>& series : history.worker_history) {
+    w.u64(series.size());
+    for (const WorkerRound& wr : series) {
+      w.f64(wr.effort);
+      w.f64(wr.feedback);
+      w.f64(wr.compensation);
+      w.f64(wr.worker_utility);
+      w.f64(wr.estimated_malicious);
+      w.f64(wr.weight);
+    }
+  }
+  w.f64(history.cumulative_requester_utility);
+}
+
+SimResult read_history(ByteReader& r) {
+  SimResult history;
+  const std::size_t rounds = r.count(32);
+  history.rounds.reserve(rounds);
+  for (std::size_t t = 0; t < rounds; ++t) {
+    RoundRecord record;
+    record.round = r.u64();
+    record.requester_utility = r.f64();
+    record.total_compensation = r.f64();
+    record.weighted_feedback = r.f64();
+    history.rounds.push_back(record);
+  }
+  const std::size_t workers = r.count(8);
+  history.worker_history.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    const std::size_t series_length = r.count(48);
+    std::vector<WorkerRound> series;
+    series.reserve(series_length);
+    for (std::size_t t = 0; t < series_length; ++t) {
+      WorkerRound wr;
+      wr.effort = r.f64();
+      wr.feedback = r.f64();
+      wr.compensation = r.f64();
+      wr.worker_utility = r.f64();
+      wr.estimated_malicious = r.f64();
+      wr.weight = r.f64();
+      series.push_back(wr);
+    }
+    history.worker_history.push_back(std::move(series));
+  }
+  history.cumulative_requester_utility = r.f64();
+  return history;
+}
+
+}  // namespace
+
+std::string encode_checkpoint(const SimCheckpoint& checkpoint) {
+  ByteWriter w;
+  write_config(w, checkpoint.config);
+  w.u64(checkpoint.workers.size());
+  for (const SimWorkerSpec& spec : checkpoint.workers) write_worker(w, spec);
+  w.u64(checkpoint.next_round);
+  for (const std::uint64_t word : checkpoint.rng.words) w.u64(word);
+  w.u8(checkpoint.rng.has_cached_normal ? 1 : 0);
+  w.f64(checkpoint.rng.cached_normal);
+  w.f64_vec(checkpoint.est_accuracy);
+  w.f64_vec(checkpoint.est_malicious);
+  w.u64(checkpoint.contracts.size());
+  for (const contract::Contract& c : checkpoint.contracts) {
+    write_contract(w, c);
+  }
+  w.f64_vec(checkpoint.last_feedback);
+  write_history(w, checkpoint.history);
+  return w.take();
+}
+
+SimCheckpoint decode_checkpoint(const std::string& payload) {
+  try {
+    ByteReader r(payload);
+    SimCheckpoint checkpoint;
+    checkpoint.config = read_config(r);
+    const std::size_t workers = r.count(64);
+    checkpoint.workers.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+      checkpoint.workers.push_back(read_worker(r));
+    }
+    checkpoint.next_round = r.u64();
+    for (std::uint64_t& word : checkpoint.rng.words) word = r.u64();
+    checkpoint.rng.has_cached_normal = r.u8() != 0;
+    checkpoint.rng.cached_normal = r.f64();
+    checkpoint.est_accuracy = r.f64_vec();
+    checkpoint.est_malicious = r.f64_vec();
+    const std::size_t contracts = r.count(8);
+    checkpoint.contracts.reserve(contracts);
+    for (std::size_t i = 0; i < contracts; ++i) {
+      checkpoint.contracts.push_back(read_contract(r));
+    }
+    checkpoint.last_feedback = r.f64_vec();
+    checkpoint.history = read_history(r);
+    r.finish();
+
+    const std::size_t n = checkpoint.workers.size();
+    CCD_CHECK_MSG(n >= 1, "checkpoint has no workers");
+    CCD_CHECK_MSG(checkpoint.est_accuracy.size() == n &&
+                      checkpoint.est_malicious.size() == n &&
+                      checkpoint.contracts.size() == n &&
+                      checkpoint.last_feedback.size() == n &&
+                      checkpoint.history.worker_history.size() == n,
+                  "checkpoint per-worker state is inconsistent");
+    CCD_CHECK_MSG(checkpoint.history.rounds.size() == checkpoint.next_round,
+                  "checkpoint history does not match its round counter");
+    checkpoint.config.validate();
+    return checkpoint;
+  } catch (const DataError&) {
+    throw;
+  } catch (const Error& e) {
+    // Checksum-valid but semantically broken payloads (e.g. a contract
+    // whose knots fail validation) are still data corruption to callers.
+    throw DataError(std::string("invalid checkpoint payload: ") + e.what());
+  }
+}
+
+void save_checkpoint(const std::string& path, const SimCheckpoint& checkpoint,
+                     const util::RetryPolicy& retry) {
+  const std::string payload = encode_checkpoint(checkpoint);
+  util::with_retry("checkpoint_write", retry, [&](std::size_t attempt) {
+    CCD_FAULT_POINT("io.checkpoint_write", attempt, DataError);
+    util::write_framed_file(path, kTag, SimCheckpoint::kVersion, payload);
+  });
+}
+
+SimCheckpoint load_checkpoint(const std::string& path,
+                              const util::RetryPolicy& retry) {
+  return util::with_retry("checkpoint_read", retry, [&](std::size_t attempt) {
+    CCD_FAULT_POINT("io.checkpoint_read", attempt, DataError);
+    const util::FramedPayload framed = util::read_framed_file(
+        path, kTag, SimCheckpoint::kVersion, SimCheckpoint::kVersion);
+    return decode_checkpoint(framed.payload);
+  });
+}
+
+}  // namespace ccd::core

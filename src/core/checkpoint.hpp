@@ -1,0 +1,68 @@
+// Crash-safe checkpoint/resume for the multi-round Stackelberg simulation.
+//
+// A SimCheckpoint captures the simulator's complete dynamic state at a
+// round boundary: the configuration and worker fleet, the round to run
+// next, the RNG state (xoshiro words plus the cached Box–Muller deviate),
+// the requester's per-worker estimates, the posted contracts, the
+// feedback memory that funds next round's compensation (Eq. 1), and the
+// accumulated result prefix. Restoring it reproduces the remaining rounds
+// bitwise-identically — doubles are serialized as their exact bit
+// patterns, never through text round-trips.
+//
+// On disk a checkpoint is a framed file (util/atomic_file.hpp) with tag
+// "SCKP", written via write-temp + fsync + rename so a crash mid-save
+// leaves the previous complete checkpoint intact. Loading a corrupted,
+// truncated, or torn file throws ccd::DataError — never UB, never a
+// half-restored simulator. kVersion is bumped whenever the payload layout
+// changes; readers reject versions they do not understand.
+//
+// save/load wrap their I/O in util::with_retry (metrics: `ccd.io.*`) and
+// expose fault-injection sites "io.checkpoint_write" / "io.checkpoint_read"
+// keyed by the attempt index, so chaos tests can fail the first attempts
+// and assert the backoff path recovers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "contract/contract.hpp"
+#include "core/stackelberg.hpp"
+#include "util/retry.hpp"
+#include "util/rng.hpp"
+
+namespace ccd::core {
+
+struct SimCheckpoint {
+  /// Current payload layout version (frame tag "SCKP").
+  static constexpr std::uint32_t kVersion = 1;
+
+  SimConfig config;
+  std::vector<SimWorkerSpec> workers;
+
+  /// First round the resumed run executes (== completed rounds).
+  std::size_t next_round = 0;
+  util::RngState rng;
+  std::vector<double> est_accuracy;
+  std::vector<double> est_malicious;
+  std::vector<contract::Contract> contracts;
+  std::vector<double> last_feedback;
+  /// Completed-rounds prefix (cancelled/cancel_reason are not persisted;
+  /// a resumed run starts un-cancelled).
+  SimResult history;
+};
+
+/// Serialize / parse the checkpoint payload (the bytes inside the frame).
+/// decode_checkpoint throws ccd::DataError on any malformed payload.
+std::string encode_checkpoint(const SimCheckpoint& checkpoint);
+SimCheckpoint decode_checkpoint(const std::string& payload);
+
+/// Durably write / read a checkpoint file, retrying transient I/O failures
+/// under `retry`. Load failures (including corruption) surface as
+/// ccd::DataError after the attempts are exhausted.
+void save_checkpoint(const std::string& path, const SimCheckpoint& checkpoint,
+                     const util::RetryPolicy& retry = {});
+SimCheckpoint load_checkpoint(const std::string& path,
+                              const util::RetryPolicy& retry = {});
+
+}  // namespace ccd::core

@@ -121,11 +121,15 @@ std::string DegradationEvent::to_string() const {
 }
 
 std::string HealthReport::to_string() const {
-  if (!degraded() && !sanitized) return "health: clean";
+  if (!degraded() && !sanitized && !cancelled) return "health: clean";
   std::ostringstream os;
   os << "health: " << events.size() << " event(s), quarantined_workers="
      << quarantined_workers << " fallback_workers=" << fallback_workers
      << " fit_fallbacks=" << fit_fallbacks;
+  if (cancelled) {
+    os << "; cancelled (" << util::to_string(cancel_reason)
+       << "), unsolved_subproblems=" << unsolved_subproblems;
+  }
   if (sanitized) os << "; " << sanitize.to_string();
   for (const DegradationEvent& e : events) os << "\n  " << e.to_string();
   return os.str();
@@ -164,6 +168,27 @@ PipelineResult run_pipeline(const data::ReviewTrace& trace,
   HealthReport& health = result.health;
   const FaultPolicy& policy = config.faults;
 
+  // Cooperative cancellation: the first poll that latches the token
+  // records one degradation event naming the boundary; every later stage
+  // just observes health.cancelled and degrades the same way its own
+  // catch path would, so the partial result stays well-formed.
+  const util::CancellationToken* cancel = config.cancel;
+  const auto poll_cancel = [&](PipelineStage stage) {
+    if (health.cancelled) return true;
+    if (cancel == nullptr || !cancel->poll()) return false;
+    health.cancelled = true;
+    health.cancel_reason = cancel->reason();
+    DegradationEvent ev;
+    ev.stage = stage;
+    ev.action = StageMode::kQuarantine;
+    ev.code = ErrorCode::kDeadline;
+    ev.detail = std::string("run cancelled (") +
+                util::to_string(health.cancel_reason) + ") before the " +
+                to_string(stage) + " stage";
+    health.events.push_back(std::move(ev));
+    return true;
+  };
+
   // Observability: per-stage RAII spans write this run's wall clock into
   // result.timings and the process-wide ccd.pipeline.* latency histograms
   // (stopped explicitly so the figures land before `result` is returned).
@@ -180,7 +205,10 @@ PipelineResult run_pipeline(const data::ReviewTrace& trace,
                                             &result.timings.sanitize_s);
   const data::ReviewTrace* active = &trace;
   std::optional<data::SanitizedTrace> sanitized_storage;
-  if (policy.sanitize == StageMode::kFailFast) {
+  if (poll_cancel(PipelineStage::kSanitize)) {
+    // Cancelled before any work: use the trace as-is; the solve stage
+    // below quarantines everything, so nothing reads unsanitized fields.
+  } else if (policy.sanitize == StageMode::kFailFast) {
     check_trace_finite(trace);
   } else {
     sanitized_storage = data::sanitize_trace(trace, config.sanitize);
@@ -196,6 +224,23 @@ PipelineResult run_pipeline(const data::ReviewTrace& trace,
     }
     active = &sanitized_storage->trace;
   }
+  if (config.load_report) {
+    // The trace came from a lenient load: fold the load-layer counters
+    // into this run's health (the sanitize-stage counters, when that
+    // stage ran, describe the same rows post-load, so only the counters
+    // the loader alone can know are added) and flag any partial read.
+    health.sanitize.unparseable_rows += config.load_report->unparseable_rows;
+    health.sanitize.aborted_files += config.load_report->aborted_files;
+    health.sanitize.rows_before_abort += config.load_report->rows_before_abort;
+    if (!config.load_report->clean()) {
+      DegradationEvent ev;
+      ev.stage = PipelineStage::kSanitize;
+      ev.action = StageMode::kFallback;
+      ev.code = ErrorCode::kData;
+      ev.detail = "lenient load: " + config.load_report->to_string();
+      health.events.push_back(std::move(ev));
+    }
+  }
   sanitize_timer.stop();
   const data::ReviewTrace& t = *active;
 
@@ -210,13 +255,19 @@ PipelineResult run_pipeline(const data::ReviewTrace& trace,
   std::optional<detect::MaliciousDetector> detector;
   std::vector<data::WorkerId> malicious;
   try {
-    metrics.emplace(t);
-    experts.emplace(t, *metrics, config.expert);
-    detector.emplace(t, *experts, config.detector);
-    result.detector_quality =
-        detector->evaluate(t, config.malicious_threshold);
-    if (!config.use_ground_truth_labels) {
-      malicious = detector->flagged(config.malicious_threshold);
+    if (poll_cancel(PipelineStage::kDetect)) {
+      // Same degradation as an absorbed detect failure: fleet treated
+      // honest; the single cancellation event is already recorded.
+      result.detector_quality = {};
+    } else {
+      metrics.emplace(t);
+      experts.emplace(t, *metrics, config.expert);
+      detector.emplace(t, *experts, config.detector);
+      result.detector_quality =
+          detector->evaluate(t, config.malicious_threshold);
+      if (!config.use_ground_truth_labels) {
+        malicious = detector->flagged(config.malicious_threshold);
+      }
     }
   } catch (Error& e) {
     if (policy.detect == StageMode::kFailFast) {
@@ -246,7 +297,13 @@ PipelineResult run_pipeline(const data::ReviewTrace& trace,
   util::metrics::ScopedTimer cluster_timer(stage_histogram("cluster"),
                                            &result.timings.cluster_s);
   try {
-    result.collusion = detect::cluster_collusive_workers(t, malicious);
+    if (poll_cancel(PipelineStage::kCluster)) {
+      result.collusion = {};
+      result.collusion.community_of.assign(n, -1);
+      result.collusion.non_collusive = malicious;
+    } else {
+      result.collusion = detect::cluster_collusive_workers(t, malicious);
+    }
   } catch (Error& e) {
     if (policy.cluster == StageMode::kFailFast) {
       e.with_stage("cluster");
@@ -270,22 +327,10 @@ PipelineResult run_pipeline(const data::ReviewTrace& trace,
   // below (they run inside subproblem construction).
   util::metrics::ScopedTimer fit_timer(stage_histogram("fit"),
                                        &result.timings.fit_s);
-  try {
-    CCD_CHECK_MSG(metrics.has_value(),
-                  "worker metrics unavailable (detect stage failed)");
-    result.class_fits = effort::fit_all_classes(*metrics, config.fit);
-  } catch (Error& e) {
-    if (policy.fit == StageMode::kFailFast) {
-      e.with_stage("fit");
-      throw;
-    }
-    DegradationEvent ev;
-    ev.stage = PipelineStage::kFit;
-    ev.action = policy.fit;
-    ev.code = e.code();
-    ev.detail = e.message();
-    health.events.push_back(std::move(ev));
-    // Degraded fitting: the library default concave model for every class.
+  if (poll_cancel(PipelineStage::kFit)) {
+    // Cancelled fitting degrades like an absorbed fit failure: the
+    // library default concave model for every class. (A fail-fast fit
+    // policy must not abort here — cancellation is silent by contract.)
     effort::EffortFit def;
     def.model = effort::QuadraticEffort(-1.0, 8.0, 2.0);
     def.fallback = true;
@@ -293,6 +338,31 @@ PipelineResult run_pipeline(const data::ReviewTrace& trace,
     result.class_fits.ncm = def;
     result.class_fits.cm = def;
     ++health.fit_fallbacks;
+  } else {
+    try {
+      CCD_CHECK_MSG(metrics.has_value(),
+                    "worker metrics unavailable (detect stage failed)");
+      result.class_fits = effort::fit_all_classes(*metrics, config.fit);
+    } catch (Error& e) {
+      if (policy.fit == StageMode::kFailFast) {
+        e.with_stage("fit");
+        throw;
+      }
+      DegradationEvent ev;
+      ev.stage = PipelineStage::kFit;
+      ev.action = policy.fit;
+      ev.code = e.code();
+      ev.detail = e.message();
+      health.events.push_back(std::move(ev));
+      // Degraded fitting: the library default concave model for every class.
+      effort::EffortFit def;
+      def.model = effort::QuadraticEffort(-1.0, 8.0, 2.0);
+      def.fallback = true;
+      result.class_fits.honest = def;
+      result.class_fits.ncm = def;
+      result.class_fits.cm = def;
+      ++health.fit_fallbacks;
+    }
   }
 
   // ---- Per-worker attributes ---------------------------------------------
@@ -365,7 +435,7 @@ PipelineResult run_pipeline(const data::ReviewTrace& trace,
     SubproblemOutcome sub;
     sub.workers = community.members;
     effort::EffortFit fit = result.class_fits.cm;
-    if (metrics) {
+    if (metrics && !health.cancelled) {
       const std::vector<data::EffortSample> samples =
           effort::community_sum_samples(t, *metrics, community.members);
       if (samples.size() >= config.min_community_fit_samples) {
@@ -436,7 +506,13 @@ PipelineResult run_pipeline(const data::ReviewTrace& trace,
     return design;
   };
 
-  if (policy.solve == StageMode::kFailFast) {
+  // Which subproblems the solve actually finished; cancellation leaves
+  // zeros behind and the post-pass below quarantines them.
+  std::vector<std::uint8_t> task_done(nsub, 0);
+  if (poll_cancel(PipelineStage::kSolve)) {
+    // Cancelled before (or at) the solve boundary: no design work runs;
+    // every live subproblem is quarantined by the post-pass.
+  } else if (policy.solve == StageMode::kFailFast) {
     try {
       switch (config.strategy) {
         case PricingStrategy::kDynamicContract:
@@ -456,11 +532,15 @@ PipelineResult run_pipeline(const data::ReviewTrace& trace,
           contract::BatchOptions batch;
           batch.pool = pool;
           batch.sweep_histogram = &solve_spans;
+          batch.cancel = cancel;
+          batch.resolved = &task_done;
           std::vector<contract::DesignResult> designs =
               contract::design_contracts_batch(specs, batch,
                                                &result.design_cache);
           for (std::size_t i = 0; i < nsub; ++i) {
-            result.subproblems[i].design = std::move(designs[i]);
+            if (task_done[i]) {
+              result.subproblems[i].design = std::move(designs[i]);
+            }
           }
           break;
         }
@@ -470,7 +550,8 @@ PipelineResult run_pipeline(const data::ReviewTrace& trace,
             if (sub.quarantined) return;
             util::metrics::ScopedTimer span(&solve_spans);
             sub.design = fixed_design(sub.spec);
-          });
+            task_done[i] = 1;
+          }, cancel);
           break;
         }
       }
@@ -507,6 +588,7 @@ PipelineResult run_pipeline(const data::ReviewTrace& trace,
         sub.design = config.strategy == PricingStrategy::kFixedPayment
                          ? fixed_design(spec)
                          : cache.design(spec);
+        task_done[i] = 1;
         return;
       } catch (const Error& e) {
         std::lock_guard<std::mutex> lock(events_mutex);
@@ -524,6 +606,7 @@ PipelineResult run_pipeline(const data::ReviewTrace& trace,
         try {
           sub.design = fixed_design(spec);
           sub.fallback = true;
+          task_done[i] = 1;
           return;
         } catch (const Error& e) {
           std::lock_guard<std::mutex> lock(events_mutex);
@@ -539,8 +622,40 @@ PipelineResult run_pipeline(const data::ReviewTrace& trace,
       }
       sub.quarantined = true;
       sub.design = quarantined_design();
-    });
+    }, cancel);
     result.design_cache = cache.stats();
+  }
+
+  // Cancellation post-pass: anything the solve stage did not finish gets
+  // the quarantine treatment, so the reconciliation invariant holds and a
+  // partial run is visibly partial. Runs once, whether the token latched
+  // at an earlier boundary or mid-solve.
+  if (health.cancelled || (cancel != nullptr && cancel->cancelled())) {
+    std::size_t unsolved = 0;
+    for (std::size_t i = 0; i < nsub; ++i) {
+      SubproblemOutcome& sub = result.subproblems[i];
+      if (task_done[i] != 0 || sub.quarantined) continue;
+      sub.quarantined = true;
+      sub.design = quarantined_design();
+      ++unsolved;
+    }
+    health.unsolved_subproblems = unsolved;
+    if (!health.cancelled) {
+      // Latched mid-solve (between the boundary poll and the fan-out's
+      // own checks): record the one summary event here.
+      health.cancelled = true;
+      health.cancel_reason = cancel->reason();
+      DegradationEvent ev;
+      ev.stage = PipelineStage::kSolve;
+      ev.action = StageMode::kQuarantine;
+      ev.code = ErrorCode::kDeadline;
+      ev.detail = std::string("solve cancelled mid-stage (") +
+                  util::to_string(health.cancel_reason) + "); " +
+                  std::to_string(unsolved) +
+                  " subproblem(s) quarantined unsolved";
+      health.events.push_back(std::move(ev));
+    }
+    util::metrics::registry().counter("ccd.pipeline.cancelled").add(1);
   }
   solve_timer.stop();
   result.timings.solve_spans = solve_spans.snapshot();

@@ -47,6 +47,7 @@
 #include "detect/expert.hpp"
 #include "detect/malicious.hpp"
 #include "effort/fitting.hpp"
+#include "util/cancellation.hpp"
 #include "util/error.hpp"
 #include "util/metrics.hpp"
 
@@ -122,6 +123,14 @@ struct HealthReport {
   std::size_t fallback_workers = 0;     ///< priced by the fallback baseline
   std::size_t fit_fallbacks = 0;        ///< effort fits replaced by a default
 
+  /// Cancellation / deadline accounting. A cancelled run is still
+  /// well-formed: skipped stages degrade exactly like their catch paths,
+  /// unsolved subproblems are quarantined, and the reconciliation
+  /// invariant (quarantined + excluded + solved == total) holds.
+  bool cancelled = false;
+  util::CancelReason cancel_reason = util::CancelReason::kNone;
+  std::size_t unsolved_subproblems = 0;  ///< solve work skipped by cancellation
+
   /// True when any boundary absorbed a failure.
   bool degraded() const { return !events.empty(); }
 
@@ -154,6 +163,17 @@ struct PipelineConfig {
   FaultPolicy faults{};
   /// Sanitizer knobs for the sanitize stage's lenient modes.
   data::SanitizeConfig sanitize{};
+  /// Cooperative cancellation / deadline for the whole run (null runs to
+  /// completion). Polled at stage boundaries and inside the solve fan-out;
+  /// a cancelled run returns a well-formed partial result with the
+  /// cancellation recorded in HealthReport.
+  const util::CancellationToken* cancel = nullptr;
+  /// The loader's sanitize report, when the trace came from a lenient
+  /// load (load_trace_sanitized). Its load-layer counters (unparseable
+  /// rows, mid-file aborts) are folded into HealthReport::sanitize and a
+  /// degradation event records any partial read, so incomplete input
+  /// never looks like a complete run.
+  std::optional<data::SanitizeReport> load_report;
 };
 
 /// How the requester classified a worker (from detector + clustering; may

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "contract/worker_response.hpp"
+#include "core/checkpoint.hpp"
 #include "util/error.hpp"
-#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ccd::core {
 
@@ -39,51 +41,133 @@ void SimConfig::validate() const {
   CCD_CHECK_MSG(redesign_every >= 1, "redesign_every must be >= 1");
   CCD_CHECK_MSG(ema_alpha > 0.0 && ema_alpha <= 1.0,
                 "ema_alpha must be in (0, 1]");
+  CCD_CHECK_MSG(checkpoint_every == 0 || !checkpoint_path.empty(),
+                "checkpoint_every needs a checkpoint_path");
 }
+
+StackelbergSimulator::~StackelbergSimulator() = default;
 
 StackelbergSimulator::StackelbergSimulator(std::vector<SimWorkerSpec> workers,
                                            SimConfig config)
-    : workers_(std::move(workers)), config_(config) {
+    : workers_(std::move(workers)), config_(std::move(config)) {
   config_.validate();
   CCD_CHECK_MSG(!workers_.empty(), "simulation needs at least one worker");
+  if (config_.threads > 0) {
+    own_pool_ = std::make_unique<util::ThreadPool>(config_.threads);
+  }
+  init_fresh_state();
 }
 
-SimResult StackelbergSimulator::run() {
-  util::Rng rng(config_.seed);
-  const std::size_t n = workers_.size();
+StackelbergSimulator::StackelbergSimulator(const SimCheckpoint& checkpoint)
+    : workers_(checkpoint.workers), config_(checkpoint.config) {
+  config_.validate();
+  CCD_CHECK_MSG(!workers_.empty(), "simulation needs at least one worker");
+  if (config_.threads > 0) {
+    own_pool_ = std::make_unique<util::ThreadPool>(config_.threads);
+  }
+  // decode_checkpoint already verified cross-field consistency; restore the
+  // dynamic state verbatim so the continuation is bitwise-exact.
+  next_round_ = checkpoint.next_round;
+  rng_.set_state(checkpoint.rng);
+  est_accuracy_ = checkpoint.est_accuracy;
+  est_malicious_ = checkpoint.est_malicious;
+  contracts_ = checkpoint.contracts;
+  last_feedback_ = checkpoint.last_feedback;
+  history_ = checkpoint.history;
+  history_.cancelled = false;
+  history_.cancel_reason = util::CancelReason::kNone;
+  CCD_CHECK_MSG(next_round_ <= config_.rounds,
+                "checkpoint is beyond the configured rounds");
+}
 
-  // Requester-side state.
-  std::vector<double> est_accuracy(n);
-  std::vector<double> est_malicious(n, 0.05);
-  std::vector<contract::Contract> contracts(n);
-  std::vector<double> last_feedback(n);
+void StackelbergSimulator::init_fresh_state() {
+  const std::size_t n = workers_.size();
+  rng_ = util::Rng(config_.seed);
+  next_round_ = 0;
+  est_accuracy_.assign(n, config_.requester.accuracy_floor);
+  est_malicious_.assign(n, 0.05);
+  contracts_.assign(n, contract::Contract{});
+  last_feedback_.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     // Neutral starting estimates; round-0 feedback memory is zero effort.
-    est_accuracy[i] = config_.requester.accuracy_floor;
-    last_feedback[i] = workers_[i].psi(0.0);
+    last_feedback_[i] = workers_[i].psi(0.0);
   }
+  history_ = SimResult{};
+  history_.worker_history.assign(n, {});
+}
 
-  SimResult result;
-  result.worker_history.assign(n, {});
+SimCheckpoint StackelbergSimulator::snapshot() const {
+  SimCheckpoint checkpoint;
+  checkpoint.config = config_;
+  checkpoint.workers = workers_;
+  checkpoint.next_round = next_round_;
+  checkpoint.rng = rng_.state();
+  checkpoint.est_accuracy = est_accuracy_;
+  checkpoint.est_malicious = est_malicious_;
+  checkpoint.contracts = contracts_;
+  checkpoint.last_feedback = last_feedback_;
+  checkpoint.history = history_;
+  checkpoint.history.cancelled = false;
+  checkpoint.history.cancel_reason = util::CancelReason::kNone;
+  return checkpoint;
+}
 
-  for (std::size_t t = 0; t < config_.rounds; ++t) {
+void StackelbergSimulator::write_checkpoint() const {
+  save_checkpoint(config_.checkpoint_path, snapshot());
+}
+
+SimResult StackelbergSimulator::run(const util::CancellationToken* cancel) {
+  const std::size_t n = workers_.size();
+  util::ThreadPool& pool = own_pool_ ? *own_pool_ : util::shared_pool();
+
+  bool cancelled = false;
+  for (std::size_t t = next_round_; t < config_.rounds; ++t) {
+    if (cancel != nullptr && cancel->poll()) {
+      cancelled = true;
+      break;
+    }
+
     // --- Requester: (re)design contracts from current estimates ---------
     if (t % config_.redesign_every == 0) {
+      std::vector<contract::SubproblemSpec> specs(n);
       for (std::size_t i = 0; i < n; ++i) {
         const double weight =
-            feedback_weight(config_.requester, est_accuracy[i],
-                            est_malicious[i], workers_[i].partners);
-        contract::SubproblemSpec spec;
+            feedback_weight(config_.requester, est_accuracy_[i],
+                            est_malicious_[i], workers_[i].partners);
+        contract::SubproblemSpec& spec = specs[i];
         spec.psi = workers_[i].psi;
         spec.incentives.beta = workers_[i].beta;
         spec.incentives.omega =
-            est_malicious[i] >= config_.suspicion_threshold
+            est_malicious_[i] >= config_.suspicion_threshold
                 ? config_.requester.omega_malicious
                 : 0.0;
         spec.weight = weight;
         spec.mu = config_.requester.mu;
         spec.intervals = config_.requester.intervals;
-        contracts[i] = contract::design_contract(spec).contract;
+      }
+      // Batched design: one k-sweep per distinct spec, bitwise-identical
+      // to the per-worker design_contract path and independent of thread
+      // count; the cache persists across rounds, so stable estimates make
+      // later redesigns nearly free.
+      contract::BatchOptions options;
+      options.pool = &pool;
+      options.cache = &design_cache_;
+      options.cancel = cancel;
+      std::vector<std::uint8_t> resolved;
+      options.resolved = &resolved;
+      std::vector<contract::DesignResult> designs =
+          contract::design_contracts_batch(specs, options);
+      if (cancel != nullptr && cancel->cancelled()) {
+        // The batch was cut short: drop the round entirely (contracts may
+        // be partially refreshed, but a resumed run re-enters this same
+        // redesign round and rebuilds them from the checkpointed
+        // estimates, so the continuation stays bitwise-exact).
+        cancelled = true;
+        break;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        CCD_CHECK_MSG(resolved[i] != 0, "redesign batch left a worker unsolved");
+        contracts_[i] = std::move(designs[i].contract);
       }
     }
 
@@ -100,39 +184,39 @@ SimResult StackelbergSimulator::run() {
       // --- Worker: best response to the posted contract ----------------
       const contract::WorkerIncentives inc{w.beta, omega};
       const contract::BestResponse br =
-          contract::best_response(contracts[i], w.psi, inc);
+          contract::best_response(contracts_[i], w.psi, inc);
 
       // Realized feedback is noisy around psi(y).
       const double feedback = std::max(
-          0.0, br.feedback + rng.normal(0.0, config_.feedback_noise));
+          0.0, br.feedback + rng_.normal(0.0, config_.feedback_noise));
 
       // Compensation this round comes from *last* round's feedback (Eq. 1).
-      const double compensation = contracts[i].pay(last_feedback[i]);
-      last_feedback[i] = feedback;
+      const double compensation = contracts_[i].pay(last_feedback_[i]);
+      last_feedback_[i] = feedback;
 
       // --- Requester: update estimates from this round's observables ---
       const double accuracy_sample = std::max(
-          0.0, true_accuracy + rng.normal(0.0, config_.accuracy_noise));
-      est_accuracy[i] = (1.0 - config_.ema_alpha) * est_accuracy[i] +
-                        config_.ema_alpha * accuracy_sample;
+          0.0, true_accuracy + rng_.normal(0.0, config_.accuracy_noise));
+      est_accuracy_[i] = (1.0 - config_.ema_alpha) * est_accuracy_[i] +
+                         config_.ema_alpha * accuracy_sample;
       // Maliciousness signal: biased workers produce large deviations.
       const double signal =
           1.0 / (1.0 + std::exp(-4.0 * (accuracy_sample - 0.9)));
-      est_malicious[i] = (1.0 - config_.ema_alpha) * est_malicious[i] +
-                         config_.ema_alpha * signal;
+      est_malicious_[i] = (1.0 - config_.ema_alpha) * est_malicious_[i] +
+                          config_.ema_alpha * signal;
 
       const double weight =
-          feedback_weight(config_.requester, est_accuracy[i],
-                          est_malicious[i], w.partners);
+          feedback_weight(config_.requester, est_accuracy_[i],
+                          est_malicious_[i], w.partners);
 
       WorkerRound wr;
       wr.effort = br.effort;
       wr.feedback = feedback;
       wr.compensation = compensation;
       wr.worker_utility = compensation - w.beta * br.effort + omega * feedback;
-      wr.estimated_malicious = est_malicious[i];
+      wr.estimated_malicious = est_malicious_[i];
       wr.weight = weight;
-      result.worker_history[i].push_back(wr);
+      history_.worker_history[i].push_back(wr);
 
       record.weighted_feedback += weight * feedback;
       record.total_compensation += compensation;
@@ -141,9 +225,27 @@ SimResult StackelbergSimulator::run() {
     record.requester_utility =
         record.weighted_feedback -
         config_.requester.mu * record.total_compensation;
-    result.cumulative_requester_utility += record.requester_utility;
-    result.rounds.push_back(record);
+    history_.cumulative_requester_utility += record.requester_utility;
+    history_.rounds.push_back(record);
+    next_round_ = t + 1;
+
+    if (config_.checkpoint_every > 0 &&
+        next_round_ % config_.checkpoint_every == 0) {
+      write_checkpoint();
+    }
   }
+
+  if (cancelled && !config_.checkpoint_path.empty()) {
+    // Final checkpoint at the cancellation boundary, so ccdctl resume=FILE
+    // can pick the run back up from exactly here.
+    write_checkpoint();
+  }
+
+  SimResult result = history_;
+  result.cancelled = cancelled;
+  result.cancel_reason =
+      cancelled && cancel != nullptr ? cancel->reason()
+                                     : util::CancelReason::kNone;
   return result;
 }
 

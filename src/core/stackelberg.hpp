@@ -10,18 +10,37 @@
 // a schedule. Worker specs can switch behaviour mid-simulation (an honest
 // worker turning malicious, or vice versa), which is the "adaptive to
 // changes in workers' behavior" property the paper claims.
+// Durability & deadlines: run(cancel) polls the token at round boundaries
+// and returns a well-formed partial SimResult (cancelled flag + reason set)
+// instead of throwing. With checkpoint_path configured the simulator
+// serializes its complete dynamic state (RNG, estimates, contracts,
+// feedback memory, accumulated history) every checkpoint_every rounds and
+// on cancellation, via the crash-safe framed format in util/atomic_file; a
+// simulator constructed from that SimCheckpoint continues the run
+// bitwise-identically — the resumed result (restored prefix + continuation)
+// equals the uninterrupted run's, at any thread count.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "contract/design_cache.hpp"
 #include "contract/designer.hpp"
 #include "core/requester.hpp"
 #include "effort/effort_model.hpp"
+#include "util/cancellation.hpp"
+#include "util/rng.hpp"
+
+namespace ccd::util {
+class ThreadPool;
+}
 
 namespace ccd::core {
+
+struct SimCheckpoint;
 
 struct SimWorkerSpec {
   std::string name = "worker";
@@ -70,6 +89,18 @@ struct SimConfig {
   double suspicion_threshold = 0.5;
   std::uint64_t seed = 1;
 
+  /// Write a crash-safe checkpoint to `checkpoint_path` after every this
+  /// many completed rounds (0 disables periodic checkpoints). A cancelled
+  /// run writes a final checkpoint at its round boundary whenever
+  /// `checkpoint_path` is set, independent of this cadence.
+  std::size_t checkpoint_every = 0;
+  std::string checkpoint_path;
+
+  /// Threads for the per-round contract-redesign batch: 0 uses the shared
+  /// pool, otherwise the simulator owns a pool of this size. Results are
+  /// thread-count independent.
+  std::size_t threads = 0;
+
   void validate() const;
 };
 
@@ -94,17 +125,54 @@ struct SimResult {
   /// worker_history[w][t] — per-worker series.
   std::vector<std::vector<WorkerRound>> worker_history;
   double cumulative_requester_utility = 0.0;
+  /// Set when run() stopped early at a round boundary; `rounds` then holds
+  /// the completed prefix and the result is otherwise well-formed.
+  bool cancelled = false;
+  util::CancelReason cancel_reason = util::CancelReason::kNone;
 };
 
 class StackelbergSimulator {
  public:
   StackelbergSimulator(std::vector<SimWorkerSpec> workers, SimConfig config);
 
-  SimResult run();
+  /// Restore a simulator mid-run from a checkpoint (see core/checkpoint.hpp).
+  /// run() then continues from the checkpointed round and returns the FULL
+  /// result — restored prefix plus continuation — bitwise-identical to an
+  /// uninterrupted run of the same config.
+  explicit StackelbergSimulator(const SimCheckpoint& checkpoint);
+
+  // Out-of-line: ~unique_ptr<util::ThreadPool> needs the complete type.
+  ~StackelbergSimulator();
+
+  /// Simulate up to config.rounds, cooperatively honouring `cancel` (null
+  /// runs to completion). Cancellation is polled once per round and between
+  /// redesign sweeps; a cancelled run returns the completed prefix with
+  /// SimResult::cancelled set and, when checkpoint_path is configured,
+  /// writes a final checkpoint so the run can be resumed.
+  SimResult run(const util::CancellationToken* cancel = nullptr);
 
  private:
+  void init_fresh_state();
+  SimCheckpoint snapshot() const;
+  void write_checkpoint() const;
+
   std::vector<SimWorkerSpec> workers_;
   SimConfig config_;
+
+  // Dynamic state — everything a checkpoint must capture to make resume
+  // bitwise-exact.
+  std::size_t next_round_ = 0;
+  util::Rng rng_;
+  std::vector<double> est_accuracy_;
+  std::vector<double> est_malicious_;
+  std::vector<contract::Contract> contracts_;
+  std::vector<double> last_feedback_;
+  SimResult history_;
+
+  // Redesign machinery (not checkpointed: the cache is a pure memo and the
+  // pool only schedules; neither affects results).
+  contract::DesignCache design_cache_;
+  std::unique_ptr<util::ThreadPool> own_pool_;
 };
 
 }  // namespace ccd::core

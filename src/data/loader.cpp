@@ -5,6 +5,7 @@
 
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/fault_injection.hpp"
 #include "util/string_util.hpp"
 
 namespace ccd::data {
@@ -206,58 +207,91 @@ ReviewTrace load_trace(const std::string& prefix) {
   return trace;
 }
 
+namespace {
+
+struct LenientCounters {
+  std::size_t unparseable = 0;
+  std::size_t aborted_files = 0;
+  std::size_t rows_before_abort = 0;
+};
+
+/// Lenient per-file scan: rows that fail to parse are skipped (counted);
+/// a reader failure mid-file (malformed framing, truncated quoting, I/O
+/// error) abandons the file but keeps the rows already delivered, counting
+/// the abort so the partial read stays visible. Missing files and bad
+/// headers still throw — there is nothing to salvage.
+template <typename OnRow>
+void for_each_row_lenient(const std::string& path,
+                          const std::vector<std::string>& header,
+                          LenientCounters& counters, OnRow&& on_row) {
+  util::CsvReader reader(path);
+  expect_header(reader, header, path);
+  std::size_t kept = 0;
+  try {
+    util::CsvRow row;
+    while (reader.next(row)) {
+      try {
+        on_row(row, reader.line_number());
+        ++kept;
+      } catch (const Error&) {
+        ++counters.unparseable;
+      }
+    }
+  } catch (const Error&) {
+    ++counters.aborted_files;
+    counters.rows_before_abort += kept;
+  }
+}
+
+}  // namespace
+
 SanitizedTrace load_trace_sanitized(const std::string& prefix,
                                     const SanitizeConfig& config) {
   std::vector<Worker> workers;
   std::vector<Product> products;
   std::vector<ReviewRecord> reviews;
-  std::size_t unparseable = 0;
+  LenientCounters counters;
 
-  {
-    const std::string path = prefix + ".workers.csv";
-    util::CsvReader reader(path);
-    expect_header(reader, kWorkerHeader, path);
-    util::CsvRow row;
-    while (reader.next(row)) {
-      try {
-        workers.push_back(
-            parse_worker_row(row, path, reader.line_number()));
-      } catch (const Error&) {
-        ++unparseable;
-      }
-    }
-  }
-  {
-    const std::string path = prefix + ".products.csv";
-    util::CsvReader reader(path);
-    expect_header(reader, kProductHeader, path);
-    util::CsvRow row;
-    while (reader.next(row)) {
-      try {
+  for_each_row_lenient(
+      prefix + ".workers.csv", kWorkerHeader, counters,
+      [&](const util::CsvRow& row, std::size_t line) {
+        workers.push_back(parse_worker_row(row, prefix + ".workers.csv", line));
+      });
+  for_each_row_lenient(
+      prefix + ".products.csv", kProductHeader, counters,
+      [&](const util::CsvRow& row, std::size_t line) {
         products.push_back(
-            parse_product_row(row, path, reader.line_number()));
-      } catch (const Error&) {
-        ++unparseable;
-      }
-    }
-  }
-  {
-    const std::string path = prefix + ".reviews.csv";
-    util::CsvReader reader(path);
-    expect_header(reader, kReviewHeader, path);
-    util::CsvRow row;
-    while (reader.next(row)) {
-      try {
-        reviews.push_back(parse_review_row(row, path, reader.line_number()));
-      } catch (const Error&) {
-        ++unparseable;
-      }
-    }
-  }
+            parse_product_row(row, prefix + ".products.csv", line));
+      });
+  for_each_row_lenient(
+      prefix + ".reviews.csv", kReviewHeader, counters,
+      [&](const util::CsvRow& row, std::size_t line) {
+        reviews.push_back(parse_review_row(row, prefix + ".reviews.csv", line));
+      });
 
   SanitizedTrace out = sanitize_trace(workers, products, reviews, config);
-  out.report.unparseable_rows = unparseable;
+  out.report.unparseable_rows = counters.unparseable;
+  out.report.aborted_files = counters.aborted_files;
+  out.report.rows_before_abort = counters.rows_before_abort;
   return out;
+}
+
+ReviewTrace load_trace_retrying(const std::string& prefix,
+                                const util::RetryPolicy& retry) {
+  return util::with_retry("load_trace", retry, [&](std::size_t attempt) {
+    CCD_FAULT_POINT("io.load_trace", attempt, DataError);
+    return load_trace(prefix);
+  });
+}
+
+SanitizedTrace load_trace_sanitized_retrying(const std::string& prefix,
+                                             const SanitizeConfig& config,
+                                             const util::RetryPolicy& retry) {
+  return util::with_retry("load_trace_sanitized", retry,
+                          [&](std::size_t attempt) {
+    CCD_FAULT_POINT("io.load_trace", attempt, DataError);
+    return load_trace_sanitized(prefix, config);
+  });
 }
 
 }  // namespace ccd::data

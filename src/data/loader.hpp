@@ -10,13 +10,22 @@
 //  * load_trace_sanitized — lenient: unparseable rows are skipped (counted
 //    in SanitizeReport::unparseable_rows) and everything else is routed
 //    through data::sanitize_trace, which quarantines or repairs dirty
-//    records instead of aborting.
+//    records instead of aborting. A file whose framing breaks mid-read
+//    (e.g. an unterminated quote) is abandoned at that point: the rows
+//    already parsed are kept and the abort is recorded in
+//    SanitizeReport::aborted_files / rows_before_abort, so a partial read
+//    never passes for a complete one.
+//
+// The *_retrying variants wrap the load in util::with_retry (exponential
+// backoff + deterministic jitter, `ccd.io.*` metrics) for flaky storage;
+// the fault-injection site "io.load_trace" is keyed by the attempt index.
 #pragma once
 
 #include <string>
 
 #include "data/sanitize.hpp"
 #include "data/trace.hpp"
+#include "util/retry.hpp"
 
 namespace ccd::data {
 
@@ -32,5 +41,13 @@ ReviewTrace load_trace(const std::string& prefix);
 /// files and bad headers still throw (there is nothing to salvage).
 SanitizedTrace load_trace_sanitized(const std::string& prefix,
                                     const SanitizeConfig& config = {});
+
+/// load_trace / load_trace_sanitized with bounded, backed-off retries for
+/// transient I/O failures (see util/retry.hpp).
+ReviewTrace load_trace_retrying(const std::string& prefix,
+                                const util::RetryPolicy& retry = {});
+SanitizedTrace load_trace_sanitized_retrying(const std::string& prefix,
+                                             const SanitizeConfig& config = {},
+                                             const util::RetryPolicy& retry = {});
 
 }  // namespace ccd::data

@@ -30,6 +30,10 @@ std::string SanitizeReport::to_string() const {
      << " clamped=" << clamped_quality + clamped_scores
      << " renumbered_rounds=" << renumbered_rounds << ')';
   if (unparseable_rows > 0) os << " unparseable_rows=" << unparseable_rows;
+  if (aborted_files > 0) {
+    os << " aborted_files=" << aborted_files
+       << " (rows_kept_before_abort=" << rows_before_abort << ')';
+  }
   return os.str();
 }
 

@@ -78,6 +78,13 @@ struct SanitizeReport {
   /// load_trace_sanitized, not by sanitize_trace).
   std::size_t unparseable_rows = 0;
 
+  /// Files a lenient loader had to abandon mid-read (e.g. malformed CSV
+  /// framing after some rows parsed). The rows read before each abort are
+  /// kept and counted in rows_before_abort, so a partial read never
+  /// masquerades as a complete one.
+  std::size_t aborted_files = 0;
+  std::size_t rows_before_abort = 0;
+
   std::size_t quarantined_workers() const { return duplicate_worker_ids; }
   std::size_t quarantined_products() const {
     return duplicate_product_ids + non_finite_quality;
@@ -94,10 +101,11 @@ struct SanitizeReport {
     return remapped_worker_ids + repaired_skill + repaired_class_labels +
            clamped_quality + clamped_scores + renumbered_rounds;
   }
-  /// True when the input needed no quarantine, repair, or row skipping.
+  /// True when the input needed no quarantine, repair, row skipping, or
+  /// mid-file abort.
   bool clean() const {
     return total_quarantined() == 0 && total_repaired() == 0 &&
-           unparseable_rows == 0;
+           unparseable_rows == 0 && aborted_files == 0;
   }
 
   std::string to_string() const;

@@ -35,6 +35,7 @@ enum class ErrorCode : int {
   kData = 3,      ///< DataError
   kMath = 4,      ///< MathError
   kContract = 5,  ///< ContractError
+  kDeadline = 6,  ///< CancelledError — run cancelled or deadline expired
 };
 
 inline const char* to_string(ErrorCode code) {
@@ -44,12 +45,13 @@ inline const char* to_string(ErrorCode code) {
     case ErrorCode::kData: return "data";
     case ErrorCode::kMath: return "math";
     case ErrorCode::kContract: return "contract";
+    case ErrorCode::kDeadline: return "deadline";
   }
   return "?";
 }
 
 /// Process exit code for an error category (ConfigError=2, DataError=3,
-/// MathError=4, ContractError=5, anything else 1).
+/// MathError=4, ContractError=5, CancelledError=6, anything else 1).
 inline int exit_code(ErrorCode code) { return static_cast<int>(code); }
 
 /// Provenance attached to an Error as it crosses recovery boundaries.
@@ -188,6 +190,16 @@ class ContractError : public Error {
  public:
   explicit ContractError(const std::string& what)
       : Error(what, ErrorCode::kContract) {}
+};
+
+/// A run was cancelled (explicitly or by deadline expiry) at a site with
+/// no well-formed partial result to return. Sites that can degrade — the
+/// pipeline, the Stackelberg simulator — return a partial result with the
+/// cancellation recorded instead of throwing this.
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(const std::string& what)
+      : Error(what, ErrorCode::kDeadline) {}
 };
 
 namespace detail {

@@ -1,0 +1,69 @@
+#include "util/retry.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <thread>
+
+#include "util/atomic_file.hpp"
+#include "util/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace ccd::util {
+
+void RetryPolicy::validate() const {
+  CCD_CHECK_MSG(max_attempts >= 1, "retry needs at least one attempt");
+  CCD_CHECK_MSG(initial_backoff_s >= 0.0, "retry backoff must be >= 0");
+  CCD_CHECK_MSG(multiplier >= 1.0, "retry multiplier must be >= 1");
+  CCD_CHECK_MSG(jitter >= 0.0 && jitter <= 1.0, "retry jitter must be in [0, 1]");
+}
+
+namespace detail {
+namespace {
+
+struct IoMetrics {
+  metrics::Counter& attempts;
+  metrics::Counter& retries;
+  metrics::Counter& successes;
+  metrics::Counter& failures;
+
+  static IoMetrics& get() {
+    static IoMetrics* const m = [] {
+      metrics::MetricsRegistry& reg = metrics::registry();
+      return new IoMetrics{reg.counter("ccd.io.attempts"),
+                           reg.counter("ccd.io.retries"),
+                           reg.counter("ccd.io.successes"),
+                           reg.counter("ccd.io.failures")};
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
+
+double backoff_before(const char* op, const RetryPolicy& policy,
+                      std::size_t next_attempt) {
+  if (next_attempt == 0) return 0.0;
+  double backoff = policy.initial_backoff_s *
+                   std::pow(policy.multiplier,
+                            static_cast<double>(next_attempt - 1));
+  if (policy.jitter > 0.0) {
+    // Deterministic per (seed, operation, attempt): retry schedules are
+    // part of the reproducible run, not a source of noise.
+    Rng rng(policy.seed ^ fnv1a64(op, std::strlen(op)) ^
+            (0x9e3779b97f4a7c15ULL * next_attempt));
+    backoff *= rng.uniform(1.0 - policy.jitter, 1.0 + policy.jitter);
+  }
+  if (policy.sleep && backoff > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+  }
+  return backoff;
+}
+
+void count_attempt() { IoMetrics::get().attempts.add(1); }
+void count_retry() { IoMetrics::get().retries.add(1); }
+void count_success() { IoMetrics::get().successes.add(1); }
+void count_failure() { IoMetrics::get().failures.add(1); }
+
+}  // namespace detail
+}  // namespace ccd::util

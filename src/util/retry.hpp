@@ -1,0 +1,99 @@
+// Bounded retry with exponential backoff and deterministic jitter, for the
+// I/O edges of a run (trace loading, checkpoint save/load).
+//
+// with_retry("checkpoint_write", policy, fn) invokes fn(attempt) for
+// attempt = 0, 1, ... and returns its result on first success. A thrown
+// ccd::Error is transient until attempts run out: the call sleeps the
+// jittered backoff and tries again; the final failure is rethrown verbatim
+// (original type, code, and context preserved). Non-ccd exceptions
+// propagate immediately — they indicate bugs, not flaky I/O.
+//
+// Jitter is drawn from a util::Rng seeded by (policy.seed, operation
+// name), so a given run schedules identical backoffs — retry timing never
+// makes results less reproducible. Tests set sleep = false to spin through
+// attempts instantly.
+//
+// Every attempt and outcome is counted in the process-wide registry:
+//   ccd.io.attempts   — fn invocations, across all operations
+//   ccd.io.retries    — failed attempts that were retried
+//   ccd.io.successes  — with_retry calls that returned a result
+//   ccd.io.failures   — with_retry calls that exhausted their attempts
+//
+// Fault-injection sites live inside the retried callables (keyed by the
+// attempt index, e.g. CCD_FAULT_POINT("io.load_trace", attempt, ...)), so
+// chaos tests can fail the first k attempts of an operation and assert the
+// backoff path recovers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace ccd::util {
+
+struct RetryPolicy {
+  /// Total attempts (>= 1); 1 disables retrying.
+  std::size_t max_attempts = 3;
+  /// Backoff before the second attempt, in seconds.
+  double initial_backoff_s = 0.01;
+  /// Backoff growth per retry (>= 1).
+  double multiplier = 2.0;
+  /// Uniform jitter as a fraction of the backoff: each sleep is scaled by
+  /// a factor in [1 - jitter, 1 + jitter]. Must be in [0, 1].
+  double jitter = 0.2;
+  /// Seed for the deterministic jitter stream.
+  std::uint64_t seed = 0x10aDU;
+  /// When false, retries happen immediately (tests).
+  bool sleep = true;
+
+  void validate() const;
+};
+
+namespace detail {
+
+/// Counts the attempt; computes and (when policy.sleep) sleeps the
+/// jittered backoff before attempt `next_attempt` (>= 1). Returns the
+/// backoff in seconds (0 for the first attempt).
+double backoff_before(const char* op, const RetryPolicy& policy,
+                      std::size_t next_attempt);
+
+void count_attempt();
+void count_retry();
+void count_success();
+void count_failure();
+
+}  // namespace detail
+
+/// Invoke fn(attempt) until it succeeds or attempts are exhausted; see the
+/// file comment for semantics.
+template <typename F>
+auto with_retry(const char* op, const RetryPolicy& policy, F&& fn)
+    -> decltype(fn(std::size_t{0})) {
+  policy.validate();
+  for (std::size_t attempt = 0;; ++attempt) {
+    if (attempt > 0) detail::backoff_before(op, policy, attempt);
+    detail::count_attempt();
+    try {
+      if constexpr (std::is_void_v<decltype(fn(std::size_t{0}))>) {
+        fn(attempt);
+        detail::count_success();
+        return;
+      } else {
+        auto result = fn(attempt);
+        detail::count_success();
+        return result;
+      }
+    } catch (const Error&) {
+      if (attempt + 1 >= policy.max_attempts) {
+        detail::count_failure();
+        throw;
+      }
+      detail::count_retry();
+    }
+  }
+}
+
+}  // namespace ccd::util

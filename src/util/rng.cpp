@@ -137,6 +137,19 @@ std::size_t Rng::discrete(const std::vector<double>& weights) {
   return weights.size() - 1;  // numeric edge: total rounding
 }
 
+RngState Rng::state() const {
+  return RngState{state_, has_cached_normal_, cached_normal_};
+}
+
+void Rng::set_state(const RngState& state) {
+  CCD_CHECK_MSG(state.words[0] != 0 || state.words[1] != 0 ||
+                    state.words[2] != 0 || state.words[3] != 0,
+                "Rng state must not be all-zero");
+  state_ = state.words;
+  has_cached_normal_ = state.has_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 Rng Rng::split() {
   // A fresh generator seeded from this stream's output is statistically
   // independent for our simulation purposes.

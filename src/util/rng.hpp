@@ -12,6 +12,15 @@
 
 namespace ccd::util {
 
+/// Complete generator state, for bitwise-exact checkpoint/resume: the four
+/// xoshiro words plus the cached second Box–Muller deviate (a resumed
+/// stream must replay it before drawing a fresh pair).
+struct RngState {
+  std::array<std::uint64_t, 4> words{};
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+};
+
 class Rng {
  public:
   /// Seeds the four 64-bit words from `seed` via SplitMix64.
@@ -61,6 +70,11 @@ class Rng {
 
   /// Derive an independent child stream (for per-thread generation).
   Rng split();
+
+  /// Snapshot / restore the full generator state. A generator restored from
+  /// state() continues the original stream bitwise-identically.
+  RngState state() const;
+  void set_state(const RngState& state);
 
  private:
   std::array<std::uint64_t, 4> state_{};

@@ -75,13 +75,18 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& fn) {
+                              const std::function<void(std::size_t)>& fn,
+                              const CancellationToken* cancel) {
   if (n == 0) return;
+  if (cancel != nullptr && cancel->poll()) return;
   // Nested use: an outer task calling parallel_for on its own pool would
   // block on futures that can only run on the slots the outer tasks hold.
   // Run inline instead (also the degraded mode after shutdown()).
   if (on_worker_thread() || workers_.empty()) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (cancel != nullptr && cancel->poll()) return;
+      fn(i);
+    }
     return;
   }
   // Chunk so that each thread gets a handful of blocks; per-index dispatch
@@ -102,8 +107,12 @@ void ThreadPool::parallel_for(std::size_t n,
     const std::size_t end = std::min(n, begin + chunk_size);
     if (begin >= end) break;
     futures.push_back(submit([&, begin, end] {
+      // One deadline poll per chunk; per-index checks touch only the
+      // already-latched flag so cancellation costs one relaxed load.
+      if (cancel != nullptr && cancel->poll()) return;
       for (std::size_t i = begin; i < end; ++i) {
         if (failed.load(std::memory_order_relaxed)) return;
+        if (cancel != nullptr && cancel->cancelled()) return;
         try {
           fn(i);
         } catch (...) {

@@ -40,6 +40,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/cancellation.hpp"
 #include "util/metrics.hpp"
 
 namespace ccd::util {
@@ -86,7 +87,15 @@ class ThreadPool {
   /// additional (suppressed) task failures appended to its message.
   /// Reentrant: nested calls from a worker of this pool (and calls after
   /// shutdown) run inline on the calling thread.
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  ///
+  /// When `cancel` is non-null, cancellation is cooperative and silent:
+  /// each chunk re-polls the token (latching deadline expiry) and each
+  /// index checks the cheap cancelled() flag; indices not yet started are
+  /// skipped, indices already running finish normally, and parallel_for
+  /// returns without throwing. Callers that need to know inspect
+  /// cancel->cancelled() afterwards and render their own partial result.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    const CancellationToken* cancel = nullptr);
 
  private:
   void worker_loop();

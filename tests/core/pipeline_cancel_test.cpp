@@ -1,0 +1,134 @@
+// Cancellation / deadline tests for run_pipeline: a cancelled run must
+// return a well-formed partial result — the quarantined/excluded/solved
+// partition still covers the fleet, HealthReport records the reason, and a
+// token that never fires leaves the result bitwise-identical to a run
+// without one.
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+
+#include "data/generator.hpp"
+#include "util/cancellation.hpp"
+#include "util/error.hpp"
+
+namespace ccd::core {
+namespace {
+
+data::ReviewTrace small_trace() {
+  return data::generate_trace(data::GeneratorParams::small());
+}
+
+/// Partition + finiteness invariants every completed run must satisfy.
+void expect_invariants(const PipelineResult& r, std::size_t n) {
+  ASSERT_EQ(r.workers.size(), n);
+  std::size_t quarantined = 0;
+  std::size_t excluded = 0;
+  for (const WorkerOutcome& w : r.workers) {
+    EXPECT_TRUE(std::isfinite(w.requester_utility)) << "worker " << w.id;
+    EXPECT_TRUE(std::isfinite(w.compensation)) << "worker " << w.id;
+    EXPECT_FALSE(w.quarantined && w.excluded) << "worker " << w.id;
+    if (w.quarantined) ++quarantined;
+    if (w.excluded) ++excluded;
+  }
+  EXPECT_EQ(r.health.quarantined_workers, quarantined);
+  EXPECT_EQ(r.excluded_workers, excluded);
+  EXPECT_LE(quarantined + excluded, n);
+}
+
+TEST(PipelineCancelTest, PreCancelledTokenYieldsWellFormedPartialResult) {
+  const data::ReviewTrace trace = small_trace();
+  util::CancellationToken token;
+  token.request_cancel();
+
+  PipelineConfig config;
+  config.cancel = &token;
+  const PipelineResult r = run_pipeline(trace, config);
+
+  EXPECT_TRUE(r.health.cancelled);
+  EXPECT_EQ(r.health.cancel_reason, util::CancelReason::kCancelled);
+  // Every stage was skipped; all workers end up quarantined, none solved.
+  expect_invariants(r, trace.workers().size());
+  EXPECT_EQ(r.health.quarantined_workers + r.excluded_workers,
+            trace.workers().size());
+  // Exactly one degradation event describes the cancellation.
+  ASSERT_EQ(r.health.events.size(), 1u);
+  EXPECT_EQ(r.health.events[0].code, ErrorCode::kDeadline);
+  EXPECT_NE(r.health.to_string().find("cancelled"), std::string::npos);
+}
+
+TEST(PipelineCancelTest, ExpiredDeadlineIsRecordedAsDeadline) {
+  const data::ReviewTrace trace = small_trace();
+  util::CancellationToken token;
+  token.set_deadline(util::Deadline::after(0.0));
+
+  PipelineConfig config;
+  config.cancel = &token;
+  const PipelineResult r = run_pipeline(trace, config);
+
+  EXPECT_TRUE(r.health.cancelled);
+  EXPECT_EQ(r.health.cancel_reason, util::CancelReason::kDeadline);
+  expect_invariants(r, trace.workers().size());
+}
+
+TEST(PipelineCancelTest, GenerousDeadlineMatchesUncancelledRunExactly) {
+  const data::ReviewTrace trace = small_trace();
+  const PipelineResult plain = run_pipeline(trace, PipelineConfig{});
+
+  util::CancellationToken token;
+  token.set_deadline(util::Deadline::after(3600.0));
+  PipelineConfig config;
+  config.cancel = &token;
+  const PipelineResult timed = run_pipeline(trace, config);
+
+  EXPECT_FALSE(timed.health.cancelled);
+  EXPECT_TRUE(timed.health.events.empty());
+  ASSERT_EQ(timed.workers.size(), plain.workers.size());
+  for (std::size_t i = 0; i < plain.workers.size(); ++i) {
+    EXPECT_EQ(timed.workers[i].requester_utility,
+              plain.workers[i].requester_utility);
+    EXPECT_EQ(timed.workers[i].compensation, plain.workers[i].compensation);
+    EXPECT_EQ(timed.workers[i].effort, plain.workers[i].effort);
+    EXPECT_EQ(timed.workers[i].excluded, plain.workers[i].excluded);
+  }
+  EXPECT_EQ(timed.total_requester_utility, plain.total_requester_utility);
+  EXPECT_EQ(timed.total_compensation, plain.total_compensation);
+}
+
+TEST(PipelineCancelTest, NullTokenMeansRunToCompletion) {
+  const data::ReviewTrace trace = small_trace();
+  PipelineConfig config;  // config.cancel stays null
+  const PipelineResult r = run_pipeline(trace, config);
+  EXPECT_FALSE(r.health.cancelled);
+  EXPECT_EQ(r.health.unsolved_subproblems, 0u);
+}
+
+TEST(PipelineCancelTest, CancelledLenientRunKeepsPartitionInvariant) {
+  // Cancellation composes with the lenient policies: the partition must
+  // still cover the fleet when boundaries and cancellation both fire.
+  const data::ReviewTrace trace = small_trace();
+  util::CancellationToken token;
+  token.request_cancel();
+
+  PipelineConfig config;
+  config.cancel = &token;
+  config.faults = FaultPolicy::fallback();
+  const PipelineResult r = run_pipeline(trace, config);
+  EXPECT_TRUE(r.health.cancelled);
+  expect_invariants(r, trace.workers().size());
+}
+
+TEST(PipelineCancelTest, HealthReportMentionsCancellationReason) {
+  HealthReport health;
+  health.cancelled = true;
+  health.cancel_reason = util::CancelReason::kDeadline;
+  health.unsolved_subproblems = 3;
+  const std::string s = health.to_string();
+  EXPECT_NE(s.find("deadline"), std::string::npos);
+  EXPECT_NE(s.find("unsolved_subproblems=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccd::core

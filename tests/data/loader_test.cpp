@@ -7,6 +7,7 @@
 
 #include "data/generator.hpp"
 #include "util/error.hpp"
+#include "util/fault_injection.hpp"
 
 namespace ccd::data {
 namespace {
@@ -221,6 +222,67 @@ TEST_F(MalformedLoaderTest, LenientLoadOnCleanTraceIsClean) {
   const ReviewTrace strict = load_trace(prefix_);
   EXPECT_EQ(out.trace.workers().size(), strict.workers().size());
   EXPECT_EQ(out.trace.reviews().size(), strict.reviews().size());
+}
+
+TEST_F(MalformedLoaderTest, LenientLoadAbortedMidFileKeepsPrefixAndCounts) {
+  // A file whose CSV framing breaks mid-read (unterminated quote) is
+  // abandoned at that point: the rows already parsed survive, and the
+  // abort is counted so the partial read can never pass for a full one.
+  {
+    std::ofstream out(prefix_ + ".workers.csv");
+    out << "id,class,community,skill,expert_badge\n";
+    out << "0,honest,-1,1.0,0\n";
+  }
+  {
+    std::ofstream out(prefix_ + ".products.csv");
+    out << "id,true_quality\n";
+    out << "0,3.0\n";
+  }
+  {
+    std::ofstream out(prefix_ + ".reviews.csv");
+    out << "id,worker,product,round,score,length_chars,upvotes,verified\n";
+    out << "0,0,0,0,4.0,10,2,1\n";
+    out << "1,0,0,1,4.0,10,2,1\n";
+    out << "2,0,0,2,\"4.0,10,2,1\n";  // unterminated quote kills the reader
+    out << "3,0,0,3,4.0,10,2,1\n";    // never reached
+  }
+
+  const SanitizedTrace out = load_trace_sanitized(prefix_);
+  EXPECT_EQ(out.report.aborted_files, 1u);
+  EXPECT_EQ(out.report.rows_before_abort, 2u);
+  EXPECT_FALSE(out.report.clean()) << out.report.to_string();
+  EXPECT_NE(out.report.to_string().find("aborted_files=1"),
+            std::string::npos);
+  // The salvaged prefix is still a valid trace.
+  EXPECT_EQ(out.trace.reviews().size(), 2u);
+  EXPECT_NO_THROW(out.trace.validate());
+}
+
+TEST_F(LoaderTest, RetryingLoadMatchesStrictLoadOnHealthyStorage) {
+  save_trace(generate_trace(GeneratorParams::small()), prefix_);
+  const ReviewTrace strict = load_trace(prefix_);
+  const ReviewTrace retried = load_trace_retrying(prefix_);
+  EXPECT_EQ(retried.workers().size(), strict.workers().size());
+  EXPECT_EQ(retried.reviews().size(), strict.reviews().size());
+  const SanitizedTrace lenient = load_trace_sanitized_retrying(prefix_);
+  EXPECT_TRUE(lenient.report.clean());
+  EXPECT_EQ(lenient.trace.reviews().size(), strict.reviews().size());
+}
+
+TEST_F(LoaderTest, RetryingLoadExhaustsInjectedFaults) {
+  save_trace(generate_trace(GeneratorParams::small()), prefix_);
+  util::FaultInjectorConfig chaos;
+  chaos.enabled = true;
+  chaos.seed = 3;
+  chaos.site_rates["io.load_trace"] = 1.0;  // every attempt fails
+  util::FaultInjector::instance().configure(chaos);
+
+  util::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.sleep = false;
+  EXPECT_THROW(load_trace_retrying(prefix_, policy), DataError);
+  EXPECT_EQ(util::FaultInjector::instance().injected("io.load_trace"), 3u);
+  util::FaultInjector::instance().disable();
 }
 
 TEST_F(MalformedLoaderTest, LenientLoadStillRejectsBadHeader) {

@@ -19,7 +19,14 @@
 //       injector (chaos drills).
 //
 //   ccdctl simulate [rounds=40] [workers=6] [malicious=2] [seed=1]
-//       Multi-round Stackelberg simulation with a mixed fleet.
+//          [deadline=SECONDS] [checkpoint=FILE] [checkpoint_every=N]
+//          [resume=FILE] [threads=N]
+//       Multi-round Stackelberg simulation with a mixed fleet. `checkpoint`
+//       + `checkpoint_every` write crash-safe state every N rounds;
+//       `resume` continues a checkpointed run bitwise-identically
+//       (optionally with a larger rounds= to extend it); `deadline` bounds
+//       the wall clock — an expired run returns its completed prefix,
+//       writes a final checkpoint (when configured), and exits 6.
 //
 // All arguments are key=value; unknown keys are rejected. One flag is the
 // exception: `--metrics[=FILE]` (any command) prints the observability
@@ -30,7 +37,7 @@
 //
 // Exit codes mirror the ccd::Error hierarchy (see util/error.hpp):
 //   0 success, 1 generic error, 2 usage / ConfigError, 3 DataError,
-//   4 MathError, 5 ContractError.
+//   4 MathError, 5 ContractError, 6 deadline expired / cancelled.
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -38,6 +45,7 @@
 #include <string>
 #include <utility>
 
+#include "core/checkpoint.hpp"
 #include "core/equilibrium.hpp"
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
@@ -49,6 +57,7 @@
 #include "detect/collusion.hpp"
 #include "detect/expert.hpp"
 #include "detect/malicious.hpp"
+#include "util/cancellation.hpp"
 #include "util/config.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
@@ -73,13 +82,17 @@ int usage() {
                "           [policy=failfast|quarantine|fallback] "
                "[lenient_load=0|1]\n"
                "           [fault_rate=0.0] [fault_seed=0] [out=<file.csv>]\n"
+               "           [deadline=SECONDS]\n"
                "  simulate [rounds=40] [workers=6] [malicious=2] [seed=1]\n"
+               "           [deadline=SECONDS] [checkpoint=FILE] "
+               "[checkpoint_every=N]\n"
+               "           [resume=FILE] [threads=N]\n"
                "  --metrics[=FILE]  print the metrics summary after the "
                "command;\n"
                "                    with =FILE also dump the registry "
                "(.prom -> Prometheus, else JSON)\n"
                "exit codes: 0 ok, 1 error, 2 usage/config, 3 data, 4 math, "
-               "5 contract\n");
+               "5 contract, 6 deadline\n");
   return 2;
 }
 
@@ -203,6 +216,8 @@ int cmd_design(const util::ParamMap& params) {
   const std::string strategy = params.get_string("strategy", "dynamic");
   const std::string policy = params.get_string("policy", "failfast");
   const bool lenient_load = params.get_bool("lenient_load", false);
+  const double deadline_s = params.get_double("deadline", 0.0);
+  const bool has_deadline = params.contains("deadline");
   const double fault_rate = params.get_double("fault_rate", 0.0);
   const auto fault_seed =
       static_cast<std::uint64_t>(params.get_int("fault_seed", 0));
@@ -228,6 +243,12 @@ int cmd_design(const util::ParamMap& params) {
   config.strategy = strategy_by_name(strategy);
   config.faults = policy_by_name(policy);
 
+  util::CancellationToken cancel_token;
+  if (has_deadline) {
+    cancel_token.set_deadline(util::Deadline::after(deadline_s));
+    config.cancel = &cancel_token;
+  }
+
   data::ReviewTrace trace;
   if (!preset.empty()) {
     trace = data::generate_trace(gen);
@@ -235,13 +256,14 @@ int cmd_design(const util::ParamMap& params) {
                 trace.stats().to_string().c_str());
   } else if (lenient_load) {
     data::SanitizedTrace sanitized =
-        data::load_trace_sanitized(prefix, config.sanitize);
+        data::load_trace_sanitized_retrying(prefix, config.sanitize);
     if (!sanitized.report.clean()) {
       std::printf("%s\n", sanitized.report.to_string().c_str());
     }
+    config.load_report = sanitized.report;
     trace = std::move(sanitized.trace);
   } else {
-    trace = data::load_trace(prefix);
+    trace = data::load_trace_retrying(prefix);
   }
 
   if (fault_rate > 0.0) {
@@ -280,48 +302,114 @@ int cmd_design(const util::ParamMap& params) {
     export_contracts(result, out);
     std::printf("wrote per-worker contracts to %s\n", out.c_str());
   }
+  if (result.health.cancelled) {
+    std::printf("deadline expired (%s): partial result, %zu subproblem(s) "
+                "left unsolved\n",
+                util::to_string(result.health.cancel_reason),
+                result.health.unsolved_subproblems);
+    return ccd::exit_code(ccd::ErrorCode::kDeadline);
+  }
   return 0;
 }
 
 int cmd_simulate(const util::ParamMap& params) {
+  const bool has_rounds = params.contains("rounds");
   const auto rounds = static_cast<std::size_t>(params.get_int("rounds", 40));
   const auto n_workers = static_cast<std::size_t>(params.get_int("workers", 6));
   const auto n_malicious =
       static_cast<std::size_t>(params.get_int("malicious", 2));
   const auto seed = static_cast<std::uint64_t>(params.get_int("seed", 1));
+  const double deadline_s = params.get_double("deadline", 0.0);
+  const bool has_deadline = params.contains("deadline");
+  const std::string checkpoint_path = params.get_string("checkpoint", "");
+  const auto checkpoint_every =
+      static_cast<std::size_t>(params.get_int("checkpoint_every", 0));
+  const std::string resume_path = params.get_string("resume", "");
+  const auto threads = static_cast<std::size_t>(params.get_int("threads", 0));
   params.assert_all_consumed();
   if (n_malicious > n_workers) {
     std::fprintf(stderr, "simulate: malicious > workers\n");
     return 2;
   }
-
-  std::vector<core::SimWorkerSpec> fleet;
-  for (std::size_t i = 0; i < n_workers; ++i) {
-    core::SimWorkerSpec w;
-    const bool malicious = i < n_malicious;
-    w.name = (malicious ? "malicious" : "honest") + std::to_string(i);
-    w.psi = effort::QuadraticEffort(-1.0, 8.0, 2.0);
-    w.omega = malicious ? 0.6 : 0.0;
-    w.accuracy_distance = malicious ? 1.7 : 0.3;
-    fleet.push_back(w);
+  if (checkpoint_every > 0 && checkpoint_path.empty()) {
+    std::fprintf(stderr, "simulate: checkpoint_every needs checkpoint=FILE\n");
+    return 2;
   }
-  core::SimConfig config;
-  config.rounds = rounds;
-  config.seed = seed;
-  const core::SimResult result =
-      core::StackelbergSimulator(fleet, config).run();
 
+  util::CancellationToken cancel_token;
+  const util::CancellationToken* cancel = nullptr;
+  if (has_deadline) {
+    cancel_token.set_deadline(util::Deadline::after(deadline_s));
+    cancel = &cancel_token;
+  }
+
+  core::SimResult result;
+  if (!resume_path.empty()) {
+    core::SimCheckpoint checkpoint = core::load_checkpoint(resume_path);
+    // Fleet/seed params are baked into the checkpoint; rounds= may extend
+    // the run, and checkpoint/threads knobs may be overridden.
+    if (has_rounds) checkpoint.config.rounds = rounds;
+    if (!checkpoint_path.empty()) {
+      checkpoint.config.checkpoint_path = checkpoint_path;
+      checkpoint.config.checkpoint_every =
+          checkpoint_every > 0 ? checkpoint_every
+                               : checkpoint.config.checkpoint_every;
+    }
+    if (threads > 0) checkpoint.config.threads = threads;
+    std::printf("resuming from %s: %zu/%zu round(s) done\n",
+                resume_path.c_str(), checkpoint.next_round,
+                checkpoint.config.rounds);
+    result = core::StackelbergSimulator(checkpoint).run(cancel);
+  } else {
+    std::vector<core::SimWorkerSpec> fleet;
+    for (std::size_t i = 0; i < n_workers; ++i) {
+      core::SimWorkerSpec w;
+      const bool malicious = i < n_malicious;
+      w.name = (malicious ? "malicious" : "honest") + std::to_string(i);
+      w.psi = effort::QuadraticEffort(-1.0, 8.0, 2.0);
+      w.omega = malicious ? 0.6 : 0.0;
+      w.accuracy_distance = malicious ? 1.7 : 0.3;
+      fleet.push_back(w);
+    }
+    core::SimConfig config;
+    config.rounds = rounds;
+    config.seed = seed;
+    config.checkpoint_path = checkpoint_path;
+    config.checkpoint_every = checkpoint_every;
+    config.threads = threads;
+    result = core::StackelbergSimulator(fleet, config).run(cancel);
+  }
+
+  // Sample ~12 evenly spaced completed rounds, always including the final
+  // one (a step-aligned loop used to drop it whenever rounds % step != 1).
   util::TextTable table({"round", "requester utility", "total pay"});
-  const std::size_t step = std::max<std::size_t>(1, rounds / 12);
-  for (std::size_t t = 0; t < rounds; t += step) {
-    table.add_row({std::to_string(t),
-                   util::format_double(result.rounds[t].requester_utility, 3),
-                   util::format_double(result.rounds[t].total_compensation,
-                                       3)});
+  const std::size_t done = result.rounds.size();
+  if (done > 0) {
+    const std::size_t step = std::max<std::size_t>(1, done / 12);
+    for (std::size_t t = 0; t < done; t += step) {
+      table.add_row({std::to_string(t),
+                     util::format_double(result.rounds[t].requester_utility, 3),
+                     util::format_double(result.rounds[t].total_compensation,
+                                         3)});
+    }
+    if ((done - 1) % step != 0) {
+      const std::size_t t = done - 1;
+      table.add_row({std::to_string(t),
+                     util::format_double(result.rounds[t].requester_utility, 3),
+                     util::format_double(result.rounds[t].total_compensation,
+                                         3)});
+    }
+    std::printf("%s", table.render().c_str());
   }
-  std::printf("%s", table.render().c_str());
   std::printf("cumulative requester utility: %.3f\n",
               result.cumulative_requester_utility);
+  if (result.cancelled) {
+    const std::string where =
+        checkpoint_path.empty() ? "" : "; checkpoint: " + checkpoint_path;
+    std::printf("simulation cancelled (%s) after %zu round(s)%s\n",
+                util::to_string(result.cancel_reason), done, where.c_str());
+    return ccd::exit_code(ccd::ErrorCode::kDeadline);
+  }
   return 0;
 }
 
