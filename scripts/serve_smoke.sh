@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Serve-subsystem smoke test: crash-safe multi-session serving end to end.
+#
+# 1. Reference run: a fresh ccdd drives 3 sessions straight to 10 rounds;
+#    their contract CSVs are the ground truth.
+# 2. Interrupted run: a second daemon drives the same 3 sessions to round
+#    5, is killed with SIGKILL mid-campaign, restarts on the same
+#    checkpoint directory (resuming every session), and finishes to round
+#    10.
+# 3. The interrupted run's contracts must be byte-identical to the
+#    reference (full-precision CSV export, so byte == bitwise).
+#
+# Usage: scripts/serve_smoke.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+
+BUILD=${1:-build}
+CCDD="$BUILD/tools/ccdd"
+CCDCTL="$BUILD/tools/ccdctl"
+WORK=$(mktemp -d)
+DAEMON_PID=""
+
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+wait_for_socket() {
+  local sock=$1
+  for _ in $(seq 1 100); do
+    if "$CCDCTL" serve socket="$sock" op=ping >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.05
+  done
+  echo "FAIL: daemon never came up on $sock" >&2
+  exit 1
+}
+
+SESSIONS="alpha beta gamma"
+ROUNDS=10
+MIDPOINT=5
+
+echo "== reference: uninterrupted run to round $ROUNDS =="
+SOCK="$WORK/ref.sock"
+"$CCDD" socket="$SOCK" checkpoint_dir="$WORK/ref" &
+DAEMON_PID=$!
+wait_for_socket "$SOCK"
+seed=100
+for s in $SESSIONS; do
+  "$CCDCTL" submit socket="$SOCK" session="$s" rounds=$ROUNDS seed=$seed \
+      workers=5 malicious=2 out="$WORK/ref-$s.csv"
+  seed=$((seed + 1))
+done
+"$CCDCTL" serve socket="$SOCK" op=shutdown
+wait "$DAEMON_PID"
+DAEMON_PID=""
+
+echo "== interrupted: drive to round $MIDPOINT, kill -9, resume, finish =="
+SOCK="$WORK/live.sock"
+"$CCDD" socket="$SOCK" checkpoint_dir="$WORK/live" &
+DAEMON_PID=$!
+wait_for_socket "$SOCK"
+seed=100
+for s in $SESSIONS; do
+  "$CCDCTL" submit socket="$SOCK" session="$s" rounds=$ROUNDS to=$MIDPOINT \
+      seed=$seed workers=5 malicious=2
+  seed=$((seed + 1))
+done
+# Hard kill mid-campaign: no drain, no final checkpoint pass. Durability
+# must come from the per-round checkpoints alone.
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+rm -f "$SOCK"  # SIGKILL skipped the unlink
+
+"$CCDD" socket="$SOCK" checkpoint_dir="$WORK/live" &
+DAEMON_PID=$!
+wait_for_socket "$SOCK"
+seed=100
+for s in $SESSIONS; do
+  # `submit` re-attaches idempotently (allow_existing) and continues from
+  # the checkpointed round — seeds must still match the reference run.
+  "$CCDCTL" submit socket="$SOCK" session="$s" rounds=$ROUNDS seed=$seed \
+      workers=5 malicious=2 out="$WORK/live-$s.csv"
+  seed=$((seed + 1))
+done
+"$CCDCTL" serve socket="$SOCK" op=shutdown
+wait "$DAEMON_PID"
+DAEMON_PID=""
+
+echo "== diff: interrupted-and-resumed vs uninterrupted =="
+for s in $SESSIONS; do
+  cmp "$WORK/ref-$s.csv" "$WORK/live-$s.csv"
+  echo "session $s: contracts byte-identical after kill -9 + resume"
+done
+echo "serve smoke: OK"

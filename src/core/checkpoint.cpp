@@ -1,6 +1,5 @@
 #include "core/checkpoint.hpp"
 
-#include <bit>
 #include <cstddef>
 
 #include "util/atomic_file.hpp"
@@ -12,118 +11,11 @@ namespace {
 
 constexpr const char* kTag = "SCKP";
 
-// Minimal little-endian byte stream. Doubles travel as their exact bit
-// patterns (bit_cast through u64): the checkpoint contract is bitwise
-// resume, which a text round-trip cannot guarantee.
-class ByteWriter {
- public:
-  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
-
-  void u32(std::uint32_t v) {
-    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<char>(v >> (8 * i)));
-  }
-
-  void u64(std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<char>(v >> (8 * i)));
-  }
-
-  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
-
-  void str(const std::string& s) {
-    u64(s.size());
-    out_.append(s);
-  }
-
-  void f64_vec(const std::vector<double>& v) {
-    u64(v.size());
-    for (const double x : v) f64(x);
-  }
-
-  std::string take() { return std::move(out_); }
-
- private:
-  std::string out_;
-};
-
-class ByteReader {
- public:
-  explicit ByteReader(const std::string& in) : in_(in) {}
-
-  std::uint8_t u8() {
-    need(1);
-    return static_cast<std::uint8_t>(in_[pos_++]);
-  }
-
-  std::uint32_t u32() {
-    need(4);
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) {
-      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(in_[pos_ + i]))
-           << (8 * i);
-    }
-    pos_ += 4;
-    return v;
-  }
-
-  std::uint64_t u64() {
-    need(8);
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) {
-      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(in_[pos_ + i]))
-           << (8 * i);
-    }
-    pos_ += 8;
-    return v;
-  }
-
-  double f64() { return std::bit_cast<double>(u64()); }
-
-  std::string str() {
-    const std::uint64_t size = u64();
-    need(size);
-    std::string s = in_.substr(pos_, size);
-    pos_ += size;
-    return s;
-  }
-
-  std::vector<double> f64_vec() {
-    const std::uint64_t size = u64();
-    need(size * 8);
-    std::vector<double> v;
-    v.reserve(size);
-    for (std::uint64_t i = 0; i < size; ++i) v.push_back(f64());
-    return v;
-  }
-
-  /// A count that is about to drive element-wise reads; bounded by the
-  /// remaining bytes so corrupt (yet checksum-valid) data cannot request
-  /// absurd allocations.
-  std::size_t count(std::size_t min_element_bytes) {
-    const std::uint64_t n = u64();
-    if (min_element_bytes > 0 && n > remaining() / min_element_bytes) {
-      throw DataError("checkpoint payload count exceeds remaining bytes");
-    }
-    return static_cast<std::size_t>(n);
-  }
-
-  void finish() const {
-    if (pos_ != in_.size()) {
-      throw DataError("checkpoint payload has trailing bytes");
-    }
-  }
-
- private:
-  std::size_t remaining() const { return in_.size() - pos_; }
-
-  void need(std::uint64_t bytes) const {
-    if (bytes > remaining()) {
-      throw DataError("checkpoint payload truncated");
-    }
-  }
-
-  const std::string& in_;
-  std::size_t pos_ = 0;
-};
+// The byte stream is util::wire (little-endian; doubles as their exact bit
+// patterns): the checkpoint contract is bitwise resume, which a text
+// round-trip cannot guarantee.
+using ByteWriter = util::wire::Writer;
+using ByteReader = util::wire::Reader;
 
 void write_config(ByteWriter& w, const SimConfig& config) {
   w.u64(config.rounds);
@@ -212,32 +104,6 @@ SimWorkerSpec read_worker(ByteReader& r) {
   return spec;
 }
 
-void write_contract(ByteWriter& w, const contract::Contract& contract) {
-  if (contract.is_zero()) {
-    w.u64(0);
-    return;
-  }
-  const std::size_t knots = contract.intervals() + 1;
-  w.u64(knots);
-  w.f64(contract.delta());
-  for (std::size_t l = 0; l < knots; ++l) w.f64(contract.knot(l));
-  for (std::size_t l = 0; l < knots; ++l) w.f64(contract.payment(l));
-}
-
-contract::Contract read_contract(ByteReader& r) {
-  const std::size_t knots = r.count(16);
-  if (knots == 0) return contract::Contract{};
-  const double delta = r.f64();
-  std::vector<double> feedback_knots;
-  std::vector<double> payments;
-  feedback_knots.reserve(knots);
-  payments.reserve(knots);
-  for (std::size_t l = 0; l < knots; ++l) feedback_knots.push_back(r.f64());
-  for (std::size_t l = 0; l < knots; ++l) payments.push_back(r.f64());
-  return contract::Contract(delta, std::move(feedback_knots),
-                            std::move(payments));
-}
-
 void write_history(ByteWriter& w, const SimResult& history) {
   w.u64(history.rounds.size());
   for (const RoundRecord& record : history.rounds) {
@@ -297,6 +163,33 @@ SimResult read_history(ByteReader& r) {
 
 }  // namespace
 
+void encode_contract(util::wire::Writer& w,
+                     const contract::Contract& contract) {
+  if (contract.is_zero()) {
+    w.u64(0);
+    return;
+  }
+  const std::size_t knots = contract.intervals() + 1;
+  w.u64(knots);
+  w.f64(contract.delta());
+  for (std::size_t l = 0; l < knots; ++l) w.f64(contract.knot(l));
+  for (std::size_t l = 0; l < knots; ++l) w.f64(contract.payment(l));
+}
+
+contract::Contract decode_contract(util::wire::Reader& r) {
+  const std::size_t knots = r.count(16);
+  if (knots == 0) return contract::Contract{};
+  const double delta = r.f64();
+  std::vector<double> feedback_knots;
+  std::vector<double> payments;
+  feedback_knots.reserve(knots);
+  payments.reserve(knots);
+  for (std::size_t l = 0; l < knots; ++l) feedback_knots.push_back(r.f64());
+  for (std::size_t l = 0; l < knots; ++l) payments.push_back(r.f64());
+  return contract::Contract(delta, std::move(feedback_knots),
+                            std::move(payments));
+}
+
 std::string encode_checkpoint(const SimCheckpoint& checkpoint) {
   ByteWriter w;
   write_config(w, checkpoint.config);
@@ -310,7 +203,7 @@ std::string encode_checkpoint(const SimCheckpoint& checkpoint) {
   w.f64_vec(checkpoint.est_malicious);
   w.u64(checkpoint.contracts.size());
   for (const contract::Contract& c : checkpoint.contracts) {
-    write_contract(w, c);
+    encode_contract(w, c);
   }
   w.f64_vec(checkpoint.last_feedback);
   write_history(w, checkpoint.history);
@@ -336,7 +229,7 @@ SimCheckpoint decode_checkpoint(const std::string& payload) {
     const std::size_t contracts = r.count(8);
     checkpoint.contracts.reserve(contracts);
     for (std::size_t i = 0; i < contracts; ++i) {
-      checkpoint.contracts.push_back(read_contract(r));
+      checkpoint.contracts.push_back(decode_contract(r));
     }
     checkpoint.last_feedback = r.f64_vec();
     checkpoint.history = read_history(r);

@@ -30,6 +30,7 @@
 #include "core/stackelberg.hpp"
 #include "util/retry.hpp"
 #include "util/rng.hpp"
+#include "util/wire.hpp"
 
 namespace ccd::core {
 
@@ -56,6 +57,14 @@ struct SimCheckpoint {
 /// decode_checkpoint throws ccd::DataError on any malformed payload.
 std::string encode_checkpoint(const SimCheckpoint& checkpoint);
 SimCheckpoint decode_checkpoint(const std::string& payload);
+
+/// Contract codec shared by checkpoints and the serve wire protocol: a
+/// zero contract is a bare 0 count; otherwise knot count, delta, knots,
+/// payments — all doubles as exact bit patterns. decode_contract throws
+/// ccd::DataError on malformed input (via the Reader / Contract
+/// validation).
+void encode_contract(util::wire::Writer& w, const contract::Contract& contract);
+contract::Contract decode_contract(util::wire::Reader& r);
 
 /// Durably write / read a checkpoint file, retrying transient I/O failures
 /// under `retry`. Load failures (including corruption) surface as

@@ -117,11 +117,31 @@ void StackelbergSimulator::write_checkpoint() const {
 }
 
 SimResult StackelbergSimulator::run(const util::CancellationToken* cancel) {
+  const StepStatus status = step(config_.rounds, cancel);
+
+  if (status.cancelled && !config_.checkpoint_path.empty()) {
+    // Final checkpoint at the cancellation boundary, so ccdctl resume=FILE
+    // can pick the run back up from exactly here.
+    write_checkpoint();
+  }
+
+  SimResult result = history_;
+  result.cancelled = status.cancelled;
+  result.cancel_reason = status.cancel_reason;
+  return result;
+}
+
+StepStatus StackelbergSimulator::step(std::size_t max_rounds,
+                                      const util::CancellationToken* cancel) {
   const std::size_t n = workers_.size();
   util::ThreadPool& pool = own_pool_ ? *own_pool_ : util::shared_pool();
+  const std::size_t remaining = config_.rounds - next_round_;
+  const std::size_t stop_round =
+      next_round_ + std::min(max_rounds, remaining);
+  const std::size_t first_round = next_round_;
 
   bool cancelled = false;
-  for (std::size_t t = next_round_; t < config_.rounds; ++t) {
+  for (std::size_t t = next_round_; t < stop_round; ++t) {
     if (cancel != nullptr && cancel->poll()) {
       cancelled = true;
       break;
@@ -235,18 +255,34 @@ SimResult StackelbergSimulator::run(const util::CancellationToken* cancel) {
     }
   }
 
-  if (cancelled && !config_.checkpoint_path.empty()) {
-    // Final checkpoint at the cancellation boundary, so ccdctl resume=FILE
-    // can pick the run back up from exactly here.
-    write_checkpoint();
-  }
+  StepStatus status;
+  status.completed_rounds = next_round_ - first_round;
+  status.next_round = next_round_;
+  status.finished = next_round_ >= config_.rounds;
+  status.cancelled = cancelled;
+  status.cancel_reason = cancelled && cancel != nullptr
+                             ? cancel->reason()
+                             : util::CancelReason::kNone;
+  status.cumulative_requester_utility =
+      history_.cumulative_requester_utility;
+  return status;
+}
 
-  SimResult result = history_;
-  result.cancelled = cancelled;
-  result.cancel_reason =
-      cancelled && cancel != nullptr ? cancel->reason()
-                                     : util::CancelReason::kNone;
-  return result;
+std::vector<SimWorkerSpec> preset_fleet(std::size_t workers,
+                                        std::size_t malicious) {
+  CCD_CHECK_MSG(malicious <= workers, "preset fleet: malicious > workers");
+  std::vector<SimWorkerSpec> fleet;
+  fleet.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    SimWorkerSpec w;
+    const bool is_malicious = i < malicious;
+    w.name = (is_malicious ? "malicious" : "honest") + std::to_string(i);
+    w.psi = effort::QuadraticEffort(-1.0, 8.0, 2.0);
+    w.omega = is_malicious ? 0.6 : 0.0;
+    w.accuracy_distance = is_malicious ? 1.7 : 0.3;
+    fleet.push_back(w);
+  }
+  return fleet;
 }
 
 }  // namespace ccd::core

@@ -131,6 +131,20 @@ struct SimResult {
   util::CancelReason cancel_reason = util::CancelReason::kNone;
 };
 
+/// Progress report of one step() call — the round-granular serving unit
+/// (serve::Session drives a simulator one step per client request).
+struct StepStatus {
+  /// Rounds completed by this call (0 when the run was already finished
+  /// or the token was cancelled before the first round).
+  std::size_t completed_rounds = 0;
+  /// Next round to run (== SimConfig::rounds once the run is complete).
+  std::size_t next_round = 0;
+  bool finished = false;
+  bool cancelled = false;
+  util::CancelReason cancel_reason = util::CancelReason::kNone;
+  double cumulative_requester_utility = 0.0;
+};
+
 class StackelbergSimulator {
  public:
   StackelbergSimulator(std::vector<SimWorkerSpec> workers, SimConfig config);
@@ -151,9 +165,33 @@ class StackelbergSimulator {
   /// writes a final checkpoint so the run can be resumed.
   SimResult run(const util::CancellationToken* cancel = nullptr);
 
+  /// Advance at most `max_rounds` further rounds (bounded by the remaining
+  /// config.rounds). The incremental unit under run() — N calls of step(1)
+  /// leave the simulator in the state one run() of N rounds produces,
+  /// bitwise; cancellation behaves as in run() but no final checkpoint is
+  /// written (the caller owns the cadence via SimConfig::checkpoint_every,
+  /// which still fires inside the loop).
+  StepStatus step(std::size_t max_rounds,
+                  const util::CancellationToken* cancel = nullptr);
+
+  /// Complete dynamic state at the current round boundary — what
+  /// core/checkpoint persists and what serve sessions snapshot.
+  SimCheckpoint snapshot() const;
+
+  std::size_t next_round() const { return next_round_; }
+  bool finished() const { return next_round_ >= config_.rounds; }
+  const SimConfig& config() const { return config_; }
+  std::size_t worker_count() const { return workers_.size(); }
+  /// Currently posted per-worker contracts (zero contracts before the
+  /// first redesign round has run).
+  const std::vector<contract::Contract>& contracts() const {
+    return contracts_;
+  }
+  /// Accumulated result prefix (completed rounds only).
+  const SimResult& history() const { return history_; }
+
  private:
   void init_fresh_state();
-  SimCheckpoint snapshot() const;
   void write_checkpoint() const;
 
   std::vector<SimWorkerSpec> workers_;
@@ -174,5 +212,11 @@ class StackelbergSimulator {
   contract::DesignCache design_cache_;
   std::unique_ptr<util::ThreadPool> own_pool_;
 };
+
+/// The standard mixed fleet used by ccdctl simulate, the serve subsystem,
+/// and the cross-surface bitwise-identity tests: `malicious` biased
+/// workers (omega 0.6, accuracy distance 1.7) followed by honest ones.
+std::vector<SimWorkerSpec> preset_fleet(std::size_t workers,
+                                        std::size_t malicious);
 
 }  // namespace ccd::core

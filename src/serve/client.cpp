@@ -1,0 +1,160 @@
+#include "serve/client.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace ccd::serve {
+
+Client::Client(util::Socket socket) : socket_(std::move(socket)) {}
+
+Client Client::connect_unix(const std::string& path) {
+  return Client(util::Socket::connect_unix(path));
+}
+
+Client Client::connect_tcp(const std::string& host, int port) {
+  return Client(util::Socket::connect_tcp(host, port));
+}
+
+Response Client::call(const Request& request) {
+  send_message(socket_, encode_request(request));
+  std::optional<std::string> payload = recv_message(socket_);
+  if (!payload) {
+    throw DataError("server closed the connection before responding");
+  }
+  Response response = decode_response(*payload);
+  if (response.request_id != request.request_id) {
+    throw DataError("response correlation mismatch (sent " +
+                    std::to_string(request.request_id) + ", got " +
+                    std::to_string(response.request_id) + ")");
+  }
+  return response;
+}
+
+Response Client::roundtrip(Request request) {
+  request.request_id = next_request_id_++;
+  return call(request);
+}
+
+namespace {
+/// Throw the mapped error class unless the status is in `tolerated`.
+void check(const Response& response) {
+  if (is_error(response.status)) {
+    throw_status(response.status, response.message);
+  }
+}
+}  // namespace
+
+std::string Client::ping() {
+  Request request;
+  request.op = Op::kPing;
+  Response response = roundtrip(std::move(request));
+  check(response);
+  return response.text;
+}
+
+SessionStatus Client::open(const std::string& session,
+                           const OpenParams& params,
+                           std::uint32_t deadline_ms) {
+  Request request;
+  request.op = Op::kOpen;
+  request.session = session;
+  request.open = params;
+  request.deadline_ms = deadline_ms;
+  Response response = roundtrip(std::move(request));
+  check(response);
+  return response.session;
+}
+
+Client::AdvanceResult Client::advance(const std::string& session,
+                                      std::uint64_t rounds,
+                                      std::uint32_t deadline_ms) {
+  Request request;
+  request.op = Op::kAdvance;
+  request.session = session;
+  request.advance_rounds = rounds;
+  request.deadline_ms = deadline_ms;
+  Response response = roundtrip(std::move(request));
+  if (response.status != Status::kDeadline &&
+      response.status != Status::kBackpressure) {
+    check(response);
+  }
+  AdvanceResult result;
+  result.session = response.session;
+  result.deadline_expired = response.status == Status::kDeadline;
+  result.backpressure = response.status == Status::kBackpressure;
+  return result;
+}
+
+Client::IngestResult Client::ingest(
+    const std::string& session,
+    const std::vector<IngestObservation>& observations,
+    std::uint32_t deadline_ms) {
+  Request request;
+  request.op = Op::kIngest;
+  request.session = session;
+  request.observations = observations;
+  request.deadline_ms = deadline_ms;
+  Response response = roundtrip(std::move(request));
+  if (response.status != Status::kDeadline &&
+      response.status != Status::kBackpressure) {
+    check(response);
+  }
+  IngestResult result;
+  result.session = response.session;
+  result.redesigned = response.redesigned;
+  result.deadline_expired = response.status == Status::kDeadline;
+  result.backpressure = response.status == Status::kBackpressure;
+  return result;
+}
+
+std::vector<contract::Contract> Client::contracts(const std::string& session,
+                                                  std::uint32_t deadline_ms) {
+  Request request;
+  request.op = Op::kContracts;
+  request.session = session;
+  request.deadline_ms = deadline_ms;
+  Response response = roundtrip(std::move(request));
+  check(response);
+  return std::move(response.contracts);
+}
+
+SessionStatus Client::status(const std::string& session,
+                             std::uint32_t deadline_ms) {
+  Request request;
+  request.op = Op::kStatus;
+  request.session = session;
+  request.deadline_ms = deadline_ms;
+  Response response = roundtrip(std::move(request));
+  check(response);
+  return response.session;
+}
+
+SessionStatus Client::close_session(const std::string& session,
+                                    std::uint32_t deadline_ms) {
+  Request request;
+  request.op = Op::kClose;
+  request.session = session;
+  request.deadline_ms = deadline_ms;
+  Response response = roundtrip(std::move(request));
+  check(response);
+  return response.session;
+}
+
+std::string Client::metrics(bool prometheus) {
+  Request request;
+  request.op = Op::kMetrics;
+  request.metrics_prometheus = prometheus;
+  Response response = roundtrip(std::move(request));
+  check(response);
+  return response.text;
+}
+
+void Client::shutdown_server() {
+  Request request;
+  request.op = Op::kShutdown;
+  Response response = roundtrip(std::move(request));
+  check(response);
+}
+
+}  // namespace ccd::serve

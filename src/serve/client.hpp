@@ -1,0 +1,94 @@
+// Client side of the serve protocol: one blocking connection with typed
+// helpers over the framed request/response codec. Used by `ccdctl serve`
+// / `ccdctl submit` and the serve load bench; embedders can also speak to
+// an in-process Engine directly and skip the socket.
+//
+// Error mapping: a non-ok response rethrows client-side as the matching
+// ccd::Error class (throw_status), so `ccdctl` exit codes work unchanged
+// over the wire — e.g. a server-side deadline surfaces as
+// ccd::CancelledError (exit code 6). The two serve-specific statuses
+// (kBackpressure, kShuttingDown) are surfaced on the Response instead of
+// thrown where the caller is expected to handle them (advance/ingest/
+// call), since retrying is the client's job, not an exception.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "util/socket.hpp"
+
+namespace ccd::serve {
+
+class Client {
+ public:
+  static Client connect_unix(const std::string& path);
+  static Client connect_tcp(const std::string& host, int port);
+
+  /// Send one request, wait for its response. Throws ccd::DataError on
+  /// transport/framing failure. Does NOT throw on error statuses — raw
+  /// access for callers that handle backpressure/deadline themselves.
+  Response call(const Request& request);
+
+  // Typed helpers. All throw the mapped ccd::Error on error statuses
+  // except where documented. `deadline_ms` 0 means no deadline.
+
+  /// Server banner (e.g. "ccd-serve/1").
+  std::string ping();
+
+  /// Open (or, with params.allow_existing, attach to) a session.
+  SessionStatus open(const std::string& session, const OpenParams& params,
+                     std::uint32_t deadline_ms = 0);
+
+  struct AdvanceResult {
+    SessionStatus session;
+    /// True when the server's deadline expired mid-advance; completed
+    /// rounds are retained server-side and the call can be reissued.
+    bool deadline_expired = false;
+    /// True when the admission queue rejected the request (nothing
+    /// happened server-side); retry after a pause.
+    bool backpressure = false;
+  };
+  /// Advance a simulation session by up to `rounds` rounds. Deadline and
+  /// backpressure are reported, not thrown; other errors throw.
+  AdvanceResult advance(const std::string& session, std::uint64_t rounds,
+                        std::uint32_t deadline_ms = 0);
+
+  struct IngestResult {
+    SessionStatus session;
+    bool redesigned = false;
+    bool deadline_expired = false;
+    bool backpressure = false;
+  };
+  /// Feed one observed round into an ingest session.
+  IngestResult ingest(const std::string& session,
+                      const std::vector<IngestObservation>& observations,
+                      std::uint32_t deadline_ms = 0);
+
+  /// Currently posted contracts.
+  std::vector<contract::Contract> contracts(const std::string& session,
+                                            std::uint32_t deadline_ms = 0);
+
+  SessionStatus status(const std::string& session,
+                       std::uint32_t deadline_ms = 0);
+
+  /// Close and forget the session (removes its checkpoint).
+  SessionStatus close_session(const std::string& session,
+                              std::uint32_t deadline_ms = 0);
+
+  /// Server metrics dump (JSON or Prometheus exposition text).
+  std::string metrics(bool prometheus = false);
+
+  /// Ask the daemon to drain and exit.
+  void shutdown_server();
+
+ private:
+  explicit Client(util::Socket socket);
+  Response roundtrip(Request request);
+
+  util::Socket socket_;
+  std::uint64_t next_request_id_ = 1;
+};
+
+}  // namespace ccd::serve

@@ -1,0 +1,226 @@
+#include "serve/protocol.hpp"
+
+#include <utility>
+
+#include "core/checkpoint.hpp"
+#include "util/socket.hpp"
+#include "util/wire.hpp"
+
+namespace ccd::serve {
+
+const char* to_string(Op op) {
+  switch (op) {
+    case Op::kPing: return "ping";
+    case Op::kOpen: return "open";
+    case Op::kAdvance: return "advance";
+    case Op::kIngest: return "ingest";
+    case Op::kContracts: return "contracts";
+    case Op::kStatus: return "status";
+    case Op::kClose: return "close";
+    case Op::kMetrics: return "metrics";
+    case Op::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+const char* to_string(Status status) {
+  switch (status) {
+    case Status::kOk: return "ok";
+    case Status::kGenericError: return "error";
+    case Status::kConfigError: return "config-error";
+    case Status::kDataError: return "data-error";
+    case Status::kMathError: return "math-error";
+    case Status::kContractError: return "contract-error";
+    case Status::kDeadline: return "deadline";
+    case Status::kBackpressure: return "backpressure";
+    case Status::kShuttingDown: return "shutting-down";
+  }
+  return "?";
+}
+
+Status status_for(const ccd::Error& error) {
+  switch (error.code()) {
+    case ErrorCode::kConfig: return Status::kConfigError;
+    case ErrorCode::kData: return Status::kDataError;
+    case ErrorCode::kMath: return Status::kMathError;
+    case ErrorCode::kContract: return Status::kContractError;
+    case ErrorCode::kDeadline: return Status::kDeadline;
+    case ErrorCode::kGeneric: return Status::kGenericError;
+  }
+  return Status::kGenericError;
+}
+
+void throw_status(Status status, const std::string& message) {
+  switch (status) {
+    case Status::kConfigError: throw ConfigError(message);
+    case Status::kDataError: throw DataError(message);
+    case Status::kMathError: throw MathError(message);
+    case Status::kContractError: throw ContractError(message);
+    case Status::kDeadline: throw CancelledError(message);
+    case Status::kBackpressure:
+      throw Error("server backpressure: " + message);
+    case Status::kShuttingDown:
+      throw Error("server shutting down: " + message);
+    case Status::kOk:
+    case Status::kGenericError:
+      throw Error(message);
+  }
+  throw Error(message);
+}
+
+namespace {
+
+Op decode_op(std::uint8_t raw) {
+  if (raw > static_cast<std::uint8_t>(Op::kShutdown)) {
+    throw DataError("unknown serve op " + std::to_string(raw));
+  }
+  return static_cast<Op>(raw);
+}
+
+Status decode_status(std::uint8_t raw) {
+  if (raw > static_cast<std::uint8_t>(Status::kShuttingDown)) {
+    throw DataError("unknown serve status " + std::to_string(raw));
+  }
+  return static_cast<Status>(raw);
+}
+
+SessionMode decode_mode(std::uint8_t raw) {
+  if (raw > static_cast<std::uint8_t>(SessionMode::kIngest)) {
+    throw DataError("unknown session mode " + std::to_string(raw));
+  }
+  return static_cast<SessionMode>(raw);
+}
+
+void encode_session_status(util::wire::Writer& w, const SessionStatus& s) {
+  w.u64(s.next_round);
+  w.u64(s.rounds);
+  w.u64(s.workers);
+  w.f64(s.cumulative_requester_utility);
+  w.u8(s.finished ? 1 : 0);
+}
+
+SessionStatus decode_session_status(util::wire::Reader& r) {
+  SessionStatus s;
+  s.next_round = r.u64();
+  s.rounds = r.u64();
+  s.workers = r.u64();
+  s.cumulative_requester_utility = r.f64();
+  s.finished = r.u8() != 0;
+  return s;
+}
+
+}  // namespace
+
+std::string encode_request(const Request& request) {
+  util::wire::Writer w;
+  w.u8(static_cast<std::uint8_t>(request.op));
+  w.u64(request.request_id);
+  w.str(request.session);
+  w.u32(request.deadline_ms);
+  w.u8(static_cast<std::uint8_t>(request.open.mode));
+  w.u64(request.open.rounds);
+  w.u64(request.open.workers);
+  w.u64(request.open.malicious);
+  w.u64(request.open.seed);
+  w.f64(request.open.mu);
+  w.u64(request.open.refit_every);
+  w.f64(request.open.ema_alpha);
+  w.u8(request.open.allow_existing ? 1 : 0);
+  w.u64(request.advance_rounds);
+  w.u64(request.observations.size());
+  for (const IngestObservation& obs : request.observations) {
+    w.f64(obs.effort);
+    w.f64(obs.feedback);
+    w.f64(obs.accuracy_sample);
+  }
+  w.u8(request.metrics_prometheus ? 1 : 0);
+  return w.take();
+}
+
+Request decode_request(const std::string& payload) {
+  util::wire::Reader r(payload);
+  Request request;
+  request.op = decode_op(r.u8());
+  request.request_id = r.u64();
+  request.session = r.str();
+  request.deadline_ms = r.u32();
+  request.open.mode = decode_mode(r.u8());
+  request.open.rounds = r.u64();
+  request.open.workers = r.u64();
+  request.open.malicious = r.u64();
+  request.open.seed = r.u64();
+  request.open.mu = r.f64();
+  request.open.refit_every = r.u64();
+  request.open.ema_alpha = r.f64();
+  request.open.allow_existing = r.u8() != 0;
+  request.advance_rounds = r.u64();
+  const std::size_t observations = r.count(24);
+  request.observations.reserve(observations);
+  for (std::size_t i = 0; i < observations; ++i) {
+    IngestObservation obs;
+    obs.effort = r.f64();
+    obs.feedback = r.f64();
+    obs.accuracy_sample = r.f64();
+    request.observations.push_back(obs);
+  }
+  request.metrics_prometheus = r.u8() != 0;
+  r.finish();
+  return request;
+}
+
+std::string encode_response(const Response& response) {
+  util::wire::Writer w;
+  w.u64(response.request_id);
+  w.u8(static_cast<std::uint8_t>(response.status));
+  w.str(response.message);
+  encode_session_status(w, response.session);
+  w.u64(response.contracts.size());
+  for (const contract::Contract& c : response.contracts) {
+    core::encode_contract(w, c);
+  }
+  w.str(response.text);
+  w.u8(response.redesigned ? 1 : 0);
+  return w.take();
+}
+
+Response decode_response(const std::string& payload) {
+  util::wire::Reader r(payload);
+  Response response;
+  response.request_id = r.u64();
+  response.status = decode_status(r.u8());
+  response.message = r.str();
+  response.session = decode_session_status(r);
+  const std::size_t contracts = r.count(8);
+  response.contracts.reserve(contracts);
+  for (std::size_t i = 0; i < contracts; ++i) {
+    response.contracts.push_back(core::decode_contract(r));
+  }
+  response.text = r.str();
+  response.redesigned = r.u8() != 0;
+  r.finish();
+  return response;
+}
+
+void send_message(util::Socket& socket, const std::string& payload) {
+  socket.send_all(util::wire::encode_frame(kFrameTag, kProtocolVersion,
+                                           payload));
+}
+
+std::optional<std::string> recv_message(util::Socket& socket) {
+  char header_bytes[util::wire::kFrameHeaderSize];
+  if (!socket.recv_exact(header_bytes, sizeof(header_bytes))) {
+    return std::nullopt;
+  }
+  const util::wire::FrameHeader header = util::wire::decode_frame_header(
+      std::string_view(header_bytes, sizeof(header_bytes)), kFrameTag,
+      kProtocolVersion, kProtocolVersion, kMaxMessageBytes, "socket");
+  std::string payload(header.payload_size, '\0');
+  if (header.payload_size > 0 &&
+      !socket.recv_exact(payload.data(), payload.size())) {
+    throw DataError("peer closed between frame header and payload");
+  }
+  util::wire::verify_frame_payload(header, payload, "socket");
+  return payload;
+}
+
+}  // namespace ccd::serve

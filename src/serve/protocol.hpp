@@ -1,0 +1,162 @@
+// Wire protocol of the ccd serving layer (`ccdd` daemon + serve::Client).
+//
+// Every message — request or response — is one frame: the 28-byte "CCDF"
+// header from util/wire.hpp under tag "CSRV" (version kProtocolVersion,
+// FNV-1a payload checksum), followed by a util::wire byte payload. The
+// framing is byte-identical to the on-disk framed-file format, so a
+// message captured off the wire validates with the same code path as a
+// checkpoint file, and corruption anywhere surfaces as ccd::DataError
+// before any field is decoded.
+//
+// The protocol is session-oriented, mirroring the paper's repeated
+// principal-agent structure: a requester opens a campaign session, streams
+// round activity into it (advance for simulated rounds, ingest for
+// observed per-round feedback), fetches the currently posted contracts,
+// and closes. Requests carry a client-chosen request_id (echoed verbatim)
+// and an optional deadline in milliseconds that the engine maps onto a
+// util::CancellationToken.
+//
+// Responses always carry a Status. kOk..kDeadline mirror ccd::ErrorCode
+// (so a client can rethrow the exact error class); kBackpressure is the
+// explicit overload signal — the admission queue was full, nothing was
+// enqueued, retry later; kShuttingDown means the daemon is draining.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "contract/contract.hpp"
+#include "util/error.hpp"
+
+namespace ccd::util {
+class Socket;
+}
+
+namespace ccd::serve {
+
+inline constexpr const char* kFrameTag = "CSRV";
+inline constexpr std::uint32_t kProtocolVersion = 1;
+/// Hard cap on a single message payload; a header announcing more is
+/// rejected before any allocation (garbage/torn streams, never OOM).
+inline constexpr std::uint64_t kMaxMessageBytes = 16ull << 20;
+
+enum class Op : std::uint8_t {
+  kPing = 0,
+  kOpen = 1,
+  kAdvance = 2,
+  kIngest = 3,
+  kContracts = 4,
+  kStatus = 5,
+  kClose = 6,
+  kMetrics = 7,
+  kShutdown = 8,
+};
+
+const char* to_string(Op op);
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  // 1..6 mirror ccd::ErrorCode — see util/error.hpp.
+  kGenericError = 1,
+  kConfigError = 2,
+  kDataError = 3,
+  kMathError = 4,
+  kContractError = 5,
+  kDeadline = 6,
+  /// Admission queue full: the request was NOT enqueued. Explicit
+  /// backpressure — the client owns the retry.
+  kBackpressure = 7,
+  /// The engine is draining; no new work is admitted.
+  kShuttingDown = 8,
+};
+
+const char* to_string(Status status);
+inline bool is_error(Status status) { return status != Status::kOk; }
+
+/// Status for an error escaping a handler (ErrorCode -> matching Status).
+Status status_for(const ccd::Error& error);
+
+/// Rethrow a non-ok response client-side as the matching ccd::Error class
+/// (kBackpressure / kShuttingDown map to ccd::Error with kGeneric).
+[[noreturn]] void throw_status(Status status, const std::string& message);
+
+/// Session kind: simulation sessions run the Stackelberg physics
+/// server-side (seeded, bitwise-reproducible); ingest sessions are fed
+/// observed per-round feedback and re-fit/re-design from it.
+enum class SessionMode : std::uint8_t {
+  kSimulation = 0,
+  kIngest = 1,
+};
+
+struct OpenParams {
+  SessionMode mode = SessionMode::kSimulation;
+  /// Round budget (simulation: total rounds; ingest: unlimited when 0).
+  std::uint64_t rounds = 40;
+  std::uint64_t workers = 6;
+  std::uint64_t malicious = 2;  ///< simulation fleet only
+  std::uint64_t seed = 1;       ///< simulation only
+  double mu = 1.0;
+  /// Ingest mode: re-fit effort curves and re-design contracts every this
+  /// many ingested rounds.
+  std::uint64_t refit_every = 4;
+  double ema_alpha = 0.3;
+  /// Opening an already-open session returns its status instead of a
+  /// config error (idempotent `ccdctl submit`).
+  bool allow_existing = false;
+};
+
+/// One worker's observed round in an ingest session.
+struct IngestObservation {
+  double effort = 0.0;
+  double feedback = 0.0;
+  /// Observed |score - consensus| sample feeding the EMA estimates.
+  double accuracy_sample = 0.0;
+};
+
+struct Request {
+  Op op = Op::kPing;
+  std::uint64_t request_id = 0;
+  std::string session;  ///< empty for server-wide ops (ping/metrics/shutdown)
+  /// Wall-clock budget including queue wait; 0 = none.
+  std::uint32_t deadline_ms = 0;
+  OpenParams open;                                ///< kOpen
+  std::uint64_t advance_rounds = 1;               ///< kAdvance
+  std::vector<IngestObservation> observations;    ///< kIngest
+  bool metrics_prometheus = false;                ///< kMetrics format
+};
+
+struct SessionStatus {
+  std::uint64_t next_round = 0;  ///< completed rounds == next round index
+  std::uint64_t rounds = 0;      ///< configured budget (0 = unbounded ingest)
+  std::uint64_t workers = 0;
+  double cumulative_requester_utility = 0.0;
+  bool finished = false;
+};
+
+struct Response {
+  std::uint64_t request_id = 0;
+  Status status = Status::kOk;
+  std::string message;  ///< error text; empty when ok
+  /// Filled for session-scoped ops (open/advance/ingest/status/close).
+  SessionStatus session;
+  std::vector<contract::Contract> contracts;  ///< kContracts
+  std::string text;                           ///< kPing banner / kMetrics dump
+  bool redesigned = false;                    ///< kIngest: redesign ran
+};
+
+/// Payload codecs (the bytes inside the frame). Decoders throw
+/// ccd::DataError on malformed input.
+std::string encode_request(const Request& request);
+Request decode_request(const std::string& payload);
+std::string encode_response(const Response& response);
+Response decode_response(const std::string& payload);
+
+/// Framed message transport: header + checksummed payload, one frame per
+/// message. recv_message returns nullopt on a clean peer close between
+/// messages and throws ccd::DataError on corruption or mid-frame EOF.
+void send_message(util::Socket& socket, const std::string& payload);
+std::optional<std::string> recv_message(util::Socket& socket);
+
+}  // namespace ccd::serve

@@ -1,0 +1,76 @@
+// Socket front end of the serve engine: the accept loop and connection
+// handlers that `ccdd` (and in-process tests/benches) run.
+//
+// One thread accepts (poll-based, so stop() is observed within
+// kAcceptPollMs without signals); each connection gets a handler thread
+// that reads framed requests and submits them to the engine. Responses
+// are written under a per-connection mutex — the engine may answer out of
+// executor threads concurrently, and frames must never interleave.
+// Request pipelining falls out naturally: a client may send several
+// requests before reading responses; each response carries the echoed
+// request_id for correlation.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/engine.hpp"
+#include "util/socket.hpp"
+
+namespace ccd::serve {
+
+struct ServerConfig {
+  /// Unix-domain socket path; empty disables the Unix listener.
+  std::string unix_socket;
+  /// Loopback TCP port; negative disables, 0 picks an ephemeral port.
+  int tcp_port = -1;
+
+  void validate() const;
+};
+
+class Server {
+ public:
+  /// Binds listeners immediately (so callers can read tcp_port() before
+  /// start()) and starts accepting. Throws ccd::ConfigError /
+  /// ccd::DataError on bad config or bind failure.
+  Server(ServerConfig config, Engine& engine);
+  ~Server();  ///< stop()s.
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Stop accepting, close all connections, join handler threads. Does
+  /// NOT stop the engine (the owner decides when to drain it). Idempotent.
+  void stop();
+
+  /// Bound TCP port (resolved when config asked for port 0); -1 when the
+  /// TCP listener is disabled.
+  int tcp_port() const { return tcp_port_; }
+
+ private:
+  struct Connection;
+  struct Handler {
+    std::thread thread;
+    std::shared_ptr<Connection> connection;
+  };
+
+  void accept_loop(util::Socket* listener);
+  void handle_connection(std::shared_ptr<Connection> connection);
+  void reap_finished_handlers_locked();
+
+  ServerConfig config_;
+  Engine& engine_;
+  util::Socket unix_listener_;
+  util::Socket tcp_listener_;
+  int tcp_port_ = -1;
+
+  std::atomic<bool> stopping_{false};
+  std::vector<std::thread> accept_threads_;
+
+  std::mutex handlers_mutex_;
+  std::vector<Handler> handlers_;
+};
+
+}  // namespace ccd::serve

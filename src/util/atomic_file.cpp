@@ -2,47 +2,20 @@
 
 #include <cerrno>
 #include <cstring>
+#include <limits>
 
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
 #include "util/error.hpp"
+#include "util/wire.hpp"
 
 namespace ccd::util {
 namespace {
 
-constexpr char kMagic[4] = {'C', 'C', 'D', 'F'};
-constexpr std::size_t kHeaderSize = 4 + 4 + 4 + 8 + 8;
-
 [[noreturn]] void io_error(const std::string& what, const std::string& path) {
   throw DataError(what + " '" + path + "': " + std::strerror(errno));
-}
-
-void append_u32(std::string& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
-}
-
-void append_u64(std::string& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
-}
-
-std::uint32_t read_u32(const std::string& in, std::size_t at) {
-  std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) {
-    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(in[at + i]))
-         << (8 * i);
-  }
-  return v;
-}
-
-std::uint64_t read_u64(const std::string& in, std::size_t at) {
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) {
-    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(in[at + i]))
-         << (8 * i);
-  }
-  return v;
 }
 
 /// Directory part of `path` ("." when there is none), for the post-rename
@@ -122,58 +95,21 @@ std::string read_file(const std::string& path) {
 
 void write_framed_file(const std::string& path, const std::string& tag,
                        std::uint32_t version, const std::string& payload) {
-  CCD_CHECK_MSG(tag.size() == 4, "framed-file tag must be exactly 4 bytes");
-  std::string framed;
-  framed.reserve(kHeaderSize + payload.size());
-  framed.append(kMagic, sizeof(kMagic));
-  framed.append(tag);
-  append_u32(framed, version);
-  append_u64(framed, payload.size());
-  append_u64(framed, fnv1a64(payload.data(), payload.size()));
-  framed.append(payload);
-  atomic_write_file(path, framed);
+  atomic_write_file(path, wire::encode_frame(tag, version, payload));
 }
 
 FramedPayload read_framed_file(const std::string& path, const std::string& tag,
                                std::uint32_t min_version,
                                std::uint32_t max_version) {
-  CCD_CHECK_MSG(tag.size() == 4, "framed-file tag must be exactly 4 bytes");
   const std::string raw = read_file(path);
-  if (raw.size() < kHeaderSize) {
-    throw DataError("truncated framed file '" + path + "' (" +
-                    std::to_string(raw.size()) + " bytes, header needs " +
-                    std::to_string(kHeaderSize) + ")");
-  }
-  if (raw.compare(0, 4, kMagic, 4) != 0) {
-    throw DataError("bad magic in framed file '" + path + "'");
-  }
-  if (raw.compare(4, 4, tag) != 0) {
-    throw DataError("framed file '" + path + "' has tag '" + raw.substr(4, 4) +
-                    "', expected '" + tag + "'");
-  }
+  const std::string context = "file '" + path + "'";
+  const wire::FrameHeader header = wire::decode_frame_header(
+      raw, tag, min_version, max_version,
+      std::numeric_limits<std::uint64_t>::max(), context);
   FramedPayload result;
-  result.version = read_u32(raw, 8);
-  if (result.version < min_version || result.version > max_version) {
-    throw DataError("framed file '" + path + "' has unsupported version " +
-                    std::to_string(result.version) + " (supported " +
-                    std::to_string(min_version) + ".." +
-                    std::to_string(max_version) + ")");
-  }
-  const std::uint64_t size = read_u64(raw, 12);
-  if (raw.size() - kHeaderSize != size) {
-    throw DataError("framed file '" + path + "' payload is " +
-                    std::to_string(raw.size() - kHeaderSize) +
-                    " bytes, header says " + std::to_string(size) +
-                    " (truncated or torn write)");
-  }
-  const std::uint64_t checksum = read_u64(raw, 20);
-  result.payload = raw.substr(kHeaderSize);
-  const std::uint64_t actual =
-      fnv1a64(result.payload.data(), result.payload.size());
-  if (actual != checksum) {
-    throw DataError("checksum mismatch in framed file '" + path +
-                    "' (corrupted)");
-  }
+  result.version = header.version;
+  result.payload = raw.substr(wire::kFrameHeaderSize);
+  wire::verify_frame_payload(header, result.payload, context);
   return result;
 }
 

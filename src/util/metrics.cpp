@@ -295,9 +295,20 @@ std::string json_escape(const std::string& s) {
 }
 
 std::string prometheus_name(const std::string& name) {
-  std::string out = name;
-  for (char& c : out) {
-    if (c == '.' || c == '-') c = '_';
+  // Prometheus metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*. Registry
+  // names are dotted (`ccd.pool.queue_depth`) and occasionally carry
+  // user-supplied segments, so every invalid character maps to '_' (not
+  // just '.'/'-'), and a leading digit gets a '_' prefix — otherwise one
+  // odd name makes the whole exposition unparseable.
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char c : name) {
+    const bool valid = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(valid ? c : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) {
+    out.insert(out.begin(), '_');
   }
   return out;
 }

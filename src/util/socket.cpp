@@ -1,0 +1,198 @@
+#include "util/socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/error.hpp"
+
+namespace ccd::util {
+namespace {
+
+[[noreturn]] void sock_error(const std::string& what) {
+  throw DataError(what + ": " + std::strerror(errno));
+}
+
+sockaddr_un unix_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw ConfigError("unix socket path too long (" +
+                      std::to_string(path.size()) + " bytes, max " +
+                      std::to_string(sizeof(addr.sun_path) - 1) + "): " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+int new_socket(int domain) {
+  const int fd = ::socket(domain, SOCK_STREAM, 0);
+  if (fd < 0) sock_error("cannot create socket");
+  return fd;
+}
+
+}  // namespace
+
+Socket::~Socket() { close_fd(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close_fd();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close_fd() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket Socket::listen_unix(const std::string& path, int backlog) {
+  const sockaddr_un addr = unix_address(path);
+  ::unlink(path.c_str());
+  Socket sock(new_socket(AF_UNIX));
+  if (::bind(sock.fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    sock_error("cannot bind unix socket '" + path + "'");
+  }
+  if (::listen(sock.fd_, backlog) != 0) {
+    sock_error("cannot listen on unix socket '" + path + "'");
+  }
+  return sock;
+}
+
+Socket Socket::listen_tcp(int port, int backlog) {
+  Socket sock(new_socket(AF_INET));
+  const int one = 1;
+  ::setsockopt(sock.fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(sock.fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    sock_error("cannot bind tcp port " + std::to_string(port));
+  }
+  if (::listen(sock.fd_, backlog) != 0) {
+    sock_error("cannot listen on tcp port " + std::to_string(port));
+  }
+  return sock;
+}
+
+Socket Socket::connect_unix(const std::string& path) {
+  const sockaddr_un addr = unix_address(path);
+  Socket sock(new_socket(AF_UNIX));
+  if (::connect(sock.fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    sock_error("cannot connect to unix socket '" + path + "'");
+  }
+  return sock;
+}
+
+Socket Socket::connect_tcp(const std::string& host, int port) {
+  Socket sock(new_socket(AF_INET));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw ConfigError("invalid IPv4 address '" + host + "'");
+  }
+  if (::connect(sock.fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    sock_error("cannot connect to " + host + ":" + std::to_string(port));
+  }
+  // The protocol is strict request/response with small frames; latency
+  // matters more than coalescing.
+  const int one = 1;
+  ::setsockopt(sock.fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+std::optional<Socket> Socket::accept(int timeout_ms) {
+  pollfd pfd{fd_, POLLIN, 0};
+  while (true) {
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      sock_error("poll on listener failed");
+    }
+    if (ready == 0) return std::nullopt;
+    break;
+  }
+  while (true) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) return Socket(fd);
+    if (errno == EINTR) continue;
+    // The pending connection vanished between poll and accept; report a
+    // timeout so the caller's loop just polls again.
+    if (errno == ECONNABORTED || errno == EAGAIN || errno == EWOULDBLOCK) {
+      return std::nullopt;
+    }
+    sock_error("accept failed");
+  }
+}
+
+void Socket::send_all(const void* data, std::size_t size) {
+  const char* bytes = static_cast<const char*>(data);
+  std::size_t sent = 0;
+  while (sent < size) {
+    // MSG_NOSIGNAL: a vanished peer must surface as an error on this
+    // connection, not a process-wide SIGPIPE.
+    const ::ssize_t n =
+        ::send(fd_, bytes + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      sock_error("socket send failed");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+bool Socket::recv_exact(void* data, std::size_t size) {
+  char* bytes = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < size) {
+    const ::ssize_t n = ::recv(fd_, bytes + got, size - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      sock_error("socket recv failed");
+    }
+    if (n == 0) {
+      if (got == 0) return false;  // clean close on a message boundary
+      throw DataError("peer closed mid-message (" + std::to_string(got) +
+                      " of " + std::to_string(size) + " bytes)");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void Socket::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+int Socket::local_port() const {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0 ||
+      addr.sin_family != AF_INET) {
+    return 0;
+  }
+  return static_cast<int>(ntohs(addr.sin_port));
+}
+
+}  // namespace ccd::util

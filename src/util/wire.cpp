@@ -1,0 +1,152 @@
+#include "util/wire.hpp"
+
+#include <bit>
+
+#include "util/atomic_file.hpp"
+#include "util/error.hpp"
+
+namespace ccd::util::wire {
+
+namespace {
+constexpr char kMagic[4] = {'C', 'C', 'D', 'F'};
+}  // namespace
+
+void Writer::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+std::uint8_t Reader::u8() {
+  need(1);
+  return static_cast<std::uint8_t>(in_[pos_++]);
+}
+
+std::uint32_t Reader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(in_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(in_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+double Reader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string Reader::str() {
+  const std::uint64_t size = u64();
+  need(size);
+  std::string s = in_.substr(pos_, size);
+  pos_ += size;
+  return s;
+}
+
+std::vector<double> Reader::f64_vec() {
+  const std::size_t size = count(8);
+  std::vector<double> v;
+  v.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) v.push_back(f64());
+  return v;
+}
+
+std::size_t Reader::count(std::size_t min_element_bytes) {
+  const std::uint64_t n = u64();
+  if (min_element_bytes > 0 && n > remaining() / min_element_bytes) {
+    throw DataError("wire payload count exceeds remaining bytes");
+  }
+  return static_cast<std::size_t>(n);
+}
+
+void Reader::finish() const {
+  if (pos_ != in_.size()) {
+    throw DataError("wire payload has trailing bytes");
+  }
+}
+
+void Reader::need(std::uint64_t bytes) const {
+  if (bytes > remaining()) {
+    throw DataError("wire payload truncated");
+  }
+}
+
+std::string encode_frame(const std::string& tag, std::uint32_t version,
+                         const std::string& payload) {
+  CCD_CHECK_MSG(tag.size() == 4, "frame tag must be exactly 4 bytes");
+  Writer w;
+  std::string out;
+  out.reserve(kFrameHeaderSize + payload.size());
+  out.append(kMagic, sizeof(kMagic));
+  out.append(tag);
+  w.u32(version);
+  w.u64(payload.size());
+  w.u64(fnv1a64(payload.data(), payload.size()));
+  out.append(w.take());
+  out.append(payload);
+  return out;
+}
+
+FrameHeader decode_frame_header(std::string_view data, const std::string& tag,
+                                std::uint32_t min_version,
+                                std::uint32_t max_version,
+                                std::uint64_t max_payload,
+                                const std::string& context) {
+  CCD_CHECK_MSG(tag.size() == 4, "frame tag must be exactly 4 bytes");
+  if (data.size() < kFrameHeaderSize) {
+    throw DataError("truncated frame from " + context + " (" +
+                    std::to_string(data.size()) + " bytes, header needs " +
+                    std::to_string(kFrameHeaderSize) + ")");
+  }
+  if (data.compare(0, 4, kMagic, 4) != 0) {
+    throw DataError("bad magic in frame from " + context);
+  }
+  if (data.compare(4, 4, tag) != 0) {
+    throw DataError("frame from " + context + " has tag '" +
+                    std::string(data.substr(4, 4)) + "', expected '" + tag +
+                    "'");
+  }
+  const std::string header_bytes(data.substr(8, 20));
+  Reader r(header_bytes);
+  FrameHeader header;
+  header.tag = tag;
+  header.version = r.u32();
+  header.payload_size = r.u64();
+  header.checksum = r.u64();
+  if (header.version < min_version || header.version > max_version) {
+    throw DataError("frame from " + context + " has unsupported version " +
+                    std::to_string(header.version) + " (supported " +
+                    std::to_string(min_version) + ".." +
+                    std::to_string(max_version) + ")");
+  }
+  if (header.payload_size > max_payload) {
+    throw DataError("frame from " + context + " announces " +
+                    std::to_string(header.payload_size) +
+                    " payload bytes, limit is " + std::to_string(max_payload));
+  }
+  return header;
+}
+
+void verify_frame_payload(const FrameHeader& header, std::string_view payload,
+                          const std::string& context) {
+  if (payload.size() != header.payload_size) {
+    throw DataError("frame payload from " + context + " is " +
+                    std::to_string(payload.size()) + " bytes, header says " +
+                    std::to_string(header.payload_size) +
+                    " (truncated or torn)");
+  }
+  const std::uint64_t actual = fnv1a64(payload.data(), payload.size());
+  if (actual != header.checksum) {
+    throw DataError("checksum mismatch in frame from " + context +
+                    " (corrupted)");
+  }
+}
+
+}  // namespace ccd::util::wire

@@ -1,0 +1,127 @@
+// Little-endian byte-stream codec and the "CCDF" frame helpers shared by
+// on-disk checkpoints (util/atomic_file.hpp) and the serve subsystem's
+// socket protocol (serve/protocol.hpp).
+//
+// Writer/Reader are the primitive pair: integers travel little-endian,
+// doubles as their exact bit patterns (bit_cast through u64) — the
+// durability and serving contracts are *bitwise* reproduction, which a
+// text round-trip cannot guarantee. Reader throws ccd::DataError on any
+// truncation, oversized count, or trailing garbage — never UB, never a
+// half-decoded object.
+//
+// Frames wrap a payload in the fixed 28-byte header documented in
+// util/atomic_file.hpp (magic "CCDF", 4-byte caller tag, version, payload
+// size, FNV-1a 64 checksum). atomic_file composes encode_frame with the
+// write-temp+fsync+rename primitive for files; the serve daemon writes the
+// same bytes down a socket, so a frame captured off the wire and a framed
+// file are interchangeable at the byte level. decode_frame_header /
+// verify_frame_payload let stream readers validate incrementally: header
+// first (rejecting absurd sizes before allocating), payload checksum once
+// the bytes have arrived.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccd::util::wire {
+
+/// Append-only little-endian encoder.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<char>(v >> (8 * i)));
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<char>(v >> (8 * i)));
+  }
+
+  /// Exact bit pattern (bit_cast through u64).
+  void f64(double v);
+
+  /// Length-prefixed (u64) byte string.
+  void str(const std::string& s) {
+    u64(s.size());
+    out_.append(s);
+  }
+
+  void f64_vec(const std::vector<double>& v) {
+    u64(v.size());
+    for (const double x : v) f64(x);
+  }
+
+  std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked little-endian decoder over a borrowed buffer. The buffer
+/// must outlive the Reader.
+class Reader {
+ public:
+  explicit Reader(const std::string& in) : in_(in) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  std::string str();
+  std::vector<double> f64_vec();
+
+  /// A count that is about to drive element-wise reads; bounded by the
+  /// remaining bytes so corrupt (yet checksum-valid) data cannot request
+  /// absurd allocations. Throws ccd::DataError when the count could not
+  /// possibly fit.
+  std::size_t count(std::size_t min_element_bytes);
+
+  /// Throws ccd::DataError unless every byte has been consumed.
+  void finish() const;
+
+  std::size_t remaining() const { return in_.size() - pos_; }
+
+ private:
+  void need(std::uint64_t bytes) const;
+
+  const std::string& in_;
+  std::size_t pos_ = 0;
+};
+
+/// Size of the fixed frame header (magic + tag + version + size + checksum).
+inline constexpr std::size_t kFrameHeaderSize = 28;
+
+/// Decoded and validated frame header.
+struct FrameHeader {
+  std::string tag;  ///< 4 bytes
+  std::uint32_t version = 0;
+  std::uint64_t payload_size = 0;
+  std::uint64_t checksum = 0;
+};
+
+/// Build header + payload as one byte string (what write_framed_file puts
+/// on disk and the serve protocol puts on the wire). `tag` must be exactly
+/// 4 bytes.
+std::string encode_frame(const std::string& tag, std::uint32_t version,
+                         const std::string& payload);
+
+/// Parse and validate the first kFrameHeaderSize bytes of `data`: magic,
+/// expected tag, version within [min_version, max_version], payload size
+/// at most `max_payload`. `context` names the source ("socket", a file
+/// path) in error messages. Throws ccd::DataError on any mismatch.
+FrameHeader decode_frame_header(std::string_view data, const std::string& tag,
+                                std::uint32_t min_version,
+                                std::uint32_t max_version,
+                                std::uint64_t max_payload,
+                                const std::string& context);
+
+/// Verify the payload checksum announced by `header`. Throws ccd::DataError
+/// on mismatch.
+void verify_frame_payload(const FrameHeader& header, std::string_view payload,
+                          const std::string& context);
+
+}  // namespace ccd::util::wire

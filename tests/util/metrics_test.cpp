@@ -258,5 +258,59 @@ TEST(MetricsExportTest, ExportersProduceOutputInEitherBuild) {
   }
 }
 
+TEST(MetricsExportTest, PrometheusNamesAreAlwaysValid) {
+  // Registry names are free-form; the exposition format is not. Register
+  // names exercising every escape case and round-trip them through the
+  // exporter: every metric-name token in the output must match
+  // [a-zA-Z_:][a-zA-Z0-9_:]*.
+  registry().counter("ccd.test.escape/slash").add(1);
+  registry().counter("ccd.test.escape space").add(1);
+  registry().counter("ccd.test.escape\"quote").add(1);
+  registry().counter("ccd.test.escape{brace}").add(1);
+  registry().counter("9leading.digit").add(1);
+  registry().gauge("ccd.test.escape-dash.gauge").set(1.0);
+  registry().histogram("ccd.test.escape+plus_us").record(3.0);
+
+  const std::string prom = to_prometheus();
+  if (!compiled_in()) return;
+
+  const auto valid_head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  const auto valid_tail = [&](char c) {
+    return valid_head(c) || (c >= '0' && c <= '9');
+  };
+
+  // Walk every line; the name token is the second word of "# TYPE <name>
+  // <kind>" lines and the first word of sample lines.
+  std::size_t names_checked = 0;
+  std::size_t start = 0;
+  while (start < prom.size()) {
+    std::size_t end = prom.find('\n', start);
+    if (end == std::string::npos) end = prom.size();
+    std::string line = prom.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    if (line.rfind("# TYPE ", 0) == 0) line = line.substr(7);
+    const std::string name = line.substr(0, line.find_first_of(" {"));
+    ASSERT_FALSE(name.empty());
+    EXPECT_TRUE(valid_head(name[0])) << "bad name start: " << name;
+    for (const char c : name) {
+      EXPECT_TRUE(valid_tail(c)) << "bad char in name: " << name;
+    }
+    ++names_checked;
+  }
+  EXPECT_GT(names_checked, 0u);
+
+  // The escapes land where expected (and distinct inputs still export).
+  EXPECT_NE(prom.find("ccd_test_escape_slash"), std::string::npos);
+  EXPECT_NE(prom.find("ccd_test_escape_space"), std::string::npos);
+  EXPECT_NE(prom.find("ccd_test_escape_brace_"), std::string::npos);
+  EXPECT_NE(prom.find("_9leading_digit"), std::string::npos);
+  EXPECT_NE(prom.find("ccd_test_escape_dash_gauge"), std::string::npos);
+  EXPECT_NE(prom.find("ccd_test_escape_plus_us"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace ccd::util::metrics

@@ -3,13 +3,17 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <latch>
 #include <numeric>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "util/cancellation.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 
 namespace ccd::util {
 namespace {
@@ -215,6 +219,85 @@ TEST(ParallelForDefaultTest, NestedThroughSharedPool) {
     parallel_for_default(5, [&](std::size_t) { counter.fetch_add(1); });
   });
   EXPECT_EQ(counter.load(), 15);
+}
+
+TEST(ThreadPoolContentionTest, SessionStyleBurstsLoseNoTasksAndSettle) {
+  // The serve engine's workload shape: N client threads each firing many
+  // small parallel_for bursts at one shared pool, some of them cancelled
+  // mid-flight. Invariants: (a) an uncancelled burst covers every index
+  // exactly once, (b) a cancelled burst never runs an index twice, and
+  // (c) once everything joins, the pool's queue-depth and busy-worker
+  // gauges are back to zero — nothing was lost or leaked in the queue.
+  ThreadPool pool(4);
+  constexpr std::size_t kClients = 8;
+  constexpr std::size_t kBurstsPerClient = 40;
+  constexpr std::size_t kBurstSize = 64;
+
+  std::atomic<std::uint64_t> clean_hits{0};
+  std::atomic<std::uint64_t> expected_clean{0};
+  std::atomic<bool> overcounted{false};
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (std::size_t b = 0; b < kBurstsPerClient; ++b) {
+        // Every third burst per client runs under a token that cancels
+        // partway through.
+        const bool cancelled_burst = (b % 3) == 2;
+        std::vector<std::atomic<std::uint8_t>> hits(kBurstSize);
+        if (cancelled_burst) {
+          CancellationToken token;
+          std::atomic<std::size_t> started{0};
+          pool.parallel_for(
+              kBurstSize,
+              [&](std::size_t i) {
+                if (started.fetch_add(1) == kBurstSize / 4) {
+                  token.request_cancel();
+                }
+                if (hits[i].fetch_add(1) != 0) overcounted.store(true);
+              },
+              &token);
+          // Cancellation is silent; skipped indices simply never ran.
+          for (auto& h : hits) {
+            if (h.load() > 1) overcounted.store(true);
+          }
+        } else {
+          pool.parallel_for(kBurstSize, [&](std::size_t i) {
+            if (hits[i].fetch_add(1) != 0) overcounted.store(true);
+            clean_hits.fetch_add(1);
+          });
+          expected_clean.fetch_add(kBurstSize);
+          for (std::size_t i = 0; i < kBurstSize; ++i) {
+            if (hits[i].load() != 1) overcounted.store(true);
+          }
+        }
+        // Interleave with unrelated small work, as concurrent sessions do.
+        (void)c;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_FALSE(overcounted.load());
+  EXPECT_EQ(clean_hits.load(), expected_clean.load());
+
+#ifndef CCD_NO_METRICS
+  // All bursts joined: the gauges must settle back to zero. Workers
+  // decrement busy_workers *after* completing the task that unblocks
+  // parallel_for, so join the workers first — after shutdown() every
+  // decrement has retired and the read is race-free.
+  pool.shutdown();
+  using metrics::MetricSnapshot;
+  double queue_depth = -1.0;
+  double busy = -1.0;
+  for (const MetricSnapshot& m : metrics::registry().snapshot()) {
+    if (m.name == "ccd.pool.queue_depth") queue_depth = m.gauge;
+    if (m.name == "ccd.pool.busy_workers") busy = m.gauge;
+  }
+  EXPECT_EQ(queue_depth, 0.0);
+  EXPECT_EQ(busy, 0.0);
+#endif
 }
 
 }  // namespace

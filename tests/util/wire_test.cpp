@@ -1,0 +1,174 @@
+// util::wire: the byte codec + frame helpers now shared by checkpoint
+// files, atomic_file framing, and the serve socket protocol. The contract
+// under test is bitwise round-tripping (doubles travel as exact bit
+// patterns) and strict decode failure: truncation, trailing bytes,
+// oversized counts, and every frame-header corruption mode must surface
+// as ccd::DataError, never UB or a half-decoded object.
+#include "util/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ccd::util::wire {
+namespace {
+
+TEST(WireCodecTest, RoundTripsAllPrimitives) {
+  Writer w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEFu);
+  w.u64(0x0123456789ABCDEFull);
+  w.f64(-0.1);
+  w.str("hello wire");
+  w.f64_vec({1.5, -2.25, 0.0});
+  const std::string bytes = w.take();
+
+  Reader r(bytes);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.f64(), -0.1);
+  EXPECT_EQ(r.str(), "hello wire");
+  EXPECT_EQ(r.f64_vec(), (std::vector<double>{1.5, -2.25, 0.0}));
+  r.finish();
+}
+
+TEST(WireCodecTest, DoublesAreBitwiseExact) {
+  // The durability contract is bitwise, so specials must survive: -0.0,
+  // denormals, infinities, and a specific NaN payload.
+  const std::vector<double> specials = {
+      -0.0, std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::quiet_NaN()};
+  Writer w;
+  for (const double v : specials) w.f64(v);
+  const std::string bytes = w.take();
+  Reader r(bytes);
+  for (const double v : specials) {
+    const double got = r.f64();
+    std::uint64_t expect_bits;
+    std::uint64_t got_bits;
+    static_assert(sizeof(double) == sizeof(std::uint64_t));
+    std::memcpy(&expect_bits, &v, sizeof(v));
+    std::memcpy(&got_bits, &got, sizeof(got));
+    EXPECT_EQ(got_bits, expect_bits);
+  }
+  r.finish();
+}
+
+TEST(WireCodecTest, TruncationThrowsDataError) {
+  Writer w;
+  w.u64(42);
+  std::string bytes = w.take();
+  bytes.pop_back();
+  Reader r(bytes);
+  EXPECT_THROW(r.u64(), DataError);
+}
+
+TEST(WireCodecTest, TrailingBytesFailFinish) {
+  Writer w;
+  w.u8(1);
+  w.u8(2);
+  const std::string bytes = w.take();
+  Reader r(bytes);
+  r.u8();
+  EXPECT_THROW(r.finish(), DataError);
+}
+
+TEST(WireCodecTest, OversizedCountIsRejectedBeforeAllocation) {
+  // A corrupt (but length-valid) buffer announcing 2^60 elements must be
+  // rejected by count() because the remaining bytes cannot hold them.
+  Writer w;
+  w.u64(1ull << 60);
+  const std::string bytes = w.take();
+  Reader r(bytes);
+  EXPECT_THROW(r.count(8), DataError);
+}
+
+TEST(WireCodecTest, CountAcceptsWhatFits) {
+  Writer w;
+  w.u64(3);
+  w.f64(1.0);
+  w.f64(2.0);
+  w.f64(3.0);
+  const std::string bytes = w.take();
+  Reader r(bytes);
+  EXPECT_EQ(r.count(8), 3u);
+  r.f64();
+  r.f64();
+  r.f64();
+  r.finish();
+}
+
+TEST(WireFrameTest, RoundTripsThroughHeaderAndPayload) {
+  const std::string payload = "the payload\x00with a nul byte";
+  const std::string frame = encode_frame("TSTF", 3, payload);
+  ASSERT_GE(frame.size(), kFrameHeaderSize);
+
+  const FrameHeader header =
+      decode_frame_header(std::string_view(frame).substr(0, kFrameHeaderSize),
+                          "TSTF", 1, 5, 1 << 20, "test");
+  EXPECT_EQ(header.version, 3u);
+  EXPECT_EQ(header.payload_size, payload.size());
+  verify_frame_payload(header, frame.substr(kFrameHeaderSize), "test");
+}
+
+TEST(WireFrameTest, RejectsTagVersionSizeAndChecksumCorruption) {
+  const std::string payload = "payload bytes";
+  const std::string frame = encode_frame("TAGA", 2, payload);
+  const auto header_of = [](const std::string& f) {
+    return std::string_view(f).substr(0, kFrameHeaderSize);
+  };
+
+  // Wrong tag.
+  EXPECT_THROW(
+      decode_frame_header(header_of(frame), "TAGB", 1, 9, 1 << 20, "test"),
+      DataError);
+  // Version outside [min, max].
+  EXPECT_THROW(
+      decode_frame_header(header_of(frame), "TAGA", 3, 9, 1 << 20, "test"),
+      DataError);
+  // Payload larger than the cap.
+  EXPECT_THROW(
+      decode_frame_header(header_of(frame), "TAGA", 1, 9, 4, "test"),
+      DataError);
+  // Header truncated.
+  EXPECT_THROW(decode_frame_header(std::string_view(frame).substr(0, 10),
+                                   "TAGA", 1, 9, 1 << 20, "test"),
+               DataError);
+
+  // Flipped payload byte fails the checksum.
+  const FrameHeader header =
+      decode_frame_header(header_of(frame), "TAGA", 1, 9, 1 << 20, "test");
+  std::string corrupt = frame.substr(kFrameHeaderSize);
+  corrupt[0] = static_cast<char>(corrupt[0] ^ 0x40);
+  EXPECT_THROW(verify_frame_payload(header, corrupt, "test"), DataError);
+  // Wrong payload length is detected even with a matching prefix.
+  EXPECT_THROW(
+      verify_frame_payload(header, frame.substr(kFrameHeaderSize) + "x",
+                           "test"),
+      DataError);
+}
+
+TEST(WireFrameTest, ErrorsNameTheContext) {
+  const std::string frame = encode_frame("TAGA", 2, "p");
+  try {
+    decode_frame_header(std::string_view(frame).substr(0, kFrameHeaderSize),
+                        "TAGB", 1, 9, 1 << 20, "socket from test");
+    FAIL() << "expected DataError";
+  } catch (const DataError& e) {
+    EXPECT_NE(std::string(e.what()).find("socket from test"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace ccd::util::wire

@@ -28,6 +28,19 @@
 //       the wall clock — an expired run returns its completed prefix,
 //       writes a final checkpoint (when configured), and exits 6.
 //
+//   ccdctl serve socket=PATH|port=N op=<ping|status|contracts|metrics|
+//          close|shutdown> [session=ID] [prometheus=0|1] [out=FILE]
+//       One administrative request against a running ccdd daemon.
+//
+//   ccdctl submit socket=PATH|port=N session=ID [to=ROUND] [rounds=40]
+//          [workers=6] [malicious=2] [seed=1] [mu=1.0] [batch=1]
+//          [deadline=SECONDS] [out=FILE] [close=0|1]
+//       Drive a simulation session on a daemon to a round target. The open
+//       is idempotent (re-attaches to an existing session, so interrupted
+//       submits re-run safely after a daemon restart) and backpressure is
+//       retried. `out` exports the posted contracts with full float
+//       precision — two runs reaching the same round byte-diff equal.
+//
 // All arguments are key=value; unknown keys are rejected. One flag is the
 // exception: `--metrics[=FILE]` (any command) prints the observability
 // summary — per-stage latency percentiles, thread-pool utilization,
@@ -45,6 +58,8 @@
 #include <string>
 #include <utility>
 
+#include <unistd.h>
+
 #include "core/checkpoint.hpp"
 #include "core/equilibrium.hpp"
 #include "core/pipeline.hpp"
@@ -57,6 +72,7 @@
 #include "detect/collusion.hpp"
 #include "detect/expert.hpp"
 #include "detect/malicious.hpp"
+#include "serve/client.hpp"
 #include "util/cancellation.hpp"
 #include "util/config.hpp"
 #include "util/csv.hpp"
@@ -71,28 +87,45 @@ namespace {
 using namespace ccd;
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: ccdctl <generate|inspect|design|simulate> "
-               "[key=value ...] [--metrics[=FILE]]\n"
-               "  generate out=<prefix> [preset=small|medium|full] [seed=N]\n"
-               "  inspect  trace=<prefix> [threshold=0.5]\n"
-               "  design   trace=<prefix>|preset=small|medium|full [mu=1.0] "
-               "[seed=N]\n"
-               "           [strategy=dynamic|exclude|fixed]\n"
-               "           [policy=failfast|quarantine|fallback] "
-               "[lenient_load=0|1]\n"
-               "           [fault_rate=0.0] [fault_seed=0] [out=<file.csv>]\n"
-               "           [deadline=SECONDS]\n"
-               "  simulate [rounds=40] [workers=6] [malicious=2] [seed=1]\n"
-               "           [deadline=SECONDS] [checkpoint=FILE] "
-               "[checkpoint_every=N]\n"
-               "           [resume=FILE] [threads=N]\n"
-               "  --metrics[=FILE]  print the metrics summary after the "
-               "command;\n"
-               "                    with =FILE also dump the registry "
-               "(.prom -> Prometheus, else JSON)\n"
-               "exit codes: 0 ok, 1 error, 2 usage/config, 3 data, 4 math, "
-               "5 contract, 6 deadline\n");
+  std::fprintf(
+      stderr,
+      "usage: ccdctl <command> [key=value ...] [--metrics[=FILE]]\n"
+      "\n"
+      "commands:\n"
+      "  generate out=<prefix> [preset=small|medium|full] [seed=N]\n"
+      "  inspect  trace=<prefix> [threshold=0.5]\n"
+      "  design   trace=<prefix>|preset=small|medium|full [mu=1.0] [seed=N]\n"
+      "           [strategy=dynamic|exclude|fixed]\n"
+      "           [policy=failfast|quarantine|fallback] [lenient_load=0|1]\n"
+      "           [fault_rate=0.0] [fault_seed=0] [out=<file.csv>]\n"
+      "           [deadline=SECONDS]\n"
+      "  simulate [rounds=40] [workers=6] [malicious=2] [seed=1]\n"
+      "           [deadline=SECONDS] [checkpoint=FILE] [checkpoint_every=N]\n"
+      "           [resume=FILE] [threads=N]\n"
+      "  serve    socket=PATH|port=N [host=127.0.0.1]\n"
+      "           op=ping|status|contracts|metrics|close|shutdown\n"
+      "           [session=ID] [prometheus=0|1] [out=FILE]\n"
+      "  submit   socket=PATH|port=N [host=127.0.0.1] session=ID [to=ROUND]\n"
+      "           [rounds=40] [workers=6] [malicious=2] [seed=1] [mu=1.0]\n"
+      "           [batch=1] [deadline=SECONDS] [out=FILE] [close=0|1]\n"
+      "\n"
+      "shared flags:\n"
+      "  preset=small|medium|full   bundled synthetic trace instead of CSVs\n"
+      "  deadline=SECONDS           wall-clock budget; expiry exits 6 with\n"
+      "                             the completed prefix (simulate: plus a\n"
+      "                             final checkpoint when configured)\n"
+      "  checkpoint=FILE            crash-safe simulate state (atomic+fsync)\n"
+      "  checkpoint_every=N         snapshot every N completed rounds\n"
+      "  resume=FILE                continue a checkpointed simulate run\n"
+      "                             bitwise-identically (rounds= extends it)\n"
+      "  threads=N                  private pool size (0 = shared pool)\n"
+      "  --metrics[=FILE]           print the metrics summary after the\n"
+      "                             command; with =FILE also dump the full\n"
+      "                             registry (.prom -> Prometheus, else "
+      "JSON)\n"
+      "\n"
+      "exit codes: 0 ok, 1 error, 2 usage/config, 3 data, 4 math, "
+      "5 contract, 6 deadline\n");
   return 2;
 }
 
@@ -361,16 +394,8 @@ int cmd_simulate(const util::ParamMap& params) {
                 checkpoint.config.rounds);
     result = core::StackelbergSimulator(checkpoint).run(cancel);
   } else {
-    std::vector<core::SimWorkerSpec> fleet;
-    for (std::size_t i = 0; i < n_workers; ++i) {
-      core::SimWorkerSpec w;
-      const bool malicious = i < n_malicious;
-      w.name = (malicious ? "malicious" : "honest") + std::to_string(i);
-      w.psi = effort::QuadraticEffort(-1.0, 8.0, 2.0);
-      w.omega = malicious ? 0.6 : 0.0;
-      w.accuracy_distance = malicious ? 1.7 : 0.3;
-      fleet.push_back(w);
-    }
+    const std::vector<core::SimWorkerSpec> fleet =
+        core::preset_fleet(n_workers, n_malicious);
     core::SimConfig config;
     config.rounds = rounds;
     config.seed = seed;
@@ -409,6 +434,187 @@ int cmd_simulate(const util::ParamMap& params) {
     std::printf("simulation cancelled (%s) after %zu round(s)%s\n",
                 util::to_string(result.cancel_reason), done, where.c_str());
     return ccd::exit_code(ccd::ErrorCode::kDeadline);
+  }
+  return 0;
+}
+
+serve::Client connect_client(const util::ParamMap& params) {
+  const std::string socket = params.get_string("socket", "");
+  const std::string host = params.get_string("host", "127.0.0.1");
+  const long long port = params.get_int("port", -1);
+  if (!socket.empty()) return serve::Client::connect_unix(socket);
+  if (port >= 0) return serve::Client::connect_tcp(host, static_cast<int>(port));
+  throw ConfigError("need socket=PATH or port=N to reach a daemon");
+}
+
+/// Shortest round-trip decimal rendering: two equal doubles produce equal
+/// text, so contract exports from bitwise-identical runs byte-diff equal.
+std::string full_precision(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void export_serve_contracts(const std::vector<contract::Contract>& contracts,
+                            const std::string& path) {
+  util::CsvWriter writer(path);
+  writer.write_row({"worker", "intervals", "knots", "payments"});
+  for (std::size_t i = 0; i < contracts.size(); ++i) {
+    const contract::Contract& c = contracts[i];
+    std::string knots;
+    std::string payments;
+    for (std::size_t l = 0; !c.is_zero() && l <= c.intervals(); ++l) {
+      if (l > 0) {
+        knots += ';';
+        payments += ';';
+      }
+      knots += full_precision(c.knot(l));
+      payments += full_precision(c.payment(l));
+    }
+    writer.write_row({std::to_string(i),
+                      std::to_string(c.is_zero() ? 0 : c.intervals()), knots,
+                      payments});
+  }
+}
+
+void print_session_status(const std::string& session,
+                          const serve::SessionStatus& status) {
+  std::printf("session %s: round %llu/%llu, %llu worker(s), cumulative "
+              "requester utility %.3f%s\n",
+              session.c_str(),
+              static_cast<unsigned long long>(status.next_round),
+              static_cast<unsigned long long>(status.rounds),
+              static_cast<unsigned long long>(status.workers),
+              status.cumulative_requester_utility,
+              status.finished ? " (finished)" : "");
+}
+
+int cmd_serve(const util::ParamMap& params) {
+  const std::string op = params.get_string("op", "ping");
+  const std::string session = params.get_string("session", "");
+  const bool prometheus = params.get_bool("prometheus", false);
+  const std::string out = params.get_string("out", "");
+  serve::Client client = connect_client(params);
+  params.assert_all_consumed();
+
+  if (op == "ping") {
+    std::printf("%s\n", client.ping().c_str());
+    return 0;
+  }
+  if (op == "metrics") {
+    const std::string text = client.metrics(prometheus);
+    if (out.empty()) {
+      std::printf("%s", text.c_str());
+    } else {
+      std::ofstream stream(out);
+      if (!stream) {
+        std::fprintf(stderr, "serve: cannot write %s\n", out.c_str());
+        return 2;
+      }
+      stream << text;
+      std::printf("wrote daemon metrics to %s\n", out.c_str());
+    }
+    return 0;
+  }
+  if (op == "shutdown") {
+    client.shutdown_server();
+    std::printf("daemon draining\n");
+    return 0;
+  }
+  if (session.empty()) {
+    std::fprintf(stderr, "serve: op=%s needs session=ID\n", op.c_str());
+    return 2;
+  }
+  if (op == "status") {
+    print_session_status(session, client.status(session));
+    return 0;
+  }
+  if (op == "contracts") {
+    const std::vector<contract::Contract> contracts =
+        client.contracts(session);
+    if (!out.empty()) {
+      export_serve_contracts(contracts, out);
+      std::printf("wrote %zu contract(s) to %s\n", contracts.size(),
+                  out.c_str());
+    } else {
+      for (std::size_t i = 0; i < contracts.size(); ++i) {
+        const contract::Contract& c = contracts[i];
+        std::printf("worker %zu: %s\n", i,
+                    c.is_zero() ? "zero contract"
+                                : (std::to_string(c.intervals()) +
+                                   " interval(s), top payment " +
+                                   util::format_double(
+                                       c.payment(c.intervals()), 4))
+                                      .c_str());
+      }
+    }
+    return 0;
+  }
+  if (op == "close") {
+    print_session_status(session, client.close_session(session));
+    return 0;
+  }
+  std::fprintf(stderr, "serve: unknown op '%s'\n", op.c_str());
+  return 2;
+}
+
+int cmd_submit(const util::ParamMap& params) {
+  const std::string session = params.get_string("session", "");
+  const auto rounds = static_cast<std::uint64_t>(params.get_int("rounds", 40));
+  const auto to = static_cast<std::uint64_t>(
+      params.get_int("to", static_cast<long long>(rounds)));
+  const auto batch = static_cast<std::uint64_t>(params.get_int("batch", 1));
+  const double deadline_s = params.get_double("deadline", 0.0);
+  const std::string out = params.get_string("out", "");
+  const bool close = params.get_bool("close", false);
+
+  serve::OpenParams open;
+  open.mode = serve::SessionMode::kSimulation;
+  open.rounds = rounds;
+  open.workers = static_cast<std::uint64_t>(params.get_int("workers", 6));
+  open.malicious = static_cast<std::uint64_t>(params.get_int("malicious", 2));
+  open.seed = static_cast<std::uint64_t>(params.get_int("seed", 1));
+  open.mu = params.get_double("mu", 1.0);
+  open.allow_existing = true;  // idempotent: re-attach after interruption
+
+  serve::Client client = connect_client(params);
+  params.assert_all_consumed();
+  if (session.empty()) {
+    std::fprintf(stderr, "submit: missing session=ID\n");
+    return 2;
+  }
+  if (batch == 0) {
+    std::fprintf(stderr, "submit: batch must be >= 1\n");
+    return 2;
+  }
+  const auto deadline_ms = static_cast<std::uint32_t>(deadline_s * 1000.0);
+
+  serve::SessionStatus status = client.open(session, open, deadline_ms);
+  const std::uint64_t target = std::min<std::uint64_t>(to, status.rounds);
+  while (status.next_round < target) {
+    const serve::Client::AdvanceResult step = client.advance(
+        session, std::min<std::uint64_t>(batch, target - status.next_round),
+        deadline_ms);
+    if (step.backpressure) {
+      ::usleep(20 * 1000);  // explicit overload signal: retry, don't pile on
+      continue;
+    }
+    status = step.session;
+    if (step.deadline_expired) {
+      print_session_status(session, status);
+      std::printf("submit: deadline expired; completed rounds are retained "
+                  "server-side\n");
+      return ccd::exit_code(ccd::ErrorCode::kDeadline);
+    }
+  }
+  print_session_status(session, status);
+  if (!out.empty()) {
+    export_serve_contracts(client.contracts(session, deadline_ms), out);
+    std::printf("wrote contracts to %s\n", out.c_str());
+  }
+  if (close) {
+    client.close_session(session, deadline_ms);
+    std::printf("session %s closed\n", session.c_str());
   }
   return 0;
 }
@@ -469,6 +675,8 @@ int main(int argc, char** argv) {
     else if (command == "inspect") rc = cmd_inspect(params);
     else if (command == "design") rc = cmd_design(params);
     else if (command == "simulate") rc = cmd_simulate(params);
+    else if (command == "serve") rc = cmd_serve(params);
+    else if (command == "submit") rc = cmd_submit(params);
     else return usage();
     if (want_metrics) report_metrics(metrics_file);
     return rc;

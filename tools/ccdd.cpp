@@ -1,0 +1,127 @@
+// ccdd — the contract-design daemon: ccd::serve over a Unix-domain socket
+// and/or loopback TCP.
+//
+//   ccdd socket=PATH | port=N [key=value ...]
+//       socket=PATH          Unix-domain socket to listen on
+//       port=N               loopback TCP port (0 picks one and prints it)
+//       threads=4            executor threads draining the admission queue
+//       queue=128            admission queue capacity (full -> backpressure)
+//       max_sessions=256     open-session cap
+//       checkpoint_dir=DIR   per-session crash-safe checkpoints in DIR
+//       checkpoint_every=1   snapshot cadence in completed rounds
+//       resume=1             restore sessions found in checkpoint_dir at boot
+//
+// The daemon exits on SIGINT/SIGTERM or a client `shutdown` request; both
+// paths drain the admission queue (every acknowledged request is
+// answered) and snapshot every open session, so a subsequent boot with
+// resume=1 continues each campaign bitwise-identically. A SIGKILL loses at
+// most the in-flight round: sessions checkpoint every `checkpoint_every`
+// completed rounds.
+//
+// Exit codes mirror ccdctl: 0 clean shutdown, 2 usage/config errors,
+// 3 data errors (e.g. corrupt checkpoint at resume).
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include <unistd.h>
+
+#include "serve/engine.hpp"
+#include "serve/server.hpp"
+#include "util/config.hpp"
+#include "util/error.hpp"
+#include "util/metrics.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_signalled = 0;
+
+void on_signal(int) { g_signalled = 1; }
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: ccdd socket=PATH | port=N [threads=4] [queue=128]\n"
+      "            [max_sessions=256] [checkpoint_dir=DIR] "
+      "[checkpoint_every=1]\n"
+      "            [resume=1]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ccd;
+
+  const util::ParamMap params = util::ParamMap::from_args(argc, argv);
+  try {
+    serve::EngineConfig engine_config;
+    engine_config.worker_threads =
+        static_cast<std::size_t>(params.get_int("threads", 4));
+    engine_config.queue_capacity =
+        static_cast<std::size_t>(params.get_int("queue", 128));
+    engine_config.max_sessions =
+        static_cast<std::size_t>(params.get_int("max_sessions", 256));
+    engine_config.checkpoint_dir = params.get_string("checkpoint_dir", "");
+    engine_config.checkpoint_every =
+        static_cast<std::size_t>(params.get_int("checkpoint_every", 1));
+
+    serve::ServerConfig server_config;
+    server_config.unix_socket = params.get_string("socket", "");
+    server_config.tcp_port = static_cast<int>(params.get_int("port", -1));
+
+    const bool resume = params.get_bool("resume", true);
+    params.assert_all_consumed();
+    if (server_config.unix_socket.empty() && server_config.tcp_port < 0) {
+      return usage();
+    }
+
+    if (!engine_config.checkpoint_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(engine_config.checkpoint_dir, ec);
+      if (ec) {
+        throw ConfigError("cannot create checkpoint_dir '" +
+                          engine_config.checkpoint_dir + "': " + ec.message());
+      }
+    }
+
+    serve::Engine engine(engine_config);
+    if (resume && !engine_config.checkpoint_dir.empty()) {
+      const std::size_t restored = engine.resume_sessions();
+      if (restored > 0) {
+        std::printf("ccdd: resumed %zu session(s) from %s\n", restored,
+                    engine_config.checkpoint_dir.c_str());
+      }
+    }
+
+    serve::Server server(std::move(server_config), engine);
+    if (!params.get_string("socket", "").empty()) {
+      std::printf("ccdd: listening on unix:%s\n",
+                  params.get_string("socket", "").c_str());
+    }
+    if (server.tcp_port() >= 0) {
+      std::printf("ccdd: listening on tcp:127.0.0.1:%d\n", server.tcp_port());
+    }
+    std::fflush(stdout);
+
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    while (g_signalled == 0 && !engine.shutdown_requested()) {
+      ::usleep(100 * 1000);
+    }
+    std::printf("ccdd: %s, draining\n",
+                g_signalled != 0 ? "signal received" : "shutdown requested");
+
+    server.stop();   // no new connections / requests
+    engine.stop();   // drain queue, answer everything, checkpoint sessions
+    std::printf("ccdd: %zu session(s) checkpointed, bye\n",
+                engine.session_count());
+    return 0;
+  } catch (const ccd::Error& e) {
+    std::fprintf(stderr, "ccdd: %s\n", e.what());
+    return ccd::exit_code(e.code());
+  }
+}
