@@ -1,0 +1,243 @@
+// Fleet design throughput gate: workers-designed-per-second for the
+// scalar reference batch (AoS), the vectorized batch (AoS out), and the
+// SoA fleet path (SIMD and forced-portable), on a steady-state fleet
+// whose class tables are already cached — the serve/stackelberg redesign
+// hot path this PR optimizes.
+//
+// This binary *refuses to publish numbers from non-Release builds*: the
+// library it links must have been compiled with CMAKE_BUILD_TYPE=Release
+// (CCD_BUILD_TYPE is stamped in by CMake at compile time). Debug or
+// RelWithDebInfo throughput is not comparable and has repeatedly polluted
+// tracking history in other projects; exit code 3 makes CI fail loudly
+// instead. `force=1` overrides for local poking; the JSON still records
+// the real build type so a forced run can never masquerade as a gate.
+//
+// Exit codes: 0 gate passed, 1 gate failed (ratio/floor/bitwise check),
+// 2 bad usage, 3 non-release build.
+//
+// Usage: bench_throughput [workers=20000] [classes=6] [intervals=20]
+//                         [min_ratio=2.0] [min_scalar_wps=0]
+//                         [out=BENCH_throughput.json] [force=0]
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "contract/design_cache.hpp"
+#include "contract/designer.hpp"
+#include "contract/fleet_soa.hpp"
+#include "contract/ksweep.hpp"
+#include "util/thread_pool.hpp"
+
+#ifndef CCD_BUILD_TYPE
+#define CCD_BUILD_TYPE "unknown"
+#endif
+
+namespace {
+
+using namespace ccd;
+
+std::vector<contract::SubproblemSpec> fleet_specs(std::size_t n,
+                                                  std::size_t classes,
+                                                  std::size_t intervals) {
+  std::vector<contract::SubproblemSpec> specs;
+  specs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t c = i % classes;
+    const double t = static_cast<double>(c);
+    contract::SubproblemSpec spec;
+    spec.psi = effort::QuadraticEffort(-1.0 - 0.1 * t, 8.0 - 0.5 * t,
+                                       2.0 + 0.25 * t);
+    spec.incentives.beta = 1.0 + 0.05 * t;
+    spec.incentives.omega = (c % 2 == 0) ? 0.0 : 0.1 * t;
+    spec.weight =
+        0.2 + 0.8 * static_cast<double>(i) / static_cast<double>(n);
+    spec.mu = 1.0;
+    spec.intervals = intervals;
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+/// Best workers/second over repeated runs (>= 3 reps and >= 0.3 s total).
+template <typename Fn>
+double best_wps(std::size_t workers, Fn&& run) {
+  double best = 0.0;
+  double total_seconds = 0.0;
+  for (int rep = 0; rep < 3 || total_seconds < 0.3; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    run();
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    total_seconds += elapsed.count();
+    best = std::max(best,
+                    static_cast<double>(workers) / elapsed.count());
+    if (rep > 100) break;
+  }
+  return best;
+}
+
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t workers = 20000;
+  std::size_t classes = 6;
+  std::size_t intervals = 20;
+  double min_ratio = 2.0;
+  double min_scalar_wps = 0.0;
+  std::string out_path = "BENCH_throughput.json";
+  bool force = false;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "bad argument (want key=value): %s\n", argv[a]);
+      return 2;
+    }
+    const std::string key = arg.substr(0, eq);
+    const std::string value = arg.substr(eq + 1);
+    if (key == "workers") workers = std::strtoull(value.c_str(), nullptr, 10);
+    else if (key == "classes") classes = std::strtoull(value.c_str(), nullptr, 10);
+    else if (key == "intervals") intervals = std::strtoull(value.c_str(), nullptr, 10);
+    else if (key == "min_ratio") min_ratio = std::strtod(value.c_str(), nullptr);
+    else if (key == "min_scalar_wps") min_scalar_wps = std::strtod(value.c_str(), nullptr);
+    else if (key == "out") out_path = value;
+    else if (key == "force") force = value != "0";
+    else { std::fprintf(stderr, "unknown key: %s\n", key.c_str()); return 2; }
+  }
+
+  const std::string build_type = CCD_BUILD_TYPE;
+  if (build_type != "release" && !force) {
+    std::fprintf(stderr,
+                 "bench_throughput: library_build_type is \"%s\", not "
+                 "\"release\"; refusing to publish throughput numbers "
+                 "(rebuild with -DCMAKE_BUILD_TYPE=Release, or pass force=1 "
+                 "for a local, non-gating run)\n",
+                 build_type.c_str());
+    return 3;
+  }
+
+  const std::vector<contract::SubproblemSpec> specs =
+      fleet_specs(workers, classes, intervals);
+  util::ThreadPool pool(1);  // single-thread numbers: gate kernel speed,
+                             // not core count
+  contract::DesignCache cache;
+
+  // Steady state: all class tables cached before any timed run.
+  for (std::size_t c = 0; c < classes && c < workers; ++c) {
+    cache.table_for(specs[c]);
+  }
+
+  contract::BatchOptions scalar_opts;
+  scalar_opts.pool = &pool;
+  scalar_opts.cache = &cache;
+  scalar_opts.kernel = contract::SweepKernel::kScalar;
+  std::vector<contract::DesignResult> scalar_results;
+  const double scalar_wps = best_wps(workers, [&] {
+    scalar_results = contract::design_contracts_batch(specs, scalar_opts);
+  });
+
+  contract::BatchOptions simd_opts = scalar_opts;
+  simd_opts.kernel = contract::SweepKernel::kSimd;
+  std::vector<contract::DesignResult> simd_results;
+  const double simd_batch_wps = best_wps(workers, [&] {
+    simd_results = contract::design_contracts_batch(specs, simd_opts);
+  });
+
+  const contract::FleetSoA fleet = contract::FleetSoA::from_specs(specs);
+  contract::FleetOptions fleet_opts;
+  fleet_opts.pool = &pool;
+  fleet_opts.cache = &cache;
+  contract::FleetDesignResult fleet_result;
+  const double fleet_simd_wps = best_wps(workers, [&] {
+    fleet_result = contract::design_fleet(fleet, fleet_opts);
+  });
+
+  contract::FleetOptions portable_opts = fleet_opts;
+  portable_opts.force_portable = true;
+  contract::FleetDesignResult portable_result;
+  const double fleet_portable_wps = best_wps(workers, [&] {
+    portable_result = contract::design_fleet(fleet, portable_opts);
+  });
+
+  // Self-check on a subsample: the scalar batch must be bitwise-identical
+  // to the uncached design_contract reference; the SIMD fleet result is
+  // compared bitwise too and reported (expected identical on this
+  // machine's no-contraction build; only the scalar flag gates).
+  bool scalar_bitwise = true;
+  bool simd_bitwise = true;
+  const std::size_t stride = std::max<std::size_t>(1, workers / 64);
+  for (std::size_t i = 0; i < workers; i += stride) {
+    const contract::DesignResult reference =
+        contract::design_contract(specs[i]);
+    const contract::DesignResult& s = scalar_results[i];
+    scalar_bitwise =
+        scalar_bitwise && s.k_opt == reference.k_opt &&
+        same_bits(s.requester_utility, reference.requester_utility) &&
+        same_bits(s.upper_bound, reference.upper_bound) &&
+        same_bits(s.lower_bound, reference.lower_bound) &&
+        same_bits(s.response.effort, reference.response.effort) &&
+        same_bits(s.response.compensation, reference.response.compensation);
+    simd_bitwise =
+        simd_bitwise && fleet_result.k_opt[i] == reference.k_opt &&
+        same_bits(fleet_result.requester_utility[i],
+                  reference.requester_utility) &&
+        same_bits(fleet_result.upper_bound[i], reference.upper_bound) &&
+        same_bits(fleet_result.lower_bound[i], reference.lower_bound) &&
+        same_bits(fleet_result.effort[i], reference.response.effort) &&
+        same_bits(fleet_result.compensation[i],
+                  reference.response.compensation);
+  }
+
+  const double ratio = scalar_wps > 0.0 ? fleet_simd_wps / scalar_wps : 0.0;
+  const bool ratio_ok = ratio >= min_ratio;
+  const bool floor_ok = scalar_wps >= min_scalar_wps;
+  const bool release = build_type == "release";
+  const bool pass = release && ratio_ok && floor_ok && scalar_bitwise;
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 2;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"library_build_type\": \"%s\",\n", build_type.c_str());
+  std::fprintf(out, "  \"simd_kernel\": \"%s\",\n",
+               contract::simd_kernel_name().c_str());
+  std::fprintf(out, "  \"workers\": %zu,\n", workers);
+  std::fprintf(out, "  \"classes\": %zu,\n", classes);
+  std::fprintf(out, "  \"intervals\": %zu,\n", intervals);
+  std::fprintf(out, "  \"scalar_batch_wps\": %.1f,\n", scalar_wps);
+  std::fprintf(out, "  \"simd_batch_wps\": %.1f,\n", simd_batch_wps);
+  std::fprintf(out, "  \"fleet_simd_wps\": %.1f,\n", fleet_simd_wps);
+  std::fprintf(out, "  \"fleet_portable_wps\": %.1f,\n", fleet_portable_wps);
+  std::fprintf(out, "  \"simd_over_scalar_ratio\": %.3f,\n", ratio);
+  std::fprintf(out, "  \"min_ratio\": %.3f,\n", min_ratio);
+  std::fprintf(out, "  \"min_scalar_wps\": %.1f,\n", min_scalar_wps);
+  std::fprintf(out, "  \"scalar_bitwise_vs_reference\": %s,\n",
+               scalar_bitwise ? "true" : "false");
+  std::fprintf(out, "  \"simd_bitwise_vs_reference\": %s,\n",
+               simd_bitwise ? "true" : "false");
+  std::fprintf(out, "  \"pass\": %s\n", pass ? "true" : "false");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+
+  std::printf(
+      "bench_throughput (%s, simd=%s): scalar %.0f w/s, simd batch %.0f "
+      "w/s, fleet simd %.0f w/s, fleet portable %.0f w/s, ratio %.2fx "
+      "(need >= %.2fx), scalar bitwise %s, simd bitwise %s -> %s\n",
+      build_type.c_str(), contract::simd_kernel_name().c_str(), scalar_wps,
+      simd_batch_wps, fleet_simd_wps, fleet_portable_wps, ratio, min_ratio,
+      scalar_bitwise ? "ok" : "FAIL", simd_bitwise ? "ok" : "differs",
+      pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

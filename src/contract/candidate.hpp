@@ -19,9 +19,17 @@
 // feedback motive already drives the effort — so the *applied* slope is
 // clamped at 0 to keep the contract monotone (Eq. 9); the raw value still
 // feeds the recurrence.
+//
+// Crucially, nothing in the recurrence reads k: candidate k's slopes are
+// the prefix alpha_1..alpha_k of one k-independent sequence. The whole
+// k-sweep therefore shares a single recurrence pass (candidate_recurrence),
+// and build_design_table materializes each candidate as a payment prefix —
+// bitwise-identical to building each candidate from scratch, without the
+// former O(m^2) recomputation.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "contract/contract.hpp"
@@ -35,7 +43,47 @@ struct CandidateBuildInfo {
   std::vector<double> raw_slopes;      ///< recurrence values alpha_1..alpha_k
   std::vector<double> applied_slopes;  ///< max(raw, 0)
   std::vector<double> epsilons;        ///< eps_1..eps_k
+  /// 1 where the capped Case-III window collapsed (see candidate_recurrence)
+  /// and the epsilon floor was substituted for the Eq. 40 value.
+  std::vector<std::uint8_t> degenerate_window;
+
+  bool any_degenerate() const {
+    for (const std::uint8_t flag : degenerate_window) {
+      if (flag != 0) return true;
+    }
+    return false;
+  }
 };
+
+/// The k-independent Eq. 39/40 recurrence evaluated for intervals
+/// 1..k_max, plus the cumulative payments along the ascending branch.
+/// Candidate k's payments are pay_prefix[0..k] followed by a flat tail.
+/// The struct is an out-parameter so repeated sweeps (one per spec class)
+/// reuse vector capacity instead of reallocating per candidate.
+struct CandidateRecurrence {
+  std::vector<double> raw_slopes;                ///< alpha_1..alpha_{k_max}
+  std::vector<double> applied_slopes;            ///< max(raw, 0)
+  std::vector<double> epsilons;                  ///< eps_1..eps_{k_max}
+  std::vector<std::uint8_t> degenerate_window;   ///< per-l degeneracy flags
+  std::vector<double> pay_prefix;                ///< payments[0..k_max]
+};
+
+/// Run the slope recurrence for intervals 1..k_max on the grid
+/// {0, δ, ..., mδ}. Requires 1 <= k_max <= m and psi strictly increasing on
+/// [0, mδ] (throws ccd::ContractError otherwise).
+///
+/// Epsilon handling (`cap_epsilon = true`): Eq. 40's epsilon is capped at a
+/// small fraction of the remaining Case-III window so coarse grids cannot
+/// push the slope to the expensive Case-II edge. When the window itself is
+/// degenerate — non-positive after rounding, or so narrow that base + eps
+/// would not move past base in double precision — Eq. 36's *strict*
+/// preference would silently break (the former code let eps go
+/// non-positive here). Such intervals instead take a small positive
+/// relative floor and are flagged in `degenerate_window`.
+void candidate_recurrence(const effort::QuadraticEffort& psi, double delta,
+                          std::size_t m, std::size_t k_max,
+                          const WorkerIncentives& inc, bool cap_epsilon,
+                          CandidateRecurrence& out);
 
 /// Build ξ^(k) on the grid {0, δ, ..., mδ}. Requires 1 <= k <= m and psi
 /// strictly increasing on [0, mδ] (throws ccd::ContractError otherwise).

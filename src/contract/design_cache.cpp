@@ -1,10 +1,7 @@
 #include "contract/design_cache.hpp"
 
-#include <atomic>
 #include <bit>
 #include <utility>
-
-#include "util/thread_pool.hpp"
 
 namespace ccd::contract {
 namespace {
@@ -48,17 +45,36 @@ struct CacheMetrics {
 
 }  // namespace
 
+namespace {
+
+// -0.0 -> +0.0; every other value (including NaN payloads) unchanged.
+// Keys canonicalize zeros so bitwise equality still delivers the intended
+// sharing for sign-of-zero twins.
+double canonical_zero(double value) { return value == 0.0 ? 0.0 : value; }
+
+}  // namespace
+
 DesignCacheKey DesignCacheKey::of(const SubproblemSpec& spec) {
   DesignCacheKey key;
-  key.r2 = spec.psi.r2();
-  key.r1 = spec.psi.r1();
-  key.r0 = spec.psi.r0();
-  key.beta = spec.incentives.beta;
-  key.omega = spec.incentives.omega;
-  key.mu = spec.mu;
+  key.r2 = canonical_zero(spec.psi.r2());
+  key.r1 = canonical_zero(spec.psi.r1());
+  key.r0 = canonical_zero(spec.psi.r0());
+  key.beta = canonical_zero(spec.incentives.beta);
+  key.omega = canonical_zero(spec.incentives.omega);
+  key.mu = canonical_zero(spec.mu);
   key.intervals = spec.intervals;
-  key.domain = spec.resolved_domain();
+  key.domain = canonical_zero(spec.resolved_domain());
   return key;
+}
+
+bool DesignCacheKey::operator==(const DesignCacheKey& other) const {
+  const auto same = [](double a, double b) {
+    return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+  };
+  return same(r2, other.r2) && same(r1, other.r1) && same(r0, other.r0) &&
+         same(beta, other.beta) && same(omega, other.omega) &&
+         same(mu, other.mu) && intervals == other.intervals &&
+         same(domain, other.domain);
 }
 
 std::size_t DesignCacheKeyHash::operator()(const DesignCacheKey& key) const {
@@ -175,117 +191,8 @@ void DesignCache::record(const DesignCacheStats& delta) {
   CacheMetrics::get().add(delta);
 }
 
-std::vector<DesignResult> design_contracts_batch(
-    const std::vector<SubproblemSpec>& specs, const BatchOptions& options,
-    DesignCacheStats* stats) {
-  DesignCache local_cache;
-  DesignCache& cache = options.cache ? *options.cache : local_cache;
-  util::ThreadPool& pool = options.pool ? *options.pool : util::shared_pool();
-
-  const std::size_t n = specs.size();
-  std::vector<DesignResult> results(n);
-  std::vector<std::uint8_t> resolved_local;
-  std::vector<std::uint8_t>& resolved =
-      options.resolved ? *options.resolved : resolved_local;
-  resolved.assign(n, 0);
-
-  // Group cacheable specs (weight > 0) by canonical key; group order
-  // follows first occurrence, so grouping itself is deterministic.
-  constexpr std::size_t kNoGroup = static_cast<std::size_t>(-1);
-  std::unordered_map<DesignCacheKey, std::size_t, DesignCacheKeyHash>
-      group_of_key;
-  std::vector<std::size_t> representative;  // group -> first spec index
-  std::vector<std::size_t> group_of(n, kNoGroup);
-  for (std::size_t i = 0; i < n; ++i) {
-    specs[i].validate();
-    if (specs[i].weight <= 0.0) continue;
-    const DesignCacheKey key = DesignCacheKey::of(specs[i]);
-    const auto [it, inserted] =
-        group_of_key.emplace(key, representative.size());
-    if (inserted) representative.push_back(i);
-    group_of[i] = it->second;
-  }
-
-  // One k-sweep per distinct spec, distinct specs in parallel.
-  std::vector<std::shared_ptr<const DesignTable>> tables(
-      representative.size());
-  std::atomic<std::size_t> computed{0};
-  std::atomic<std::uint64_t> steps_computed{0};
-  pool.parallel_for(representative.size(), [&](std::size_t g) {
-    bool was_hit = false;
-    {
-      // Span of this distinct spec's design (the per-community solve span
-      // when the spec is a community fit; a cache hit records the cheap
-      // lookup instead of a sweep).
-      util::metrics::ScopedTimer timer(options.sweep_histogram);
-      tables[g] = cache.table_for(specs[representative[g]], &was_hit);
-    }
-    if (!was_hit) {
-      computed.fetch_add(1, std::memory_order_relaxed);
-      steps_computed.fetch_add(specs[representative[g]].intervals,
-                               std::memory_order_relaxed);
-    }
-  }, options.cancel);
-
-  // Per-worker resolve: cheap argmax over the shared table. Groups whose
-  // sweep was skipped by cancellation have a null table; their workers
-  // stay unresolved (results default-constructed, resolved flag 0).
-  pool.parallel_for(n, [&](std::size_t i) {
-    if (group_of[i] == kNoGroup) {
-      results[i] = resolve_design(specs[i], kEmptyTable);
-    } else if (tables[group_of[i]] != nullptr) {
-      results[i] = resolve_design(specs[i], *tables[group_of[i]]);
-    } else {
-      return;
-    }
-    resolved[i] = 1;
-  }, options.cancel);
-
-  // Per-call counters: every cacheable spec the batch actually resolved is
-  // one lookup; only the distinct specs not already in `cache` paid for a
-  // sweep. Counting resolved specs (rather than all of them) keeps the
-  // arithmetic consistent when cancellation skipped part of the batch.
-  std::size_t cacheable = 0;
-  std::size_t cacheable_steps = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (group_of[i] == kNoGroup || !resolved[i]) continue;
-    ++cacheable;
-    cacheable_steps += specs[i].intervals;
-  }
-  DesignCacheStats call_stats;
-  call_stats.lookups = cacheable;
-  call_stats.misses = computed.load();
-  call_stats.hits =
-      call_stats.lookups > call_stats.misses
-          ? call_stats.lookups - call_stats.misses : 0;
-  call_stats.sweep_steps_computed =
-      static_cast<std::size_t>(steps_computed.load());
-  call_stats.sweep_steps_avoided =
-      cacheable_steps > call_stats.sweep_steps_computed
-          ? cacheable_steps - call_stats.sweep_steps_computed : 0;
-  if (stats) *stats = call_stats;
-
-  // table_for() above only recorded one lookup per distinct group; fold in
-  // the per-worker resolutions the batch served without touching the map,
-  // so cumulative stats (and the process-wide `ccd.cache.*` registry
-  // counters the cache mirrors into) count every resolution — also when
-  // the batch ran on its own private cache.
-  std::size_t groups_ran = 0;
-  std::size_t groups_ran_steps = 0;
-  for (std::size_t g = 0; g < representative.size(); ++g) {
-    if (tables[g] == nullptr) continue;  // sweep skipped by cancellation
-    ++groups_ran;
-    groups_ran_steps += specs[representative[g]].intervals;
-  }
-  DesignCacheStats extra;
-  extra.lookups = cacheable > groups_ran ? cacheable - groups_ran : 0;
-  extra.hits = extra.lookups;
-  extra.sweep_steps_avoided =
-      cacheable_steps > groups_ran_steps ? cacheable_steps - groups_ran_steps
-                                         : 0;
-  cache.record(extra);
-
-  return results;
-}
+// design_contracts_batch lives in fleet_soa.cpp: it is reimplemented on
+// the FleetSoA grouping and shares its table-acquisition and stats
+// accounting with design_fleet.
 
 }  // namespace ccd::contract

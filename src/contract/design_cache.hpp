@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "contract/designer.hpp"
+#include "contract/ksweep.hpp"
 #include "util/metrics.hpp"
 
 namespace ccd::util {
@@ -33,6 +34,10 @@ class ThreadPool;
 }
 
 namespace ccd::contract {
+
+struct FleetSoA;
+struct FleetOptions;
+struct FleetDesignResult;
 
 /// Canonical cache key: every SubproblemSpec field the k-sweep reads —
 /// i.e. everything except `weight`. The effort domain is stored resolved,
@@ -48,8 +53,18 @@ struct DesignCacheKey {
   std::uint64_t intervals = 0;
   double domain = 0.0;  ///< resolved effort domain
 
+  /// Canonicalizes the double fields: -0.0 normalizes to +0.0, so the
+  /// documented "same class fit copied into many specs" sharing survives a
+  /// sign-of-zero difference (e.g. omega = -0.0 vs 0.0).
   static DesignCacheKey of(const SubproblemSpec& spec);
-  bool operator==(const DesignCacheKey& other) const = default;
+
+  /// Equality is *bitwise* (per field, on the bit patterns), matching
+  /// DesignCacheKeyHash. A defaulted (value) equality would violate the
+  /// unordered_map invariant "equal keys hash equally": -0.0 == +0.0
+  /// compares true but the bit patterns hash differently (duplicate tables
+  /// and missed hits), and a NaN field would compare unequal to itself so
+  /// such a key could never be found again.
+  bool operator==(const DesignCacheKey& other) const;
 };
 
 struct DesignCacheKeyHash {
@@ -105,6 +120,8 @@ class DesignCache {
   friend std::vector<DesignResult> design_contracts_batch(
       const std::vector<SubproblemSpec>&, const struct BatchOptions&,
       DesignCacheStats*);
+  friend FleetDesignResult design_fleet(const FleetSoA&, const FleetOptions&,
+                                        DesignCacheStats*);
 
   void record(const DesignCacheStats& delta);
 
@@ -134,6 +151,13 @@ struct BatchOptions {
   /// When non-null, resized to specs.size(); (*resolved)[i] is 1 iff
   /// results[i] was actually designed (always all-ones unless cancelled).
   std::vector<std::uint8_t>* resolved = nullptr;
+  /// Per-worker resolve kernel. Defaults to the scalar reference path,
+  /// which is bitwise-identical to design_contract on every build — the
+  /// batch API's documented contract (checkpoint/resume and the wire
+  /// protocol replay against it). kSimd/kAuto select the vectorized
+  /// tableau resolve (see ksweep.hpp): identical results on builds without
+  /// floating-point contraction, last-ulp differences possible with it.
+  SweepKernel kernel = SweepKernel::kScalar;
 };
 
 /// Design contracts for a whole fleet: one k-sweep per distinct spec

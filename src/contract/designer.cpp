@@ -46,15 +46,34 @@ DesignResult excluded_result(const SubproblemSpec& spec) {
   return result;
 }
 
-/// Stable per-spec key for fault injection: mixes the bit patterns of the
-/// fields that distinguish one subproblem from another.
+/// Stable per-spec key for fault injection: a deterministic mix over the
+/// bit patterns of *every* field that distinguishes one subproblem from
+/// another. The former key folded in only weight, mu, and intervals, so
+/// specs differing only in psi, beta, or omega (e.g. the per-class fits of
+/// one fleet) collided on the same injection site key and could not be
+/// targeted independently.
 std::uint64_t fault_key(const SubproblemSpec& spec) {
-  std::uint64_t bits_w = 0;
-  std::uint64_t bits_mu = 0;
-  std::memcpy(&bits_w, &spec.weight, sizeof(bits_w));
-  std::memcpy(&bits_mu, &spec.mu, sizeof(bits_mu));
-  return bits_w ^ (bits_mu * 0x9e3779b97f4a7c15ULL) ^
-         (static_cast<std::uint64_t>(spec.intervals) << 48);
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+  };
+  const auto mix_double = [&mix](double value) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    mix(bits);
+  };
+  mix_double(spec.psi.r2());
+  mix_double(spec.psi.r1());
+  mix_double(spec.psi.r0());
+  mix_double(spec.incentives.beta);
+  mix_double(spec.incentives.omega);
+  mix_double(spec.weight);
+  mix_double(spec.mu);
+  mix(static_cast<std::uint64_t>(spec.intervals));
+  mix_double(spec.effort_domain);
+  return h;
 }
 
 }  // namespace
@@ -63,13 +82,33 @@ DesignTable build_design_table(const SubproblemSpec& spec) {
   spec.validate();
   const double delta = spec.delta();
   const std::size_t m = spec.intervals;
+
+  // The Eq. 39/40 recurrence never reads k: candidate k's slopes are the
+  // prefix alpha_1..alpha_k of one shared sequence, so a single recurrence
+  // pass serves the whole sweep. Each candidate materializes as the shared
+  // payment prefix plus a flat tail — bitwise-identical to the former
+  // per-candidate build_candidate loop, without its O(m^2) recomputation
+  // (and without re-evaluating the psi knots m times).
+  CandidateRecurrence rec;
+  candidate_recurrence(spec.psi, delta, m, m, spec.incentives,
+                       /*cap_epsilon=*/true, rec);
+  std::vector<double> knots(m + 1);
+  for (std::size_t l = 0; l <= m; ++l) {
+    knots[l] = spec.psi(delta * static_cast<double>(l));
+  }
+
   DesignTable table;
   table.candidates.reserve(m);
+  std::vector<double> response_scratch;
   for (std::size_t k = 1; k <= m; ++k) {
+    std::vector<double> payments(m + 1);
+    std::copy(rec.pay_prefix.begin(), rec.pay_prefix.begin() + k + 1,
+              payments.begin());
+    std::fill(payments.begin() + k + 1, payments.end(), rec.pay_prefix[k]);
     CandidateOutcome outcome;
-    outcome.contract = build_candidate(spec.psi, delta, m, k, spec.incentives);
-    outcome.response =
-        best_response(outcome.contract, spec.psi, spec.incentives);
+    outcome.contract = Contract(delta, knots, std::move(payments));
+    outcome.response = best_response(outcome.contract, spec.psi,
+                                     spec.incentives, -1.0, &response_scratch);
     table.candidates.push_back(std::move(outcome));
   }
   return table;

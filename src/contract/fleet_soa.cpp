@@ -1,0 +1,436 @@
+#include "contract/fleet_soa.hpp"
+
+#include <atomic>
+#include <unordered_map>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ccd::contract {
+
+FleetSoA FleetSoA::from_specs(const std::vector<SubproblemSpec>& specs) {
+  FleetSoA fleet;
+  const std::size_t n = specs.size();
+  fleet.weight.resize(n);
+  fleet.class_of.resize(n);
+
+  std::unordered_map<DesignCacheKey, std::size_t, DesignCacheKeyHash>
+      class_of_key;
+  std::vector<std::size_t> counts;
+  for (std::size_t i = 0; i < n; ++i) {
+    specs[i].validate();
+    const DesignCacheKey key = DesignCacheKey::of(specs[i]);
+    const auto [it, inserted] = class_of_key.emplace(key, fleet.classes());
+    if (inserted) {
+      fleet.r2.push_back(key.r2);
+      fleet.r1.push_back(key.r1);
+      fleet.r0.push_back(key.r0);
+      fleet.beta.push_back(key.beta);
+      fleet.omega.push_back(key.omega);
+      fleet.mu.push_back(key.mu);
+      fleet.intervals.push_back(static_cast<std::size_t>(key.intervals));
+      fleet.domain.push_back(key.domain);
+      fleet.first_positive.push_back(npos);
+      counts.push_back(0);
+    }
+    const std::size_t c = it->second;
+    fleet.class_of[i] = c;
+    fleet.weight[i] = specs[i].weight;
+    ++counts[c];
+    if (specs[i].weight > 0.0 && fleet.first_positive[c] == npos) {
+      fleet.first_positive[c] = i;
+    }
+  }
+
+  const std::size_t classes = fleet.classes();
+  fleet.class_begin.assign(classes + 1, 0);
+  for (std::size_t c = 0; c < classes; ++c) {
+    fleet.class_begin[c + 1] = fleet.class_begin[c] + counts[c];
+  }
+  fleet.order.resize(n);
+  fleet.grouped_weight.resize(n);
+  std::vector<std::size_t> cursor(fleet.class_begin.begin(),
+                                  fleet.class_begin.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t pos = cursor[fleet.class_of[i]]++;
+    fleet.order[pos] = i;
+    fleet.grouped_weight[pos] = fleet.weight[i];
+  }
+  return fleet;
+}
+
+SubproblemSpec FleetSoA::class_spec(std::size_t c) const {
+  SubproblemSpec spec;
+  spec.psi = effort::QuadraticEffort(r2[c], r1[c], r0[c]);
+  spec.incentives.beta = beta[c];
+  spec.incentives.omega = omega[c];
+  spec.weight = 1.0;
+  spec.mu = mu[c];
+  spec.intervals = intervals[c];
+  spec.effort_domain = domain[c];  // stored resolved, always > 0
+  return spec;
+}
+
+SubproblemSpec FleetSoA::worker_spec(std::size_t i) const {
+  SubproblemSpec spec = class_spec(class_of[i]);
+  spec.weight = weight[i];
+  return spec;
+}
+
+FleetTableSet acquire_fleet_tables(
+    const FleetSoA& fleet, DesignCache& cache, util::ThreadPool& pool,
+    util::metrics::Histogram* sweep_histogram,
+    const util::CancellationToken* cancel,
+    const std::vector<SubproblemSpec>* original_specs) {
+  FleetTableSet ts;
+  ts.tables.assign(fleet.classes(), nullptr);
+
+  std::vector<std::size_t> cacheable;
+  cacheable.reserve(fleet.classes());
+  for (std::size_t c = 0; c < fleet.classes(); ++c) {
+    if (fleet.first_positive[c] != FleetSoA::npos) cacheable.push_back(c);
+  }
+
+  std::atomic<std::size_t> computed{0};
+  std::atomic<std::uint64_t> steps_computed{0};
+  pool.parallel_for(cacheable.size(), [&](std::size_t g) {
+    const std::size_t c = cacheable[g];
+    const std::size_t rep = fleet.first_positive[c];
+    bool was_hit = false;
+    {
+      // Span of this class's design (see BatchOptions::sweep_histogram; a
+      // cache hit records the cheap lookup instead of a sweep).
+      util::metrics::ScopedTimer timer(sweep_histogram);
+      if (original_specs != nullptr) {
+        ts.tables[c] = cache.table_for((*original_specs)[rep], &was_hit);
+      } else {
+        ts.tables[c] = cache.table_for(fleet.worker_spec(rep), &was_hit);
+      }
+    }
+    if (!was_hit) {
+      computed.fetch_add(1, std::memory_order_relaxed);
+      steps_computed.fetch_add(fleet.intervals[c], std::memory_order_relaxed);
+    }
+  }, cancel);
+  ts.sweeps_computed = computed.load();
+  ts.sweep_steps_computed = steps_computed.load();
+  return ts;
+}
+
+namespace {
+
+// Both epilogues scatter a worker's BestResponse fields into the SoA
+// output.
+void write_response(FleetDesignResult& out, std::size_t i,
+                    const BestResponse& response) {
+  out.effort[i] = response.effort;
+  out.worker_utility[i] = response.utility;
+  out.feedback[i] = response.feedback;
+  out.compensation[i] = response.compensation;
+  out.response_interval[i] = response.interval;
+}
+
+// design_contracts_batch's per-call accounting, computed from the fleet
+// arrays (see that function's comments for the rationale). Returns the
+// per-call snapshot and the `extra` delta the caller records into the
+// cache for per-worker resolutions served without touching the map.
+struct FleetCallStats {
+  DesignCacheStats call;
+  DesignCacheStats extra;
+};
+
+FleetCallStats fleet_call_stats(const FleetSoA& fleet,
+                                const std::vector<std::uint8_t>& resolved,
+                                const FleetTableSet& ts) {
+  std::size_t cacheable = 0;
+  std::size_t cacheable_steps = 0;
+  for (std::size_t i = 0; i < fleet.workers(); ++i) {
+    if (fleet.weight[i] <= 0.0 || !resolved[i]) continue;
+    ++cacheable;
+    cacheable_steps += fleet.intervals[fleet.class_of[i]];
+  }
+
+  FleetCallStats out;
+  out.call.lookups = cacheable;
+  out.call.misses = ts.sweeps_computed;
+  out.call.hits = out.call.lookups > out.call.misses
+                      ? out.call.lookups - out.call.misses : 0;
+  out.call.sweep_steps_computed =
+      static_cast<std::size_t>(ts.sweep_steps_computed);
+  out.call.sweep_steps_avoided =
+      cacheable_steps > out.call.sweep_steps_computed
+          ? cacheable_steps - out.call.sweep_steps_computed : 0;
+
+  std::size_t classes_ran = 0;
+  std::size_t classes_ran_steps = 0;
+  for (std::size_t c = 0; c < fleet.classes(); ++c) {
+    if (fleet.first_positive[c] == FleetSoA::npos) continue;
+    if (ts.tables[c] == nullptr) continue;  // sweep skipped by cancellation
+    ++classes_ran;
+    classes_ran_steps += fleet.intervals[c];
+  }
+  out.extra.lookups = cacheable > classes_ran ? cacheable - classes_ran : 0;
+  out.extra.hits = out.extra.lookups;
+  out.extra.sweep_steps_avoided =
+      cacheable_steps > classes_ran_steps ? cacheable_steps - classes_ran_steps
+                                          : 0;
+  return out;
+}
+
+}  // namespace
+
+DesignResult FleetDesignResult::result_at(const FleetSoA& fleet,
+                                          std::size_t i) const {
+  const SubproblemSpec spec = fleet.worker_spec(i);
+  if (spec.weight <= 0.0) {
+    const DesignTable empty;
+    return resolve_design(spec, empty);
+  }
+  const std::shared_ptr<const DesignTable>& table = tables[fleet.class_of[i]];
+  CCD_CHECK_MSG(table != nullptr,
+                "result_at: worker's class sweep was skipped (cancelled)");
+  return resolve_design(spec, *table);
+}
+
+FleetDesignResult design_fleet(const FleetSoA& fleet,
+                               const FleetOptions& options,
+                               DesignCacheStats* stats) {
+  DesignCache local_cache;
+  DesignCache& cache = options.cache ? *options.cache : local_cache;
+  util::ThreadPool& pool = options.pool ? *options.pool : util::shared_pool();
+  const std::size_t n = fleet.workers();
+
+  FleetDesignResult out;
+  out.k_opt.assign(n, 0);
+  out.requester_utility.assign(n, 0.0);
+  out.upper_bound.assign(n, 0.0);
+  out.lower_bound.assign(n, 0.0);
+  out.effort.assign(n, 0.0);
+  out.worker_utility.assign(n, 0.0);
+  out.feedback.assign(n, 0.0);
+  out.compensation.assign(n, 0.0);
+  out.response_interval.assign(n, 0);
+  out.excluded.assign(n, 0);
+  out.resolved.assign(n, 0);
+
+  FleetTableSet ts = acquire_fleet_tables(fleet, cache, pool,
+                                          options.sweep_histogram,
+                                          options.cancel);
+  out.tables = ts.tables;
+
+  if (resolve_kernel(options.kernel) == SweepKernel::kScalar) {
+    // Reference epilogue: one resolve_design per worker, scattered into
+    // the SoA arrays. Bitwise design_contract semantics on every build.
+    pool.parallel_for(n, [&](std::size_t i) {
+      const SubproblemSpec spec = fleet.worker_spec(i);
+      DesignResult result;
+      if (spec.weight <= 0.0) {
+        const DesignTable empty;
+        result = resolve_design(spec, empty);
+      } else if (ts.tables[fleet.class_of[i]] != nullptr) {
+        result = resolve_design(spec, *ts.tables[fleet.class_of[i]]);
+      } else {
+        return;  // class sweep skipped by cancellation
+      }
+      out.k_opt[i] = result.k_opt;
+      out.requester_utility[i] = result.requester_utility;
+      out.upper_bound[i] = result.upper_bound;
+      out.lower_bound[i] = result.lower_bound;
+      write_response(out, i, result.response);
+      out.excluded[i] = result.excluded ? 1 : 0;
+      out.resolved[i] = 1;
+    }, options.cancel);
+  } else {
+    // Vectorized epilogue: per class, build the tableau once and resolve
+    // the class's contiguous weight slice in one kernel pass. Classes
+    // write disjoint output indices, so they parallelize freely.
+    pool.parallel_for(fleet.classes(), [&](std::size_t c) {
+      const std::size_t begin = fleet.class_begin[c];
+      const std::size_t count = fleet.class_begin[c + 1] - begin;
+      if (count == 0) return;
+      const std::shared_ptr<const DesignTable>& table = ts.tables[c];
+      const bool has_positive = fleet.first_positive[c] != FleetSoA::npos;
+      if (table == nullptr && has_positive) {
+        return;  // sweep skipped by cancellation: workers stay unresolved
+      }
+      const SubproblemSpec cls = fleet.class_spec(c);
+
+      if (table == nullptr) {
+        // Every member is weight-excluded: the §V zero contract, whose
+        // best response is class-wide (computed once, not per worker).
+        const BestResponse zero =
+            best_response(Contract(), cls.psi, cls.incentives);
+        for (std::size_t j = 0; j < count; ++j) {
+          const std::size_t i = fleet.order[begin + j];
+          write_response(out, i, zero);
+          out.excluded[i] = 1;
+          out.resolved[i] = 1;
+        }
+        return;
+      }
+
+      ScratchArena arena;
+      const ClassTableau tableau = build_class_tableau(cls, *table, arena);
+      double* utility = arena.doubles(count);
+      double* upper = arena.doubles(count);
+      std::vector<std::size_t> k_opt(count);
+      resolve_class(tableau, fleet.grouped_weight.data() + begin, count,
+                    ResolveOut{k_opt.data(), utility, upper},
+                    options.force_portable);
+
+      for (std::size_t j = 0; j < count; ++j) {
+        const std::size_t i = fleet.order[begin + j];
+        const double w = fleet.grouped_weight[begin + j];
+        if (w <= 0.0 || utility[j] < 0.0) {
+          // Weight exclusion or the §V max_k utility < 0 fallback; the
+          // zero-contract response is shared class-wide.
+          write_response(out, i, tableau.zero_response);
+          out.excluded[i] = 1;
+        } else {
+          const std::size_t k = k_opt[j];
+          write_response(out, i, table->candidates[k - 1].response);
+          out.k_opt[i] = k;
+          out.requester_utility[i] = utility[j];
+          out.upper_bound[i] = upper[j];
+          out.lower_bound[i] = w * tableau.lb_feedback[k - 1] -
+                               tableau.mu * tableau.lb_pay[k - 1];
+        }
+        out.resolved[i] = 1;
+      }
+    }, options.cancel);
+  }
+
+  const FleetCallStats fcs = fleet_call_stats(fleet, out.resolved, ts);
+  if (stats) *stats = fcs.call;
+  cache.record(fcs.extra);
+  return out;
+}
+
+std::vector<DesignResult> design_contracts_batch(
+    const std::vector<SubproblemSpec>& specs, const BatchOptions& options,
+    DesignCacheStats* stats) {
+  DesignCache local_cache;
+  DesignCache& cache = options.cache ? *options.cache : local_cache;
+  util::ThreadPool& pool = options.pool ? *options.pool : util::shared_pool();
+
+  const std::size_t n = specs.size();
+  std::vector<DesignResult> results(n);
+  std::vector<std::uint8_t> resolved_local;
+  std::vector<std::uint8_t>& resolved =
+      options.resolved ? *options.resolved : resolved_local;
+  resolved.assign(n, 0);
+
+  // SoA grouping: a class is the canonical weight-excluded cache key, in
+  // first-occurrence order, with each class's workers gathered into a
+  // contiguous CSR slice. Validates every spec in input order.
+  const FleetSoA fleet = FleetSoA::from_specs(specs);
+
+  // One k-sweep per class that has a positive-weight worker, distinct
+  // classes in parallel. The representative specs are the caller's own
+  // objects, so what reaches cache.table_for is unchanged from the
+  // pre-SoA batch (bit patterns and all).
+  const FleetTableSet ts = acquire_fleet_tables(fleet, cache, pool,
+                                                options.sweep_histogram,
+                                                options.cancel, &specs);
+
+  if (resolve_kernel(options.kernel) == SweepKernel::kScalar) {
+    // Reference epilogue: per-worker resolve_design on the original spec,
+    // bitwise-identical to design_contract(specs[i]) on every build.
+    // Classes whose sweep was skipped by cancellation have a null table;
+    // their workers stay unresolved (results default-constructed).
+    static const DesignTable kEmptyTable{};
+    pool.parallel_for(n, [&](std::size_t i) {
+      if (specs[i].weight <= 0.0) {
+        // resolve_design never reads the table when weight <= 0.
+        results[i] = resolve_design(specs[i], kEmptyTable);
+      } else if (ts.tables[fleet.class_of[i]] != nullptr) {
+        results[i] = resolve_design(specs[i], *ts.tables[fleet.class_of[i]]);
+      } else {
+        return;
+      }
+      resolved[i] = 1;
+    }, options.cancel);
+  } else {
+    // Vectorized epilogue: one kernel pass per class, materialized back to
+    // AoS DesignResults with the per-k diagnostics rebuilt from the
+    // tableau columns via the scalar expressions. No fault point on this
+    // path (see ksweep.hpp).
+    pool.parallel_for(fleet.classes(), [&](std::size_t c) {
+      const std::size_t begin = fleet.class_begin[c];
+      const std::size_t count = fleet.class_begin[c + 1] - begin;
+      if (count == 0) return;
+      const bool has_positive = fleet.first_positive[c] != FleetSoA::npos;
+      const std::shared_ptr<const DesignTable>& table = ts.tables[c];
+      if (table == nullptr && has_positive) {
+        return;  // sweep skipped by cancellation: workers stay unresolved
+      }
+      const SubproblemSpec cls = fleet.class_spec(c);
+
+      if (table == nullptr) {
+        // Every member is weight-excluded; the zero-contract response is
+        // class-wide (weight-independent), computed once.
+        const BestResponse zero =
+            best_response(Contract(), cls.psi, cls.incentives);
+        for (std::size_t j = 0; j < count; ++j) {
+          const std::size_t i = fleet.order[begin + j];
+          results[i].excluded = true;
+          results[i].response = zero;
+          resolved[i] = 1;
+        }
+        return;
+      }
+
+      ScratchArena arena;
+      const ClassTableau tableau = build_class_tableau(cls, *table, arena);
+      const std::size_t m = tableau.m;
+      double* utility = arena.doubles(count);
+      double* upper = arena.doubles(count);
+      std::vector<std::size_t> k_opt(count);
+      resolve_class(tableau, fleet.grouped_weight.data() + begin, count,
+                    ResolveOut{k_opt.data(), utility, upper});
+
+      for (std::size_t j = 0; j < count; ++j) {
+        const std::size_t i = fleet.order[begin + j];
+        const double w = fleet.grouped_weight[begin + j];
+        DesignResult& result = results[i];
+        if (w <= 0.0) {
+          // Weight exclusion carries no per-k diagnostics (matching
+          // resolve_design); contract stays the default zero contract.
+          result.excluded = true;
+          result.response = tableau.zero_response;
+        } else {
+          result.utility_by_k.resize(m);
+          result.pay_by_k.assign(tableau.pay, tableau.pay + m);
+          for (std::size_t kk = 0; kk < m; ++kk) {
+            result.utility_by_k[kk] =
+                w * tableau.feedback[kk] - tableau.mu * tableau.pay[kk];
+          }
+          if (utility[j] < 0.0) {
+            // §V fallback: zero contract, diagnostics kept.
+            result.excluded = true;
+            result.response = tableau.zero_response;
+          } else {
+            const std::size_t k = k_opt[j];
+            const CandidateOutcome& candidate = table->candidates[k - 1];
+            result.contract = candidate.contract;
+            result.response = candidate.response;
+            result.k_opt = k;
+            result.requester_utility = utility[j];
+            result.upper_bound = upper[j];
+            result.lower_bound = w * tableau.lb_feedback[k - 1] -
+                                 tableau.mu * tableau.lb_pay[k - 1];
+          }
+        }
+        resolved[i] = 1;
+      }
+    }, options.cancel);
+  }
+
+  const FleetCallStats fcs = fleet_call_stats(fleet, resolved, ts);
+  if (stats) *stats = fcs.call;
+  cache.record(fcs.extra);
+  return results;
+}
+
+}  // namespace ccd::contract

@@ -1,0 +1,78 @@
+// AVX2 kernel for the per-class worker resolve. Compiled into every x86-64
+// build via per-function target attributes (the translation unit itself is
+// baseline-ISA; only the tagged function uses AVX2 encodings), selected at
+// run time through __builtin_cpu_supports. Non-x86 builds compile this file
+// to nothing and use the portable loop.
+//
+// Arithmetic discipline: multiplies, subtracts, ordered compares, and
+// compare+blend maxima only — no FMA — so each lane performs the exact
+// rounding sequence of the scalar expression `w * f - mu * p` and of
+// std::max (blend on strictly-greater keeps the earlier operand on ties,
+// including mixed-sign zeros, matching std::max exactly).
+#include "contract/ksweep.hpp"
+
+#ifdef CCD_KSWEEP_HAVE_AVX2
+
+#include <immintrin.h>
+
+namespace ccd::contract::detail {
+
+bool avx2_supported() { return __builtin_cpu_supports("avx2") != 0; }
+
+__attribute__((target("avx2"))) void resolve_class_avx2(
+    const ClassTableau& tableau, const double* weights, std::size_t count,
+    const ResolveOut& out) {
+  const std::size_t m = tableau.m;
+  const __m256d mu = _mm256_set1_pd(tableau.mu);
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m256d w = _mm256_loadu_pd(weights + i);
+
+    // Eq. 43 argmax; lane = worker, k runs serially. Strictly-greater
+    // blend reproduces the scalar first-max tie break.
+    __m256d best = _mm256_sub_pd(_mm256_mul_pd(w, _mm256_set1_pd(tableau.feedback[0])),
+                                 _mm256_mul_pd(mu, _mm256_set1_pd(tableau.pay[0])));
+    __m256d best_k = _mm256_set1_pd(1.0);
+    for (std::size_t j = 1; j < m; ++j) {
+      const __m256d utility =
+          _mm256_sub_pd(_mm256_mul_pd(w, _mm256_set1_pd(tableau.feedback[j])),
+                        _mm256_mul_pd(mu, _mm256_set1_pd(tableau.pay[j])));
+      const __m256d greater = _mm256_cmp_pd(utility, best, _CMP_GT_OQ);
+      best = _mm256_blendv_pd(best, utility, greater);
+      best_k = _mm256_blendv_pd(
+          best_k, _mm256_set1_pd(static_cast<double>(j + 1)), greater);
+    }
+
+    // Theorem 4.1 upper bound. blend-on-greater == std::max(ub, value).
+    __m256d ub = _mm256_set1_pd(-1e300);
+    for (std::size_t j = 0; j < m; ++j) {
+      const __m256d value =
+          _mm256_sub_pd(_mm256_mul_pd(w, _mm256_set1_pd(tableau.ub_feedback[j])),
+                        _mm256_mul_pd(mu, _mm256_set1_pd(tableau.ub_pay[j])));
+      ub = _mm256_blendv_pd(ub, value, _mm256_cmp_pd(value, ub, _CMP_GT_OQ));
+    }
+    if (tableau.has_free_ride) {
+      const __m256d value =
+          _mm256_mul_pd(w, _mm256_set1_pd(tableau.free_ride_feedback));
+      ub = _mm256_blendv_pd(ub, value, _mm256_cmp_pd(value, ub, _CMP_GT_OQ));
+    }
+
+    _mm256_storeu_pd(out.requester_utility + i, best);
+    _mm256_storeu_pd(out.upper_bound + i, ub);
+    alignas(32) double k_lanes[4];
+    _mm256_store_pd(k_lanes, best_k);
+    for (int lane = 0; lane < 4; ++lane) {
+      out.k_opt[i + lane] = static_cast<std::size_t>(k_lanes[lane]);
+    }
+  }
+
+  if (i < count) {
+    const ResolveOut tail{out.k_opt + i, out.requester_utility + i,
+                          out.upper_bound + i};
+    resolve_class_portable(tableau, weights + i, count - i, tail);
+  }
+}
+
+}  // namespace ccd::contract::detail
+
+#endif  // CCD_KSWEEP_HAVE_AVX2

@@ -54,7 +54,8 @@ double stationary_effort(const effort::QuadraticEffort& psi,
 
 BestResponse best_response(const Contract& contract,
                            const effort::QuadraticEffort& psi,
-                           const WorkerIncentives& inc, double effort_limit) {
+                           const WorkerIncentives& inc, double effort_limit,
+                           std::vector<double>* scratch) {
   check_incentives(inc);
   double limit = effort_limit;
   if (limit < 0.0) limit = psi.y_peak();
@@ -62,7 +63,11 @@ BestResponse best_response(const Contract& contract,
 
   // Candidate efforts: interval endpoints, interior stationary points, the
   // participation point 0, and the saturated region past the last knot.
-  std::vector<double> candidates = {0.0};
+  // A caller-provided scratch buffer keeps capacity across the k-sweep's
+  // repeated calls; the values (and so the result) are identical.
+  std::vector<double> local;
+  std::vector<double>& candidates = scratch != nullptr ? *scratch : local;
+  candidates.assign(1, 0.0);
 
   const std::size_t m = contract.intervals();
   double grid_end = 0.0;

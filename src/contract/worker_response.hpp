@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "contract/contract.hpp"
 #include "effort/effort_model.hpp"
@@ -70,9 +71,16 @@ double worker_utility(const Contract& contract,
 /// Exact global best response. `effort_limit` caps the worker's feasible
 /// effort (defaults to psi.y_peak(), beyond which more effort cannot raise
 /// feedback and strictly loses utility).
+///
+/// `scratch`, when non-null, is reused for the internal candidate-effort
+/// list instead of allocating a fresh vector — the k-sweep calls
+/// best_response once per candidate contract, and the allocation churn
+/// dominates on small m. Contents are overwritten; results are
+/// bitwise-identical either way.
 BestResponse best_response(const Contract& contract,
                            const effort::QuadraticEffort& psi,
                            const WorkerIncentives& inc,
-                           double effort_limit = -1.0);
+                           double effort_limit = -1.0,
+                           std::vector<double>* scratch = nullptr);
 
 }  // namespace ccd::contract

@@ -173,6 +173,10 @@ StepStatus StackelbergSimulator::step(std::size_t max_rounds,
       options.pool = &pool;
       options.cache = &design_cache_;
       options.cancel = cancel;
+      // Stays on the scalar kernel deliberately: checkpointed runs replay
+      // redesign rounds and must reproduce contracts bitwise across
+      // machines and builds, which only the scalar path guarantees.
+      options.kernel = contract::SweepKernel::kScalar;
       std::vector<std::uint8_t> resolved;
       options.resolved = &resolved;
       std::vector<contract::DesignResult> designs =

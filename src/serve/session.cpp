@@ -261,6 +261,10 @@ void Session::ingest_redesign(const util::CancellationToken* cancel) {
   contract::BatchOptions options;
   options.cache = env_.cache;
   options.cancel = cancel;
+  // Scalar kernel deliberately: session snapshots and replays promise
+  // bitwise-stable contracts, which only the scalar path guarantees
+  // across builds.
+  options.kernel = contract::SweepKernel::kScalar;
   std::vector<std::uint8_t> resolved;
   options.resolved = &resolved;
   std::vector<contract::DesignResult> designs =

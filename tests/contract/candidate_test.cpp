@@ -191,6 +191,41 @@ TEST(CandidateTest, ValidatesParameters) {
                Error);
 }
 
+TEST(CandidateTest, DegenerateWindowKeepsEpsilonPositive) {
+  // With nearly-flat curvature (|r2| tiny) adjacent psi' values agree to
+  // the last bit, so the capped Case-III window collapses: the former
+  // epsilon cap min(eq40, 0.05 * width) went non-positive (or numerically
+  // inert, base + eps == base), silently dropping Eq. 36's strict
+  // preference. Such intervals must now be flagged and take a positive
+  // floor that actually moves the slope.
+  const effort::QuadraticEffort psi(-1e-18, 8.0, 2.0);
+  const WorkerIncentives inc{1.0, 0.0};
+  const double delta = 0.1;
+  const std::size_t m = 4;
+  CandidateBuildInfo info;
+  const Contract c = build_candidate(psi, delta, m, m, inc, &info);
+  EXPECT_TRUE(info.any_degenerate());
+  ASSERT_EQ(info.epsilons.size(), m);
+  ASSERT_EQ(info.raw_slopes.size(), m);
+  for (std::size_t l = 0; l < m; ++l) {
+    // Every epsilon is strictly positive and numerically *effective*: the
+    // slope actually sits above the indifference base (which the former
+    // min() could leave exactly at base, eps == 0).
+    EXPECT_GT(info.epsilons[l], 0.0) << "interval " << l + 1;
+    EXPECT_GT(info.raw_slopes[l], info.raw_slopes[l] - info.epsilons[l])
+        << "interval " << l + 1;
+  }
+  // The contract is still well-formed (monotone payments on the grid).
+  for (std::size_t l = 1; l <= m; ++l) {
+    EXPECT_GT(c.payment(l), c.payment(l - 1)) << "knot " << l;
+  }
+
+  // A healthy grid never trips the flag.
+  CandidateBuildInfo healthy;
+  build_candidate(kPsi, kPsi.usable_domain() / 8.0, 8, 8, inc, &healthy);
+  EXPECT_FALSE(healthy.any_degenerate());
+}
+
 TEST(CandidateTest, DifferentPsiShapes) {
   // The construction must work for any feasible quadratic.
   const WorkerIncentives inc{0.7, 0.0};

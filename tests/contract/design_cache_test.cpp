@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -210,6 +211,51 @@ TEST(DesignCacheTest, KeyIgnoresWeightButSeesEverythingElse) {
   SubproblemSpec explicit_domain = spec;
   explicit_domain.effort_domain = spec.psi.usable_domain();
   EXPECT_EQ(DesignCacheKey::of(explicit_domain), base);
+}
+
+TEST(DesignCacheTest, EqualKeysHashEqually) {
+  // The unordered_map invariant the former defaulted operator== violated:
+  // value equality said {-0.0} == {+0.0} while the bitwise hash disagreed.
+  // Equality is now bitwise and of() canonicalizes zeros, so whenever two
+  // keys compare equal they hash equal.
+  SubproblemSpec plus;
+  plus.incentives.omega = 0.0;
+  SubproblemSpec minus = plus;
+  minus.incentives.omega = -0.0;  // passes validate (omega >= 0)
+
+  const DesignCacheKey a = DesignCacheKey::of(plus);
+  const DesignCacheKey b = DesignCacheKey::of(minus);
+  const DesignCacheKeyHash hash;
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(hash(a), hash(b));
+
+  // Hand-built keys that of() can never produce must still satisfy the
+  // invariant's contrapositive: bitwise-unequal zeros compare unequal.
+  DesignCacheKey raw_plus;
+  DesignCacheKey raw_minus;
+  raw_minus.omega = -0.0;
+  EXPECT_FALSE(raw_plus == raw_minus);
+
+  // A NaN field compares equal to itself bitwise, so such a key can be
+  // found again (value equality made it permanently unfindable).
+  DesignCacheKey nan_key;
+  nan_key.domain = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(nan_key == nan_key);
+  EXPECT_EQ(hash(nan_key), hash(nan_key));
+}
+
+TEST(DesignCacheTest, SignOfZeroTwinsShareOneTable) {
+  SubproblemSpec plus;
+  plus.incentives.omega = 0.0;
+  SubproblemSpec minus = plus;
+  minus.incentives.omega = -0.0;
+
+  DesignCache cache;
+  cache.table_for(plus);
+  cache.table_for(minus);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
 }
 
 TEST(DesignCacheTest, ClearResetsTablesAndCounters) {

@@ -1,0 +1,345 @@
+#include "contract/fleet_soa.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "contract/arena.hpp"
+#include "contract/design_cache.hpp"
+#include "contract/ksweep.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ccd::contract {
+namespace {
+
+// Same sharing pattern as the pipeline: a few distinct weight-independent
+// specs, weights spanning excluded (<= 0), fallback-tiny, and normal.
+std::vector<SubproblemSpec> random_fleet(std::size_t n, std::uint64_t seed) {
+  const struct {
+    double r2, r1, r0, beta, omega, mu;
+    std::size_t intervals;
+  } classes[] = {
+      {-1.0, 8.0, 2.0, 1.0, 0.0, 1.0, 20},
+      {-0.8, 6.0, 1.5, 1.2, 0.3, 1.0, 20},
+      {-1.2, 9.0, 2.5, 0.9, 0.5, 1.5, 16},
+      {-0.9, 7.0, 1.0, 1.0, 0.2, 0.8, 24},
+      {-1.1, 8.5, 0.5, 1.4, 0.0, 2.0, 12},
+  };
+  constexpr std::size_t kClasses = sizeof(classes) / sizeof(classes[0]);
+  util::Rng rng(seed);
+  std::vector<SubproblemSpec> specs;
+  specs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& cls = classes[rng.next_u64() % kClasses];
+    SubproblemSpec spec;
+    spec.psi = effort::QuadraticEffort(cls.r2, cls.r1, cls.r0);
+    spec.incentives = {cls.beta, cls.omega};
+    spec.mu = cls.mu;
+    spec.intervals = cls.intervals;
+    spec.weight = rng.uniform(-0.2, 3.0);
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+// Specs exercising the bit-pattern corners of the cache key: -0.0 omega /
+// r0 (canonicalized into the +0.0 class) and a denormal r0.
+std::vector<SubproblemSpec> tricky_specs() {
+  std::vector<SubproblemSpec> specs;
+  SubproblemSpec a;
+  a.psi = effort::QuadraticEffort(-1.0, 8.0, 0.0);
+  a.incentives = {1.0, 0.0};
+  a.weight = 1.5;
+  specs.push_back(a);
+
+  SubproblemSpec b = a;  // sign-of-zero twin of `a`
+  b.psi = effort::QuadraticEffort(-1.0, 8.0, -0.0);
+  b.incentives.omega = -0.0;  // passes omega >= 0
+  b.weight = 0.7;
+  specs.push_back(b);
+
+  SubproblemSpec c = a;  // denormal r0: its own class
+  c.psi = effort::QuadraticEffort(
+      -1.0, 8.0, std::numeric_limits<double>::denorm_min());
+  c.weight = 2.0;
+  specs.push_back(c);
+
+  SubproblemSpec d = a;  // weight-excluded member of a's class
+  d.weight = -0.0;
+  specs.push_back(d);
+  return specs;
+}
+
+void expect_fleet_matches_reference(const FleetSoA& fleet,
+                                    const FleetDesignResult& result,
+                                    const std::vector<SubproblemSpec>& specs) {
+  ASSERT_EQ(result.workers(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const DesignResult reference = design_contract(specs[i]);
+    EXPECT_EQ(result.resolved[i], 1) << "worker " << i;
+    EXPECT_EQ(result.excluded[i] != 0, reference.excluded) << "worker " << i;
+    EXPECT_EQ(result.k_opt[i], reference.k_opt) << "worker " << i;
+    EXPECT_EQ(result.requester_utility[i], reference.requester_utility)
+        << "worker " << i;
+    EXPECT_EQ(result.upper_bound[i], reference.upper_bound) << "worker " << i;
+    EXPECT_EQ(result.lower_bound[i], reference.lower_bound) << "worker " << i;
+    EXPECT_EQ(result.effort[i], reference.response.effort) << "worker " << i;
+    EXPECT_EQ(result.worker_utility[i], reference.response.utility)
+        << "worker " << i;
+    EXPECT_EQ(result.feedback[i], reference.response.feedback)
+        << "worker " << i;
+    EXPECT_EQ(result.compensation[i], reference.response.compensation)
+        << "worker " << i;
+    EXPECT_EQ(result.response_interval[i], reference.response.interval)
+        << "worker " << i;
+  }
+  (void)fleet;
+}
+
+TEST(ScratchArenaTest, PointersStableAndCapacityRetained) {
+  ScratchArena arena;
+  double* a = arena.doubles(100);
+  a[0] = 1.0;
+  a[99] = 2.0;
+  // A block-spilling allocation must not move the first span.
+  double* b = arena.zeroed_doubles(10000);
+  EXPECT_EQ(a[0], 1.0);
+  EXPECT_EQ(a[99], 2.0);
+  EXPECT_EQ(b[0], 0.0);
+  EXPECT_EQ(b[9999], 0.0);
+  const std::size_t capacity = arena.capacity();
+  EXPECT_GE(capacity, 10100u);
+
+  arena.reset();
+  // Same demand after reset reuses the blocks: capacity unchanged.
+  arena.doubles(100);
+  arena.doubles(10000);
+  EXPECT_EQ(arena.capacity(), capacity);
+  EXPECT_EQ(arena.doubles(0), nullptr);
+}
+
+TEST(FleetSoATest, GroupsWorkersByCanonicalClass) {
+  const std::vector<SubproblemSpec> specs = tricky_specs();
+  const FleetSoA fleet = FleetSoA::from_specs(specs);
+  ASSERT_EQ(fleet.workers(), 4u);
+  // a, b, d share the canonical class (b only via -0.0 normalization);
+  // the denormal-r0 spec is its own class.
+  ASSERT_EQ(fleet.classes(), 2u);
+  EXPECT_EQ(fleet.class_of[0], 0u);
+  EXPECT_EQ(fleet.class_of[1], 0u);
+  EXPECT_EQ(fleet.class_of[2], 1u);
+  EXPECT_EQ(fleet.class_of[3], 0u);
+  // Canonical fields: the -0.0s are stored as +0.0.
+  EXPECT_FALSE(std::signbit(fleet.omega[0]));
+  EXPECT_FALSE(std::signbit(fleet.r0[0]));
+  EXPECT_EQ(fleet.first_positive[0], 0u);
+  EXPECT_EQ(fleet.first_positive[1], 2u);
+  // CSR: class 0 holds workers {0, 1, 3} in input order, class 1 holds {2}.
+  ASSERT_EQ(fleet.class_begin.size(), 3u);
+  EXPECT_EQ(fleet.class_begin[1] - fleet.class_begin[0], 3u);
+  EXPECT_EQ(fleet.order[0], 0u);
+  EXPECT_EQ(fleet.order[1], 1u);
+  EXPECT_EQ(fleet.order[2], 3u);
+  EXPECT_EQ(fleet.order[3], 2u);
+  EXPECT_EQ(fleet.grouped_weight[2], specs[3].weight);
+  // worker_spec round-trips the per-worker view.
+  EXPECT_EQ(fleet.worker_spec(1).weight, specs[1].weight);
+  EXPECT_EQ(fleet.worker_spec(1).intervals, specs[1].intervals);
+}
+
+TEST(FleetSoATest, AllExcludedClassHasNoRepresentative) {
+  std::vector<SubproblemSpec> specs = tricky_specs();
+  for (SubproblemSpec& spec : specs) {
+    if (spec.intervals == specs[2].intervals &&
+        spec.psi.r0() == specs[2].psi.r0()) {
+      spec.weight = -1.0;
+    }
+  }
+  specs[2].weight = 0.0;
+  const FleetSoA fleet = FleetSoA::from_specs(specs);
+  EXPECT_EQ(fleet.first_positive[fleet.class_of[2]], FleetSoA::npos);
+}
+
+TEST(FleetDesignTest, ScalarKernelMatchesDesignContract) {
+  const std::vector<SubproblemSpec> specs = random_fleet(150, 42);
+  const FleetSoA fleet = FleetSoA::from_specs(specs);
+  FleetOptions options;
+  options.kernel = SweepKernel::kScalar;
+  const FleetDesignResult result = design_fleet(fleet, options);
+  expect_fleet_matches_reference(fleet, result, specs);
+}
+
+TEST(FleetDesignTest, SimdKernelMatchesDesignContract) {
+  // The SIMD/portable kernels use only mul/sub/compare — no FMA — so on
+  // this repo's default builds (no -ffast-math, no forced contraction in
+  // the kernels) every lane performs the scalar rounding sequence and the
+  // comparison is exact, including the tricky -0.0/denormal classes.
+  std::vector<SubproblemSpec> specs = random_fleet(150, 43);
+  const std::vector<SubproblemSpec> tricky = tricky_specs();
+  specs.insert(specs.end(), tricky.begin(), tricky.end());
+  const FleetSoA fleet = FleetSoA::from_specs(specs);
+  FleetOptions options;
+  options.kernel = SweepKernel::kSimd;
+  const FleetDesignResult result = design_fleet(fleet, options);
+  expect_fleet_matches_reference(fleet, result, specs);
+}
+
+TEST(FleetDesignTest, PortableFallbackMatchesSimd) {
+  const std::vector<SubproblemSpec> specs = random_fleet(100, 44);
+  const FleetSoA fleet = FleetSoA::from_specs(specs);
+  FleetOptions simd;
+  FleetOptions portable;
+  portable.force_portable = true;
+  const FleetDesignResult a = design_fleet(fleet, simd);
+  const FleetDesignResult b = design_fleet(fleet, portable);
+  ASSERT_EQ(a.workers(), b.workers());
+  for (std::size_t i = 0; i < a.workers(); ++i) {
+    EXPECT_EQ(a.k_opt[i], b.k_opt[i]) << "worker " << i;
+    EXPECT_EQ(a.requester_utility[i], b.requester_utility[i])
+        << "worker " << i;
+    EXPECT_EQ(a.upper_bound[i], b.upper_bound[i]) << "worker " << i;
+    EXPECT_EQ(a.lower_bound[i], b.lower_bound[i]) << "worker " << i;
+    EXPECT_EQ(a.excluded[i], b.excluded[i]) << "worker " << i;
+  }
+}
+
+TEST(FleetDesignTest, ResultAtMatchesDesignContract) {
+  const std::vector<SubproblemSpec> specs = random_fleet(60, 45);
+  const FleetSoA fleet = FleetSoA::from_specs(specs);
+  const FleetDesignResult result = design_fleet(fleet);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const DesignResult scalarized = result.result_at(fleet, i);
+    const DesignResult reference = design_contract(fleet.worker_spec(i));
+    EXPECT_EQ(scalarized.k_opt, reference.k_opt) << "worker " << i;
+    EXPECT_EQ(scalarized.requester_utility, reference.requester_utility)
+        << "worker " << i;
+    EXPECT_EQ(scalarized.utility_by_k, reference.utility_by_k)
+        << "worker " << i;
+    EXPECT_EQ(scalarized.pay_by_k, reference.pay_by_k) << "worker " << i;
+    EXPECT_EQ(scalarized.excluded, reference.excluded) << "worker " << i;
+  }
+}
+
+TEST(FleetDesignTest, StatsMatchBatchAccounting) {
+  const std::vector<SubproblemSpec> specs = random_fleet(120, 46);
+  DesignCacheStats batch_stats;
+  design_contracts_batch(specs, {}, &batch_stats);
+  DesignCacheStats fleet_stats;
+  design_fleet(FleetSoA::from_specs(specs), {}, &fleet_stats);
+  EXPECT_EQ(fleet_stats.lookups, batch_stats.lookups);
+  EXPECT_EQ(fleet_stats.hits, batch_stats.hits);
+  EXPECT_EQ(fleet_stats.misses, batch_stats.misses);
+  EXPECT_EQ(fleet_stats.sweep_steps_computed,
+            batch_stats.sweep_steps_computed);
+  EXPECT_EQ(fleet_stats.sweep_steps_avoided, batch_stats.sweep_steps_avoided);
+}
+
+// The randomized property the PR's bug fixes pin down: cached, uncached,
+// SoA-batched (scalar kernel), and SIMD designs agree for every worker —
+// bitwise on the scalar paths (EXPECT_EQ on doubles is exact equality) —
+// across fleets that include -0.0 and denormal spec fields.
+TEST(FleetDesignTest, CachedUncachedBatchedAndSimdAgreeProperty) {
+  for (const std::uint64_t seed : {1ull, 7ull, 1234ull}) {
+    std::vector<SubproblemSpec> specs = random_fleet(80, seed);
+    const std::vector<SubproblemSpec> tricky = tricky_specs();
+    specs.insert(specs.end(), tricky.begin(), tricky.end());
+
+    DesignCache cache;
+    BatchOptions batch_options;
+    batch_options.cache = &cache;
+    const std::vector<DesignResult> batched =
+        design_contracts_batch(specs, batch_options);
+
+    BatchOptions simd_options = batch_options;
+    simd_options.kernel = SweepKernel::kSimd;
+    const std::vector<DesignResult> simd =
+        design_contracts_batch(specs, simd_options);
+
+    const FleetSoA fleet = FleetSoA::from_specs(specs);
+    FleetOptions fleet_options;
+    fleet_options.cache = &cache;
+    const FleetDesignResult soa = design_fleet(fleet, fleet_options);
+
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const DesignResult uncached = design_contract(specs[i]);
+      const DesignResult cached = cache.design(specs[i]);
+      EXPECT_EQ(cached.k_opt, uncached.k_opt) << "seed " << seed << " " << i;
+      EXPECT_EQ(cached.requester_utility, uncached.requester_utility)
+          << "seed " << seed << " " << i;
+      EXPECT_EQ(batched[i].k_opt, uncached.k_opt)
+          << "seed " << seed << " " << i;
+      EXPECT_EQ(batched[i].requester_utility, uncached.requester_utility)
+          << "seed " << seed << " " << i;
+      EXPECT_EQ(batched[i].upper_bound, uncached.upper_bound)
+          << "seed " << seed << " " << i;
+      EXPECT_EQ(batched[i].lower_bound, uncached.lower_bound)
+          << "seed " << seed << " " << i;
+      EXPECT_EQ(batched[i].utility_by_k, uncached.utility_by_k)
+          << "seed " << seed << " " << i;
+      EXPECT_EQ(batched[i].pay_by_k, uncached.pay_by_k)
+          << "seed " << seed << " " << i;
+      EXPECT_EQ(simd[i].k_opt, uncached.k_opt) << "seed " << seed << " " << i;
+      EXPECT_EQ(simd[i].requester_utility, uncached.requester_utility)
+          << "seed " << seed << " " << i;
+      EXPECT_EQ(simd[i].upper_bound, uncached.upper_bound)
+          << "seed " << seed << " " << i;
+      EXPECT_EQ(simd[i].lower_bound, uncached.lower_bound)
+          << "seed " << seed << " " << i;
+      EXPECT_EQ(simd[i].utility_by_k, uncached.utility_by_k)
+          << "seed " << seed << " " << i;
+      EXPECT_EQ(simd[i].excluded, uncached.excluded)
+          << "seed " << seed << " " << i;
+      EXPECT_EQ(soa.k_opt[i], uncached.k_opt) << "seed " << seed << " " << i;
+      EXPECT_EQ(soa.requester_utility[i], uncached.requester_utility)
+          << "seed " << seed << " " << i;
+      EXPECT_EQ(soa.compensation[i], uncached.response.compensation)
+          << "seed " << seed << " " << i;
+    }
+  }
+}
+
+TEST(KSweepTest, ResolveClassMatchesResolveDesign) {
+  // Direct kernel-level check on one class: portable and AVX2 (when
+  // available) against resolve_design over a weight sweep that crosses
+  // the §V exclusion boundary.
+  SubproblemSpec spec;
+  spec.psi = effort::QuadraticEffort(-1.0, 8.0, 2.0);
+  spec.incentives = {1.0, 0.4};
+  spec.mu = 1.0;
+  spec.intervals = 24;
+  const DesignTable table = build_design_table(spec);
+
+  std::vector<double> weights;
+  for (int i = 0; i < 37; ++i) {
+    weights.push_back(0.01 + 0.12 * static_cast<double>(i));
+  }
+  ScratchArena arena;
+  const ClassTableau tableau = build_class_tableau(spec, table, arena);
+  std::vector<std::size_t> k_opt(weights.size());
+  std::vector<double> utility(weights.size());
+  std::vector<double> upper(weights.size());
+  for (const bool force_portable : {true, false}) {
+    resolve_class(tableau, weights.data(), weights.size(),
+                  ResolveOut{k_opt.data(), utility.data(), upper.data()},
+                  force_portable);
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      SubproblemSpec worker = spec;
+      worker.weight = weights[i];
+      const DesignResult reference = resolve_design(worker, table);
+      if (reference.excluded) {
+        EXPECT_LT(utility[i], 0.0) << "worker " << i;
+      } else {
+        EXPECT_EQ(k_opt[i], reference.k_opt) << "worker " << i;
+        EXPECT_EQ(utility[i], reference.requester_utility) << "worker " << i;
+        EXPECT_EQ(upper[i], reference.upper_bound) << "worker " << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ccd::contract
