@@ -10,17 +10,26 @@
 # 3. The interrupted run's contracts must be byte-identical to the
 #    reference (full-precision CSV export, so byte == bitwise).
 #
+# 4. Gateway failover: the same 3 sessions re-driven through
+#    `ccd-gateway` over 3 ccdd shards; the shard owning "alpha" is killed
+#    with SIGKILL mid-campaign, its sessions fail over to the survivors
+#    via checkpoint handoff, and the finished contracts must again be
+#    byte-identical to the reference.
+#
 # Usage: scripts/serve_smoke.sh [BUILD_DIR]   (default: build)
 set -euo pipefail
 
 BUILD=${1:-build}
 CCDD="$BUILD/tools/ccdd"
 CCDCTL="$BUILD/tools/ccdctl"
+GATEWAY="$BUILD/tools/ccd-gateway"
 WORK=$(mktemp -d)
 DAEMON_PID=""
+EXTRA_PIDS=""
 
 cleanup() {
   [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+  for pid in $EXTRA_PIDS; do kill -9 "$pid" 2>/dev/null || true; done
   rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -93,5 +102,61 @@ echo "== diff: interrupted-and-resumed vs uninterrupted =="
 for s in $SESSIONS; do
   cmp "$WORK/ref-$s.csv" "$WORK/live-$s.csv"
   echo "session $s: contracts byte-identical after kill -9 + resume"
+done
+
+echo "== gateway: 3 shards, kill -9 the shard owning alpha, failover, finish =="
+SHARD_PIDS=()
+SPECS=""
+for i in 0 1 2; do
+  mkdir -p "$WORK/gw-shard$i"
+  "$CCDD" socket="$WORK/shard$i.sock" checkpoint_dir="$WORK/gw-shard$i" &
+  SHARD_PIDS[$i]=$!
+  EXTRA_PIDS="$EXTRA_PIDS ${SHARD_PIDS[$i]}"
+  SPECS="$SPECS,s$i=unix:$WORK/shard$i.sock@$WORK/gw-shard$i"
+done
+GW_SOCK="$WORK/gateway.sock"
+"$GATEWAY" socket="$GW_SOCK" shards="${SPECS#,}" health_interval=200 &
+GATEWAY_PID=$!
+EXTRA_PIDS="$EXTRA_PIDS $GATEWAY_PID"
+wait_for_socket "$GW_SOCK"
+
+seed=100
+for s in $SESSIONS; do
+  "$CCDCTL" submit gateway="$GW_SOCK" session="$s" rounds=$ROUNDS \
+      to=$MIDPOINT seed=$seed workers=5 malicious=2
+  seed=$((seed + 1))
+done
+
+# The consistent-hash ring decides ownership; the owner's checkpoint dir
+# is the one holding alpha's snapshot. Kill that shard, hard.
+VICTIM=""
+for i in 0 1 2; do
+  if [ -e "$WORK/gw-shard$i/alpha.sim.ckpt" ]; then VICTIM=$i; fi
+done
+[ -n "$VICTIM" ] || { echo "FAIL: no shard owns alpha" >&2; exit 1; }
+kill -9 "${SHARD_PIDS[$VICTIM]}"
+wait "${SHARD_PIDS[$VICTIM]}" 2>/dev/null || true
+
+# Finish every session through the gateway: the victim's sessions must
+# have failed over to the survivors and continue bitwise.
+seed=100
+for s in $SESSIONS; do
+  "$CCDCTL" submit gateway="$GW_SOCK" session="$s" rounds=$ROUNDS seed=$seed \
+      workers=5 malicious=2 out="$WORK/gw-$s.csv"
+  seed=$((seed + 1))
+done
+"$CCDCTL" serve gateway="$GW_SOCK" op=health
+"$CCDCTL" serve gateway="$GW_SOCK" op=shutdown
+for i in 0 1 2; do
+  [ "$i" = "$VICTIM" ] && continue
+  wait "${SHARD_PIDS[$i]}"
+done
+wait "$GATEWAY_PID"
+EXTRA_PIDS=""
+
+echo "== diff: failed-over vs uninterrupted =="
+for s in $SESSIONS; do
+  cmp "$WORK/ref-$s.csv" "$WORK/gw-$s.csv"
+  echo "session $s: contracts byte-identical after shard kill -9 + failover"
 done
 echo "serve smoke: OK"

@@ -1,34 +1,83 @@
 #include "serve/client.hpp"
 
+#include <chrono>
+#include <cmath>
+#include <thread>
 #include <utility>
 
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 
 namespace ccd::serve {
 
-Client::Client(util::Socket socket) : socket_(std::move(socket)) {}
+namespace {
+util::metrics::Counter& reconnects_counter() {
+  static util::metrics::Counter& c =
+      util::metrics::registry().counter("ccd.serve.client.reconnects");
+  return c;
+}
+}  // namespace
 
-Client Client::connect_unix(const std::string& path) {
-  return Client(util::Socket::connect_unix(path));
+Client::Client(util::Socket socket, Target target, ClientOptions options)
+    : socket_(std::move(socket)),
+      target_(std::move(target)),
+      options_(options) {}
+
+Client Client::connect_unix(const std::string& path, ClientOptions options) {
+  Target target;
+  target.unix_domain = true;
+  target.path_or_host = path;
+  return Client(util::Socket::connect_unix(path), std::move(target), options);
 }
 
-Client Client::connect_tcp(const std::string& host, int port) {
-  return Client(util::Socket::connect_tcp(host, port));
+Client Client::connect_tcp(const std::string& host, int port,
+                           ClientOptions options) {
+  Target target;
+  target.unix_domain = false;
+  target.path_or_host = host;
+  target.port = port;
+  return Client(util::Socket::connect_tcp(host, port), std::move(target),
+                options);
+}
+
+util::Socket Client::dial() const {
+  return target_.unix_domain
+             ? util::Socket::connect_unix(target_.path_or_host)
+             : util::Socket::connect_tcp(target_.path_or_host, target_.port);
 }
 
 Response Client::call(const Request& request) {
-  send_message(socket_, encode_request(request));
-  std::optional<std::string> payload = recv_message(socket_);
-  if (!payload) {
-    throw DataError("server closed the connection before responding");
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      if (!socket_.valid()) {
+        socket_ = dial();
+        if (attempt > 0) reconnects_counter().add(1);
+      }
+      send_message(socket_, encode_request(request), options_.io_timeout_ms);
+      std::optional<std::string> payload =
+          recv_message(socket_, 0, options_.io_timeout_ms);
+      if (!payload) {
+        throw DataError("server closed the connection before responding");
+      }
+      Response response = decode_response(*payload);
+      if (response.request_id != request.request_id) {
+        throw DataError("response correlation mismatch (sent " +
+                        std::to_string(request.request_id) + ", got " +
+                        std::to_string(response.request_id) + ")");
+      }
+      return response;
+    } catch (const DataError&) {
+      // Transport or framing failure: the stream is unusable. Drop the
+      // connection and (within budget) back off, redial, and reissue —
+      // at-least-once semantics, see the header comment.
+      socket_ = util::Socket();
+      if (attempt >= options_.max_reconnects) throw;
+      const double delay_s =
+          options_.reconnect_backoff_s *
+          std::pow(options_.reconnect_multiplier, static_cast<double>(attempt));
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay_s));
+    }
   }
-  Response response = decode_response(*payload);
-  if (response.request_id != request.request_id) {
-    throw DataError("response correlation mismatch (sent " +
-                    std::to_string(request.request_id) + ", got " +
-                    std::to_string(response.request_id) + ")");
-  }
-  return response;
 }
 
 Response Client::roundtrip(Request request) {
@@ -148,6 +197,27 @@ std::string Client::metrics(bool prometheus) {
   Response response = roundtrip(std::move(request));
   check(response);
   return response.text;
+}
+
+HealthInfo Client::health() {
+  Request request;
+  request.op = Op::kHealth;
+  Response response = roundtrip(std::move(request));
+  check(response);
+  return response.health;
+}
+
+SessionStatus Client::restore(const std::string& session,
+                              const std::string& checkpoint_blob,
+                              std::uint32_t deadline_ms) {
+  Request request;
+  request.op = Op::kRestore;
+  request.session = session;
+  request.checkpoint_blob = checkpoint_blob;
+  request.deadline_ms = deadline_ms;
+  Response response = roundtrip(std::move(request));
+  check(response);
+  return response.session;
 }
 
 void Client::shutdown_server() {

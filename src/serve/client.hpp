@@ -10,6 +10,17 @@
 // (kBackpressure, kShuttingDown) are surfaced on the Response instead of
 // thrown where the caller is expected to handle them (advance/ingest/
 // call), since retrying is the client's job, not an exception.
+//
+// Reconnect-and-reattach: the client remembers its dial target, and a
+// transport failure (daemon restarted, connection reset, stalled I/O past
+// the timeout) redials with exponential backoff and reissues the request,
+// up to ClientOptions::max_reconnects times per call. Successful redials
+// count in `ccd.serve.client.reconnects`. Semantics are at-least-once: a
+// request whose connection died between server execution and the response
+// is re-executed after reconnecting. Session ops are designed for this —
+// advance is budget-capped (re-advancing a finished session is a no-op),
+// open with allow_existing re-attaches — but a retried close can report
+// "no open session" when the first close already landed.
 #pragma once
 
 #include <cstdint>
@@ -21,14 +32,30 @@
 
 namespace ccd::serve {
 
+struct ClientOptions {
+  /// Per-transfer deadline on the connection (a stalled server surfaces
+  /// as ccd::DataError instead of blocking forever). <= 0 disables.
+  int io_timeout_ms = 0;
+  /// Redial attempts per call after a transport failure; 0 disables
+  /// reconnecting (the first DataError propagates).
+  std::size_t max_reconnects = 3;
+  /// Exponential redial backoff: first wait, then * multiplier each try.
+  double reconnect_backoff_s = 0.05;
+  double reconnect_multiplier = 2.0;
+};
+
 class Client {
  public:
-  static Client connect_unix(const std::string& path);
-  static Client connect_tcp(const std::string& host, int port);
+  static Client connect_unix(const std::string& path,
+                             ClientOptions options = {});
+  static Client connect_tcp(const std::string& host, int port,
+                            ClientOptions options = {});
 
-  /// Send one request, wait for its response. Throws ccd::DataError on
-  /// transport/framing failure. Does NOT throw on error statuses — raw
-  /// access for callers that handle backpressure/deadline themselves.
+  /// Send one request, wait for its response, transparently reconnecting
+  /// per ClientOptions. Throws ccd::DataError once transport/framing
+  /// failures exhaust the redial budget. Does NOT throw on error statuses
+  /// — raw access for callers that handle backpressure/deadline
+  /// themselves.
   Response call(const Request& request);
 
   // Typed helpers. All throw the mapped ccd::Error on error statuses
@@ -80,14 +107,32 @@ class Client {
   /// Server metrics dump (JSON or Prometheus exposition text).
   std::string metrics(bool prometheus = false);
 
+  /// Load/liveness snapshot (kHealth).
+  HealthInfo health();
+
+  /// Install a session from raw checkpoint-frame bytes (kRestore) — the
+  /// gateway handoff path. Idempotent on the server side.
+  SessionStatus restore(const std::string& session,
+                        const std::string& checkpoint_blob,
+                        std::uint32_t deadline_ms = 0);
+
   /// Ask the daemon to drain and exit.
   void shutdown_server();
 
  private:
-  explicit Client(util::Socket socket);
+  struct Target {
+    bool unix_domain = true;
+    std::string path_or_host;
+    int port = -1;
+  };
+
+  Client(util::Socket socket, Target target, ClientOptions options);
   Response roundtrip(Request request);
+  util::Socket dial() const;
 
   util::Socket socket_;
+  Target target_;
+  ClientOptions options_;
   std::uint64_t next_request_id_ = 1;
 };
 

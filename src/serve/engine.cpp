@@ -1,6 +1,7 @@
 #include "serve/engine.hpp"
 
 #include <dirent.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
@@ -31,6 +32,10 @@ struct ServeMetrics {
   metrics::Counter& sessions_opened;
   metrics::Counter& sessions_closed;
   metrics::Counter& sessions_resumed;
+  metrics::Counter& sessions_restored;
+  metrics::Counter& sessions_evicted;
+  metrics::Counter& sessions_reloaded;
+  metrics::Counter& resume_skipped;
   metrics::Gauge& queue_depth;
   metrics::Gauge& sessions_open;
   metrics::Histogram& queue_wait_us;
@@ -49,6 +54,10 @@ struct ServeMetrics {
                           reg.counter("ccd.serve.sessions_opened"),
                           reg.counter("ccd.serve.sessions_closed"),
                           reg.counter("ccd.serve.sessions_resumed"),
+                          reg.counter("ccd.serve.sessions_restored"),
+                          reg.counter("ccd.serve.sessions_evicted"),
+                          reg.counter("ccd.serve.sessions_reloaded"),
+                          reg.counter("ccd.serve.resume_skipped"),
                           reg.gauge("ccd.serve.queue_depth"),
                           reg.gauge("ccd.serve.sessions_open"),
                           reg.histogram("ccd.serve.queue_wait_us"),
@@ -75,6 +84,9 @@ void EngineConfig::validate() const {
   CCD_CHECK_MSG(queue_capacity >= 1, "admission queue capacity must be >= 1");
   CCD_CHECK_MSG(max_sessions >= 1, "max_sessions must be >= 1");
   CCD_CHECK_MSG(checkpoint_every >= 1, "checkpoint_every must be >= 1");
+  CCD_CHECK_MSG(idle_ttl_ms == 0 || !checkpoint_dir.empty(),
+                "idle_ttl_ms requires a checkpoint_dir (evicting without "
+                "durability would discard campaign state)");
 }
 
 Engine::Engine(EngineConfig config) : config_(std::move(config)) {
@@ -83,6 +95,9 @@ Engine::Engine(EngineConfig config) : config_(std::move(config)) {
   executors_.reserve(config_.worker_threads);
   for (std::size_t i = 0; i < config_.worker_threads; ++i) {
     executors_.emplace_back([this] { executor_loop(); });
+  }
+  if (config_.idle_ttl_ms > 0) {
+    reaper_ = std::thread([this] { reaper_loop(); });
   }
 }
 
@@ -96,8 +111,9 @@ Session::Env Engine::session_env() {
   return env;
 }
 
-std::size_t Engine::resume_sessions() {
-  if (config_.checkpoint_dir.empty()) return 0;
+ResumeReport Engine::resume_sessions() {
+  ResumeReport report;
+  if (config_.checkpoint_dir.empty()) return report;
   DIR* dir = opendir(config_.checkpoint_dir.c_str());
   if (dir == nullptr) {
     throw ConfigError("cannot open checkpoint directory '" +
@@ -116,20 +132,27 @@ std::size_t Engine::resume_sessions() {
   // Deterministic restore order (readdir order is filesystem-dependent).
   std::sort(found.begin(), found.end());
 
-  std::size_t restored = 0;
   for (const auto& [id, path] : found) {
-    std::unique_ptr<Session> session = Session::restore(id, path, session_env());
-    std::lock_guard<std::mutex> lock(sessions_mutex_);
-    if (sessions_.count(id) != 0) {
-      throw DataError("duplicate checkpoints for session '" + id + "'");
+    try {
+      std::unique_ptr<Session> session =
+          Session::restore(id, path, session_env());
+      std::lock_guard<std::mutex> lock(sessions_mutex_);
+      if (sessions_.count(id) != 0) {
+        throw DataError("duplicate checkpoints for session '" + id + "'");
+      }
+      sessions_.emplace(id, std::shared_ptr<Session>(std::move(session)));
+      ServeMetrics::instance().sessions_resumed.add(1);
+      ServeMetrics::instance().sessions_open.set(
+          static_cast<double>(sessions_.size()));
+      ++report.restored;
+    } catch (const DataError& e) {
+      // One corrupt/truncated/ambiguous checkpoint must not block every
+      // other campaign from resuming: record it and move on.
+      report.skipped.push_back({id, path, e.what()});
+      ServeMetrics::instance().resume_skipped.add(1);
     }
-    sessions_.emplace(id, std::shared_ptr<Session>(std::move(session)));
-    ServeMetrics::instance().sessions_resumed.add(1);
-    ServeMetrics::instance().sessions_open.set(
-        static_cast<double>(sessions_.size()));
-    ++restored;
   }
-  return restored;
+  return report;
 }
 
 bool Engine::submit(Request request, std::function<void(Response)> done) {
@@ -235,13 +258,46 @@ void Engine::finish(Job& job, Response response) {
   job.done(std::move(response));
 }
 
-std::shared_ptr<Session> Engine::find_session(const std::string& id) const {
+std::shared_ptr<Session> Engine::reload_locked(const std::string& id) {
+  if (config_.checkpoint_dir.empty() || !valid_session_id(id)) return nullptr;
+  for (const SessionMode mode :
+       {SessionMode::kSimulation, SessionMode::kIngest}) {
+    const std::string path =
+        config_.checkpoint_dir + "/" + id + Session::checkpoint_suffix(mode);
+    if (::access(path.c_str(), F_OK) != 0) continue;
+    if (sessions_.size() >= config_.max_sessions) {
+      throw ConfigError("session limit reached (" +
+                        std::to_string(config_.max_sessions) +
+                        "); cannot reload evicted session '" + id + "'");
+    }
+    // Corruption surfaces as DataError to the caller — an existing file
+    // means the session logically exists, so "no open session" would lie.
+    std::shared_ptr<Session> session = Session::restore(id, path,
+                                                        session_env());
+    sessions_.emplace(id, session);
+    ServeMetrics::instance().sessions_reloaded.add(1);
+    ServeMetrics::instance().sessions_open.set(
+        static_cast<double>(sessions_.size()));
+    return session;
+  }
+  return nullptr;
+}
+
+std::shared_ptr<Session> Engine::find_session(const std::string& id) {
   std::lock_guard<std::mutex> lock(sessions_mutex_);
   auto it = sessions_.find(id);
-  if (it == sessions_.end()) {
-    throw ConfigError("no open session '" + id + "'");
+  if (it != sessions_.end()) {
+    it->second->touch();
+    return it->second;
   }
-  return it->second;
+  // Evicted-but-checkpointed sessions transparently resurrect: eviction
+  // frees the slot, not the campaign.
+  std::shared_ptr<Session> reloaded = reload_locked(id);
+  if (reloaded != nullptr) {
+    reloaded->touch();
+    return reloaded;
+  }
+  throw ConfigError("no open session '" + id + "'");
 }
 
 Response Engine::handle(const Request& request,
@@ -269,6 +325,12 @@ Response Engine::handle(const Request& request,
 
     case Op::kClose:
       return handle_close(request);
+
+    case Op::kRestore:
+      return handle_restore(request);
+
+    case Op::kHealth:
+      return handle_health(request);
 
     case Op::kAdvance: {
       std::shared_ptr<Session> session = find_session(request.session);
@@ -325,13 +387,22 @@ Response Engine::handle_open(const Request& request) {
 
   {
     std::lock_guard<std::mutex> lock(sessions_mutex_);
+    std::shared_ptr<Session> existing;
     auto it = sessions_.find(request.session);
     if (it != sessions_.end()) {
+      existing = it->second;
+    } else {
+      // An evicted session still owns its id: open must resume it from
+      // the checkpoint, never shadow it with a fresh campaign.
+      existing = reload_locked(request.session);
+    }
+    if (existing != nullptr) {
       if (!request.open.allow_existing) {
         throw ConfigError("session '" + request.session + "' already open");
       }
-      std::lock_guard<std::mutex> session_lock(it->second->mutex());
-      response.session = it->second->status();
+      existing->touch();
+      std::lock_guard<std::mutex> session_lock(existing->mutex());
+      response.session = existing->status();
       return response;
     }
     if (sessions_.size() >= config_.max_sessions) {
@@ -368,7 +439,12 @@ Response Engine::handle_close(const Request& request) {
     std::lock_guard<std::mutex> lock(sessions_mutex_);
     auto it = sessions_.find(request.session);
     if (it == sessions_.end()) {
-      throw ConfigError("no open session '" + request.session + "'");
+      // Close of an evicted session must still discard its checkpoint.
+      session = reload_locked(request.session);
+      if (session == nullptr) {
+        throw ConfigError("no open session '" + request.session + "'");
+      }
+      it = sessions_.find(request.session);
     }
     session = std::move(it->second);
     sessions_.erase(it);
@@ -380,6 +456,124 @@ Response Engine::handle_close(const Request& request) {
   session->remove_checkpoint();
   ServeMetrics::instance().sessions_closed.add(1);
   return response;
+}
+
+Response Engine::handle_restore(const Request& request) {
+  Response response;
+  response.request_id = request.request_id;
+
+  // Idempotent for gateway retries: a restore that already landed (in
+  // memory or as a reloadable checkpoint) reports the session's status
+  // instead of failing, so a retried handoff cannot double-install.
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    std::shared_ptr<Session> existing;
+    auto it = sessions_.find(request.session);
+    existing = it != sessions_.end() ? it->second
+                                     : reload_locked(request.session);
+    if (existing != nullptr) {
+      existing->touch();
+      std::lock_guard<std::mutex> session_lock(existing->mutex());
+      response.session = existing->status();
+      return response;
+    }
+    if (sessions_.size() >= config_.max_sessions) {
+      throw ConfigError("session limit reached (" +
+                        std::to_string(config_.max_sessions) +
+                        "); cannot restore '" + request.session + "'");
+    }
+  }
+  if (request.checkpoint_blob.empty()) {
+    throw ConfigError("restore of '" + request.session +
+                      "' carries no checkpoint blob");
+  }
+
+  auto session = std::shared_ptr<Session>(
+      Session::restore_blob(request.session, request.checkpoint_blob,
+                            session_env()));
+  session->checkpoint();  // durable on this shard before acknowledging
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    if (!sessions_.emplace(request.session, session).second) {
+      // A racing restore of the same id won; both carried the same frame.
+      std::shared_ptr<Session> winner = sessions_.at(request.session);
+      std::lock_guard<std::mutex> session_lock(winner->mutex());
+      response.session = winner->status();
+      return response;
+    }
+    ServeMetrics::instance().sessions_open.set(
+        static_cast<double>(sessions_.size()));
+  }
+  ServeMetrics::instance().sessions_restored.add(1);
+  {
+    std::lock_guard<std::mutex> session_lock(session->mutex());
+    response.session = session->status();
+  }
+  return response;
+}
+
+Response Engine::handle_health(const Request& request) {
+  Response response;
+  response.request_id = request.request_id;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    response.health.sessions_open = sessions_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    response.health.queue_depth = queue_.size();
+    response.health.draining =
+        stopping_ || shutdown_requested_.load(std::memory_order_relaxed);
+  }
+  response.health.max_sessions = config_.max_sessions;
+  response.health.queue_capacity = config_.queue_capacity;
+  return response;
+}
+
+void Engine::reaper_loop() {
+  const auto ttl = std::chrono::milliseconds(config_.idle_ttl_ms);
+  // Scan a few times per TTL so eviction lag stays a fraction of the TTL
+  // without busy-polling tiny intervals.
+  const auto scan_every =
+      std::max<std::chrono::milliseconds>(ttl / 4,
+                                          std::chrono::milliseconds(10));
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(reaper_mutex_);
+      reaper_cv_.wait_for(lock, scan_every, [this] { return reaper_stop_; });
+      if (reaper_stop_) return;
+    }
+    // Keep evicted sessions alive past the map erase: their mutexes must
+    // not be destroyed while this thread still holds the unlock.
+    std::vector<std::shared_ptr<Session>> evicted;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mutex_);
+      for (auto it = sessions_.begin(); it != sessions_.end();) {
+        std::shared_ptr<Session>& session = it->second;
+        // use_count == 1: only the map holds it — no executor is mid-op
+        // (find_session copies under sessions_mutex_, which we hold).
+        if (session.use_count() == 1 && session->idle_for() >= ttl) {
+          std::unique_lock<std::mutex> session_lock(session->mutex(),
+                                                    std::try_to_lock);
+          if (session_lock.owns_lock()) {
+            session->checkpoint();
+            session_lock.unlock();
+            evicted.push_back(std::move(session));
+            it = sessions_.erase(it);
+            continue;
+          }
+        }
+        ++it;
+      }
+      if (!evicted.empty()) {
+        ServeMetrics::instance().sessions_open.set(
+            static_cast<double>(sessions_.size()));
+      }
+    }
+    if (!evicted.empty()) {
+      ServeMetrics::instance().sessions_evicted.add(evicted.size());
+    }
+  }
 }
 
 void Engine::checkpoint_all() {
@@ -404,6 +598,14 @@ void Engine::stop() {
   queue_cv_.notify_all();
   for (std::thread& t : executors_) t.join();
   executors_.clear();
+  if (reaper_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(reaper_mutex_);
+      reaper_stop_ = true;
+    }
+    reaper_cv_.notify_all();
+    reaper_.join();
+  }
   ServeMetrics::instance().queue_depth.set(0.0);
   checkpoint_all();
 }

@@ -55,8 +55,27 @@ struct EngineConfig {
   std::string checkpoint_dir;
   /// Snapshot cadence in completed rounds (>= 1).
   std::size_t checkpoint_every = 1;
+  /// Idle-session TTL in milliseconds: a session untouched this long is
+  /// checkpointed to disk and evicted from memory (the slot frees up; a
+  /// later op or open on the same id reloads it bitwise-identically).
+  /// 0 disables eviction. Requires a checkpoint_dir — evicting without
+  /// durability would silently discard campaign state.
+  std::size_t idle_ttl_ms = 0;
 
   void validate() const;
+};
+
+/// Outcome of Engine::resume_sessions(): how many checkpoints restored,
+/// and which files were skipped (corrupt / truncated / ambiguous) with the
+/// error that condemned them. One bad file never blocks the rest.
+struct ResumeReport {
+  struct Skipped {
+    std::string id;
+    std::string path;
+    std::string error;
+  };
+  std::size_t restored = 0;
+  std::vector<Skipped> skipped;
 };
 
 class Engine {
@@ -67,10 +86,12 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  /// Restore every session checkpoint found in checkpoint_dir. Returns the
-  /// number restored; corrupt files throw ccd::DataError (naming the
-  /// file). No-op without a checkpoint directory.
-  std::size_t resume_sessions();
+  /// Restore every session checkpoint found in checkpoint_dir. A corrupt
+  /// or truncated file is skipped — recorded in the report (and the
+  /// `ccd.serve.resume_skipped` counter) with its DataError — so one bad
+  /// file cannot hold every other campaign hostage. No-op without a
+  /// checkpoint directory.
+  ResumeReport resume_sessions();
 
   /// Submit a request. Invokes `done` exactly once — immediately with
   /// kBackpressure (queue full) or kShuttingDown (engine draining), or
@@ -105,12 +126,18 @@ class Engine {
   };
 
   void executor_loop();
+  void reaper_loop();
   void finish(Job& job, Response response);
   Response handle(const Request& request,
                   const util::CancellationToken& token);
   Response handle_open(const Request& request);
   Response handle_close(const Request& request);
-  std::shared_ptr<Session> find_session(const std::string& id) const;
+  Response handle_restore(const Request& request);
+  Response handle_health(const Request& request);
+  std::shared_ptr<Session> find_session(const std::string& id);
+  /// Under sessions_mutex_: reload an evicted session from its checkpoint
+  /// file if one exists; returns nullptr when there is none.
+  std::shared_ptr<Session> reload_locked(const std::string& id);
   Session::Env session_env();
 
   EngineConfig config_;
@@ -125,6 +152,12 @@ class Engine {
 
   mutable std::mutex sessions_mutex_;
   std::map<std::string, std::shared_ptr<Session>> sessions_;
+
+  // Idle-TTL reaper (only started when config_.idle_ttl_ms > 0).
+  std::mutex reaper_mutex_;
+  std::condition_variable reaper_cv_;
+  bool reaper_stop_ = false;
+  std::thread reaper_;
 };
 
 }  // namespace ccd::serve

@@ -1,0 +1,649 @@
+#include "serve/gateway.hpp"
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <utility>
+
+#include "serve/session.hpp"
+#include "util/atomic_file.hpp"
+#include "util/error.hpp"
+#include "util/fault_injection.hpp"
+#include "util/metrics.hpp"
+
+namespace ccd::serve {
+
+namespace metrics = util::metrics;
+
+namespace {
+
+/// Accept poll granularity: how quickly stop() is observed.
+constexpr int kAcceptPollMs = 200;
+/// Route-and-forward attempts per request. Each retry re-routes, so an
+/// attempt after a failover lands on the session's new owner.
+constexpr std::size_t kMaxForwardAttempts = 4;
+constexpr const char* kBanner = "ccd-gateway/2";
+
+/// All `ccd.gateway.*` instruments. The reconciliation invariant (tested
+/// by bench_gateway_chaos): requests == responses, and
+/// responses == local + backpressure + rejected
+///              + (forwards - forward_retries) + forward_failures —
+/// every admitted request is answered exactly once, and every answer is
+/// attributable.
+struct GatewayMetrics {
+  metrics::Counter& requests;
+  metrics::Counter& responses;
+  metrics::Counter& local;
+  metrics::Counter& backpressure;
+  metrics::Counter& rejected;
+  metrics::Counter& forwards;
+  metrics::Counter& forward_retries;
+  metrics::Counter& forward_failures;
+  metrics::Counter& failovers;
+  metrics::Counter& sessions_handed_off;
+  metrics::Counter& handoff_failures;
+  metrics::Gauge& shards_alive;
+  metrics::Gauge& inflight;
+  metrics::Histogram& forward_us;
+
+  static GatewayMetrics& instance() {
+    static GatewayMetrics m = [] {
+      metrics::MetricsRegistry& reg = metrics::registry();
+      return GatewayMetrics{reg.counter("ccd.gateway.requests"),
+                            reg.counter("ccd.gateway.responses"),
+                            reg.counter("ccd.gateway.local"),
+                            reg.counter("ccd.gateway.backpressure"),
+                            reg.counter("ccd.gateway.rejected"),
+                            reg.counter("ccd.gateway.forwards"),
+                            reg.counter("ccd.gateway.forward_retries"),
+                            reg.counter("ccd.gateway.forward_failures"),
+                            reg.counter("ccd.gateway.failovers"),
+                            reg.counter("ccd.gateway.sessions_handed_off"),
+                            reg.counter("ccd.gateway.handoff_failures"),
+                            reg.gauge("ccd.gateway.shards_alive"),
+                            reg.gauge("ccd.gateway.inflight"),
+                            reg.histogram("ccd.gateway.forward_us")};
+    }();
+    return m;
+  }
+};
+
+/// 64-bit finalizer (murmur3) on top of FNV-1a: FNV's high bits avalanche
+/// poorly on short similar strings ("shard0#1" vs "shard1#1"), which
+/// clusters ring points by shard instead of interleaving them. The mix
+/// spreads them uniformly over the key space.
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+std::uint64_t ring_hash(const std::string& key) {
+  return mix64(util::fnv1a64(key.data(), key.size()));
+}
+
+bool strip_suffix(const std::string& name, const std::string& suffix,
+                  std::string* stem) {
+  if (name.size() <= suffix.size() ||
+      name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return false;
+  }
+  *stem = name.substr(0, name.size() - suffix.size());
+  return true;
+}
+
+}  // namespace
+
+void ShardSpec::validate() const {
+  CCD_CHECK_MSG(!name.empty(), "every shard needs a name");
+  CCD_CHECK_MSG(!unix_socket.empty() || tcp_port >= 0,
+                "shard '" + name + "' needs a unix socket path or a tcp port");
+}
+
+void GatewayConfig::validate() const {
+  CCD_CHECK_MSG(!shards.empty(), "gateway needs at least one shard");
+  CCD_CHECK_MSG(!unix_socket.empty() || tcp_port >= 0,
+                "gateway needs a unix socket path or a tcp port");
+  CCD_CHECK_MSG(max_inflight >= 1, "max_inflight must be >= 1");
+  CCD_CHECK_MSG(virtual_nodes >= 1, "virtual_nodes must be >= 1");
+  connect_retry.validate();
+  std::set<std::string> names;
+  for (const ShardSpec& shard : shards) {
+    shard.validate();
+    CCD_CHECK_MSG(names.insert(shard.name).second,
+                  "duplicate shard name '" + shard.name + "'");
+  }
+}
+
+struct Gateway::Shard {
+  ShardSpec spec;
+  std::size_t index = 0;
+  std::atomic<bool> alive{true};
+
+  /// Idle connections to this shard, reused across forwards.
+  std::mutex pool_mutex;
+  std::vector<util::Socket> pool;
+
+  /// Latest health probe result (prober thread or synchronous probe).
+  std::mutex health_mutex;
+  HealthInfo last_health;
+  bool health_valid = false;
+};
+
+struct Gateway::Connection {
+  util::Socket socket;
+  std::atomic<bool> finished{false};
+};
+
+Gateway::Gateway(GatewayConfig config) : config_(std::move(config)) {
+  config_.validate();
+  GatewayMetrics& m = GatewayMetrics::instance();
+  shards_.reserve(config_.shards.size());
+  for (std::size_t i = 0; i < config_.shards.size(); ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->spec = config_.shards[i];
+    shard->index = i;
+    shards_.push_back(std::move(shard));
+  }
+  {
+    std::lock_guard<std::mutex> lock(ring_mutex_);
+    rebuild_ring_locked();
+  }
+  m.shards_alive.set(static_cast<double>(shards_.size()));
+
+  if (!config_.unix_socket.empty()) {
+    unix_listener_ = util::Socket::listen_unix(config_.unix_socket);
+  }
+  if (config_.tcp_port >= 0) {
+    tcp_listener_ = util::Socket::listen_tcp(config_.tcp_port);
+    tcp_port_ = tcp_listener_.local_port();
+  }
+  if (unix_listener_.valid()) {
+    accept_threads_.emplace_back([this] { accept_loop(&unix_listener_); });
+  }
+  if (tcp_listener_.valid()) {
+    accept_threads_.emplace_back([this] { accept_loop(&tcp_listener_); });
+  }
+  if (config_.health_interval_ms > 0) {
+    prober_ = std::thread([this] { prober_loop(); });
+  }
+}
+
+Gateway::~Gateway() { stop(); }
+
+void Gateway::stop() {
+  if (stopping_.exchange(true)) return;
+  {
+    std::lock_guard<std::mutex> lock(prober_mutex_);
+    prober_stop_ = true;
+  }
+  prober_cv_.notify_all();
+  if (prober_.joinable()) prober_.join();
+
+  unix_listener_.shutdown_both();
+  tcp_listener_.shutdown_both();
+  for (std::thread& t : accept_threads_) t.join();
+  accept_threads_.clear();
+
+  std::vector<Handler> handlers;
+  {
+    std::lock_guard<std::mutex> lock(handlers_mutex_);
+    handlers.swap(handlers_);
+  }
+  for (Handler& handler : handlers) {
+    handler.connection->socket.shutdown_both();
+    handler.thread.join();
+  }
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->pool_mutex);
+    shard->pool.clear();
+  }
+  if (!config_.unix_socket.empty()) {
+    ::unlink(config_.unix_socket.c_str());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Routing: FNV-1a consistent-hash ring over the alive shards.
+
+void Gateway::rebuild_ring_locked() {
+  ring_.clear();
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    if (!shard->alive.load(std::memory_order_relaxed)) continue;
+    for (std::size_t v = 0; v < config_.virtual_nodes; ++v) {
+      const std::string point = shard->spec.name + "#" + std::to_string(v);
+      ring_[ring_hash(point)] = shard.get();
+    }
+  }
+}
+
+Gateway::Shard* Gateway::route(const std::string& session) const {
+  std::lock_guard<std::mutex> lock(ring_mutex_);
+  if (ring_.empty()) {
+    throw ConfigError("no alive shard to route session '" + session + "'");
+  }
+  auto it = ring_.lower_bound(ring_hash(session));
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+std::string Gateway::shard_for(const std::string& session) const {
+  return route(session)->spec.name;
+}
+
+std::size_t Gateway::alive_shard_count() const {
+  std::size_t alive = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    if (shard->alive.load(std::memory_order_relaxed)) ++alive;
+  }
+  return alive;
+}
+
+// ---------------------------------------------------------------------------
+// Shard connections.
+
+util::Socket Gateway::dial(Shard& shard) {
+  return util::with_retry(
+      "gateway.shard_connect", config_.connect_retry,
+      [&shard](std::size_t attempt) {
+        CCD_FAULT_POINT(
+            "gateway.shard_connect",
+            (static_cast<std::uint64_t>(shard.index) << 16) | attempt,
+            DataError);
+        return shard.spec.unix_socket.empty()
+                   ? util::Socket::connect_tcp(shard.spec.host,
+                                               shard.spec.tcp_port)
+                   : util::Socket::connect_unix(shard.spec.unix_socket);
+      });
+}
+
+util::Socket Gateway::acquire(Shard& shard) {
+  {
+    std::lock_guard<std::mutex> lock(shard.pool_mutex);
+    if (!shard.pool.empty()) {
+      util::Socket socket = std::move(shard.pool.back());
+      shard.pool.pop_back();
+      return socket;
+    }
+  }
+  return dial(shard);
+}
+
+void Gateway::release(Shard& shard, util::Socket socket) {
+  if (!socket.valid() || stopping_.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(shard.pool_mutex);
+  shard.pool.push_back(std::move(socket));
+}
+
+Response Gateway::roundtrip(Shard& shard, const Request& request) {
+  // On any failure the connection is simply destroyed (not released):
+  // a half-written frame makes it unusable.
+  util::Socket connection = acquire(shard);
+  send_message(connection, encode_request(request), config_.io_timeout_ms);
+  const std::optional<std::string> payload = recv_message(
+      connection, config_.forward_timeout_ms, config_.io_timeout_ms);
+  if (!payload) {
+    throw DataError("shard '" + shard.spec.name +
+                    "' closed the connection mid-request");
+  }
+  Response response = decode_response(*payload);
+  if (response.request_id != request.request_id) {
+    throw DataError("shard '" + shard.spec.name +
+                    "' response correlation mismatch (sent " +
+                    std::to_string(request.request_id) + ", got " +
+                    std::to_string(response.request_id) + ")");
+  }
+  release(shard, std::move(connection));
+  return response;
+}
+
+// ---------------------------------------------------------------------------
+// Request handling.
+
+Response Gateway::forward(const Request& request) {
+  GatewayMetrics& m = GatewayMetrics::instance();
+  metrics::ScopedTimer timer(&m.forward_us);
+  std::string failure = "no forward attempt made";
+  for (std::size_t attempt = 0; attempt < kMaxForwardAttempts; ++attempt) {
+    if (attempt > 0) {
+      // Barrier: wait out any in-progress failover so the retry routes on
+      // the post-handoff ring and the restored session is already there.
+      std::lock_guard<std::mutex> barrier(failover_mutex_);
+    }
+    const std::uint64_t ring_version =
+        ring_version_.load(std::memory_order_acquire);
+    Shard* shard = nullptr;
+    try {
+      shard = route(request.session);
+    } catch (const ccd::Error& e) {
+      failure = e.what();
+      break;  // no shard left; retrying cannot help
+    }
+    try {
+      m.forwards.add(1);
+      Response response = roundtrip(*shard, request);
+      if (response.status == Status::kConfigError &&
+          response.message.find("no open session") != std::string::npos &&
+          ring_version_.load(std::memory_order_acquire) != ring_version) {
+        // The ring moved while this request was in flight: what looks
+        // like an unknown session may just have been handed to another
+        // shard. Re-route and reissue.
+        m.forward_retries.add(1);
+        failure = response.message;
+        continue;
+      }
+      return response;
+    } catch (const ccd::Error& e) {
+      m.forward_retries.add(1);
+      failure = e.what();
+      // Distinguish a broken connection from a dead shard: a fresh dial
+      // succeeding means only this connection failed — retry. A dial
+      // failing (after its own retry/backoff budget) declares the shard
+      // down and hands its sessions off before the next attempt.
+      try {
+        release(*shard, dial(*shard));
+      } catch (const ccd::Error&) {
+        on_shard_down(*shard, failure);
+      }
+    }
+  }
+  m.forward_failures.add(1);
+  Response response;
+  response.status = Status::kDataError;
+  response.message = "forward of " + std::string(to_string(request.op)) +
+                     " for session '" + request.session +
+                     "' failed: " + failure;
+  return response;
+}
+
+Response Gateway::handle(const Request& request) {
+  GatewayMetrics& m = GatewayMetrics::instance();
+  m.requests.add(1);
+  Response response;
+  try {
+    switch (request.op) {
+      case Op::kPing:
+        response.text = kBanner;
+        m.local.add(1);
+        break;
+      case Op::kMetrics:
+        response.text = request.metrics_prometheus ? metrics::to_prometheus()
+                                                   : metrics::to_json();
+        m.local.add(1);
+        break;
+      case Op::kHealth:
+        response = local_health();
+        m.local.add(1);
+        break;
+      case Op::kShutdown:
+        broadcast_shutdown();
+        shutdown_requested_.store(true, std::memory_order_release);
+        m.local.add(1);
+        break;
+      default: {
+        // Session-scoped op: forward, under the inflight cap.
+        if (shutdown_requested_.load(std::memory_order_acquire)) {
+          response.status = Status::kShuttingDown;
+          response.message = "gateway is draining";
+          m.rejected.add(1);
+          break;
+        }
+        const std::size_t inflight =
+            inflight_.fetch_add(1, std::memory_order_acq_rel);
+        if (inflight >= config_.max_inflight) {
+          inflight_.fetch_sub(1, std::memory_order_acq_rel);
+          response.status = Status::kBackpressure;
+          response.message = "gateway at max_inflight (" +
+                             std::to_string(config_.max_inflight) + ")";
+          m.backpressure.add(1);
+          break;
+        }
+        m.inflight.set(static_cast<double>(inflight + 1));
+        try {
+          response = forward(request);
+        } catch (...) {
+          inflight_.fetch_sub(1, std::memory_order_acq_rel);
+          throw;
+        }
+        inflight_.fetch_sub(1, std::memory_order_acq_rel);
+        break;
+      }
+    }
+  } catch (const ccd::Error& e) {
+    // Defensive: forward() reports failures as responses, so only local
+    // handling can land here.
+    response.status = status_for(e);
+    response.message = e.what();
+    m.local.add(1);
+  }
+  response.request_id = request.request_id;
+  m.responses.add(1);
+  return response;
+}
+
+Response Gateway::local_health() {
+  Response response;
+  HealthInfo total;
+  bool draining = shutdown_requested_.load(std::memory_order_acquire);
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    if (!shard->alive.load(std::memory_order_relaxed)) continue;
+    if (config_.health_interval_ms <= 0) {
+      // No prober: refresh synchronously so health is never stale.
+      probe_shard(*shard);
+    }
+    std::lock_guard<std::mutex> lock(shard->health_mutex);
+    if (!shard->health_valid) continue;
+    total.sessions_open += shard->last_health.sessions_open;
+    total.max_sessions += shard->last_health.max_sessions;
+    total.queue_depth += shard->last_health.queue_depth;
+    total.queue_capacity += shard->last_health.queue_capacity;
+    draining = draining || shard->last_health.draining;
+  }
+  total.draining = draining;
+  response.health = total;
+  return response;
+}
+
+void Gateway::broadcast_shutdown() {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    if (!shard->alive.load(std::memory_order_relaxed)) continue;
+    Request request;
+    request.op = Op::kShutdown;
+    request.request_id =
+        internal_request_id_.fetch_add(1, std::memory_order_relaxed);
+    try {
+      (void)roundtrip(*shard, request);
+    } catch (const ccd::Error&) {
+      // Best effort; a shard that is already gone needs no shutdown.
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Liveness and failover.
+
+bool Gateway::probe_shard(Shard& shard) {
+  Request request;
+  request.op = Op::kHealth;
+  request.request_id =
+      internal_request_id_.fetch_add(1, std::memory_order_relaxed);
+  try {
+    const Response response = roundtrip(shard, request);
+    if (is_error(response.status)) return false;
+    std::lock_guard<std::mutex> lock(shard.health_mutex);
+    shard.last_health = response.health;
+    shard.health_valid = true;
+    return true;
+  } catch (const ccd::Error&) {
+    return false;
+  }
+}
+
+void Gateway::prober_loop() {
+  const auto interval = std::chrono::milliseconds(config_.health_interval_ms);
+  std::unique_lock<std::mutex> lock(prober_mutex_);
+  while (!prober_stop_) {
+    prober_cv_.wait_for(lock, interval, [this] { return prober_stop_; });
+    if (prober_stop_) return;
+    lock.unlock();
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      if (stopping_.load(std::memory_order_relaxed)) break;
+      if (!shard->alive.load(std::memory_order_relaxed)) continue;
+      if (!probe_shard(*shard)) {
+        on_shard_down(*shard, "health probe failed");
+      }
+    }
+    lock.lock();
+  }
+}
+
+void Gateway::retire_shard(const std::string& name) {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    if (shard->spec.name == name) {
+      on_shard_down(*shard, "retired by operator");
+      return;
+    }
+  }
+  throw ConfigError("unknown shard '" + name + "'");
+}
+
+void Gateway::on_shard_down(Shard& shard, const std::string& reason) {
+  std::lock_guard<std::mutex> lock(failover_mutex_);
+  if (!shard.alive.load(std::memory_order_relaxed)) return;  // raced: done
+  GatewayMetrics& m = GatewayMetrics::instance();
+  shard.alive.store(false, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> pool(shard.pool_mutex);
+    shard.pool.clear();
+  }
+  {
+    std::lock_guard<std::mutex> ring(ring_mutex_);
+    rebuild_ring_locked();
+  }
+  m.failovers.add(1);
+  m.shards_alive.set(static_cast<double>(alive_shard_count()));
+  (void)reason;
+  handoff_locked(shard);
+  // Publish only after the survivors hold the sessions: a forward that
+  // raced the handoff retries once it sees the version move.
+  ring_version_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void Gateway::handoff_locked(Shard& dead) {
+  if (dead.spec.checkpoint_dir.empty()) return;
+  GatewayMetrics& m = GatewayMetrics::instance();
+
+  struct Entry {
+    std::string id;
+    std::string path;
+  };
+  std::vector<Entry> entries;
+  DIR* dir = ::opendir(dead.spec.checkpoint_dir.c_str());
+  if (dir == nullptr) return;  // nothing to scavenge
+  const std::string sim_suffix =
+      Session::checkpoint_suffix(SessionMode::kSimulation);
+  const std::string ingest_suffix =
+      Session::checkpoint_suffix(SessionMode::kIngest);
+  while (dirent* e = ::readdir(dir)) {
+    const std::string file = e->d_name;
+    std::string id;
+    if (!strip_suffix(file, sim_suffix, &id) &&
+        !strip_suffix(file, ingest_suffix, &id)) {
+      continue;
+    }
+    entries.push_back({id, dead.spec.checkpoint_dir + "/" + file});
+  }
+  ::closedir(dir);
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.path < b.path; });
+
+  for (const Entry& entry : entries) {
+    try {
+      Request request;
+      request.op = Op::kRestore;
+      request.session = entry.id;
+      request.request_id =
+          internal_request_id_.fetch_add(1, std::memory_order_relaxed);
+      // Raw file image: the shard validates the frame (tag, version,
+      // checksum) before decoding, so a torn checkpoint is rejected
+      // there, not silently installed.
+      request.checkpoint_blob = util::read_file(entry.path);
+      Shard* target = route(entry.id);  // dead shard already off the ring
+      const Response response = roundtrip(*target, request);
+      if (is_error(response.status)) {
+        throw DataError("restore of session '" + entry.id + "' on shard '" +
+                        target->spec.name + "' failed: " + response.message);
+      }
+      m.sessions_handed_off.add(1);
+    } catch (const ccd::Error&) {
+      // Do not cascade failovers from inside one — a survivor failing
+      // here is caught by the prober or by live traffic.
+      m.handoff_failures.add(1);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Socket front end (mirrors serve::Server, but handling is synchronous:
+// the gateway is I/O-bound and the shards own the queues).
+
+void Gateway::accept_loop(util::Socket* listener) {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    std::optional<util::Socket> accepted;
+    try {
+      accepted = listener->accept(kAcceptPollMs);
+    } catch (const ccd::Error&) {
+      if (stopping_.load(std::memory_order_relaxed)) return;
+      continue;
+    }
+    if (!accepted) continue;  // poll timeout
+
+    auto connection = std::make_shared<Connection>();
+    connection->socket = std::move(*accepted);
+    std::lock_guard<std::mutex> lock(handlers_mutex_);
+    reap_finished_handlers_locked();
+    Handler handler;
+    handler.connection = connection;
+    handler.thread =
+        std::thread([this, connection] { handle_connection(connection); });
+    handlers_.push_back(std::move(handler));
+  }
+}
+
+void Gateway::handle_connection(std::shared_ptr<Connection> connection) {
+  try {
+    for (;;) {
+      const std::optional<std::string> payload = recv_message(
+          connection->socket, config_.idle_timeout_ms, config_.io_timeout_ms);
+      if (!payload) break;  // clean peer close
+      const Request request = decode_request(*payload);
+      const Response response = handle(request);
+      send_message(connection->socket, encode_response(response),
+                   config_.io_timeout_ms);
+    }
+  } catch (const ccd::Error&) {
+    // Corrupt frame or transport failure: framing is unrecoverable on a
+    // byte stream, drop the connection.
+  }
+  connection->socket.shutdown_both();
+  connection->finished.store(true, std::memory_order_release);
+}
+
+void Gateway::reap_finished_handlers_locked() {
+  for (auto it = handlers_.begin(); it != handlers_.end();) {
+    if (it->connection->finished.load(std::memory_order_acquire)) {
+      it->thread.join();
+      it = handlers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace ccd::serve

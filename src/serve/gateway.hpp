@@ -1,0 +1,196 @@
+// serve::Gateway — fault-tolerant front end for a fleet of ccdd shards.
+//
+// The gateway speaks the same CSRV framed protocol on both sides: clients
+// connect to it exactly as they would to a single ccdd, and it
+// consistent-hashes each session id onto one of N shards (FNV-1a ring
+// with virtual nodes), forwarding session-scoped requests over pooled
+// shard connections. Server-wide ops answer locally: ping identifies the
+// gateway, metrics dumps the gateway process registry (ccd.gateway.*),
+// health aggregates the latest per-shard probes, shutdown broadcasts to
+// every live shard and then drains the gateway itself.
+//
+// Failure handling is the point of the layer:
+//  * Liveness — a background prober sends a lightweight health frame to
+//    every shard on a cadence; shard dials go through util::with_retry
+//    (bounded attempts, exponential backoff, deterministic jitter) and
+//    carry the `gateway.shard_connect` fault-injection site.
+//  * Failover — when a shard dies (kill -9, crash, or an operator
+//    retire), its ring points are dropped and every session checkpoint in
+//    its checkpoint directory is scavenged: the raw SCKP/ISES frame bytes
+//    are shipped to the surviving owner via the restore op, which installs
+//    the session bitwise-identically (the checkpoint frames make sessions
+//    fully portable). In-flight requests to the dead shard retry and land
+//    on the new owner; advance is budget-capped, so replay after an
+//    ambiguous failure cannot over-run a campaign (ingest replay is
+//    at-least-once — see docs/API.md).
+//  * Backpressure — at most max_inflight forwarded requests run at once;
+//    beyond that the gateway answers kBackpressure immediately without
+//    buffering, so overload degrades throughput, never memory. Shard-side
+//    backpressure passes through untouched.
+//
+// Every observable lands under `ccd.gateway.*`, and the counters
+// reconcile exactly (tested in bench_gateway_chaos): requests ==
+// responses, and responses == local + backpressure + rejected +
+// (forwards - forward_retries) + forward_failures.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "util/retry.hpp"
+#include "util/socket.hpp"
+
+namespace ccd::serve {
+
+/// One backend ccdd shard: where to dial it and where it keeps its
+/// session checkpoints (scavenged on failover).
+struct ShardSpec {
+  /// Unique label, used in routing, errors, and retire_shard().
+  std::string name;
+  /// Dial target: Unix-domain socket path, or loopback TCP when empty.
+  std::string unix_socket;
+  std::string host = "127.0.0.1";
+  int tcp_port = -1;
+  /// The shard's checkpoint_dir. Required for failover handoff; empty
+  /// means this shard's sessions die with it.
+  std::string checkpoint_dir;
+
+  void validate() const;
+};
+
+struct GatewayConfig {
+  std::vector<ShardSpec> shards;
+
+  /// Gateway's own listeners (same semantics as ServerConfig).
+  std::string unix_socket;
+  int tcp_port = -1;
+
+  /// Concurrent forwarded requests beyond which the gateway answers
+  /// kBackpressure immediately (overload degrades throughput, not memory).
+  std::size_t max_inflight = 256;
+  /// Ring points per shard; more points smooth the key distribution.
+  std::size_t virtual_nodes = 64;
+  /// Per-transfer deadline on downstream (client) connections and shard
+  /// frame payloads. <= 0 disables.
+  int io_timeout_ms = 10'000;
+  /// Idle deadline between frames on client connections. <= 0 disables.
+  int idle_timeout_ms = 0;
+  /// How long to wait for a shard's response to a forwarded request (the
+  /// shard may be legitimately busy simulating). <= 0 disables.
+  int forward_timeout_ms = 60'000;
+  /// Shard health-probe cadence; <= 0 disables the prober thread (death
+  /// is then detected only by failing traffic).
+  int health_interval_ms = 500;
+  /// Retry/backoff for shard dials (util::with_retry).
+  util::RetryPolicy connect_retry;
+
+  void validate() const;
+};
+
+class Gateway {
+ public:
+  /// Binds listeners, connects nothing eagerly, starts accepting and
+  /// (when configured) probing. Throws ccd::ConfigError / ccd::DataError
+  /// on bad config or bind failure.
+  explicit Gateway(GatewayConfig config);
+  ~Gateway();  ///< stop()s.
+
+  Gateway(const Gateway&) = delete;
+  Gateway& operator=(const Gateway&) = delete;
+
+  /// Stop accepting, close client connections and shard pools, join all
+  /// threads. Does not touch the shards themselves. Idempotent.
+  void stop();
+
+  /// Handle one decoded request exactly as a connection would (in-process
+  /// embedding and tests; also the transport-independent core of the
+  /// socket path).
+  Response handle(const Request& request);
+
+  /// Operator-driven graceful leave: `name` must already have drained and
+  /// checkpointed (its daemon stopped); its sessions are handed off to
+  /// the surviving shards. Throws ccd::ConfigError on an unknown name.
+  void retire_shard(const std::string& name);
+
+  /// Name of the shard a session id currently routes to (tests/tools).
+  std::string shard_for(const std::string& session) const;
+
+  std::size_t alive_shard_count() const;
+  bool shutdown_requested() const {
+    return shutdown_requested_.load(std::memory_order_relaxed);
+  }
+
+  /// Bound TCP port (resolved when config asked for port 0); -1 when the
+  /// TCP listener is disabled.
+  int tcp_port() const { return tcp_port_; }
+
+ private:
+  struct Shard;
+  struct Connection;
+  struct Handler {
+    std::thread thread;
+    std::shared_ptr<Connection> connection;
+  };
+
+  void accept_loop(util::Socket* listener);
+  void handle_connection(std::shared_ptr<Connection> connection);
+  void reap_finished_handlers_locked();
+  void prober_loop();
+
+  void rebuild_ring_locked();
+  Shard* route(const std::string& session) const;
+  util::Socket acquire(Shard& shard);
+  void release(Shard& shard, util::Socket socket);
+  util::Socket dial(Shard& shard);
+  /// One synchronous request/response on a pooled shard connection.
+  Response roundtrip(Shard& shard, const Request& request);
+
+  Response forward(const Request& request);
+  Response local_health();
+  /// kHealth roundtrip; caches the result on the shard. False on failure.
+  bool probe_shard(Shard& shard);
+  void broadcast_shutdown();
+  /// Declare a shard dead and hand its checkpointed sessions to the
+  /// survivors. Serialized by failover_mutex_; concurrent detections of
+  /// the same death collapse into one failover.
+  void on_shard_down(Shard& shard, const std::string& reason);
+  void handoff_locked(Shard& dead);
+
+  GatewayConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable std::mutex ring_mutex_;
+  std::map<std::uint64_t, Shard*> ring_;
+  /// Bumped after each completed failover; forwards use it to tell a
+  /// genuinely unknown session from one that just moved shards.
+  std::atomic<std::uint64_t> ring_version_{0};
+  std::mutex failover_mutex_;
+
+  util::Socket unix_listener_;
+  util::Socket tcp_listener_;
+  int tcp_port_ = -1;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> shutdown_requested_{false};
+  std::atomic<std::uint64_t> internal_request_id_{1};
+  std::atomic<std::size_t> inflight_{0};
+  std::vector<std::thread> accept_threads_;
+
+  std::mutex prober_mutex_;
+  std::condition_variable prober_cv_;
+  bool prober_stop_ = false;
+  std::thread prober_;
+
+  std::mutex handlers_mutex_;
+  std::vector<Handler> handlers_;
+};
+
+}  // namespace ccd::serve

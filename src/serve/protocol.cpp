@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "core/checkpoint.hpp"
+#include "util/atomic_file.hpp"
+#include "util/fault_injection.hpp"
 #include "util/socket.hpp"
 #include "util/wire.hpp"
 
@@ -19,6 +21,8 @@ const char* to_string(Op op) {
     case Op::kClose: return "close";
     case Op::kMetrics: return "metrics";
     case Op::kShutdown: return "shutdown";
+    case Op::kRestore: return "restore";
+    case Op::kHealth: return "health";
   }
   return "?";
 }
@@ -71,7 +75,7 @@ void throw_status(Status status, const std::string& message) {
 namespace {
 
 Op decode_op(std::uint8_t raw) {
-  if (raw > static_cast<std::uint8_t>(Op::kShutdown)) {
+  if (raw > static_cast<std::uint8_t>(Op::kHealth)) {
     throw DataError("unknown serve op " + std::to_string(raw));
   }
   return static_cast<Op>(raw);
@@ -134,6 +138,7 @@ std::string encode_request(const Request& request) {
     w.f64(obs.accuracy_sample);
   }
   w.u8(request.metrics_prometheus ? 1 : 0);
+  w.str(request.checkpoint_blob);
   return w.take();
 }
 
@@ -164,6 +169,7 @@ Request decode_request(const std::string& payload) {
     request.observations.push_back(obs);
   }
   request.metrics_prometheus = r.u8() != 0;
+  request.checkpoint_blob = r.str();
   r.finish();
   return request;
 }
@@ -180,6 +186,11 @@ std::string encode_response(const Response& response) {
   }
   w.str(response.text);
   w.u8(response.redesigned ? 1 : 0);
+  w.u64(response.health.sessions_open);
+  w.u64(response.health.max_sessions);
+  w.u64(response.health.queue_depth);
+  w.u64(response.health.queue_capacity);
+  w.u8(response.health.draining ? 1 : 0);
   return w.take();
 }
 
@@ -197,26 +208,39 @@ Response decode_response(const std::string& payload) {
   }
   response.text = r.str();
   response.redesigned = r.u8() != 0;
+  response.health.sessions_open = r.u64();
+  response.health.max_sessions = r.u64();
+  response.health.queue_depth = r.u64();
+  response.health.queue_capacity = r.u64();
+  response.health.draining = r.u8() != 0;
   r.finish();
   return response;
 }
 
-void send_message(util::Socket& socket, const std::string& payload) {
-  socket.send_all(util::wire::encode_frame(kFrameTag, kProtocolVersion,
-                                           payload));
+void send_message(util::Socket& socket, const std::string& payload,
+                  int io_timeout_ms) {
+  CCD_FAULT_POINT("serve.frame_write",
+                  util::fnv1a64(payload.data(), payload.size()), DataError);
+  const std::string frame =
+      util::wire::encode_frame(kFrameTag, kProtocolVersion, payload);
+  socket.write_exact(frame.data(), frame.size(), io_timeout_ms);
 }
 
-std::optional<std::string> recv_message(util::Socket& socket) {
+std::optional<std::string> recv_message(util::Socket& socket,
+                                        int idle_timeout_ms,
+                                        int io_timeout_ms) {
   char header_bytes[util::wire::kFrameHeaderSize];
-  if (!socket.recv_exact(header_bytes, sizeof(header_bytes))) {
+  if (!socket.read_exact(header_bytes, sizeof(header_bytes),
+                         idle_timeout_ms)) {
     return std::nullopt;
   }
   const util::wire::FrameHeader header = util::wire::decode_frame_header(
       std::string_view(header_bytes, sizeof(header_bytes)), kFrameTag,
       kProtocolVersion, kProtocolVersion, kMaxMessageBytes, "socket");
+  CCD_FAULT_POINT("serve.frame_read", header.checksum, DataError);
   std::string payload(header.payload_size, '\0');
   if (header.payload_size > 0 &&
-      !socket.recv_exact(payload.data(), payload.size())) {
+      !socket.read_exact(payload.data(), payload.size(), io_timeout_ms)) {
     throw DataError("peer closed between frame header and payload");
   }
   util::wire::verify_frame_payload(header, payload, "socket");

@@ -37,7 +37,9 @@ class Socket;
 namespace ccd::serve {
 
 inline constexpr const char* kFrameTag = "CSRV";
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// v2: adds restore (checkpoint handoff) and health ops plus the
+/// checkpoint_blob / HealthInfo fields carrying them.
+inline constexpr std::uint32_t kProtocolVersion = 2;
 /// Hard cap on a single message payload; a header announcing more is
 /// rejected before any allocation (garbage/torn streams, never OOM).
 inline constexpr std::uint64_t kMaxMessageBytes = 16ull << 20;
@@ -52,6 +54,12 @@ enum class Op : std::uint8_t {
   kClose = 6,
   kMetrics = 7,
   kShutdown = 8,
+  /// Install a session from raw checkpoint-frame bytes (SCKP/ISES) carried
+  /// in Request::checkpoint_blob — the gateway's failover handoff path.
+  /// Idempotent: restoring an id that is already open returns its status.
+  kRestore = 9,
+  /// Lightweight load/liveness probe; the response carries HealthInfo.
+  kHealth = 10,
 };
 
 const char* to_string(Op op);
@@ -125,6 +133,9 @@ struct Request {
   std::uint64_t advance_rounds = 1;               ///< kAdvance
   std::vector<IngestObservation> observations;    ///< kIngest
   bool metrics_prometheus = false;                ///< kMetrics format
+  /// kRestore: raw framed checkpoint bytes (a .sim.ckpt / .ingest.ckpt
+  /// file image); the engine decodes the frame tag to pick the mode.
+  std::string checkpoint_blob;
 };
 
 struct SessionStatus {
@@ -133,6 +144,16 @@ struct SessionStatus {
   std::uint64_t workers = 0;
   double cumulative_requester_utility = 0.0;
   bool finished = false;
+};
+
+/// Snapshot of engine load for kHealth — what a gateway needs to route and
+/// to notice a shard drowning or draining.
+struct HealthInfo {
+  std::uint64_t sessions_open = 0;
+  std::uint64_t max_sessions = 0;
+  std::uint64_t queue_depth = 0;
+  std::uint64_t queue_capacity = 0;
+  bool draining = false;
 };
 
 struct Response {
@@ -144,6 +165,7 @@ struct Response {
   std::vector<contract::Contract> contracts;  ///< kContracts
   std::string text;                           ///< kPing banner / kMetrics dump
   bool redesigned = false;                    ///< kIngest: redesign ran
+  HealthInfo health;                          ///< kHealth
 };
 
 /// Payload codecs (the bytes inside the frame). Decoders throw
@@ -156,7 +178,18 @@ Response decode_response(const std::string& payload);
 /// Framed message transport: header + checksummed payload, one frame per
 /// message. recv_message returns nullopt on a clean peer close between
 /// messages and throws ccd::DataError on corruption or mid-frame EOF.
-void send_message(util::Socket& socket, const std::string& payload);
-std::optional<std::string> recv_message(util::Socket& socket);
+///
+/// The deadline variants bound how long a stalled peer can pin the caller:
+/// `idle_timeout_ms` caps the wait for a frame header (how long between
+/// messages), `io_timeout_ms` caps each transfer once a frame has started
+/// (header bytes mid-read, payload, or an outbound frame). Expiry throws
+/// ccd::DataError; <= 0 disables that deadline. Both carry deterministic
+/// fault-injection sites `serve.frame_write` / `serve.frame_read` keyed by
+/// the frame checksum.
+void send_message(util::Socket& socket, const std::string& payload,
+                  int io_timeout_ms = 0);
+std::optional<std::string> recv_message(util::Socket& socket,
+                                        int idle_timeout_ms = 0,
+                                        int io_timeout_ms = 0);
 
 }  // namespace ccd::serve

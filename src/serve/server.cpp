@@ -76,20 +76,25 @@ void Server::accept_loop(util::Socket* listener) {
 void Server::handle_connection(std::shared_ptr<Connection> connection) {
   try {
     for (;;) {
-      const std::optional<std::string> payload =
-          recv_message(connection->socket);
+      const std::optional<std::string> payload = recv_message(
+          connection->socket, config_.idle_timeout_ms, config_.io_timeout_ms);
       if (!payload) break;  // clean peer close
       Request request = decode_request(*payload);
       // The response callback may fire on an executor thread long after
       // this loop moved on (pipelining) — the shared_ptr keeps the
       // connection alive until the last pending response is written.
-      engine_.submit(std::move(request), [connection](Response response) {
+      const int io_timeout_ms = config_.io_timeout_ms;
+      engine_.submit(std::move(request),
+                     [connection, io_timeout_ms](Response response) {
         try {
           const std::string encoded = encode_response(response);
           std::lock_guard<std::mutex> lock(connection->write_mutex);
-          send_message(connection->socket, encoded);
+          send_message(connection->socket, encoded, io_timeout_ms);
         } catch (const ccd::Error&) {
-          // Peer gone mid-response; nothing to deliver to.
+          // Peer gone or stalled mid-response. A timeout may have left a
+          // partial frame on the stream, so the connection is unusable:
+          // shut it down to unblock the read loop too.
+          connection->socket.shutdown_both();
         }
       });
     }

@@ -26,6 +26,15 @@ struct ServerConfig {
   std::string unix_socket;
   /// Loopback TCP port; negative disables, 0 picks an ephemeral port.
   int tcp_port = -1;
+  /// Per-transfer deadline once a frame has started (header mid-read,
+  /// payload bytes, or an outbound response): a half-dead peer can pin a
+  /// handler thread at most this long before only its connection is
+  /// dropped. <= 0 disables.
+  int io_timeout_ms = 10'000;
+  /// Idle deadline between frames: how long a connected-but-silent client
+  /// may hold its handler thread. <= 0 (default) keeps connections open
+  /// indefinitely — idle clients are cheap; stalled transfers are not.
+  int idle_timeout_ms = 0;
 
   void validate() const;
 };

@@ -34,6 +34,10 @@ std::string checkpoint_file(const std::string& dir, const std::string& id,
 
 }  // namespace
 
+const char* Session::checkpoint_suffix(SessionMode mode) {
+  return mode == SessionMode::kSimulation ? kSimSuffix : kIngestSuffix;
+}
+
 bool valid_session_id(const std::string& id) {
   if (id.empty() || id.size() > 64) return false;
   for (const char c : id) {
@@ -360,8 +364,14 @@ std::unique_ptr<Session> Session::restore(const std::string& id,
 
   const util::FramedPayload framed = util::read_framed_file(
       path, kIngestTag, IngestState::kVersion, IngestState::kVersion);
+  session->ingest_ = decode_ingest_payload(framed.payload);
+  return session;
+}
+
+std::unique_ptr<Session::IngestState> Session::decode_ingest_payload(
+    const std::string& payload) {
   try {
-    util::wire::Reader r(framed.payload);
+    util::wire::Reader r(payload);
     auto state = std::make_unique<IngestState>();
     state->round = r.u64();
     state->rounds_budget = r.u64();
@@ -405,14 +415,62 @@ std::unique_ptr<Session> Session::restore(const std::string& id,
     }
     r.finish();
     state->requester.validate();
-    session->ingest_ = std::move(state);
-    return session;
+    return state;
   } catch (const DataError&) {
     throw;
   } catch (const Error& e) {
     throw DataError(std::string("invalid ingest-session checkpoint: ") +
                     e.what());
   }
+}
+
+std::unique_ptr<Session> Session::restore_blob(const std::string& id,
+                                               const std::string& blob,
+                                               Env env) {
+  if (blob.size() < util::wire::kFrameHeaderSize) {
+    throw DataError("checkpoint blob shorter than a frame header (" +
+                    std::to_string(blob.size()) + " bytes)");
+  }
+  // The frame tag (bytes 4..8) names the session mode; full header and
+  // checksum validation happens below under the tag-specific version.
+  const std::string tag = blob.substr(4, 4);
+  SessionMode mode;
+  std::uint32_t version;
+  if (tag == "SCKP") {
+    mode = SessionMode::kSimulation;
+    version = core::SimCheckpoint::kVersion;
+  } else if (tag == kIngestTag) {
+    mode = SessionMode::kIngest;
+    version = IngestState::kVersion;
+  } else {
+    throw DataError("checkpoint blob has unknown frame tag '" + tag + "'");
+  }
+  const util::wire::FrameHeader header = util::wire::decode_frame_header(
+      blob, tag, version, version, blob.size(), "checkpoint blob");
+  if (blob.size() != util::wire::kFrameHeaderSize + header.payload_size) {
+    throw DataError("checkpoint blob size mismatch (header announces " +
+                    std::to_string(header.payload_size) + " payload bytes, " +
+                    std::to_string(blob.size() - util::wire::kFrameHeaderSize) +
+                    " present)");
+  }
+  const std::string payload = blob.substr(util::wire::kFrameHeaderSize);
+  util::wire::verify_frame_payload(header, payload, "checkpoint blob");
+
+  auto session =
+      std::unique_ptr<Session>(new Session(id, std::move(env), mode));
+  if (mode == SessionMode::kSimulation) {
+    core::SimCheckpoint checkpoint = core::decode_checkpoint(payload);
+    checkpoint.config.checkpoint_path =
+        checkpoint_file(session->env_.checkpoint_dir, id, mode);
+    checkpoint.config.checkpoint_every =
+        checkpoint.config.checkpoint_path.empty()
+            ? 0
+            : session->env_.checkpoint_every;
+    session->sim_ = std::make_unique<core::StackelbergSimulator>(checkpoint);
+  } else {
+    session->ingest_ = decode_ingest_payload(payload);
+  }
+  return session;
 }
 
 void Session::remove_checkpoint() const {

@@ -27,6 +27,8 @@
 // via mutex() while allowing different sessions to proceed in parallel.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -70,6 +72,19 @@ class Session {
   static std::unique_ptr<Session> restore(const std::string& id,
                                           const std::string& path, Env env);
 
+  /// Restore a session from an in-memory checkpoint-frame image (the exact
+  /// bytes of a .sim.ckpt / .ingest.ckpt file) — the gateway's failover
+  /// handoff path: checkpoints travel over the wire, never through a
+  /// shared filesystem. The mode is recovered from the frame tag. Throws
+  /// ccd::DataError on corruption.
+  static std::unique_ptr<Session> restore_blob(const std::string& id,
+                                               const std::string& blob,
+                                               Env env);
+
+  /// Checkpoint-file suffix for `mode` (".sim.ckpt" / ".ingest.ckpt") —
+  /// how gateways and engines recognize session checkpoints on disk.
+  static const char* checkpoint_suffix(SessionMode mode);
+
   const std::string& id() const { return id_; }
   SessionMode mode() const { return mode_; }
   SessionStatus status() const;
@@ -100,17 +115,35 @@ class Session {
   /// Per-session operation lock (held by the engine around every op).
   std::mutex& mutex() { return mutex_; }
 
+  /// Record a use now (engine calls this on every session-scoped op);
+  /// feeds the idle-TTL eviction clock.
+  void touch() {
+    last_used_.store(std::chrono::steady_clock::now().time_since_epoch().count(),
+                     std::memory_order_relaxed);
+  }
+
+  /// Time since the last touch() (or construction).
+  std::chrono::nanoseconds idle_for() const {
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    return std::chrono::nanoseconds(
+        now.count() - last_used_.load(std::memory_order_relaxed));
+  }
+
  private:
   struct IngestState;
 
   Session(std::string id, Env env, SessionMode mode);
   void ingest_checkpoint() const;
   void ingest_redesign(const util::CancellationToken* cancel);
+  static std::unique_ptr<IngestState> decode_ingest_payload(
+      const std::string& payload);
 
   std::string id_;
   Env env_;
   SessionMode mode_;
   std::mutex mutex_;
+  std::atomic<std::chrono::steady_clock::duration::rep> last_used_{
+      std::chrono::steady_clock::now().time_since_epoch().count()};
 
   // kSimulation
   std::unique_ptr<core::StackelbergSimulator> sim_;

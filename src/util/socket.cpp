@@ -1,6 +1,7 @@
 #include "util/socket.hpp"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -37,6 +38,35 @@ int new_socket(int domain) {
   const int fd = ::socket(domain, SOCK_STREAM, 0);
   if (fd < 0) sock_error("cannot create socket");
   return fd;
+}
+
+using SteadyClock = std::chrono::steady_clock;
+
+/// Milliseconds left until `deadline`, clamped to >= 0. Returns -1 (poll's
+/// "wait forever") when there is no deadline.
+int remaining_ms(bool has_deadline, SteadyClock::time_point deadline) {
+  if (!has_deadline) return -1;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - SteadyClock::now());
+  return left.count() > 0 ? static_cast<int>(left.count()) : 0;
+}
+
+/// Wait until the fd is ready for `events` or the deadline passes.
+/// Returns true when ready, false on deadline expiry.
+bool poll_until(int fd, short events, bool has_deadline,
+                SteadyClock::time_point deadline) {
+  while (true) {
+    pollfd pfd{fd, events, 0};
+    const int wait = remaining_ms(has_deadline, deadline);
+    if (has_deadline && wait == 0) return false;
+    const int ready = ::poll(&pfd, 1, wait);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      sock_error("poll on socket failed");
+    }
+    if (ready > 0) return true;
+    if (has_deadline) return false;
+  }
 }
 
 }  // namespace
@@ -169,6 +199,68 @@ bool Socket::recv_exact(void* data, std::size_t size) {
     const ::ssize_t n = ::recv(fd_, bytes + got, size - got, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      sock_error("socket recv failed");
+    }
+    if (n == 0) {
+      if (got == 0) return false;  // clean close on a message boundary
+      throw DataError("peer closed mid-message (" + std::to_string(got) +
+                      " of " + std::to_string(size) + " bytes)");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void Socket::write_exact(const void* data, std::size_t size, int timeout_ms) {
+  if (timeout_ms <= 0) {
+    send_all(data, size);
+    return;
+  }
+  const bool has_deadline = true;
+  const auto deadline =
+      SteadyClock::now() + std::chrono::milliseconds(timeout_ms);
+  const char* bytes = static_cast<const char*>(data);
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ::ssize_t n = ::send(fd_, bytes + sent, size - sent,
+                               MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!poll_until(fd_, POLLOUT, has_deadline, deadline)) {
+          throw DataError("socket write timed out after " +
+                          std::to_string(timeout_ms) + " ms (" +
+                          std::to_string(sent) + " of " +
+                          std::to_string(size) + " bytes sent)");
+        }
+        continue;
+      }
+      sock_error("socket send failed");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+bool Socket::read_exact(void* data, std::size_t size, int timeout_ms) {
+  if (timeout_ms <= 0) return recv_exact(data, size);
+  const bool has_deadline = true;
+  const auto deadline =
+      SteadyClock::now() + std::chrono::milliseconds(timeout_ms);
+  char* bytes = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < size) {
+    const ::ssize_t n = ::recv(fd_, bytes + got, size - got, MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!poll_until(fd_, POLLIN, has_deadline, deadline)) {
+          throw DataError("socket read timed out after " +
+                          std::to_string(timeout_ms) + " ms (" +
+                          std::to_string(got) + " of " + std::to_string(size) +
+                          " bytes received)");
+        }
+        continue;
+      }
       sock_error("socket recv failed");
     }
     if (n == 0) {

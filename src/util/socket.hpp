@@ -55,6 +55,18 @@ class Socket {
   /// mid-buffer EOF or any transport error.
   bool recv_exact(void* data, std::size_t size);
 
+  /// Deadline variant of send_all: the whole buffer must be written within
+  /// `timeout_ms` (overall budget, not per-chunk). A peer that stops
+  /// draining its receive buffer surfaces as ccd::DataError instead of
+  /// blocking forever. `timeout_ms <= 0` means no deadline.
+  void write_exact(const void* data, std::size_t size, int timeout_ms);
+
+  /// Deadline variant of recv_exact: all `size` bytes must arrive within
+  /// `timeout_ms` (overall budget). Same clean-EOF/false contract as
+  /// recv_exact; a timeout throws ccd::DataError. `timeout_ms <= 0` means
+  /// no deadline.
+  bool read_exact(void* data, std::size_t size, int timeout_ms);
+
   /// Shut down both directions (wakes a peer blocked in recv). Safe on an
   /// already-closed socket.
   void shutdown_both();

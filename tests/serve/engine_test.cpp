@@ -17,6 +17,7 @@
 
 #include <atomic>
 #include <filesystem>
+#include <fstream>
 #include <future>
 #include <memory>
 #include <string>
@@ -290,7 +291,7 @@ TEST_F(EngineTest, KillAndResumeReproducesUninterruptedContractsBitwise) {
   // Phase 2: a fresh engine on the same directory restores both sessions
   // and finishes them; results must equal the uninterrupted runs bitwise.
   Engine engine(durable);
-  ASSERT_EQ(engine.resume_sessions(), 2u);
+  ASSERT_EQ(engine.resume_sessions().restored, 2u);
   EXPECT_EQ(engine.session_count(), 2u);
   ASSERT_EQ(engine.call(make_advance("a", kRounds)).status, Status::kOk);
   ASSERT_EQ(engine.call(make_advance("b", kRounds)).status, Status::kOk);
@@ -305,7 +306,106 @@ TEST_F(EngineTest, KillAndResumeReproducesUninterruptedContractsBitwise) {
   close_a.session = "a";
   ASSERT_EQ(engine.call(close_a).status, Status::kOk);
   Engine fresh(durable);
-  EXPECT_EQ(fresh.resume_sessions(), 1u);
+  EXPECT_EQ(fresh.resume_sessions().restored, 1u);
+}
+
+TEST_F(EngineTest, ResumeSkipsCorruptCheckpointsWithoutBlockingTheRest) {
+  constexpr std::uint64_t kRounds = 12;
+  constexpr std::uint64_t kSeed = 31;
+  EngineConfig durable = config();
+  durable.checkpoint_dir = dir_.string();
+
+  {
+    Engine engine(durable);
+    ASSERT_EQ(engine.call(make_open("good", kRounds, kSeed)).status,
+              Status::kOk);
+    ASSERT_EQ(engine.call(make_open("bad", kRounds, kSeed + 1)).status,
+              Status::kOk);
+    ASSERT_EQ(engine.call(make_advance("good", 5)).status, Status::kOk);
+    ASSERT_EQ(engine.call(make_advance("bad", 5)).status, Status::kOk);
+  }
+
+  // Truncate one checkpoint mid-frame: the wire-level checksum cannot
+  // hold, so restore must reject it as corrupt.
+  const std::string bad_path =
+      (dir_ / ("bad" + std::string(Session::checkpoint_suffix(
+                   SessionMode::kSimulation))))
+          .string();
+  std::string bytes;
+  {
+    std::ifstream in(bad_path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 8u);
+  {
+    std::ofstream out(bad_path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+
+#ifndef CCD_NO_METRICS
+  const std::uint64_t skipped0 = counter_value("ccd.serve.resume_skipped");
+#endif
+  Engine engine(durable);
+  const ResumeReport report = engine.resume_sessions();
+  EXPECT_EQ(report.restored, 1u);
+  ASSERT_EQ(report.skipped.size(), 1u);
+  EXPECT_EQ(report.skipped[0].id, "bad");
+  EXPECT_EQ(report.skipped[0].path, bad_path);
+  EXPECT_FALSE(report.skipped[0].error.empty());
+#ifndef CCD_NO_METRICS
+  EXPECT_EQ(counter_value("ccd.serve.resume_skipped") - skipped0, 1u);
+#endif
+
+  // The survivor is untouched by its neighbor's corruption.
+  ASSERT_EQ(engine.call(make_advance("good", kRounds)).status, Status::kOk);
+  expect_contracts_equal(engine.call(make_contracts("good")).contracts,
+                         reference_contracts(kRounds, kSeed));
+  // The condemned session is not silently resurrected: its file still
+  // exists, so "no open session" would lie — the corruption surfaces.
+  EXPECT_EQ(engine.call(make_advance("bad", 1)).status, Status::kDataError);
+}
+
+TEST_F(EngineTest, IdleSessionsEvictToDiskAndResurrectBitwise) {
+  constexpr std::uint64_t kRounds = 10;
+  constexpr std::uint64_t kSeed = 17;
+  EngineConfig c = config();
+  c.checkpoint_dir = dir_.string();
+  c.idle_ttl_ms = 25;
+#ifndef CCD_NO_METRICS
+  const std::uint64_t evicted0 = counter_value("ccd.serve.sessions_evicted");
+  const std::uint64_t reloaded0 = counter_value("ccd.serve.sessions_reloaded");
+#endif
+  Engine engine(c);
+  ASSERT_EQ(engine.call(make_open("idle", kRounds, kSeed)).status,
+            Status::kOk);
+  ASSERT_EQ(engine.call(make_advance("idle", 4)).status, Status::kOk);
+
+  // The reaper checkpoints and frees the slot once the TTL lapses.
+  for (int i = 0; i < 500 && engine.session_count() > 0; ++i) {
+    ::usleep(10 * 1000);
+  }
+  ASSERT_EQ(engine.session_count(), 0u);
+#ifndef CCD_NO_METRICS
+  EXPECT_GE(counter_value("ccd.serve.sessions_evicted") - evicted0, 1u);
+#endif
+
+  // Eviction freed the slot, not the campaign: the next op transparently
+  // reloads and the trajectory stays bitwise-exact.
+  const Response rest = engine.call(make_advance("idle", kRounds));
+  ASSERT_EQ(rest.status, Status::kOk) << rest.message;
+  EXPECT_TRUE(rest.session.finished);
+  expect_contracts_equal(engine.call(make_contracts("idle")).contracts,
+                         reference_contracts(kRounds, kSeed));
+#ifndef CCD_NO_METRICS
+  EXPECT_GE(counter_value("ccd.serve.sessions_reloaded") - reloaded0, 1u);
+#endif
+
+  // Evicting without durability is refused up front, not at eviction time.
+  EngineConfig undurable = config();
+  undurable.idle_ttl_ms = 10;
+  EXPECT_THROW(Engine bad(undurable), Error);
 }
 
 TEST_F(EngineTest, IngestSessionRefitsAndResumesBitwise) {
@@ -368,7 +468,7 @@ TEST_F(EngineTest, IngestSessionRefitsAndResumesBitwise) {
     }
   }
   Engine engine(durable);
-  ASSERT_EQ(engine.resume_sessions(), 1u);
+  ASSERT_EQ(engine.resume_sessions().restored, 1u);
   for (std::uint64_t t = 5; t < 8; ++t) {
     ASSERT_EQ(engine.call(ingest_request(t)).status, Status::kOk);
   }

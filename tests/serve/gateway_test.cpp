@@ -1,0 +1,376 @@
+// serve::Gateway over an in-process fleet: consistent-hash routing that
+// is stable and covers every shard, session traffic through the gateway
+// bitwise-identical to the bare simulator, checkpoint handoff on shard
+// retirement continuing campaigns bitwise on the survivors, restore
+// idempotence, health aggregation, the socket front end (a Client cannot
+// tell the gateway from a single ccdd), and shutdown broadcast.
+#include "serve/gateway.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/stackelberg.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "util/atomic_file.hpp"
+#include "util/error.hpp"
+
+namespace ccd::serve {
+namespace {
+
+Request make_open(const std::string& session, std::uint64_t rounds,
+                  std::uint64_t seed) {
+  Request request;
+  request.op = Op::kOpen;
+  request.session = session;
+  request.open.mode = SessionMode::kSimulation;
+  request.open.rounds = rounds;
+  request.open.workers = 5;
+  request.open.malicious = 2;
+  request.open.seed = seed;
+  request.open.allow_existing = true;
+  return request;
+}
+
+Request make_advance(const std::string& session, std::uint64_t rounds) {
+  Request request;
+  request.op = Op::kAdvance;
+  request.session = session;
+  request.advance_rounds = rounds;
+  return request;
+}
+
+Request make_contracts(const std::string& session) {
+  Request request;
+  request.op = Op::kContracts;
+  request.session = session;
+  return request;
+}
+
+void expect_contracts_equal(const std::vector<contract::Contract>& a,
+                            const std::vector<contract::Contract>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].is_zero(), b[i].is_zero()) << "worker " << i;
+    if (a[i].is_zero()) continue;
+    ASSERT_EQ(a[i].intervals(), b[i].intervals()) << "worker " << i;
+    for (std::size_t l = 0; l <= a[i].intervals(); ++l) {
+      EXPECT_EQ(a[i].knot(l), b[i].knot(l)) << "worker " << i;
+      EXPECT_EQ(a[i].payment(l), b[i].payment(l)) << "worker " << i;
+    }
+  }
+}
+
+std::vector<contract::Contract> reference_contracts(std::uint64_t rounds,
+                                                    std::uint64_t seed) {
+  core::SimConfig config;
+  config.rounds = rounds;
+  config.seed = seed;
+  core::StackelbergSimulator sim(core::preset_fleet(5, 2), config);
+  sim.run();
+  return sim.contracts();
+}
+
+/// An in-process fleet (Engine + Server per shard, checkpoint dirs wired
+/// for handoff) fronted by one Gateway. The prober is off by default so
+/// failover in these tests happens only where a test asks for it.
+class GatewayTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ccd_gateway_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+
+  void TearDown() override {
+    gateway_.reset();
+    for (std::unique_ptr<Server>& server : servers_) {
+      if (server) server->stop();
+    }
+    for (std::unique_ptr<Engine>& engine : engines_) {
+      if (engine) engine->stop();
+    }
+    servers_.clear();
+    engines_.clear();
+    std::filesystem::remove_all(dir_);
+  }
+
+  void start_fleet(std::size_t count, std::size_t max_inflight = 256) {
+    GatewayConfig config;
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::string name = "shard" + std::to_string(i);
+      const std::string ckpt = (dir_ / (name + ".ckpt")).string();
+      std::filesystem::create_directories(ckpt);
+
+      EngineConfig ec;
+      ec.worker_threads = 2;
+      ec.checkpoint_dir = ckpt;
+      ec.checkpoint_every = 1;
+      engines_.push_back(std::make_unique<Engine>(ec));
+
+      ServerConfig sc;
+      sc.unix_socket = (dir_ / (name + ".sock")).string();
+      servers_.push_back(std::make_unique<Server>(sc, *engines_.back()));
+
+      ShardSpec spec;
+      spec.name = name;
+      spec.unix_socket = sc.unix_socket;
+      spec.checkpoint_dir = ckpt;
+      config.shards.push_back(spec);
+    }
+    config.unix_socket = (dir_ / "gateway.sock").string();
+    config.max_inflight = max_inflight;
+    config.health_interval_ms = 0;  // no prober; failover is test-driven
+    config.connect_retry.sleep = false;
+    gateway_ = std::make_unique<Gateway>(std::move(config));
+  }
+
+  /// Kill one shard the graceful way: stop its socket front end, then
+  /// drain its engine (which checkpoints every open session).
+  void stop_shard(std::size_t index) {
+    servers_[index]->stop();
+    engines_[index]->stop();
+  }
+
+  Response call(Request request) {
+    request.request_id = next_request_id_++;
+    return gateway_->handle(std::move(request));
+  }
+
+  /// Advance `session` to completion through the gateway, riding out
+  /// backpressure; every terminal response must be kOk.
+  SessionStatus finish(const std::string& session) {
+    for (int i = 0; i < 10'000; ++i) {
+      const Response r = call(make_advance(session, 2));
+      if (r.status == Status::kBackpressure) continue;
+      EXPECT_EQ(r.status, Status::kOk) << r.message;
+      if (r.status != Status::kOk) break;
+      if (r.session.finished) return r.session;
+    }
+    ADD_FAILURE() << "session '" << session << "' never finished";
+    return {};
+  }
+
+  std::filesystem::path dir_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+  std::vector<std::unique_ptr<Server>> servers_;
+  std::unique_ptr<Gateway> gateway_;
+  std::uint64_t next_request_id_ = 1;
+};
+
+TEST_F(GatewayTest, RoutingIsStableAndCoversEveryShard) {
+  start_fleet(3);
+  std::map<std::string, int> owned;
+  for (int i = 0; i < 200; ++i) {
+    const std::string id = "route-" + std::to_string(i);
+    const std::string owner = gateway_->shard_for(id);
+    EXPECT_EQ(gateway_->shard_for(id), owner);  // stable
+    ++owned[owner];
+  }
+  ASSERT_EQ(owned.size(), 3u);  // every shard owns a share
+  for (const auto& [name, count] : owned) {
+    EXPECT_GT(count, 0) << name;
+  }
+}
+
+TEST_F(GatewayTest, SessionsThroughTheGatewayMatchTheSimulatorBitwise) {
+  constexpr std::uint64_t kRounds = 8;
+  constexpr std::size_t kSessions = 6;
+  start_fleet(3);
+
+  EXPECT_EQ(call(Request{}).text, "ccd-gateway/2");  // kPing default op
+
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    const std::string id = "gw-" + std::to_string(s);
+    ASSERT_EQ(call(make_open(id, kRounds, 300 + s)).status, Status::kOk);
+  }
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    const std::string id = "gw-" + std::to_string(s);
+    const SessionStatus status = finish(id);
+    EXPECT_EQ(status.next_round, kRounds);
+    const Response got = call(make_contracts(id));
+    ASSERT_EQ(got.status, Status::kOk);
+    expect_contracts_equal(got.contracts,
+                           reference_contracts(kRounds, 300 + s));
+  }
+
+  // The sessions really are spread over the shard engines, and each
+  // engine holds exactly the ids the ring assigns it.
+  std::size_t total = 0;
+  for (const std::unique_ptr<Engine>& engine : engines_) {
+    total += engine->session_count();
+  }
+  EXPECT_EQ(total, kSessions);
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    const std::string id = "gw-" + std::to_string(s);
+    const std::string owner = gateway_->shard_for(id);
+    const std::size_t index = owner.back() - '0';
+    ASSERT_LT(index, engines_.size());
+    EXPECT_EQ(call(make_contracts(id)).status, Status::kOk);
+    EXPECT_GE(engines_[index]->session_count(), 1u) << id;
+  }
+
+  // Health aggregates the fleet.
+  Request health;
+  health.op = Op::kHealth;
+  const Response h = call(health);
+  ASSERT_EQ(h.status, Status::kOk);
+  EXPECT_EQ(h.health.sessions_open, kSessions);
+  EXPECT_FALSE(h.health.draining);
+}
+
+TEST_F(GatewayTest, RetiredShardsSessionsContinueBitwiseOnSurvivors) {
+  constexpr std::uint64_t kRounds = 10;
+  constexpr std::size_t kSessions = 9;
+  start_fleet(3);
+
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    const std::string id = "fo-" + std::to_string(s);
+    ASSERT_EQ(call(make_open(id, kRounds, 600 + s)).status, Status::kOk);
+    ASSERT_EQ(call(make_advance(id, 4)).status, Status::kOk);
+  }
+
+  // Retire the shard owning fo-0 (stopping its engine checkpoints every
+  // session at round 4); its campaigns must continue on the survivors.
+  const std::string victim = gateway_->shard_for("fo-0");
+  const std::size_t victim_index = victim.back() - '0';
+  std::size_t victim_sessions = 0;
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    if (gateway_->shard_for("fo-" + std::to_string(s)) == victim) {
+      ++victim_sessions;
+    }
+  }
+  ASSERT_GE(victim_sessions, 1u);
+  stop_shard(victim_index);
+  gateway_->retire_shard(victim);
+  EXPECT_EQ(gateway_->alive_shard_count(), 2u);
+  EXPECT_NE(gateway_->shard_for("fo-0"), victim);
+
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    const std::string id = "fo-" + std::to_string(s);
+    EXPECT_EQ(finish(id).next_round, kRounds);
+    const Response got = call(make_contracts(id));
+    ASSERT_EQ(got.status, Status::kOk) << got.message;
+    expect_contracts_equal(got.contracts,
+                           reference_contracts(kRounds, 600 + s));
+  }
+
+  // A replayed handoff restore is idempotent: the new owner reports the
+  // (finished) session instead of double-installing the old round-4 state.
+  Request replay;
+  replay.op = Op::kRestore;
+  replay.session = "fo-0";
+  replay.checkpoint_blob = util::read_file(
+      (dir_ / (victim + ".ckpt") / ("fo-0" + std::string(Session::checkpoint_suffix(
+                                        SessionMode::kSimulation))))
+          .string());
+  ASSERT_FALSE(replay.checkpoint_blob.empty());
+  const Response replayed = call(replay);
+  ASSERT_EQ(replayed.status, Status::kOk) << replayed.message;
+  EXPECT_TRUE(replayed.session.finished);
+}
+
+TEST_F(GatewayTest, RetireUnknownShardThrowsAndLastShardLossIsAnError) {
+  start_fleet(1);
+  EXPECT_THROW(gateway_->retire_shard("nope"), ConfigError);
+
+  ASSERT_EQ(call(make_open("last", 4, 9)).status, Status::kOk);
+  stop_shard(0);
+  gateway_->retire_shard("shard0");
+  EXPECT_EQ(gateway_->alive_shard_count(), 0u);
+  const Response r = call(make_advance("last", 1));
+  EXPECT_TRUE(is_error(r.status));
+  EXPECT_NE(r.message.find("no alive shard"), std::string::npos) << r.message;
+}
+
+TEST_F(GatewayTest, SocketFrontEndIsIndistinguishableFromASingleDaemon) {
+  constexpr std::uint64_t kRounds = 6;
+  start_fleet(2);
+
+  Client client =
+      Client::connect_unix((dir_ / "gateway.sock").string());
+  EXPECT_EQ(client.ping(), "ccd-gateway/2");
+
+  OpenParams open;
+  open.rounds = kRounds;
+  open.workers = 5;
+  open.malicious = 2;
+  open.seed = 77;
+  client.open("viasock", open);
+  SessionStatus status;
+  do {
+    const Client::AdvanceResult step = client.advance("viasock", 2);
+    ASSERT_FALSE(step.deadline_expired);
+    if (step.backpressure) continue;
+    status = step.session;
+  } while (!status.finished);
+  expect_contracts_equal(client.contracts("viasock"),
+                         reference_contracts(kRounds, 77));
+
+  const HealthInfo health = client.health();
+  EXPECT_EQ(health.sessions_open, 1u);
+  EXPECT_GT(health.max_sessions, 0u);
+
+  EXPECT_NE(client.metrics(false).find("ccd.gateway.requests"),
+            std::string::npos);
+
+  // Shutdown broadcasts to every shard and drains the gateway itself.
+  client.shutdown_server();
+  EXPECT_TRUE(gateway_->shutdown_requested());
+  for (const std::unique_ptr<Engine>& engine : engines_) {
+    EXPECT_TRUE(engine->shutdown_requested());
+  }
+  Request late = make_advance("viasock", 1);
+  late.request_id = 999'999;
+  EXPECT_EQ(client.call(late).status, Status::kShuttingDown);
+}
+
+TEST_F(GatewayTest, TinyInflightCapStillServesEveryConcurrentDriver) {
+  constexpr std::uint64_t kRounds = 6;
+  constexpr std::size_t kDrivers = 6;
+  start_fleet(2, /*max_inflight=*/1);
+
+  std::vector<std::thread> drivers;
+  for (std::size_t s = 0; s < kDrivers; ++s) {
+    drivers.emplace_back([&, s] {
+      const std::string id = "bp-" + std::to_string(s);
+      std::uint64_t request_id = 1'000 * (s + 1);
+      const auto admitted = [&](Request request) {
+        for (int i = 0; i < 10'000; ++i) {
+          request.request_id = ++request_id;
+          const Response r = gateway_->handle(request);
+          if (r.status != Status::kBackpressure) return r;
+          ::usleep(500);  // the lone inflight slot may be mid-design
+        }
+        Response starved;  // loud failure, not a default-kOk response
+        starved.status = Status::kBackpressure;
+        starved.message = "starved by backpressure";
+        return starved;
+      };
+      Response r = admitted(make_open(id, kRounds, 800 + s));
+      ASSERT_EQ(r.status, Status::kOk) << r.message;
+      do {
+        r = admitted(make_advance(id, 1));
+        ASSERT_EQ(r.status, Status::kOk) << r.message;
+      } while (!r.session.finished);
+    });
+  }
+  for (std::thread& t : drivers) t.join();
+
+  for (std::size_t s = 0; s < kDrivers; ++s) {
+    const Response got = call(make_contracts("bp-" + std::to_string(s)));
+    ASSERT_EQ(got.status, Status::kOk);
+    expect_contracts_equal(got.contracts,
+                           reference_contracts(kRounds, 800 + s));
+  }
+}
+
+}  // namespace
+}  // namespace ccd::serve

@@ -38,6 +38,7 @@ TEST(ProtocolCodecTest, RequestRoundTripsEveryField) {
   request.advance_rounds = 3;
   request.observations = {{1.0, 9.5, 0.3}, {2.0, 14.0, 1.6}};
   request.metrics_prometheus = true;
+  request.checkpoint_blob = std::string("SCKP\x00\x01raw\xff bytes", 15);
 
   const Request got = decode_request(encode_request(request));
   EXPECT_EQ(got.op, request.op);
@@ -54,6 +55,7 @@ TEST(ProtocolCodecTest, RequestRoundTripsEveryField) {
   EXPECT_EQ(got.open.ema_alpha, request.open.ema_alpha);
   EXPECT_EQ(got.open.allow_existing, request.open.allow_existing);
   EXPECT_EQ(got.advance_rounds, request.advance_rounds);
+  EXPECT_EQ(got.checkpoint_blob, request.checkpoint_blob);
   ASSERT_EQ(got.observations.size(), 2u);
   EXPECT_EQ(got.observations[1].effort, 2.0);
   EXPECT_EQ(got.observations[1].feedback, 14.0);
@@ -72,6 +74,11 @@ TEST(ProtocolCodecTest, ResponseRoundTripsContractsBitwise) {
   response.session.cumulative_requester_utility = 123.456789;
   response.session.finished = false;
   response.redesigned = true;
+  response.health.sessions_open = 3;
+  response.health.max_sessions = 256;
+  response.health.queue_depth = 7;
+  response.health.queue_capacity = 128;
+  response.health.draining = true;
   response.contracts.push_back(contract::Contract{});  // zero contract
   response.contracts.push_back(
       contract::Contract(0.5, {0.0, 1.5, 3.0}, {0.0, 0.25, 1.0}));
@@ -83,6 +90,11 @@ TEST(ProtocolCodecTest, ResponseRoundTripsContractsBitwise) {
   EXPECT_EQ(got.session.next_round, 4u);
   EXPECT_EQ(got.session.cumulative_requester_utility, 123.456789);
   EXPECT_TRUE(got.redesigned);
+  EXPECT_EQ(got.health.sessions_open, 3u);
+  EXPECT_EQ(got.health.max_sessions, 256u);
+  EXPECT_EQ(got.health.queue_depth, 7u);
+  EXPECT_EQ(got.health.queue_capacity, 128u);
+  EXPECT_TRUE(got.health.draining);
   ASSERT_EQ(got.contracts.size(), 2u);
   EXPECT_TRUE(got.contracts[0].is_zero());
   ASSERT_FALSE(got.contracts[1].is_zero());
@@ -130,7 +142,7 @@ TEST_F(ServerTest, UnixSocketSessionMatchesSimulatorBitwise) {
   Server server(sc, engine);
 
   Client client = Client::connect_unix(socket_path_);
-  EXPECT_EQ(client.ping(), "ccd-serve/1");
+  EXPECT_EQ(client.ping(), "ccd-serve/2");
 
   OpenParams open;
   open.rounds = kRounds;
@@ -178,7 +190,7 @@ TEST_F(ServerTest, EphemeralTcpPortServes) {
   ASSERT_GT(server.tcp_port(), 0);
 
   Client client = Client::connect_tcp("127.0.0.1", server.tcp_port());
-  EXPECT_EQ(client.ping(), "ccd-serve/1");
+  EXPECT_EQ(client.ping(), "ccd-serve/2");
   const std::string metrics = client.metrics(true);
   EXPECT_NE(metrics.find("ccd_serve_responses"), std::string::npos);
 }
@@ -240,7 +252,7 @@ TEST_F(ServerTest, CorruptFrameDropsOnlyThatConnection) {
 
   // Other connections are unaffected.
   Client client = Client::connect_unix(socket_path_);
-  EXPECT_EQ(client.ping(), "ccd-serve/1");
+  EXPECT_EQ(client.ping(), "ccd-serve/2");
 }
 
 TEST_F(ServerTest, ShutdownRequestReachesTheEngine) {

@@ -1,0 +1,121 @@
+// util::Socket deadline I/O: the poll-based read_exact/write_exact
+// variants that keep half-dead peers from pinning serve/gateway handler
+// threads. Covers late-but-in-budget delivery, timeout errors carrying
+// partial-transfer counts, the <= 0 "no deadline" escape hatch, the
+// clean-EOF-on-a-boundary contract, and mid-message EOF detection.
+#include "util/socket.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace ccd::util {
+namespace {
+
+class SocketDeadlineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ccd_socket_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    listener_ = Socket::listen_unix((dir_ / "pair.sock").string());
+    client_ = Socket::connect_unix((dir_ / "pair.sock").string());
+    std::optional<Socket> accepted = listener_.accept(2'000);
+    ASSERT_TRUE(accepted.has_value());
+    server_ = std::move(*accepted);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+  Socket listener_;
+  Socket client_;
+  Socket server_;
+};
+
+TEST_F(SocketDeadlineTest, ReadWaitsForBytesThatArriveWithinBudget) {
+  std::thread writer([this] {
+    ::usleep(30 * 1000);
+    client_.send_all("ping", 4);
+  });
+  char buffer[4] = {};
+  EXPECT_TRUE(server_.read_exact(buffer, sizeof(buffer), 5'000));
+  EXPECT_EQ(std::string(buffer, 4), "ping");
+  writer.join();
+}
+
+TEST_F(SocketDeadlineTest, ReadTimeoutReportsPartialByteCount) {
+  // Half a message, then silence: the deadline fires and the error names
+  // how far the transfer got — the operator-facing breadcrumb for
+  // distinguishing a stalled peer from one that never spoke.
+  client_.send_all("ab", 2);
+  char buffer[8] = {};
+  try {
+    server_.read_exact(buffer, sizeof(buffer), 100);
+    FAIL() << "expected DataError";
+  } catch (const DataError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("timed out"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 of 8"), std::string::npos) << what;
+  }
+}
+
+TEST_F(SocketDeadlineTest, NonPositiveTimeoutDisablesTheDeadline) {
+  client_.send_all("abcd", 4);
+  char buffer[4] = {};
+  EXPECT_TRUE(server_.read_exact(buffer, sizeof(buffer), 0));
+  EXPECT_EQ(std::string(buffer, 4), "abcd");
+
+  client_.send_all("wxyz", 4);
+  EXPECT_TRUE(server_.read_exact(buffer, sizeof(buffer), -1));
+  EXPECT_EQ(std::string(buffer, 4), "wxyz");
+}
+
+TEST_F(SocketDeadlineTest, CleanCloseOnMessageBoundaryReturnsFalse) {
+  client_.shutdown_both();
+  client_ = Socket();
+  char byte = 0;
+  EXPECT_FALSE(server_.read_exact(&byte, 1, 1'000));
+}
+
+TEST_F(SocketDeadlineTest, EofMidMessageThrows) {
+  client_.send_all("ab", 2);
+  client_.shutdown_both();
+  client_ = Socket();
+  char buffer[4] = {};
+  EXPECT_THROW(server_.read_exact(buffer, sizeof(buffer), 1'000), DataError);
+}
+
+TEST_F(SocketDeadlineTest, WriteTimesOutWhenThePeerStopsDraining) {
+  // Nobody reads server_: once the kernel buffers fill, the deadline is
+  // the only way out. 16 MiB comfortably exceeds any default socket
+  // buffer.
+  const std::string blob(16u << 20, 'x');
+  try {
+    client_.write_exact(blob.data(), blob.size(), 150);
+    FAIL() << "expected DataError";
+  } catch (const DataError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("timed out"), std::string::npos) << what;
+    EXPECT_NE(what.find("bytes sent"), std::string::npos) << what;
+  }
+}
+
+TEST_F(SocketDeadlineTest, WriteCompletesWhileThePeerDrains) {
+  const std::string blob(4u << 20, 'y');
+  std::string received(blob.size(), '\0');
+  std::thread reader([&] {
+    EXPECT_TRUE(server_.read_exact(received.data(), received.size(), 10'000));
+  });
+  client_.write_exact(blob.data(), blob.size(), 10'000);
+  reader.join();
+  EXPECT_EQ(received, blob);
+}
+
+}  // namespace
+}  // namespace ccd::util

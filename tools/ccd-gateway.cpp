@@ -1,0 +1,160 @@
+// ccd-gateway — fault-tolerant sharded front end for a fleet of ccdd
+// daemons (serve::Gateway over a Unix-domain socket and/or loopback TCP).
+//
+//   ccd-gateway socket=PATH | port=N shards=SPEC,SPEC,... [key=value ...]
+//       socket=PATH          Unix-domain socket to listen on
+//       port=N               loopback TCP port (0 picks one and prints it)
+//       shards=SPEC,...      one SPEC per ccdd shard:
+//                              NAME=unix:SOCKET[@CKPT_DIR]
+//                              NAME=tcp:HOST:PORT[@CKPT_DIR]
+//                            CKPT_DIR is the shard's checkpoint_dir; when
+//                            given, a dead shard's sessions are restored
+//                            onto the survivors from its checkpoints
+//       max_inflight=256     concurrent forwards before kBackpressure
+//       virtual_nodes=64     consistent-hash ring points per shard
+//       io_timeout=10000     per-transfer socket deadline in ms; 0 disables
+//       idle_timeout=0       client-connection idle deadline in ms
+//       forward_timeout=60000  shard response deadline in ms; 0 disables
+//       health_interval=500  shard health-probe cadence in ms; 0 disables
+//
+// Clients speak to the gateway exactly as to a single ccdd (same wire
+// protocol); sessions are consistent-hashed across the shards, a dead
+// shard's sessions fail over to the survivors via checkpoint handoff, and
+// a client `shutdown` drains the whole fleet. Exit codes mirror ccdd.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "serve/gateway.hpp"
+#include "util/config.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_signalled = 0;
+
+void on_signal(int) { g_signalled = 1; }
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: ccd-gateway socket=PATH | port=N shards=SPEC,SPEC,...\n"
+      "                   [max_inflight=256] [virtual_nodes=64]\n"
+      "                   [io_timeout=10000] [idle_timeout=0]\n"
+      "                   [forward_timeout=60000] [health_interval=500]\n"
+      "       SPEC: NAME=unix:SOCKET[@CKPT_DIR] | "
+      "NAME=tcp:HOST:PORT[@CKPT_DIR]\n");
+  return 2;
+}
+
+/// Parse one NAME=unix:SOCKET[@DIR] / NAME=tcp:HOST:PORT[@DIR] spec.
+ccd::serve::ShardSpec parse_shard(const std::string& spec) {
+  using ccd::ConfigError;
+  ccd::serve::ShardSpec shard;
+  const std::size_t eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    throw ConfigError("bad shard spec '" + spec + "' (want NAME=TARGET)");
+  }
+  shard.name = spec.substr(0, eq);
+  std::string target = spec.substr(eq + 1);
+  const std::size_t at = target.rfind('@');
+  if (at != std::string::npos) {
+    shard.checkpoint_dir = target.substr(at + 1);
+    target = target.substr(0, at);
+  }
+  if (target.rfind("unix:", 0) == 0) {
+    shard.unix_socket = target.substr(5);
+  } else if (target.rfind("tcp:", 0) == 0) {
+    const std::string addr = target.substr(4);
+    const std::size_t colon = addr.rfind(':');
+    if (colon == std::string::npos) {
+      throw ConfigError("bad shard spec '" + spec + "' (want tcp:HOST:PORT)");
+    }
+    shard.host = addr.substr(0, colon);
+    char* end = nullptr;
+    shard.tcp_port =
+        static_cast<int>(std::strtol(addr.c_str() + colon + 1, &end, 10));
+    if (end == nullptr || *end != '\0' || shard.tcp_port < 0) {
+      throw ConfigError("bad shard port in '" + spec + "'");
+    }
+  } else {
+    throw ConfigError("bad shard spec '" + spec +
+                      "' (target must start with unix: or tcp:)");
+  }
+  return shard;
+}
+
+std::vector<ccd::serve::ShardSpec> parse_shards(const std::string& list) {
+  std::vector<ccd::serve::ShardSpec> shards;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    std::size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string spec = list.substr(start, comma - start);
+    if (!spec.empty()) shards.push_back(parse_shard(spec));
+    start = comma + 1;
+  }
+  return shards;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ccd;
+
+  const util::ParamMap params = util::ParamMap::from_args(argc, argv);
+  try {
+    serve::GatewayConfig config;
+    config.unix_socket = params.get_string("socket", "");
+    config.tcp_port = static_cast<int>(params.get_int("port", -1));
+    config.shards = parse_shards(params.get_string("shards", ""));
+    config.max_inflight =
+        static_cast<std::size_t>(params.get_int("max_inflight", 256));
+    config.virtual_nodes =
+        static_cast<std::size_t>(params.get_int("virtual_nodes", 64));
+    config.io_timeout_ms =
+        static_cast<int>(params.get_int("io_timeout", 10000));
+    config.idle_timeout_ms =
+        static_cast<int>(params.get_int("idle_timeout", 0));
+    config.forward_timeout_ms =
+        static_cast<int>(params.get_int("forward_timeout", 60000));
+    config.health_interval_ms =
+        static_cast<int>(params.get_int("health_interval", 500));
+    params.assert_all_consumed();
+    if ((config.unix_socket.empty() && config.tcp_port < 0) ||
+        config.shards.empty()) {
+      return usage();
+    }
+
+    serve::Gateway gateway(std::move(config));
+    if (!params.get_string("socket", "").empty()) {
+      std::printf("ccd-gateway: listening on unix:%s\n",
+                  params.get_string("socket", "").c_str());
+    }
+    if (gateway.tcp_port() >= 0) {
+      std::printf("ccd-gateway: listening on tcp:127.0.0.1:%d\n",
+                  gateway.tcp_port());
+    }
+    std::printf("ccd-gateway: %zu shard(s)\n", gateway.alive_shard_count());
+    std::fflush(stdout);
+
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    while (g_signalled == 0 && !gateway.shutdown_requested()) {
+      ::usleep(100 * 1000);
+    }
+    std::printf("ccd-gateway: %s, stopping\n",
+                g_signalled != 0 ? "signal received" : "shutdown requested");
+    gateway.stop();
+    return 0;
+  } catch (const ccd::Error& e) {
+    std::fprintf(stderr, "ccd-gateway: %s\n", e.what());
+    return ccd::exit_code(e.code());
+  }
+}

@@ -28,11 +28,16 @@
 //       the wall clock — an expired run returns its completed prefix,
 //       writes a final checkpoint (when configured), and exits 6.
 //
-//   ccdctl serve socket=PATH|port=N op=<ping|status|contracts|metrics|
-//          close|shutdown> [session=ID] [prometheus=0|1] [out=FILE]
-//       One administrative request against a running ccdd daemon.
+//   ccdctl serve socket=PATH|port=N|gateway=ADDR op=<ping|status|contracts|
+//          metrics|health|close|shutdown> [session=ID] [prometheus=0|1]
+//          [out=FILE]
+//       One administrative request against a running ccdd daemon or a
+//       ccd-gateway front end (gateway=PATH or gateway=HOST:PORT is an
+//       alias for socket=/port=). op=health prints the load snapshot — on
+//       a gateway, aggregated across the alive shards.
 //
-//   ccdctl submit socket=PATH|port=N session=ID [to=ROUND] [rounds=40]
+//   ccdctl submit socket=PATH|port=N|gateway=ADDR session=ID [to=ROUND]
+//          [rounds=40]
 //          [workers=6] [malicious=2] [seed=1] [mu=1.0] [batch=1]
 //          [deadline=SECONDS] [out=FILE] [close=0|1]
 //       Drive a simulation session on a daemon to a round target. The open
@@ -53,6 +58,7 @@
 //   4 MathError, 5 ContractError, 6 deadline expired / cancelled.
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -102,12 +108,13 @@ int usage() {
       "  simulate [rounds=40] [workers=6] [malicious=2] [seed=1]\n"
       "           [deadline=SECONDS] [checkpoint=FILE] [checkpoint_every=N]\n"
       "           [resume=FILE] [threads=N]\n"
-      "  serve    socket=PATH|port=N [host=127.0.0.1]\n"
-      "           op=ping|status|contracts|metrics|close|shutdown\n"
+      "  serve    socket=PATH|port=N|gateway=ADDR [host=127.0.0.1]\n"
+      "           op=ping|status|contracts|metrics|health|close|shutdown\n"
       "           [session=ID] [prometheus=0|1] [out=FILE]\n"
-      "  submit   socket=PATH|port=N [host=127.0.0.1] session=ID [to=ROUND]\n"
-      "           [rounds=40] [workers=6] [malicious=2] [seed=1] [mu=1.0]\n"
-      "           [batch=1] [deadline=SECONDS] [out=FILE] [close=0|1]\n"
+      "  submit   socket=PATH|port=N|gateway=ADDR [host=127.0.0.1]\n"
+      "           session=ID [to=ROUND] [rounds=40] [workers=6]\n"
+      "           [malicious=2] [seed=1] [mu=1.0] [batch=1]\n"
+      "           [deadline=SECONDS] [out=FILE] [close=0|1]\n"
       "\n"
       "shared flags:\n"
       "  preset=small|medium|full   bundled synthetic trace instead of CSVs\n"
@@ -119,6 +126,8 @@ int usage() {
       "  resume=FILE                continue a checkpointed simulate run\n"
       "                             bitwise-identically (rounds= extends it)\n"
       "  threads=N                  private pool size (0 = shared pool)\n"
+      "  gateway=ADDR               serve/submit: ccd-gateway address (PATH\n"
+      "                             or HOST:PORT), alias for socket=/port=\n"
       "  --metrics[=FILE]           print the metrics summary after the\n"
       "                             command; with =FILE also dump the full\n"
       "                             registry (.prom -> Prometheus, else "
@@ -439,12 +448,31 @@ int cmd_simulate(const util::ParamMap& params) {
 }
 
 serve::Client connect_client(const util::ParamMap& params) {
-  const std::string socket = params.get_string("socket", "");
-  const std::string host = params.get_string("host", "127.0.0.1");
-  const long long port = params.get_int("port", -1);
+  std::string socket = params.get_string("socket", "");
+  std::string host = params.get_string("host", "127.0.0.1");
+  long long port = params.get_int("port", -1);
+  // gateway=PATH (unix socket) or gateway=HOST:PORT — alias for
+  // socket=/host=/port=, so serve/submit invocations read naturally when
+  // the peer is a ccd-gateway front end instead of a single ccdd.
+  const std::string gateway = params.get_string("gateway", "");
+  if (!gateway.empty()) {
+    const std::size_t colon = gateway.rfind(':');
+    if (colon == std::string::npos) {
+      socket = gateway;
+    } else {
+      host = gateway.substr(0, colon);
+      char* end = nullptr;
+      port = std::strtol(gateway.c_str() + colon + 1, &end, 10);
+      if (end == nullptr || *end != '\0' || port < 0) {
+        throw ConfigError("bad gateway address '" + gateway +
+                          "' (want PATH or HOST:PORT)");
+      }
+    }
+  }
   if (!socket.empty()) return serve::Client::connect_unix(socket);
   if (port >= 0) return serve::Client::connect_tcp(host, static_cast<int>(port));
-  throw ConfigError("need socket=PATH or port=N to reach a daemon");
+  throw ConfigError(
+      "need socket=PATH, port=N, or gateway=ADDR to reach a daemon");
 }
 
 /// Shortest round-trip decimal rendering: two equal doubles produce equal
@@ -519,6 +547,16 @@ int cmd_serve(const util::ParamMap& params) {
   if (op == "shutdown") {
     client.shutdown_server();
     std::printf("daemon draining\n");
+    return 0;
+  }
+  if (op == "health") {
+    const serve::HealthInfo health = client.health();
+    std::printf("sessions %llu/%llu, queue %llu/%llu%s\n",
+                static_cast<unsigned long long>(health.sessions_open),
+                static_cast<unsigned long long>(health.max_sessions),
+                static_cast<unsigned long long>(health.queue_depth),
+                static_cast<unsigned long long>(health.queue_capacity),
+                health.draining ? ", draining" : "");
     return 0;
   }
   if (session.empty()) {

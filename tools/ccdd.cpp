@@ -10,6 +10,13 @@
 //       checkpoint_dir=DIR   per-session crash-safe checkpoints in DIR
 //       checkpoint_every=1   snapshot cadence in completed rounds
 //       resume=1             restore sessions found in checkpoint_dir at boot
+//       idle_ttl=0           idle-session TTL in ms: sessions untouched this
+//                            long are checkpointed to disk and evicted (the
+//                            slot frees; a later op reloads bitwise-
+//                            identically). 0 disables; needs checkpoint_dir
+//       io_timeout=10000     per-transfer socket deadline in ms (a stalled
+//                            peer drops only its own connection); 0 disables
+//       idle_timeout=0       per-connection idle deadline in ms; 0 disables
 //
 // The daemon exits on SIGINT/SIGTERM or a client `shutdown` request; both
 // paths drain the admission queue (every acknowledged request is
@@ -45,7 +52,8 @@ int usage() {
       "usage: ccdd socket=PATH | port=N [threads=4] [queue=128]\n"
       "            [max_sessions=256] [checkpoint_dir=DIR] "
       "[checkpoint_every=1]\n"
-      "            [resume=1]\n");
+      "            [resume=1] [idle_ttl=0] [io_timeout=10000] "
+      "[idle_timeout=0]\n");
   return 2;
 }
 
@@ -66,10 +74,16 @@ int main(int argc, char** argv) {
     engine_config.checkpoint_dir = params.get_string("checkpoint_dir", "");
     engine_config.checkpoint_every =
         static_cast<std::size_t>(params.get_int("checkpoint_every", 1));
+    engine_config.idle_ttl_ms =
+        static_cast<std::size_t>(params.get_int("idle_ttl", 0));
 
     serve::ServerConfig server_config;
     server_config.unix_socket = params.get_string("socket", "");
     server_config.tcp_port = static_cast<int>(params.get_int("port", -1));
+    server_config.io_timeout_ms =
+        static_cast<int>(params.get_int("io_timeout", 10000));
+    server_config.idle_timeout_ms =
+        static_cast<int>(params.get_int("idle_timeout", 0));
 
     const bool resume = params.get_bool("resume", true);
     params.assert_all_consumed();
@@ -88,10 +102,14 @@ int main(int argc, char** argv) {
 
     serve::Engine engine(engine_config);
     if (resume && !engine_config.checkpoint_dir.empty()) {
-      const std::size_t restored = engine.resume_sessions();
-      if (restored > 0) {
-        std::printf("ccdd: resumed %zu session(s) from %s\n", restored,
+      const serve::ResumeReport report = engine.resume_sessions();
+      if (report.restored > 0) {
+        std::printf("ccdd: resumed %zu session(s) from %s\n", report.restored,
                     engine_config.checkpoint_dir.c_str());
+      }
+      for (const serve::ResumeReport::Skipped& skipped : report.skipped) {
+        std::fprintf(stderr, "ccdd: skipped unreadable checkpoint %s: %s\n",
+                     skipped.path.c_str(), skipped.error.c_str());
       }
     }
 
