@@ -79,6 +79,9 @@ void write_worker(ByteWriter& w, const SimWorkerSpec& spec) {
   w.u8(spec.masking_period.has_value() ? 1 : 0);
   w.u64(spec.masking_period.value_or(0));
   w.f64(spec.masking_duty);
+  w.u64(spec.arrive_round);
+  w.u8(spec.depart_round.has_value() ? 1 : 0);
+  w.u64(spec.depart_round.value_or(0));
 }
 
 SimWorkerSpec read_worker(ByteReader& r) {
@@ -101,6 +104,10 @@ SimWorkerSpec read_worker(ByteReader& r) {
   const std::uint64_t masking_period = r.u64();
   if (has_masking) spec.masking_period = masking_period;
   spec.masking_duty = r.f64();
+  spec.arrive_round = r.u64();
+  const bool has_depart = r.u8() != 0;
+  const std::uint64_t depart_round = r.u64();
+  if (has_depart) spec.depart_round = depart_round;
   return spec;
 }
 

@@ -36,7 +36,8 @@ namespace ccd::core {
 
 struct SimCheckpoint {
   /// Current payload layout version (frame tag "SCKP").
-  static constexpr std::uint32_t kVersion = 1;
+  /// v2: SimWorkerSpec churn window (arrive_round / depart_round).
+  static constexpr std::uint32_t kVersion = 2;
 
   SimConfig config;
   std::vector<SimWorkerSpec> workers;

@@ -33,6 +33,22 @@ SimWorkerSpec::Behaviour SimWorkerSpec::behaviour_at(std::size_t round) const {
   return switch_round ? attack : base;
 }
 
+void RoundHook::on_contracts_posted(std::size_t /*round*/, bool /*redesigned*/,
+                                    std::vector<contract::Contract>& /*contracts*/,
+                                    const std::vector<double>& /*est_malicious*/,
+                                    util::Rng& /*rng*/) {}
+
+double RoundHook::adjust_feedback(std::size_t /*round*/, std::size_t /*worker*/,
+                                  double feedback, util::Rng& /*rng*/) {
+  return feedback;
+}
+
+double RoundHook::adjust_accuracy_sample(std::size_t /*round*/,
+                                         std::size_t /*worker*/, double sample,
+                                         util::Rng& /*rng*/) {
+  return sample;
+}
+
 void SimConfig::validate() const {
   requester.validate();
   CCD_CHECK_MSG(rounds >= 1, "simulation needs at least one round");
@@ -148,12 +164,17 @@ StepStatus StackelbergSimulator::step(std::size_t max_rounds,
     }
 
     // --- Requester: (re)design contracts from current estimates ---------
-    if (t % config_.redesign_every == 0) {
+    const bool redesign_round = t % config_.redesign_every == 0;
+    if (redesign_round) {
       std::vector<contract::SubproblemSpec> specs(n);
       for (std::size_t i = 0; i < n; ++i) {
+        // Churned-out workers get weight 0, which the designer resolves to
+        // the zero contract through the cheap §V elimination path.
         const double weight =
-            feedback_weight(config_.requester, est_accuracy_[i],
-                            est_malicious_[i], workers_[i].partners);
+            workers_[i].active_at(t)
+                ? feedback_weight(config_.requester, est_accuracy_[i],
+                                  est_malicious_[i], workers_[i].partners)
+                : 0.0;
         contract::SubproblemSpec& spec = specs[i];
         spec.psi = workers_[i].psi;
         spec.incentives.beta = workers_[i].beta;
@@ -195,11 +216,24 @@ StepStatus StackelbergSimulator::step(std::size_t max_rounds,
       }
     }
 
+    if (hook_ != nullptr) {
+      hook_->on_contracts_posted(t, redesign_round, contracts_,
+                                 est_malicious_, rng_);
+    }
+
     RoundRecord record;
     record.round = t;
 
     for (std::size_t i = 0; i < n; ++i) {
       SimWorkerSpec& w = workers_[i];
+      if (!w.active_at(t)) {
+        // Outside the churn window: no participation, no pay, no RNG
+        // draws; keep the history rectangular with a zero row.
+        WorkerRound idle;
+        idle.estimated_malicious = est_malicious_[i];
+        history_.worker_history[i].push_back(idle);
+        continue;
+      }
       // Behaviour switch / masking (the dynamics the contract must adapt to).
       const SimWorkerSpec::Behaviour behaviour = w.behaviour_at(t);
       const double omega = behaviour.omega;
@@ -210,17 +244,27 @@ StepStatus StackelbergSimulator::step(std::size_t max_rounds,
       const contract::BestResponse br =
           contract::best_response(contracts_[i], w.psi, inc);
 
-      // Realized feedback is noisy around psi(y).
-      const double feedback = std::max(
-          0.0, br.feedback + rng_.normal(0.0, config_.feedback_noise));
+      // Realized feedback is noisy around psi(y); the hook may tamper with
+      // it (collusive boosts) before the physical >= 0 clamp.
+      double feedback =
+          br.feedback + rng_.normal(0.0, config_.feedback_noise);
+      if (hook_ != nullptr) {
+        feedback = hook_->adjust_feedback(t, i, feedback, rng_);
+      }
+      feedback = std::max(0.0, feedback);
 
       // Compensation this round comes from *last* round's feedback (Eq. 1).
       const double compensation = contracts_[i].pay(last_feedback_[i]);
       last_feedback_[i] = feedback;
 
       // --- Requester: update estimates from this round's observables ---
-      const double accuracy_sample = std::max(
-          0.0, true_accuracy + rng_.normal(0.0, config_.accuracy_noise));
+      double accuracy_sample =
+          true_accuracy + rng_.normal(0.0, config_.accuracy_noise);
+      if (hook_ != nullptr) {
+        accuracy_sample =
+            hook_->adjust_accuracy_sample(t, i, accuracy_sample, rng_);
+      }
+      accuracy_sample = std::max(0.0, accuracy_sample);
       est_accuracy_[i] = (1.0 - config_.ema_alpha) * est_accuracy_[i] +
                          config_.ema_alpha * accuracy_sample;
       // Maliciousness signal: biased workers produce large deviations.

@@ -65,6 +65,18 @@ struct SimWorkerSpec {
   std::optional<std::size_t> masking_period;
   double masking_duty = 0.5;
 
+  /// Churn window: the worker participates only on rounds in
+  /// [arrive_round, depart_round). Outside the window the requester
+  /// assigns it weight 0 (→ zero contract at the next redesign), the
+  /// worker produces no feedback and is paid nothing, its estimates
+  /// freeze, and — critically for determinism — no RNG values are drawn
+  /// for it.
+  std::size_t arrive_round = 0;
+  std::optional<std::size_t> depart_round;
+  bool active_at(std::size_t round) const {
+    return round >= arrive_round && (!depart_round || round < *depart_round);
+  }
+
   /// Effective behaviour at round t under switch + masking rules.
   struct Behaviour {
     double omega = 0.0;
@@ -102,6 +114,39 @@ struct SimConfig {
   std::size_t threads = 0;
 
   void validate() const;
+};
+
+/// Per-round callback hook — the extension point the adversarial scenario
+/// engine (ccd::scenario) and baseline contract policies plug into. Every
+/// method runs at a deterministic point inside step() and receives the
+/// simulator's own (checkpointed) RNG, so hook draws are bitwise
+/// resume-safe. The hook pointer itself is NOT part of a checkpoint: a
+/// caller restoring a simulator must re-attach its hook before continuing,
+/// and the hook must derive any internal state from the arguments it is
+/// passed (e.g. the posted contracts), never from wall-clock history.
+class RoundHook {
+ public:
+  virtual ~RoundHook() = default;
+
+  /// Called every round right after the (possible) redesign; `redesigned`
+  /// is true on rounds where the design batch ran. May mutate the posted
+  /// contracts — baseline policies override them wholesale, adaptive
+  /// adversaries inspect them to pick targets.
+  virtual void on_contracts_posted(std::size_t round, bool redesigned,
+                                   std::vector<contract::Contract>& contracts,
+                                   const std::vector<double>& est_malicious,
+                                   util::Rng& rng);
+
+  /// Tamper with `worker`'s realized feedback for this round (called after
+  /// the simulator's own noise, before the >= 0 clamp).
+  virtual double adjust_feedback(std::size_t round, std::size_t worker,
+                                 double feedback, util::Rng& rng);
+
+  /// Tamper with the requester's accuracy sample for `worker` (called
+  /// after the simulator's own noise, before the >= 0 clamp and the EMA
+  /// update).
+  virtual double adjust_accuracy_sample(std::size_t round, std::size_t worker,
+                                        double sample, util::Rng& rng);
 };
 
 struct WorkerRound {
@@ -190,6 +235,10 @@ class StackelbergSimulator {
   /// Accumulated result prefix (completed rounds only).
   const SimResult& history() const { return history_; }
 
+  /// Attach (or detach, with nullptr) the per-round hook. Not owned, not
+  /// checkpointed — re-attach after restoring from a checkpoint.
+  void set_round_hook(RoundHook* hook) { hook_ = hook; }
+
  private:
   void init_fresh_state();
   void write_checkpoint() const;
@@ -211,6 +260,7 @@ class StackelbergSimulator {
   // pool only schedules; neither affects results).
   contract::DesignCache design_cache_;
   std::unique_ptr<util::ThreadPool> own_pool_;
+  RoundHook* hook_ = nullptr;
 };
 
 /// The standard mixed fleet used by ccdctl simulate, the serve subsystem,

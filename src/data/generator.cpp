@@ -65,6 +65,55 @@ GeneratorParams GeneratorParams::amazon2015() {
   return p;
 }
 
+GeneratorParams GeneratorParams::from_population(
+    std::size_t n_workers, std::size_t n_malicious,
+    std::vector<std::size_t> community_sizes, std::uint64_t seed) {
+  std::size_t planted = 0;
+  for (const std::size_t size : community_sizes) planted += size;
+  if (planted > n_malicious) {
+    std::string sizes;
+    for (std::size_t i = 0; i < community_sizes.size(); ++i) {
+      if (i > 0) sizes += ',';
+      sizes += std::to_string(community_sizes[i]);
+    }
+    throw ConfigError("community_sizes [" + sizes + "] plant " +
+                      std::to_string(planted) +
+                      " collusive workers but the malicious budget is only " +
+                      std::to_string(n_malicious) +
+                      " — refusing to truncate the plant");
+  }
+  if (n_malicious >= n_workers) {
+    throw ConfigError("malicious budget " + std::to_string(n_malicious) +
+                      " leaves no honest workers in a population of " +
+                      std::to_string(n_workers));
+  }
+  GeneratorParams p = GeneratorParams::small();
+  p.seed = seed;
+  p.n_honest = n_workers - n_malicious;
+  p.n_ncm = n_malicious - planted;
+  p.community_sizes = std::move(community_sizes);
+  p.n_sybil = 0;
+  // Denser review histories than small(): the score-deviation detector
+  // shrinks workers below min_reviews_full_confidence toward the prior,
+  // so scenario populations need enough evidence per worker for detection
+  // quality to be a property of the adversary, not of sample starvation.
+  p.reviews_mu_log = 1.8;
+  p.min_reviews = 4;
+  // Products scale with the malicious pools plus room for honest roaming.
+  std::size_t reserved = p.n_ncm * 2;
+  for (const std::size_t size : p.community_sizes) {
+    reserved += community_pool_size(size);
+  }
+  p.n_products = std::max<std::size_t>(reserved + 10 + 4 * n_workers, 200);
+  return p;
+}
+
+std::size_t GeneratorParams::malicious_count() const {
+  std::size_t planted = 0;
+  for (const std::size_t size : community_sizes) planted += size;
+  return n_ncm + planted + n_sybil;
+}
+
 void GeneratorParams::validate() const {
   const auto check_behaviour = [](const ClassBehaviour& b, const char* name) {
     CCD_CHECK_MSG(b.a2 < 0.0, "feedback law for " << name << " must be concave (a2 < 0)");
@@ -79,6 +128,7 @@ void GeneratorParams::validate() const {
   check_behaviour(honest, "honest");
   check_behaviour(ncm, "ncm");
   check_behaviour(cm, "cm");
+  check_behaviour(sybil, "sybil");
 
   CCD_CHECK_MSG(n_honest > 0, "need at least one honest worker");
   CCD_CHECK_MSG(min_reviews >= 1, "min_reviews must be >= 1");
@@ -90,6 +140,12 @@ void GeneratorParams::validate() const {
                 "expert_fraction must be in [0,1]");
   CCD_CHECK_MSG(collusion_upvote_per_partner >= 0.0,
                 "collusion upvote boost must be >= 0");
+  CCD_CHECK_MSG(n_sybil == 0 || n_sybil >= 2,
+                "a sybil swarm needs >= 2 identities (got " << n_sybil << ")");
+  CCD_CHECK_MSG(n_sybil == 0 || sybil_pool_size >= 2,
+                "sybil_pool_size must be >= 2 when the swarm is on");
+  CCD_CHECK_MSG(churn_arrival_mean >= 0.0, "churn_arrival_mean must be >= 0");
+  CCD_CHECK_MSG(churn_lifetime_mean >= 0.0, "churn_lifetime_mean must be >= 0");
 
   // Malicious workers use private product pools; make sure they fit and
   // leave a general pool for honest workers.
@@ -98,6 +154,7 @@ void GeneratorParams::validate() const {
     reserved += community_pool_size(size);
   }
   reserved += n_ncm * 2;  // up to two private products per NCM worker
+  if (n_sybil > 0) reserved += sybil_pool_size;
   CCD_CHECK_MSG(reserved + 10 <= n_products,
                 "n_products too small: " << reserved
                     << " reserved for malicious pools, only " << n_products
@@ -135,6 +192,12 @@ ReviewTrace generate_trace(const GeneratorParams& params) {
     ncm_pools.push_back({static_cast<ProductId>(next_product),
                          static_cast<ProductId>(next_product + 1)});
     next_product += 2;
+  }
+  std::vector<ProductId> sybil_pool;
+  if (params.n_sybil > 0) {
+    for (std::size_t i = 0; i < params.sybil_pool_size; ++i) {
+      sybil_pool.push_back(static_cast<ProductId>(next_product++));
+    }
   }
   const std::size_t general_begin = next_product;
 
@@ -174,6 +237,15 @@ ReviewTrace generate_trace(const GeneratorParams& params) {
     }
     community_members.push_back(std::move(members));
   }
+  // Sybil swarm: appended as one extra ground-truth community, so the
+  // clustering metrics can score recall against it like any planted CM group.
+  std::vector<WorkerId> sybil_ids;
+  sybil_ids.reserve(params.n_sybil);
+  for (std::size_t i = 0; i < params.n_sybil; ++i) {
+    sybil_ids.push_back(
+        add_worker(WorkerClass::kCollusiveMalicious,
+                   static_cast<std::int32_t>(params.community_sizes.size())));
+  }
 
   // ---- Reviews ------------------------------------------------------------
   ReviewId next_review = 0;
@@ -184,6 +256,23 @@ ReviewTrace generate_trace(const GeneratorParams& params) {
         draw, static_cast<double>(params.min_reviews),
         static_cast<double>(params.max_reviews));
     return static_cast<std::size_t>(clamped);
+  };
+
+  // Worker churn: the activity window [arrival, arrival + lifetime) ∩
+  // [0, campaign_rounds) bounds how many reviews the worker can place
+  // (the trace's `round` field stays the per-worker sequential index the
+  // schema requires). Late arrivals and short lifetimes truncate review
+  // histories — the mid-campaign arrival/departure effect detection must
+  // survive. With churn off nothing is drawn from the RNG, keeping legacy
+  // seeded traces bitwise intact.
+  const auto churned_count = [&](std::size_t n) {
+    if (params.campaign_rounds == 0) return n;
+    const std::uint64_t arrival = std::min<std::uint64_t>(
+        rng.poisson(params.churn_arrival_mean), params.campaign_rounds - 1);
+    const std::uint64_t lifetime = 1 + rng.poisson(params.churn_lifetime_mean);
+    const auto window = static_cast<std::size_t>(
+        std::min<std::uint64_t>(lifetime, params.campaign_rounds - arrival));
+    return std::clamp(n, params.min_reviews, std::max(params.min_reviews, window));
   };
 
   // One review from `worker` on `product` with the class behaviour `b`.
@@ -236,7 +325,7 @@ ReviewTrace generate_trace(const GeneratorParams& params) {
   // Honest workers roam the general product pool.
   CCD_CHECK(general_begin < params.n_products);
   for (const WorkerId id : honest_ids) {
-    const std::size_t n = review_count();
+    const std::size_t n = churned_count(review_count());
     for (std::size_t k = 0; k < n; ++k) {
       const auto product = static_cast<ProductId>(rng.uniform_int(
           static_cast<std::int64_t>(general_begin),
@@ -249,7 +338,7 @@ ReviewTrace generate_trace(const GeneratorParams& params) {
   // NCM workers stay on their private products, so the same-target collusion
   // rule never links them to anyone.
   for (std::size_t i = 0; i < ncm_ids.size(); ++i) {
-    const std::size_t n = review_count();
+    const std::size_t n = churned_count(review_count());
     for (std::size_t k = 0; k < n; ++k) {
       const ProductId product =
           ncm_pools[i][static_cast<std::size_t>(rng.uniform_int(
@@ -266,7 +355,7 @@ ReviewTrace generate_trace(const GeneratorParams& params) {
     const std::vector<ProductId>& pool = community_pools[c];
     const std::size_t partners = community_members[c].size() - 1;
     for (const WorkerId id : community_members[c]) {
-      const std::size_t n = review_count();
+      const std::size_t n = churned_count(review_count());
       for (std::size_t k = 0; k < n; ++k) {
         const ProductId product =
             k == 0 ? pool.front()
@@ -274,6 +363,23 @@ ReviewTrace generate_trace(const GeneratorParams& params) {
                          0, static_cast<std::int64_t>(pool.size()) - 1))];
         emit_review(trace.worker(id), product, static_cast<std::uint32_t>(k),
                     params.cm, partners);
+      }
+    }
+  }
+
+  // Sybil identities all work the swarm's shared pool (first review pinned
+  // to the anchor, like a CM community) and pump each other's feedback.
+  if (params.n_sybil > 0) {
+    const std::size_t partners = params.n_sybil - 1;
+    for (const WorkerId id : sybil_ids) {
+      const std::size_t n = churned_count(review_count());
+      for (std::size_t k = 0; k < n; ++k) {
+        const ProductId product =
+            k == 0 ? sybil_pool.front()
+                   : sybil_pool[static_cast<std::size_t>(rng.uniform_int(
+                         0, static_cast<std::int64_t>(sybil_pool.size()) - 1))];
+        emit_review(trace.worker(id), product, static_cast<std::uint32_t>(k),
+                    params.sybil, partners);
       }
     }
   }

@@ -57,6 +57,29 @@ struct GeneratorParams {
   std::vector<std::size_t> community_sizes = {2, 2, 2, 2, 3, 3, 4, 6};
   std::size_t n_products = 7000;
 
+  /// Sybil swarm: `n_sybil` cheap identities sharing one behaviour profile
+  /// and one private target pool. The swarm is planted as one ground-truth
+  /// collusive community appended after `community_sizes` (the shared pool
+  /// makes the paper's same-target rule link every pair), so detector /
+  /// clustering recall against it is measurable. 0 disables; otherwise
+  /// n_sybil >= 2.
+  std::size_t n_sybil = 0;
+  /// Products in the swarm's private pool (>= 2 when the swarm is on).
+  std::size_t sybil_pool_size = 3;
+
+  /// Worker churn: when `campaign_rounds` > 0 every worker is only active
+  /// on a window [arrival, arrival + lifetime) ∩ [0, campaign_rounds),
+  /// with arrival ~ Poisson(churn_arrival_mean) clamped into the campaign
+  /// and lifetime ~ 1 + Poisson(churn_lifetime_mean). The window bounds
+  /// the worker's review count (the trace's `round` field stays the
+  /// per-worker sequential index the schema requires), so mid-campaign
+  /// arrivals and departures show up as truncated review histories. 0
+  /// keeps the legacy static population — and draws nothing from the RNG,
+  /// so existing seeded traces are unchanged.
+  std::size_t campaign_rounds = 0;
+  double churn_arrival_mean = 0.0;
+  double churn_lifetime_mean = 0.0;
+
   /// Reviews per worker ~ round(LogNormal), clamped to [min_reviews, ...).
   double reviews_mu_log = 1.45;
   double reviews_sigma_log = 0.9;
@@ -87,6 +110,17 @@ struct GeneratorParams {
                     .score_bias_target = 4.9,
                     .score_noise = 0.25};
 
+  /// Sybil identities: cheap (low-effort) reviews whose feedback is pumped
+  /// by the rest of the swarm, scores strongly biased.
+  ClassBehaviour sybil{.a2 = -1.4,
+                       .a1 = 10.0,
+                       .a0 = 4.0,
+                       .effort_mu_log = -1.2,
+                       .effort_sigma_log = 0.35,
+                       .effort_cap = 2.0,
+                       .score_bias_target = 4.9,
+                       .score_noise = 0.2};
+
   /// Mean extra upvotes a CM review receives per community partner.
   double collusion_upvote_per_partner = 1.1;
 
@@ -100,6 +134,20 @@ struct GeneratorParams {
   /// Full-scale preset matching the paper's dataset statistics, including
   /// Table II's community-size census (47 communities, 212 CM workers).
   static GeneratorParams amazon2015();
+
+  /// Build params from a population budget: `n_workers` total identities,
+  /// `n_malicious` of them adversarial, with `community_sizes` drawn from
+  /// the malicious budget and the remainder becoming NCM workers. Throws
+  /// ccd::ConfigError — naming the offending values — when the community
+  /// sizes overrun the malicious budget or the malicious budget overruns
+  /// the population, instead of silently truncating the plant.
+  static GeneratorParams from_population(std::size_t n_workers,
+                                         std::size_t n_malicious,
+                                         std::vector<std::size_t> community_sizes,
+                                         std::uint64_t seed);
+
+  /// Total malicious identities this config plants (NCM + CM + sybil).
+  std::size_t malicious_count() const;
 
   /// Throws ccd::Error if inconsistent (e.g. not enough products for
   /// the private malicious pools, non-concave feedback laws).

@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "util/error.hpp"
 
@@ -42,6 +45,95 @@ TEST(GeneratorParamsTest, ValidationCatchesBadBehaviour) {
   p = GeneratorParams::small();
   p.n_products = 10;  // not enough products for malicious pools
   EXPECT_THROW(p.validate(), Error);
+}
+
+TEST(GeneratorParamsTest, FromPopulationRejectsOversizedCommunities) {
+  // The plant must never be silently truncated: a community census that
+  // overruns the malicious budget is a ConfigError naming both numbers.
+  try {
+    GeneratorParams::from_population(20, 4, {3, 3}, 1);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("3,3"), std::string::npos) << what;
+    EXPECT_NE(what.find("6"), std::string::npos) << what;
+    EXPECT_NE(what.find("4"), std::string::npos) << what;
+  }
+}
+
+TEST(GeneratorParamsTest, FromPopulationRejectsMaliciousOverrun) {
+  try {
+    GeneratorParams::from_population(5, 5, {}, 1);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("5"), std::string::npos);
+  }
+}
+
+TEST(GeneratorParamsTest, FromPopulationSpendsTheExactBudget) {
+  const GeneratorParams p = GeneratorParams::from_population(40, 10, {2, 3}, 7);
+  EXPECT_EQ(p.malicious_count(), 10u);
+  EXPECT_EQ(p.n_honest, 30u);
+  EXPECT_EQ(p.n_ncm, 5u);  // 10 malicious - 5 community members
+  const TraceStats s = generate_trace(p).stats();
+  EXPECT_EQ(s.honest_workers, 30u);
+  EXPECT_EQ(s.ncm_workers, 5u);
+  EXPECT_EQ(s.cm_workers, 5u);
+}
+
+TEST(GenerateTraceTest, SybilSwarmIsPlantedAsAppendedCommunity) {
+  GeneratorParams p = GeneratorParams::from_population(30, 8, {2, 3}, 11);
+  p.n_sybil = 4;
+  EXPECT_EQ(p.malicious_count(), 12u);
+  const ReviewTrace t = generate_trace(p);
+
+  // The swarm lands after the configured communities, as one more
+  // ground-truth community of collusive workers sharing a target pool.
+  const auto swarm_community =
+      static_cast<std::int32_t>(p.community_sizes.size());
+  std::vector<WorkerId> swarm;
+  for (const Worker& w : t.workers()) {
+    if (w.true_community == swarm_community) {
+      EXPECT_EQ(w.true_class, WorkerClass::kCollusiveMalicious);
+      swarm.push_back(w.id);
+    }
+  }
+  ASSERT_EQ(swarm.size(), 4u);
+
+  // Shared anchor: every swarm member's first review hits one product.
+  std::set<ProductId> anchors;
+  for (const WorkerId id : swarm) {
+    anchors.insert(t.review(t.reviews_of_worker(id).front()).product);
+  }
+  EXPECT_EQ(anchors.size(), 1u);
+}
+
+TEST(GenerateTraceTest, ChurnTruncatesReviewHistories) {
+  GeneratorParams p = GeneratorParams::from_population(40, 10, {2, 3}, 13);
+  p.campaign_rounds = 12;
+  p.churn_arrival_mean = 4.0;
+  p.churn_lifetime_mean = 3.0;
+  const ReviewTrace t = generate_trace(p);
+  EXPECT_NO_THROW(t.validate());
+
+  std::size_t max_reviews = 0;
+  for (const Worker& w : t.workers()) {
+    const std::size_t n = t.reviews_of_worker(w.id).size();
+    EXPECT_GE(n, p.min_reviews);
+    // No activity window can outlast the campaign.
+    EXPECT_LE(n, std::max(p.min_reviews, p.campaign_rounds));
+    max_reviews = std::max(max_reviews, n);
+  }
+  // The windows actually bind: without churn this population's longest
+  // history is far beyond the campaign horizon.
+  GeneratorParams unchurned = p;
+  unchurned.campaign_rounds = 0;
+  std::size_t unchurned_max = 0;
+  const ReviewTrace u = generate_trace(unchurned);
+  for (const Worker& w : u.workers()) {
+    unchurned_max = std::max(unchurned_max, u.reviews_of_worker(w.id).size());
+  }
+  EXPECT_LT(max_reviews, unchurned_max);
 }
 
 TEST(GenerateTraceTest, DeterministicForSeed) {

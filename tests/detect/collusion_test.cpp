@@ -122,6 +122,42 @@ TEST(CollusionTest, EmptyMaliciousSetYieldsNothing) {
   EXPECT_TRUE(result.non_collusive.empty());
 }
 
+// Property: planted communities survive mid-campaign churn. Churn
+// truncates review histories to each worker's activity window, but every
+// community member keeps its anchor-product review (review 0), so the
+// paper's same-target rule must still recover every planted community —
+// across seeds, not just one lucky draw.
+TEST(CollusionTest, RecoversPlantedCommunitiesUnderChurn) {
+  for (const std::uint64_t seed : {std::uint64_t{3}, std::uint64_t{17},
+                                   std::uint64_t{2026}}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    data::GeneratorParams params =
+        data::GeneratorParams::from_population(60, 15, {3, 4}, seed);
+    params.campaign_rounds = 20;
+    params.churn_arrival_mean = 5.0;
+    params.churn_lifetime_mean = 8.0;
+    const data::ReviewTrace trace = data::generate_trace(params);
+
+    std::map<std::int32_t, std::set<data::WorkerId>> planted;
+    for (const data::Worker& w : trace.workers()) {
+      if (w.true_class == data::WorkerClass::kCollusiveMalicious) {
+        planted[w.true_community].insert(w.id);
+      }
+    }
+    ASSERT_EQ(planted.size(), 2u);
+
+    const CollusionResult result = cluster_ground_truth_malicious(trace);
+    std::set<std::set<data::WorkerId>> found;
+    for (const Community& c : result.communities) {
+      found.insert({c.members.begin(), c.members.end()});
+    }
+    for (const auto& [id, members] : planted) {
+      EXPECT_TRUE(found.count(members))
+          << "community " << id << " lost under churn";
+    }
+  }
+}
+
 TEST(CensusTest, MatchesKnownDistribution) {
   CollusionResult r;
   r.communities.resize(4);

@@ -4,12 +4,23 @@
 // and one on a 4-thread pool, must agree bitwise on every payment, effort,
 // feedback, and utility (timings and metrics excluded: they measure the
 // run, not the answer).
+// Scenario runs extend the same contract: a scenario cell is a pure
+// function of its spec's seed — invariant across thread counts, and a
+// kill + checkpoint-resume (with a freshly re-attached ScenarioHook,
+// since hook pointers are never checkpointed) continues the adversarial
+// campaign bitwise-identically.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstddef>
+#include <filesystem>
+#include <string>
 
+#include "core/checkpoint.hpp"
 #include "core/pipeline.hpp"
+#include "core/stackelberg.hpp"
 #include "data/generator.hpp"
+#include "scenario/scenario.hpp"
 #include "util/metrics.hpp"
 
 namespace ccd {
@@ -73,6 +84,107 @@ TEST(DeterminismTest, RepeatedRunsAreBitwiseIdentical) {
   const core::PipelineResult a = core::run_pipeline(trace, config);
   const core::PipelineResult b = core::run_pipeline(trace, config);
   expect_bitwise_equal(a, b);
+}
+
+scenario::ScenarioSpec adversarial_spec() {
+  // Every adversary class at once, small enough to run in milliseconds.
+  scenario::ScenarioSpec spec = scenario::ScenarioSpec::preset("mixed");
+  util::ParamMap overrides;
+  overrides.set("workers", "14");
+  overrides.set("malicious", "5");
+  overrides.set("communities", "2");
+  overrides.set("sybil", "2");
+  overrides.set("rounds", "18");
+  overrides.set("seed", "21");
+  spec.apply_params(overrides);
+  return spec;
+}
+
+TEST(DeterminismTest, ScenarioCellIsThreadCountInvariant) {
+  const scenario::ScenarioSpec spec = adversarial_spec();
+  for (const scenario::Policy policy :
+       {scenario::Policy::kDynamic, scenario::Policy::kFixed}) {
+    scenario::RunOptions sequential;
+    sequential.threads = 1;
+    scenario::RunOptions parallel;
+    parallel.threads = 4;
+    const scenario::ScenarioCell a = run_cell(spec, policy, sequential);
+    const scenario::ScenarioCell b = run_cell(spec, policy, parallel);
+    EXPECT_EQ(a.score.requester_utility, b.score.requester_utility);
+    EXPECT_EQ(a.score.total_compensation, b.score.total_compensation);
+    EXPECT_EQ(a.score.detector_precision, b.score.detector_precision);
+    EXPECT_EQ(a.score.detector_recall, b.score.detector_recall);
+    EXPECT_EQ(a.score.community_recall, b.score.community_recall);
+    EXPECT_EQ(a.score.quarantined, b.score.quarantined);
+    EXPECT_EQ(a.score.excluded, b.score.excluded);
+  }
+}
+
+TEST(DeterminismTest, ScenarioResumeWithFreshHookIsBitwiseIdentical) {
+  const scenario::ScenarioSpec spec = adversarial_spec();
+  const scenario::Fleet fleet = scenario::build_fleet(spec);
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("ccd_scenario_resume_" + std::to_string(::getpid()) + ".ckpt"))
+          .string();
+
+  // Uninterrupted reference campaign.
+  scenario::ScenarioHook full_hook(spec, fleet, scenario::Policy::kDynamic);
+  core::StackelbergSimulator full(
+      fleet.workers, sim_config(spec, scenario::Policy::kDynamic));
+  full.set_round_hook(&full_hook);
+  const core::SimResult uninterrupted = full.run();
+
+  // Phase 1: "killed" at the halfway checkpoint.
+  scenario::RunOptions durable;
+  durable.checkpoint_every = spec.rounds / 2;
+  durable.checkpoint_path = path;
+  core::SimConfig partial =
+      sim_config(spec, scenario::Policy::kDynamic, durable);
+  partial.rounds = spec.rounds / 2;
+  scenario::ScenarioHook first_hook(spec, fleet, scenario::Policy::kDynamic);
+  core::StackelbergSimulator half(fleet.workers, partial);
+  half.set_round_hook(&first_hook);
+  half.run();
+
+  // Phase 2: restore, re-attach a FRESH hook (hook pointers are not part
+  // of a checkpoint), extend to the full horizon.
+  core::SimCheckpoint checkpoint = core::load_checkpoint(path);
+  EXPECT_EQ(checkpoint.next_round, spec.rounds / 2);
+  checkpoint.config.rounds = spec.rounds;
+  scenario::ScenarioHook second_hook(spec, fleet, scenario::Policy::kDynamic);
+  core::StackelbergSimulator resumed_sim(checkpoint);
+  resumed_sim.set_round_hook(&second_hook);
+  const core::SimResult resumed = resumed_sim.run();
+  std::filesystem::remove(path);
+
+  ASSERT_EQ(uninterrupted.rounds.size(), resumed.rounds.size());
+  for (std::size_t t = 0; t < uninterrupted.rounds.size(); ++t) {
+    EXPECT_EQ(uninterrupted.rounds[t].requester_utility,
+              resumed.rounds[t].requester_utility)
+        << "round " << t;
+    EXPECT_EQ(uninterrupted.rounds[t].total_compensation,
+              resumed.rounds[t].total_compensation)
+        << "round " << t;
+  }
+  ASSERT_EQ(uninterrupted.worker_history.size(), resumed.worker_history.size());
+  for (std::size_t w = 0; w < uninterrupted.worker_history.size(); ++w) {
+    ASSERT_EQ(uninterrupted.worker_history[w].size(),
+              resumed.worker_history[w].size());
+    for (std::size_t t = 0; t < uninterrupted.worker_history[w].size(); ++t) {
+      EXPECT_EQ(uninterrupted.worker_history[w][t].feedback,
+                resumed.worker_history[w][t].feedback)
+          << "worker " << w << " round " << t;
+      EXPECT_EQ(uninterrupted.worker_history[w][t].compensation,
+                resumed.worker_history[w][t].compensation)
+          << "worker " << w << " round " << t;
+      EXPECT_EQ(uninterrupted.worker_history[w][t].estimated_malicious,
+                resumed.worker_history[w][t].estimated_malicious)
+          << "worker " << w << " round " << t;
+    }
+  }
+  EXPECT_EQ(uninterrupted.cumulative_requester_utility,
+            resumed.cumulative_requester_utility);
 }
 
 TEST(DeterminismTest, MetricsArmingDoesNotChangeResults) {

@@ -28,6 +28,16 @@
 //       the wall clock — an expired run returns its completed prefix,
 //       writes a final checkpoint (when configured), and exits 6.
 //
+//   ccdctl scenario [name=paper|sybil|adaptive|misreport|churn|mixed|all]
+//          [policy=dynamic|static|fixed|exclude|all] [overrides...]
+//          [recall_floor=0.5] [out=FILE.json]
+//       Run the adversarial scenario matrix (src/scenario): each selected
+//       scenario x designer policy cell scores requester utility, detector
+//       precision/recall against the planted adversaries, and quarantine
+//       counts, then checks the matrix shape invariants (dynamic >= the
+//       fixed-contract baseline under every adversary, detector recall >=
+//       recall_floor). Violations exit 1; out= dumps the cells as JSON.
+//
 //   ccdctl serve socket=PATH|port=N|gateway=ADDR op=<ping|status|contracts|
 //          metrics|health|close|shutdown> [session=ID] [prometheus=0|1]
 //          [out=FILE]
@@ -78,6 +88,7 @@
 #include "detect/collusion.hpp"
 #include "detect/expert.hpp"
 #include "detect/malicious.hpp"
+#include "scenario/scenario.hpp"
 #include "serve/client.hpp"
 #include "util/cancellation.hpp"
 #include "util/config.hpp"
@@ -108,6 +119,12 @@ int usage() {
       "  simulate [rounds=40] [workers=6] [malicious=2] [seed=1]\n"
       "           [deadline=SECONDS] [checkpoint=FILE] [checkpoint_every=N]\n"
       "           [resume=FILE] [threads=N]\n"
+      "  scenario [name=paper|sybil|adaptive|misreport|churn|mixed|all]\n"
+      "           [policy=dynamic|static|fixed|exclude|all] [workers=N]\n"
+      "           [malicious=N] [communities=2,3] [sybil=N] [adaptive=0|1]\n"
+      "           [misreport=0|1] [churn_arrival=F] [churn_lifetime=F]\n"
+      "           [rounds=N] [seed=N] [recall_floor=0.5] [threads=N]\n"
+      "           [out=FILE.json]\n"
       "  serve    socket=PATH|port=N|gateway=ADDR [host=127.0.0.1]\n"
       "           op=ping|status|contracts|metrics|health|close|shutdown\n"
       "           [session=ID] [prometheus=0|1] [out=FILE]\n"
@@ -517,6 +534,72 @@ void print_session_status(const std::string& session,
               status.finished ? " (finished)" : "");
 }
 
+int cmd_scenario(const util::ParamMap& params) {
+  const std::string name = params.get_string("name", "all");
+  const std::string policy_name = params.get_string("policy", "all");
+  const std::string out = params.get_string("out", "");
+  const double recall_floor = params.get_double("recall_floor", 0.5);
+  scenario::RunOptions options;
+  options.threads = static_cast<std::size_t>(params.get_int("threads", 0));
+
+  std::vector<scenario::ScenarioSpec> specs;
+  if (name == "all") {
+    specs = scenario::ScenarioSpec::matrix();
+  } else {
+    specs.push_back(scenario::ScenarioSpec::preset(name));
+  }
+  for (scenario::ScenarioSpec& spec : specs) spec.apply_params(params);
+  params.assert_all_consumed();
+
+  std::vector<scenario::Policy> policies;
+  if (policy_name == "all") {
+    policies = scenario::all_policies();
+  } else {
+    policies.push_back(scenario::policy_from_string(policy_name));
+  }
+
+  scenario::MatrixResult matrix;
+  std::printf("%-10s %-8s %12s %12s %10s %10s %10s %6s %6s\n", "scenario",
+              "policy", "utility", "comp", "det_prec", "det_rec", "comm_rec",
+              "quar", "excl");
+  for (const scenario::ScenarioSpec& spec : specs) {
+    for (const scenario::Policy policy : policies) {
+      const scenario::ScenarioCell cell =
+          scenario::run_cell(spec, policy, options);
+      std::printf("%-10s %-8s %12.3f %12.3f %10.3f %10.3f %10.3f %6zu %6zu\n",
+                  cell.scenario.c_str(), scenario::to_string(cell.policy),
+                  cell.score.requester_utility, cell.score.total_compensation,
+                  cell.score.detector_precision, cell.score.detector_recall,
+                  cell.score.community_recall, cell.score.quarantined,
+                  cell.score.excluded);
+      matrix.cells.push_back(cell);
+    }
+  }
+
+  if (!out.empty()) {
+    std::ofstream file(out, std::ios::trunc);
+    if (!file) {
+      std::fprintf(stderr, "scenario: cannot open '%s' for writing\n",
+                   out.c_str());
+      return 1;
+    }
+    file << matrix.to_json();
+    std::printf("wrote %s\n", out.c_str());
+  }
+
+  const std::vector<std::string> violations =
+      matrix.violations(recall_floor);
+  for (const std::string& violation : violations) {
+    std::fprintf(stderr, "scenario: INVARIANT VIOLATED: %s\n",
+                 violation.c_str());
+  }
+  if (violations.empty()) {
+    std::printf("scenario: all invariants hold (%zu cells)\n",
+                matrix.cells.size());
+  }
+  return violations.empty() ? 0 : 1;
+}
+
 int cmd_serve(const util::ParamMap& params) {
   const std::string op = params.get_string("op", "ping");
   const std::string session = params.get_string("session", "");
@@ -713,6 +796,7 @@ int main(int argc, char** argv) {
     else if (command == "inspect") rc = cmd_inspect(params);
     else if (command == "design") rc = cmd_design(params);
     else if (command == "simulate") rc = cmd_simulate(params);
+    else if (command == "scenario") rc = cmd_scenario(params);
     else if (command == "serve") rc = cmd_serve(params);
     else if (command == "submit") rc = cmd_submit(params);
     else return usage();
