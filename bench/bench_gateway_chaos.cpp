@@ -22,15 +22,26 @@
 //    to an uninterrupted in-process StackelbergSimulator run on the same
 //    seed — failover must be invisible in the results.
 //
+// With drill=1 the single SIGKILL becomes a rolling-restart drill: every
+// shard in turn is SIGKILLed at a staggered point of the campaign, its
+// sessions fail over to the survivors, a fresh ccdd is spawned on the
+// same endpoint and rejoined with Gateway::admit_shard — which must move
+// back exactly the sessions whose ring owner changed. After each death
+// AND each rejoin the gateway's sessions_handed_off must equal its
+// sessions_restored; at the end the drill additionally requires
+// failovers == joins == shards, a zero-loss ledger, and the same bitwise
+// contract samples as the undisturbed reference run.
+//
 // Usage: bench_gateway_chaos [shards=4] [sessions=1000] [drivers=32]
 //                            [rounds=3] [workers=4] [malicious=1]
 //                            [seed=3000] [kill_shard=1] [kill_at=0.25]
-//                            [sample_every=41] [max_inflight=256]
+//                            [drill=0] [sample_every=41] [max_inflight=256]
 //                            [ccdd=PATH] [out=BENCH_gateway_chaos.json]
 #include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -172,7 +183,10 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(params.get_int("malicious", 1));
   const std::uint64_t seed =
       static_cast<std::uint64_t>(params.get_int("seed", 3000));
-  const long long kill_shard = params.get_int("kill_shard", 1);
+  const bool drill = params.get_bool("drill", false);
+  const long long kill_shard_param = params.get_int("kill_shard", 1);
+  // The drill retires every shard in turn; the single-kill knob is moot.
+  const long long kill_shard = drill ? -1 : kill_shard_param;
   const double kill_at = params.get_double("kill_at", 0.25);
   const std::size_t sample_every =
       static_cast<std::size_t>(params.get_int("sample_every", 41));
@@ -203,10 +217,17 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::printf("== Gateway chaos: %zu sessions x %llu rounds over %zu ccdd "
-              "shard(s), SIGKILL shard %lld at %.0f%% ==\n\n",
-              sessions, static_cast<unsigned long long>(rounds), shards,
-              kill_shard, kill_at * 100.0);
+  if (drill) {
+    std::printf("== Gateway rolling-restart drill: %zu sessions x %llu "
+                "rounds over %zu ccdd shard(s), every shard killed and "
+                "rejoined in turn ==\n\n",
+                sessions, static_cast<unsigned long long>(rounds), shards);
+  } else {
+    std::printf("== Gateway chaos: %zu sessions x %llu rounds over %zu ccdd "
+                "shard(s), SIGKILL shard %lld at %.0f%% ==\n\n",
+                sessions, static_cast<unsigned long long>(rounds), shards,
+                kill_shard, kill_at * 100.0);
+  }
 
   const std::filesystem::path dir =
       std::filesystem::temp_directory_path() /
@@ -354,7 +375,125 @@ int main(int argc, char** argv) {
 
     // --- Chaos ----------------------------------------------------------
     double kill_after_s = 0.0;
-    if (kill_shard >= 0) {
+    std::size_t drill_kills = 0;
+    std::size_t drill_rejoins = 0;
+    std::size_t drill_rejoin_moved = 0;
+    bool drill_stage_ok = true;
+    if (drill) {
+      // Rolling restart: kill + rejoin each shard in turn, all of it
+      // under live traffic. A kill -> failover -> rejoin cycle takes wall
+      // time during which the drivers keep completing rounds, so the
+      // schedule is dynamic: after each rejoin, wait for a burst of
+      // traffic to flow through the NEW ring, then fell the next shard —
+      // and hard-fail if the round budget ran dry before every shard got
+      // its turn (the restarts must not land on a drained fleet).
+      const std::uint64_t live_gap =
+          std::max<std::uint64_t>(total_rounds / (8 * shards), 1);
+      std::uint64_t next_kill_floor = live_gap;
+      for (std::size_t i = 0; i < shards; ++i) {
+        while (rounds_done.load(std::memory_order_relaxed) <
+                   next_kill_floor &&
+               !failed.load()) {
+          ::usleep(1000);
+        }
+        if (failed.load()) break;
+        const std::uint64_t at_kill =
+            rounds_done.load(std::memory_order_relaxed);
+        if (at_kill + total_rounds / 10 > total_rounds) {
+          std::fprintf(stderr,
+                       "FAIL: drill: campaign nearly drained (%llu/%llu "
+                       "rounds) before killing shard %zu — raise rounds= "
+                       "so every restart happens under live traffic\n",
+                       static_cast<unsigned long long>(at_kill),
+                       static_cast<unsigned long long>(total_rounds), i);
+          drill_stage_ok = false;
+          break;
+        }
+        const serve::ShardSpec& spec = gateway_config.shards[i];
+        if (drill_kills == 0) {
+          kill_after_s = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+        }
+        std::printf("drill: killing %s (pid %d) after %llu/%llu rounds...\n",
+                    spec.name.c_str(), pids[i],
+                    static_cast<unsigned long long>(rounds_done.load()),
+                    static_cast<unsigned long long>(total_rounds));
+        std::fflush(stdout);
+        ::kill(pids[i], SIGKILL);
+        int status = 0;
+        ::waitpid(pids[i], &status, 0);
+        ++drill_kills;
+
+        // The health prober owns death detection. Wait until the victim
+        // left the ring; its checkpoint handoff runs under the same
+        // mutex admit_shard takes, so the rejoin below cannot overtake
+        // the failover.
+        bool dead_seen = false;
+        for (int w = 0; w < 600; ++w) {
+          if (gateway.alive_shard_count() == shards - 1) {
+            dead_seen = true;
+            break;
+          }
+          ::usleep(100 * 1000);
+        }
+        if (!dead_seen) {
+          std::fprintf(stderr,
+                       "FAIL: drill: gateway never noticed %s dying\n",
+                       spec.name.c_str());
+          drill_stage_ok = false;
+          break;
+        }
+
+        // Same endpoint, fresh process — the daemon side of a restart.
+        pids[i] = spawn_ccdd(ccdd_path, spec.unix_socket,
+                             spec.checkpoint_dir, sessions + 8,
+                             (dir / (spec.name + ".rejoin.log")).string());
+        wait_for_daemon(spec.unix_socket);
+        serve::Gateway::AdminResult joined;
+        bool admitted = false;
+        for (int attempt = 0; attempt < 100; ++attempt) {
+          joined = gateway.admit_shard(spec);
+          if (joined.status == serve::Status::kOk) {
+            admitted = true;
+            break;
+          }
+          ::usleep(100 * 1000);
+        }
+        if (!admitted) {
+          std::fprintf(stderr, "FAIL: drill: rejoin of %s refused: %s\n",
+                       spec.name.c_str(), joined.message.c_str());
+          drill_stage_ok = false;
+          break;
+        }
+        ++drill_rejoins;
+        drill_rejoin_moved += joined.sessions_moved;
+        std::printf("drill: rejoined %s (ring v%llu, %zu session(s) moved "
+                    "back)\n",
+                    spec.name.c_str(),
+                    static_cast<unsigned long long>(joined.ring_version),
+                    joined.sessions_moved);
+        std::fflush(stdout);
+#ifndef CCD_NO_METRICS
+        // The handoff ledger must reconcile after every death + rejoin
+        // pair, not just at the end.
+        const std::uint64_t stage_handed_off =
+            gateway_counter("ccd.gateway.sessions_handed_off");
+        const std::uint64_t stage_restored =
+            gateway_counter("ccd.gateway.sessions_restored");
+        if (stage_handed_off != stage_restored) {
+          std::fprintf(stderr,
+                       "FAIL: drill stage %zu: handed_off %llu != "
+                       "restored %llu\n",
+                       i, static_cast<unsigned long long>(stage_handed_off),
+                       static_cast<unsigned long long>(stage_restored));
+          drill_stage_ok = false;
+        }
+#endif
+        next_kill_floor =
+            rounds_done.load(std::memory_order_relaxed) + live_gap;
+      }
+    } else if (kill_shard >= 0) {
       const auto threshold =
           static_cast<std::uint64_t>(kill_at * static_cast<double>(total_rounds));
       while (rounds_done.load(std::memory_order_relaxed) < threshold &&
@@ -469,6 +608,9 @@ int main(int argc, char** argv) {
         gateway_counter("ccd.gateway.sessions_handed_off");
     const std::uint64_t gw_handoff_failures =
         gateway_counter("ccd.gateway.handoff_failures");
+    const std::uint64_t gw_restored =
+        gateway_counter("ccd.gateway.sessions_restored");
+    const std::uint64_t gw_joins = gateway_counter("ccd.gateway.joins");
 
     if (total.responses != total.requests) {
       std::fprintf(stderr,
@@ -508,12 +650,37 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(gw_handoff_failures));
       ok = false;
     }
-    if (kill_shard >= 0 && gw_failovers != 1) {
+    if (!drill && kill_shard >= 0 && gw_failovers != 1) {
       std::fprintf(stderr, "FAIL: expected exactly 1 failover, saw %llu\n",
                    static_cast<unsigned long long>(gw_failovers));
       ok = false;
     }
-    if (survivors_restored != gw_handed_off) {
+    if (gw_handed_off != gw_restored) {
+      std::fprintf(stderr,
+                   "FAIL: gateway handed off %llu session(s) but restored "
+                   "%llu\n",
+                   static_cast<unsigned long long>(gw_handed_off),
+                   static_cast<unsigned long long>(gw_restored));
+      ok = false;
+    }
+    if (drill && gw_failovers != shards) {
+      std::fprintf(stderr,
+                   "FAIL: drill killed %zu shard(s) but the gateway saw "
+                   "%llu failover(s)\n",
+                   shards, static_cast<unsigned long long>(gw_failovers));
+      ok = false;
+    }
+    if (drill && gw_joins != shards) {
+      std::fprintf(stderr,
+                   "FAIL: drill rejoined %zu shard(s) but the gateway "
+                   "counted %llu join(s)\n",
+                   shards, static_cast<unsigned long long>(gw_joins));
+      ok = false;
+    }
+    // The shard-side cross-check only holds when no shard restarted (a
+    // restart zeroes the shard's own counters); the drill relies on the
+    // gateway-side handed_off == restored ledger instead.
+    if (!drill && survivors_restored != gw_handed_off) {
       std::fprintf(stderr,
                    "FAIL: gateway handed off %llu session(s) but survivors "
                    "restored %llu\n",
@@ -522,6 +689,8 @@ int main(int argc, char** argv) {
       ok = false;
     }
 #endif
+    if (drill && !drill_stage_ok) ok = false;
+    if (drill && drill_rejoins != shards) ok = false;
 
     // --- Teardown -------------------------------------------------------
     verifier.shutdown_server();  // broadcast: drains every surviving shard
@@ -547,11 +716,17 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(gw_forwards),
                 static_cast<unsigned long long>(gw_retries));
     std::printf("failovers             : %llu (victim owned %zu sessions, "
-                "%llu handed off, %llu failures)\n",
+                "%llu handed off, %llu restored, %llu failures)\n",
                 static_cast<unsigned long long>(gw_failovers),
                 victim_sessions,
                 static_cast<unsigned long long>(gw_handed_off),
+                static_cast<unsigned long long>(gw_restored),
                 static_cast<unsigned long long>(gw_handoff_failures));
+    if (drill) {
+      std::printf("rolling restart       : %zu kill(s), %zu rejoin(s), "
+                  "%zu session(s) moved back on rejoin\n",
+                  drill_kills, drill_rejoins, drill_rejoin_moved);
+    }
     std::printf("bitwise samples       : %zu (%zu from the victim), "
                 "%zu mismatches\n",
                 sampled.size(), victims_sampled, bitwise_mismatches);
@@ -578,8 +753,14 @@ int main(int argc, char** argv) {
           "  \"failovers\": %llu,\n"
           "  \"victim_sessions\": %zu,\n"
           "  \"sessions_handed_off\": %llu,\n"
+          "  \"sessions_restored\": %llu,\n"
           "  \"handoff_failures\": %llu,\n"
           "  \"survivors_restored\": %llu,\n"
+          "  \"drill\": %s,\n"
+          "  \"drill_kills\": %zu,\n"
+          "  \"drill_rejoins\": %zu,\n"
+          "  \"drill_rejoin_sessions_moved\": %zu,\n"
+          "  \"joins\": %llu,\n"
           "  \"bitwise_samples\": %zu,\n"
           "  \"bitwise_mismatches\": %zu,\n"
           "  \"kill_after_seconds\": %.6f,\n"
@@ -597,8 +778,11 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(gw_forward_failures),
           static_cast<unsigned long long>(gw_failovers), victim_sessions,
           static_cast<unsigned long long>(gw_handed_off),
+          static_cast<unsigned long long>(gw_restored),
           static_cast<unsigned long long>(gw_handoff_failures),
           static_cast<unsigned long long>(survivors_restored),
+          drill ? "true" : "false", drill_kills, drill_rejoins,
+          drill_rejoin_moved, static_cast<unsigned long long>(gw_joins),
           sampled.size(), bitwise_mismatches, kill_after_s, wall_s,
           throughput, ok ? "true" : "false");
       std::fclose(f);

@@ -16,6 +16,16 @@
 #    via checkpoint handoff, and the finished contracts must again be
 #    byte-identical to the reference.
 #
+# 5. Rolling restart: a fresh 3-shard fleet, the shard owning "alpha" is
+#    killed with SIGKILL mid-campaign, a replacement ccdd is booted on the
+#    same endpoint and rejoined with `ccdctl gateway op=join` (which moves
+#    only the sessions whose ring owner changed back onto it), and the
+#    finished contracts must once more be byte-identical to the reference.
+#
+# 6. Transport auth: a ccdd with token= and require_token=1 on loopback
+#    TCP; a wrong (or missing) client token must be refused with exit
+#    code 7 before any op runs, the right token must work.
+#
 # Usage: scripts/serve_smoke.sh [BUILD_DIR]   (default: build)
 set -euo pipefail
 
@@ -159,4 +169,104 @@ for s in $SESSIONS; do
   cmp "$WORK/ref-$s.csv" "$WORK/gw-$s.csv"
   echo "session $s: contracts byte-identical after shard kill -9 + failover"
 done
+
+echo "== rolling restart: kill -9 one shard, rejoin it, finish =="
+RR_PIDS=()
+SPECS=""
+for i in 0 1 2; do
+  mkdir -p "$WORK/rr-shard$i"
+  "$CCDD" socket="$WORK/rr$i.sock" checkpoint_dir="$WORK/rr-shard$i" &
+  RR_PIDS[$i]=$!
+  EXTRA_PIDS="$EXTRA_PIDS ${RR_PIDS[$i]}"
+  SPECS="$SPECS,s$i=unix:$WORK/rr$i.sock@$WORK/rr-shard$i"
+done
+RR_SOCK="$WORK/rr-gateway.sock"
+"$GATEWAY" socket="$RR_SOCK" shards="${SPECS#,}" health_interval=200 &
+RR_GATEWAY_PID=$!
+EXTRA_PIDS="$EXTRA_PIDS $RR_GATEWAY_PID"
+wait_for_socket "$RR_SOCK"
+
+seed=100
+for s in $SESSIONS; do
+  "$CCDCTL" submit gateway="$RR_SOCK" session="$s" rounds=$ROUNDS \
+      to=$MIDPOINT seed=$seed workers=5 malicious=2
+  seed=$((seed + 1))
+done
+
+VICTIM=""
+for i in 0 1 2; do
+  if [ -e "$WORK/rr-shard$i/alpha.sim.ckpt" ]; then VICTIM=$i; fi
+done
+[ -n "$VICTIM" ] || { echo "FAIL: no shard owns alpha" >&2; exit 1; }
+kill -9 "${RR_PIDS[$VICTIM]}"
+wait "${RR_PIDS[$VICTIM]}" 2>/dev/null || true
+
+# The failover handoff scavenges the victim's checkpoints onto the
+# survivors and unlinks the files it moved: alpha's snapshot vanishing
+# from the victim's dir means the handoff has run.
+for _ in $(seq 1 100); do
+  [ -e "$WORK/rr-shard$VICTIM/alpha.sim.ckpt" ] || break
+  sleep 0.1
+done
+[ ! -e "$WORK/rr-shard$VICTIM/alpha.sim.ckpt" ] || {
+  echo "FAIL: handoff never scavenged alpha from shard $VICTIM" >&2; exit 1; }
+
+# Same endpoint, fresh daemon — then rejoin it through the admin frame.
+"$CCDD" socket="$WORK/rr$VICTIM.sock" checkpoint_dir="$WORK/rr-shard$VICTIM" &
+RR_PIDS[$VICTIM]=$!
+EXTRA_PIDS="$EXTRA_PIDS ${RR_PIDS[$VICTIM]}"
+wait_for_socket "$WORK/rr$VICTIM.sock"
+"$CCDCTL" gateway gateway="$RR_SOCK" op=join \
+    spec="s$VICTIM=unix:$WORK/rr$VICTIM.sock@$WORK/rr-shard$VICTIM"
+
+# The rejoin moves alpha back to its original owner, and the restore
+# checkpoints before publishing — the snapshot must be home again.
+[ -e "$WORK/rr-shard$VICTIM/alpha.sim.ckpt" ] || {
+  echo "FAIL: rejoin did not move alpha back to shard $VICTIM" >&2; exit 1; }
+
+seed=100
+for s in $SESSIONS; do
+  "$CCDCTL" submit gateway="$RR_SOCK" session="$s" rounds=$ROUNDS seed=$seed \
+      workers=5 malicious=2 out="$WORK/rr-$s.csv"
+  seed=$((seed + 1))
+done
+"$CCDCTL" serve gateway="$RR_SOCK" op=shutdown
+for i in 0 1 2; do wait "${RR_PIDS[$i]}"; done
+wait "$RR_GATEWAY_PID"
+EXTRA_PIDS=""
+
+echo "== diff: rolling-restarted vs uninterrupted =="
+for s in $SESSIONS; do
+  cmp "$WORK/ref-$s.csv" "$WORK/rr-$s.csv"
+  echo "session $s: contracts byte-identical after shard kill -9 + rejoin"
+done
+
+echo "== auth: wrong token refused with exit 7, right token works =="
+"$CCDD" port=0 token=s3cret require_token=1 > "$WORK/auth.out" &
+AUTH_PID=$!
+EXTRA_PIDS="$AUTH_PID"
+AUTH_PORT=""
+for _ in $(seq 1 100); do
+  AUTH_PORT=$(sed -n 's/^ccdd: listening on tcp:127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+      "$WORK/auth.out" 2>/dev/null || true)
+  [ -n "$AUTH_PORT" ] && break
+  sleep 0.05
+done
+[ -n "$AUTH_PORT" ] || { echo "FAIL: auth daemon never printed its port" >&2; exit 1; }
+
+set +e
+"$CCDCTL" serve port="$AUTH_PORT" token=wrong op=ping >/dev/null 2>&1
+RC_WRONG=$?
+"$CCDCTL" serve port="$AUTH_PORT" op=ping >/dev/null 2>&1
+RC_NONE=$?
+set -e
+[ "$RC_WRONG" = 7 ] || { echo "FAIL: wrong token exited $RC_WRONG, want 7" >&2; exit 1; }
+[ "$RC_NONE" = 7 ] || { echo "FAIL: missing token exited $RC_NONE, want 7" >&2; exit 1; }
+echo "wrong and missing tokens both refused with exit 7"
+
+"$CCDCTL" serve port="$AUTH_PORT" token=s3cret op=ping
+"$CCDCTL" serve port="$AUTH_PORT" token=s3cret op=shutdown
+wait "$AUTH_PID"
+EXTRA_PIDS=""
+
 echo "serve smoke: OK"

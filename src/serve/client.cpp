@@ -27,7 +27,9 @@ Client Client::connect_unix(const std::string& path, ClientOptions options) {
   Target target;
   target.unix_domain = true;
   target.path_or_host = path;
-  return Client(util::Socket::connect_unix(path), std::move(target), options);
+  util::Socket socket = util::Socket::connect_unix(path);
+  client_handshake(socket, options.auth_token, options.io_timeout_ms);
+  return Client(std::move(socket), std::move(target), options);
 }
 
 Client Client::connect_tcp(const std::string& host, int port,
@@ -36,14 +38,20 @@ Client Client::connect_tcp(const std::string& host, int port,
   target.unix_domain = false;
   target.path_or_host = host;
   target.port = port;
-  return Client(util::Socket::connect_tcp(host, port), std::move(target),
-                options);
+  util::Socket socket = util::Socket::connect_tcp(host, port);
+  client_handshake(socket, options.auth_token, options.io_timeout_ms);
+  return Client(std::move(socket), std::move(target), options);
 }
 
 util::Socket Client::dial() const {
-  return target_.unix_domain
-             ? util::Socket::connect_unix(target_.path_or_host)
-             : util::Socket::connect_tcp(target_.path_or_host, target_.port);
+  util::Socket socket =
+      target_.unix_domain
+          ? util::Socket::connect_unix(target_.path_or_host)
+          : util::Socket::connect_tcp(target_.path_or_host, target_.port);
+  // Re-run the token handshake on every redial: authentication is
+  // per-connection (each connection gets a fresh server nonce).
+  client_handshake(socket, options_.auth_token, options_.io_timeout_ms);
+  return socket;
 }
 
 Response Client::call(const Request& request) {
@@ -125,13 +133,15 @@ Client::AdvanceResult Client::advance(const std::string& session,
   request.deadline_ms = deadline_ms;
   Response response = roundtrip(std::move(request));
   if (response.status != Status::kDeadline &&
-      response.status != Status::kBackpressure) {
+      response.status != Status::kBackpressure &&
+      response.status != Status::kUnavailable) {
     check(response);
   }
   AdvanceResult result;
   result.session = response.session;
   result.deadline_expired = response.status == Status::kDeadline;
   result.backpressure = response.status == Status::kBackpressure;
+  result.unavailable = response.status == Status::kUnavailable;
   return result;
 }
 
@@ -146,7 +156,8 @@ Client::IngestResult Client::ingest(
   request.deadline_ms = deadline_ms;
   Response response = roundtrip(std::move(request));
   if (response.status != Status::kDeadline &&
-      response.status != Status::kBackpressure) {
+      response.status != Status::kBackpressure &&
+      response.status != Status::kUnavailable) {
     check(response);
   }
   IngestResult result;
@@ -154,6 +165,7 @@ Client::IngestResult Client::ingest(
   result.redesigned = response.redesigned;
   result.deadline_expired = response.status == Status::kDeadline;
   result.backpressure = response.status == Status::kBackpressure;
+  result.unavailable = response.status == Status::kUnavailable;
   return result;
 }
 
@@ -225,6 +237,24 @@ void Client::shutdown_server() {
   request.op = Op::kShutdown;
   Response response = roundtrip(std::move(request));
   check(response);
+}
+
+std::string Client::join_shard(const ShardTarget& shard) {
+  Request request;
+  request.op = Op::kJoin;
+  request.shard = shard;
+  Response response = roundtrip(std::move(request));
+  check(response);
+  return response.text;
+}
+
+std::string Client::retire_shard(const std::string& name) {
+  Request request;
+  request.op = Op::kRetire;
+  request.shard.name = name;
+  Response response = roundtrip(std::move(request));
+  check(response);
+  return response.text;
 }
 
 }  // namespace ccd::serve

@@ -42,6 +42,11 @@ struct ClientOptions {
   /// Exponential redial backoff: first wait, then * multiplier each try.
   double reconnect_backoff_s = 0.05;
   double reconnect_multiplier = 2.0;
+  /// Shared secret for the CSRV v3 token handshake, run on every
+  /// (re)connect before any other frame. Empty skips the handshake; a
+  /// server that requires one then rejects with Status::kAuth, which the
+  /// typed helpers surface as ccd::AuthError (ccdctl exit code 7).
+  std::string auth_token;
 };
 
 class Client {
@@ -76,6 +81,9 @@ class Client {
     /// True when the admission queue rejected the request (nothing
     /// happened server-side); retry after a pause.
     bool backpressure = false;
+    /// True when the gateway had no alive shard to route to (nothing
+    /// happened server-side); retry once a shard rejoins.
+    bool unavailable = false;
   };
   /// Advance a simulation session by up to `rounds` rounds. Deadline and
   /// backpressure are reported, not thrown; other errors throw.
@@ -87,6 +95,7 @@ class Client {
     bool redesigned = false;
     bool deadline_expired = false;
     bool backpressure = false;
+    bool unavailable = false;
   };
   /// Feed one observed round into an ingest session.
   IngestResult ingest(const std::string& session,
@@ -118,6 +127,16 @@ class Client {
 
   /// Ask the daemon to drain and exit.
   void shutdown_server();
+
+  // Gateway membership admin (kJoin / kRetire). Return the gateway's
+  // summary text ("ring_version=... sessions_moved=..."); errors throw
+  // (an admin race — unknown retire target, name conflict — surfaces as
+  // the retryable ccd::Error mapped from Status::kUnavailable).
+
+  /// Admit (or rejoin) a shard into a gateway's ring at runtime.
+  std::string join_shard(const ShardTarget& shard);
+  /// Retire a shard by name (graceful leave; idempotent).
+  std::string retire_shard(const std::string& name);
 
  private:
   struct Target {

@@ -6,8 +6,10 @@
 #include <algorithm>
 #include <chrono>
 #include <future>
+#include <set>
 #include <utility>
 
+#include "util/atomic_file.hpp"
 #include "util/error.hpp"
 #include "util/metrics.hpp"
 
@@ -33,6 +35,7 @@ struct ServeMetrics {
   metrics::Counter& sessions_closed;
   metrics::Counter& sessions_resumed;
   metrics::Counter& sessions_restored;
+  metrics::Counter& sessions_exported;
   metrics::Counter& sessions_evicted;
   metrics::Counter& sessions_reloaded;
   metrics::Counter& resume_skipped;
@@ -55,6 +58,7 @@ struct ServeMetrics {
                           reg.counter("ccd.serve.sessions_closed"),
                           reg.counter("ccd.serve.sessions_resumed"),
                           reg.counter("ccd.serve.sessions_restored"),
+                          reg.counter("ccd.serve.sessions_exported"),
                           reg.counter("ccd.serve.sessions_evicted"),
                           reg.counter("ccd.serve.sessions_reloaded"),
                           reg.counter("ccd.serve.resume_skipped"),
@@ -332,6 +336,20 @@ Response Engine::handle(const Request& request,
     case Op::kHealth:
       return handle_health(request);
 
+    case Op::kExport:
+      return handle_export(request);
+
+    case Op::kListSessions:
+      return handle_list(request);
+
+    case Op::kAuth:
+    case Op::kJoin:
+    case Op::kRetire:
+      // Connection-level (auth) and gateway-level (membership) ops never
+      // reach the engine; a server without a gateway reports them cleanly.
+      throw ConfigError(std::string("op '") + serve::to_string(request.op) +
+                        "' is not handled by this endpoint");
+
     case Op::kAdvance: {
       std::shared_ptr<Session> session = find_session(request.session);
       std::lock_guard<std::mutex> lock(session->mutex());
@@ -509,6 +527,71 @@ Response Engine::handle_restore(const Request& request) {
     std::lock_guard<std::mutex> session_lock(session->mutex());
     response.session = session->status();
   }
+  return response;
+}
+
+Response Engine::handle_export(const Request& request) {
+  Response response;
+  response.request_id = request.request_id;
+  if (config_.checkpoint_dir.empty()) {
+    throw ConfigError("export requires a checkpoint_dir (session state "
+                      "leaves this shard as checkpoint bytes)");
+  }
+
+  // sessions_mutex_ is held for the whole export so no concurrent request
+  // can resurrect the id from its checkpoint file between the snapshot
+  // and the erase — once we answer, this shard no longer owns the session.
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  std::shared_ptr<Session> session;
+  auto it = sessions_.find(request.session);
+  session = it != sessions_.end() ? it->second : reload_locked(request.session);
+  if (session == nullptr) {
+    throw ConfigError("no open session '" + request.session + "'");
+  }
+  {
+    // Lock order (sessions_mutex_ then session mutex) matches handle_open.
+    // A racing op that already holds the session pointer finishes first;
+    // the snapshot below then includes its round.
+    std::lock_guard<std::mutex> session_lock(session->mutex());
+    session->checkpoint();
+    response.checkpoint_blob = util::read_file(session->checkpoint_path());
+    response.session = session->status();
+    session->remove_checkpoint();
+  }
+  sessions_.erase(request.session);
+  ServeMetrics::instance().sessions_exported.add(1);
+  ServeMetrics::instance().sessions_open.set(
+      static_cast<double>(sessions_.size()));
+  return response;
+}
+
+Response Engine::handle_list(const Request& request) {
+  Response response;
+  response.request_id = request.request_id;
+  std::set<std::string> ids;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    for (const auto& [id, session] : sessions_) ids.insert(id);
+  }
+  // Idle-evicted sessions live only as checkpoint files but are still
+  // owned by this shard; a rebalance that missed them would strand them.
+  if (!config_.checkpoint_dir.empty()) {
+    DIR* dir = opendir(config_.checkpoint_dir.c_str());
+    if (dir == nullptr) {
+      throw ConfigError("cannot open checkpoint directory '" +
+                        config_.checkpoint_dir + "'");
+    }
+    while (dirent* entry = readdir(dir)) {
+      const std::string name = entry->d_name;
+      std::string stem;
+      if (strip_suffix(name, ".sim.ckpt", &stem) ||
+          strip_suffix(name, ".ingest.ckpt", &stem)) {
+        ids.insert(stem);
+      }
+    }
+    closedir(dir);
+  }
+  response.session_ids.assign(ids.begin(), ids.end());
   return response;
 }
 

@@ -134,6 +134,8 @@ class Engine {
   Response handle_close(const Request& request);
   Response handle_restore(const Request& request);
   Response handle_health(const Request& request);
+  Response handle_export(const Request& request);
+  Response handle_list(const Request& request);
   std::shared_ptr<Session> find_session(const std::string& id);
   /// Under sessions_mutex_: reload an evicted session from its checkpoint
   /// file if one exists; returns nullptr when there is none.

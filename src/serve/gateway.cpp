@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <set>
 #include <utility>
 
@@ -25,7 +26,7 @@ constexpr int kAcceptPollMs = 200;
 /// Route-and-forward attempts per request. Each retry re-routes, so an
 /// attempt after a failover lands on the session's new owner.
 constexpr std::size_t kMaxForwardAttempts = 4;
-constexpr const char* kBanner = "ccd-gateway/2";
+constexpr const char* kBanner = "ccd-gateway/3";
 
 /// All `ccd.gateway.*` instruments. The reconciliation invariant (tested
 /// by bench_gateway_chaos): requests == responses, and
@@ -43,8 +44,11 @@ struct GatewayMetrics {
   metrics::Counter& forward_retries;
   metrics::Counter& forward_failures;
   metrics::Counter& failovers;
+  metrics::Counter& joins;
   metrics::Counter& sessions_handed_off;
+  metrics::Counter& sessions_restored;
   metrics::Counter& handoff_failures;
+  metrics::Counter& strays_recovered;
   metrics::Gauge& shards_alive;
   metrics::Gauge& inflight;
   metrics::Histogram& forward_us;
@@ -61,8 +65,11 @@ struct GatewayMetrics {
                             reg.counter("ccd.gateway.forward_retries"),
                             reg.counter("ccd.gateway.forward_failures"),
                             reg.counter("ccd.gateway.failovers"),
+                            reg.counter("ccd.gateway.joins"),
                             reg.counter("ccd.gateway.sessions_handed_off"),
+                            reg.counter("ccd.gateway.sessions_restored"),
                             reg.counter("ccd.gateway.handoff_failures"),
+                            reg.counter("ccd.gateway.strays_recovered"),
                             reg.gauge("ccd.gateway.shards_alive"),
                             reg.gauge("ccd.gateway.inflight"),
                             reg.histogram("ccd.gateway.forward_us")};
@@ -101,9 +108,72 @@ bool strip_suffix(const std::string& name, const std::string& suffix,
 }  // namespace
 
 void ShardSpec::validate() const {
-  CCD_CHECK_MSG(!name.empty(), "every shard needs a name");
-  CCD_CHECK_MSG(!unix_socket.empty() || tcp_port >= 0,
-                "shard '" + name + "' needs a unix socket path or a tcp port");
+  if (name.empty()) throw ConfigError("every shard needs a name");
+  if (unix_socket.empty() && tcp_port < 0) {
+    throw ConfigError("shard '" + name +
+                      "' needs a unix socket path or a tcp port");
+  }
+}
+
+bool ShardSpec::same_target(const ShardSpec& other) const {
+  return unix_socket == other.unix_socket && host == other.host &&
+         tcp_port == other.tcp_port && checkpoint_dir == other.checkpoint_dir;
+}
+
+ShardSpec ShardSpec::parse(const std::string& text) {
+  ShardSpec shard;
+  const std::size_t eq = text.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    throw ConfigError("bad shard spec '" + text + "' (want NAME=TARGET)");
+  }
+  shard.name = text.substr(0, eq);
+  std::string target = text.substr(eq + 1);
+  const std::size_t at = target.rfind('@');
+  if (at != std::string::npos) {
+    shard.checkpoint_dir = target.substr(at + 1);
+    target = target.substr(0, at);
+  }
+  if (target.rfind("unix:", 0) == 0) {
+    shard.unix_socket = target.substr(5);
+  } else if (target.rfind("tcp:", 0) == 0) {
+    const std::string addr = target.substr(4);
+    const std::size_t colon = addr.rfind(':');
+    if (colon == std::string::npos) {
+      throw ConfigError("bad shard spec '" + text + "' (want tcp:HOST:PORT)");
+    }
+    shard.host = addr.substr(0, colon);
+    char* end = nullptr;
+    shard.tcp_port =
+        static_cast<int>(std::strtol(addr.c_str() + colon + 1, &end, 10));
+    if (end == nullptr || *end != '\0' || shard.tcp_port < 0) {
+      throw ConfigError("bad shard port in '" + text + "'");
+    }
+  } else {
+    throw ConfigError("bad shard spec '" + text +
+                      "' (target must start with unix: or tcp:)");
+  }
+  shard.validate();
+  return shard;
+}
+
+ShardTarget ShardSpec::to_target() const {
+  ShardTarget target;
+  target.name = name;
+  target.unix_socket = unix_socket;
+  target.host = host;
+  target.tcp_port = tcp_port;
+  target.checkpoint_dir = checkpoint_dir;
+  return target;
+}
+
+ShardSpec ShardSpec::from_target(const ShardTarget& target) {
+  ShardSpec spec;
+  spec.name = target.name;
+  spec.unix_socket = target.unix_socket;
+  spec.host = target.host.empty() ? "127.0.0.1" : target.host;
+  spec.tcp_port = target.tcp_port;
+  spec.checkpoint_dir = target.checkpoint_dir;
+  return spec;
 }
 
 void GatewayConfig::validate() const {
@@ -138,6 +208,9 @@ struct Gateway::Shard {
 
 struct Gateway::Connection {
   util::Socket socket;
+  /// Accepted on the Unix listener: the token handshake is never required
+  /// there (filesystem permissions are the access control).
+  bool via_unix = false;
   std::atomic<bool> finished{false};
 };
 
@@ -200,7 +273,7 @@ void Gateway::stop() {
     handler.connection->socket.shutdown_both();
     handler.thread.join();
   }
-  for (std::unique_ptr<Shard>& shard : shards_) {
+  for (Shard* shard : shard_snapshot()) {
     std::lock_guard<std::mutex> lock(shard->pool_mutex);
     shard->pool.clear();
   }
@@ -214,32 +287,52 @@ void Gateway::stop() {
 
 void Gateway::rebuild_ring_locked() {
   ring_.clear();
-  for (const std::unique_ptr<Shard>& shard : shards_) {
+  for (Shard* shard : shard_snapshot()) {
     if (!shard->alive.load(std::memory_order_relaxed)) continue;
     for (std::size_t v = 0; v < config_.virtual_nodes; ++v) {
       const std::string point = shard->spec.name + "#" + std::to_string(v);
-      ring_[ring_hash(point)] = shard.get();
+      ring_[ring_hash(point)] = shard;
     }
   }
 }
 
 Gateway::Shard* Gateway::route(const std::string& session) const {
   std::lock_guard<std::mutex> lock(ring_mutex_);
-  if (ring_.empty()) {
-    throw ConfigError("no alive shard to route session '" + session + "'");
-  }
+  if (ring_.empty()) return nullptr;
   auto it = ring_.lower_bound(ring_hash(session));
   if (it == ring_.end()) it = ring_.begin();
   return it->second;
 }
 
+std::vector<Gateway::Shard*> Gateway::shard_snapshot() const {
+  std::lock_guard<std::mutex> lock(shards_mutex_);
+  std::vector<Shard*> snapshot;
+  snapshot.reserve(shards_.size());
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    snapshot.push_back(shard.get());
+  }
+  return snapshot;
+}
+
+Gateway::Shard* Gateway::find_shard(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(shards_mutex_);
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    if (shard->spec.name == name) return shard.get();
+  }
+  return nullptr;
+}
+
 std::string Gateway::shard_for(const std::string& session) const {
-  return route(session)->spec.name;
+  Shard* shard = route(session);
+  if (shard == nullptr) {
+    throw ConfigError("no alive shard to route session '" + session + "'");
+  }
+  return shard->spec.name;
 }
 
 std::size_t Gateway::alive_shard_count() const {
   std::size_t alive = 0;
-  for (const std::unique_ptr<Shard>& shard : shards_) {
+  for (Shard* shard : shard_snapshot()) {
     if (shard->alive.load(std::memory_order_relaxed)) ++alive;
   }
   return alive;
@@ -251,15 +344,20 @@ std::size_t Gateway::alive_shard_count() const {
 util::Socket Gateway::dial(Shard& shard) {
   return util::with_retry(
       "gateway.shard_connect", config_.connect_retry,
-      [&shard](std::size_t attempt) {
+      [this, &shard](std::size_t attempt) {
         CCD_FAULT_POINT(
             "gateway.shard_connect",
             (static_cast<std::uint64_t>(shard.index) << 16) | attempt,
             DataError);
-        return shard.spec.unix_socket.empty()
-                   ? util::Socket::connect_tcp(shard.spec.host,
-                                               shard.spec.tcp_port)
-                   : util::Socket::connect_unix(shard.spec.unix_socket);
+        util::Socket socket =
+            shard.spec.unix_socket.empty()
+                ? util::Socket::connect_tcp(shard.spec.host,
+                                            shard.spec.tcp_port)
+                : util::Socket::connect_unix(shard.spec.unix_socket);
+        // Shards may require the same token the gateway's own clients use
+        // (non-loopback TCP fleet); no-op when no token is configured.
+        client_handshake(socket, config_.auth_token, config_.io_timeout_ms);
+        return socket;
       });
 }
 
@@ -310,33 +408,51 @@ Response Gateway::forward(const Request& request) {
   GatewayMetrics& m = GatewayMetrics::instance();
   metrics::ScopedTimer timer(&m.forward_us);
   std::string failure = "no forward attempt made";
+  bool tried_stray_recovery = false;
   for (std::size_t attempt = 0; attempt < kMaxForwardAttempts; ++attempt) {
-    if (attempt > 0) {
-      // Barrier: wait out any in-progress failover so the retry routes on
-      // the post-handoff ring and the restored session is already there.
+    if (attempt > 0 || rebalance_active_.load(std::memory_order_acquire)) {
+      // Barrier: wait out any in-progress failover or join rebalance so
+      // the request routes on the post-handoff ring and the moved session
+      // is already on its new owner.
       std::lock_guard<std::mutex> barrier(failover_mutex_);
     }
     const std::uint64_t ring_version =
         ring_version_.load(std::memory_order_acquire);
-    Shard* shard = nullptr;
-    try {
-      shard = route(request.session);
-    } catch (const ccd::Error& e) {
-      failure = e.what();
-      break;  // no shard left; retrying cannot help
+    Shard* shard = route(request.session);
+    if (shard == nullptr) {
+      // Every shard is down. That is a transient fleet outage, not a bad
+      // request: report it retryable so clients back off and reissue once
+      // a shard rejoins.
+      m.forward_failures.add(1);
+      Response response;
+      response.status = Status::kUnavailable;
+      response.message = "no alive shard to route session '" +
+                         request.session + "' (retry after a shard rejoins)";
+      return response;
     }
     try {
       m.forwards.add(1);
       Response response = roundtrip(*shard, request);
       if (response.status == Status::kConfigError &&
-          response.message.find("no open session") != std::string::npos &&
-          ring_version_.load(std::memory_order_acquire) != ring_version) {
-        // The ring moved while this request was in flight: what looks
-        // like an unknown session may just have been handed to another
-        // shard. Re-route and reissue.
-        m.forward_retries.add(1);
-        failure = response.message;
-        continue;
+          response.message.find("no open session") != std::string::npos) {
+        if (ring_version_.load(std::memory_order_acquire) != ring_version ||
+            rebalance_active_.load(std::memory_order_acquire)) {
+          // The ring moved (or is moving) while this request was in
+          // flight: what looks like an unknown session may just have been
+          // handed to another shard. Re-route and reissue.
+          m.forward_retries.add(1);
+          failure = response.message;
+          continue;
+        }
+        if (!tried_stray_recovery && recover_stray(request.session)) {
+          // Stable ring but the session was stranded off its ring owner
+          // (an open that raced a membership change); it has been pulled
+          // home, reissue there.
+          tried_stray_recovery = true;
+          m.forward_retries.add(1);
+          failure = response.message;
+          continue;
+        }
       }
       return response;
     } catch (const ccd::Error& e) {
@@ -386,6 +502,35 @@ Response Gateway::handle(const Request& request) {
         shutdown_requested_.store(true, std::memory_order_release);
         m.local.add(1);
         break;
+      case Op::kJoin: {
+        // Admin frame: spec validation errors surface as a status on this
+        // response (the catch below), never as a gateway-thread crash.
+        const AdminResult result =
+            admit_shard(ShardSpec::from_target(request.shard));
+        response.status = result.status;
+        response.message = result.message;
+        response.text = "ring_version=" + std::to_string(result.ring_version) +
+                        " sessions_moved=" +
+                        std::to_string(result.sessions_moved);
+        m.local.add(1);
+        break;
+      }
+      case Op::kRetire: {
+        const AdminResult result = retire_shard(
+            request.shard.name.empty() ? request.session : request.shard.name);
+        response.status = result.status;
+        response.message = result.message;
+        response.text = "ring_version=" + std::to_string(result.ring_version);
+        m.local.add(1);
+        break;
+      }
+      case Op::kAuth:
+        // The handshake is transport-level (consumed by auth_intercept on
+        // socket connections); an in-process caller has nothing to prove.
+        response.status = Status::kConfigError;
+        response.message = "op 'auth' is only meaningful on a socket";
+        m.local.add(1);
+        break;
       default: {
         // Session-scoped op: forward, under the inflight cap.
         if (shutdown_requested_.load(std::memory_order_acquire)) {
@@ -431,7 +576,7 @@ Response Gateway::local_health() {
   Response response;
   HealthInfo total;
   bool draining = shutdown_requested_.load(std::memory_order_acquire);
-  for (const std::unique_ptr<Shard>& shard : shards_) {
+  for (Shard* shard : shard_snapshot()) {
     if (!shard->alive.load(std::memory_order_relaxed)) continue;
     if (config_.health_interval_ms <= 0) {
       // No prober: refresh synchronously so health is never stale.
@@ -451,7 +596,7 @@ Response Gateway::local_health() {
 }
 
 void Gateway::broadcast_shutdown() {
-  for (const std::unique_ptr<Shard>& shard : shards_) {
+  for (Shard* shard : shard_snapshot()) {
     if (!shard->alive.load(std::memory_order_relaxed)) continue;
     Request request;
     request.op = Op::kShutdown;
@@ -492,7 +637,7 @@ void Gateway::prober_loop() {
     prober_cv_.wait_for(lock, interval, [this] { return prober_stop_; });
     if (prober_stop_) return;
     lock.unlock();
-    for (const std::unique_ptr<Shard>& shard : shards_) {
+    for (Shard* shard : shard_snapshot()) {
       if (stopping_.load(std::memory_order_relaxed)) break;
       if (!shard->alive.load(std::memory_order_relaxed)) continue;
       if (!probe_shard(*shard)) {
@@ -503,20 +648,204 @@ void Gateway::prober_loop() {
   }
 }
 
-void Gateway::retire_shard(const std::string& name) {
-  for (const std::unique_ptr<Shard>& shard : shards_) {
-    if (shard->spec.name == name) {
-      on_shard_down(*shard, "retired by operator");
-      return;
+Gateway::AdminResult Gateway::retire_shard(const std::string& name) {
+  AdminResult result;
+  Shard* shard = find_shard(name);
+  if (shard == nullptr) {
+    // Under dynamic membership an unknown name is an admin race (a retire
+    // crossing a rename or a double-submit), not a config error: report
+    // it without killing the connection or the gateway thread.
+    result.status = Status::kUnavailable;
+    result.message = "unknown shard '" + name + "' (nothing to retire)";
+    result.ring_version = ring_version();
+    return result;
+  }
+  if (!shard->alive.load(std::memory_order_relaxed)) {
+    result.message = "shard '" + name + "' already retired";
+    result.ring_version = ring_version();
+    return result;
+  }
+  on_shard_down(*shard, "retired by operator");
+  result.message = "shard '" + name + "' retired";
+  result.ring_version = ring_version();
+  return result;
+}
+
+Gateway::AdminResult Gateway::admit_shard(const ShardSpec& spec) {
+  spec.validate();  // same bar as startup shards; throws ConfigError
+  GatewayMetrics& m = GatewayMetrics::instance();
+  AdminResult result;
+  std::lock_guard<std::mutex> lock(failover_mutex_);
+
+  Shard* shard = find_shard(spec.name);
+  if (shard != nullptr && shard->alive.load(std::memory_order_relaxed)) {
+    if (shard->spec.same_target(spec)) {
+      // Idempotent repeat of a live join.
+      result.message = "shard '" + spec.name + "' already admitted";
+      result.ring_version = ring_version();
+      return result;
+    }
+    result.status = Status::kUnavailable;
+    result.message = "shard name '" + spec.name +
+                     "' is live on a different endpoint; retire it first";
+    result.ring_version = ring_version();
+    return result;
+  }
+  if (shard == nullptr) {
+    auto owned = std::make_unique<Shard>();
+    owned->spec = spec;
+    owned->alive.store(false, std::memory_order_relaxed);
+    shard = owned.get();
+    std::lock_guard<std::mutex> shards(shards_mutex_);
+    owned->index = shards_.size();
+    shards_.push_back(std::move(owned));
+  } else {
+    // Rejoin of a retired name, possibly on a new endpoint.
+    shard->spec = spec;
+    shard->health_valid = false;
+  }
+
+  // Probe before admitting: a shard that cannot answer a health frame
+  // never enters the ring (the spec stays parked as retired).
+  if (!probe_shard(*shard)) {
+    result.status = Status::kUnavailable;
+    result.message = "shard '" + spec.name +
+                     "' failed its admission probe; is the daemon up?";
+    result.ring_version = ring_version();
+    return result;
+  }
+
+  // Enumerate what the current owners hold (in-memory sessions plus
+  // idle-evicted checkpoints) BEFORE the routing flip, so the move list
+  // is exactly the pre-join population.
+  rebalance_active_.store(true, std::memory_order_release);
+  std::vector<std::pair<std::string, Shard*>> holdings;
+  std::set<std::string> seen;
+  for (Shard* holder : shard_snapshot()) {
+    if (holder == shard || !holder->alive.load(std::memory_order_relaxed)) {
+      continue;
+    }
+    Request list;
+    list.op = Op::kListSessions;
+    list.request_id =
+        internal_request_id_.fetch_add(1, std::memory_order_relaxed);
+    try {
+      const Response response = roundtrip(*holder, list);
+      if (is_error(response.status)) continue;
+      for (const std::string& id : response.session_ids) {
+        if (seen.insert(id).second) holdings.emplace_back(id, holder);
+      }
+    } catch (const ccd::Error&) {
+      // A holder failing its list keeps its sessions; if any of them now
+      // belong to the joiner they are pulled by the stray path on first
+      // touch instead.
     }
   }
-  throw ConfigError("unknown shard '" + name + "'");
+
+  // Flip routing. Forwards issued from here on land on the post-join
+  // ring; "no open session" during the move window is retried behind the
+  // failover_mutex_ barrier (rebalance_active_), so in-flight requests
+  // land exactly once on the final owner.
+  shard->alive.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> ring(ring_mutex_);
+    rebuild_ring_locked();
+  }
+  ring_version_.fetch_add(1, std::memory_order_acq_rel);
+  m.joins.add(1);
+  m.shards_alive.set(static_cast<double>(alive_shard_count()));
+
+  // Move ONLY the sessions whose ring owner changed (consistent hashing:
+  // a join reassigns ~1/N of the keyspace to the joiner and nothing
+  // else). Everything staying put is untouched — campaigns there never
+  // notice the membership change.
+  for (const auto& [id, holder] : holdings) {
+    Shard* owner = route(id);
+    if (owner == nullptr || owner == holder) continue;
+    try {
+      move_session_locked(id, *holder, *owner);
+      m.sessions_handed_off.add(1);
+      m.sessions_restored.add(1);
+      ++result.sessions_moved;
+    } catch (const ccd::Error&) {
+      m.handoff_failures.add(1);
+    }
+  }
+  rebalance_active_.store(false, std::memory_order_release);
+
+  result.message = "shard '" + spec.name + "' admitted";
+  result.ring_version = ring_version();
+  return result;
+}
+
+void Gateway::move_session_locked(const std::string& id, Shard& from,
+                                  Shard& to) {
+  Request export_request;
+  export_request.op = Op::kExport;
+  export_request.session = id;
+  export_request.request_id =
+      internal_request_id_.fetch_add(1, std::memory_order_relaxed);
+  const Response exported = roundtrip(from, export_request);
+  if (is_error(exported.status)) {
+    throw DataError("export of session '" + id + "' from shard '" +
+                    from.spec.name + "' failed: " + exported.message);
+  }
+
+  Request restore_request;
+  restore_request.op = Op::kRestore;
+  restore_request.session = id;
+  restore_request.checkpoint_blob = exported.checkpoint_blob;
+  restore_request.request_id =
+      internal_request_id_.fetch_add(1, std::memory_order_relaxed);
+  try {
+    const Response restored = roundtrip(to, restore_request);
+    if (is_error(restored.status)) {
+      throw DataError("restore of session '" + id + "' on shard '" +
+                      to.spec.name + "' failed: " + restored.message);
+    }
+  } catch (const ccd::Error&) {
+    // The session left `from` but never landed on `to`: put it back on
+    // the holder so the campaign survives the failed move (its requests
+    // then recover via the stray path).
+    restore_request.request_id =
+        internal_request_id_.fetch_add(1, std::memory_order_relaxed);
+    try {
+      (void)roundtrip(from, restore_request);
+    } catch (const ccd::Error&) {
+      // Both sides failing is a genuine loss; counted by the caller.
+    }
+    throw;
+  }
+}
+
+bool Gateway::recover_stray(const std::string& session) {
+  std::lock_guard<std::mutex> lock(failover_mutex_);
+  GatewayMetrics& m = GatewayMetrics::instance();
+  Shard* owner = route(session);
+  if (owner == nullptr) return false;
+  for (Shard* holder : shard_snapshot()) {
+    if (holder == owner || !holder->alive.load(std::memory_order_relaxed)) {
+      continue;
+    }
+    try {
+      move_session_locked(session, *holder, *owner);
+      m.strays_recovered.add(1);
+      m.sessions_handed_off.add(1);
+      m.sessions_restored.add(1);
+      return true;
+    } catch (const ccd::Error&) {
+      // Not on this shard (export refused) or the move failed; keep
+      // scanning — a false return just surfaces the original error.
+    }
+  }
+  return false;
 }
 
 void Gateway::on_shard_down(Shard& shard, const std::string& reason) {
   std::lock_guard<std::mutex> lock(failover_mutex_);
   if (!shard.alive.load(std::memory_order_relaxed)) return;  // raced: done
   GatewayMetrics& m = GatewayMetrics::instance();
+  rebalance_active_.store(true, std::memory_order_release);
   shard.alive.store(false, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> pool(shard.pool_mutex);
@@ -533,6 +862,7 @@ void Gateway::on_shard_down(Shard& shard, const std::string& reason) {
   // Publish only after the survivors hold the sessions: a forward that
   // raced the handoff retries once it sees the version move.
   ring_version_.fetch_add(1, std::memory_order_acq_rel);
+  rebalance_active_.store(false, std::memory_order_release);
 }
 
 void Gateway::handoff_locked(Shard& dead) {
@@ -575,12 +905,20 @@ void Gateway::handoff_locked(Shard& dead) {
       // there, not silently installed.
       request.checkpoint_blob = util::read_file(entry.path);
       Shard* target = route(entry.id);  // dead shard already off the ring
+      if (target == nullptr) {
+        throw DataError("no surviving shard for session '" + entry.id + "'");
+      }
       const Response response = roundtrip(*target, request);
       if (is_error(response.status)) {
         throw DataError("restore of session '" + entry.id + "' on shard '" +
                         target->spec.name + "' failed: " + response.message);
       }
       m.sessions_handed_off.add(1);
+      m.sessions_restored.add(1);
+      // Remove the scavenged checkpoint: if this daemon is later
+      // restarted on the same directory with resume=1 (a rejoin), a stale
+      // file would resurrect a session that now lives elsewhere.
+      ::unlink(entry.path.c_str());
     } catch (const ccd::Error&) {
       // Do not cascade failovers from inside one — a survivor failing
       // here is caught by the prober or by live traffic.
@@ -606,6 +944,7 @@ void Gateway::accept_loop(util::Socket* listener) {
 
     auto connection = std::make_shared<Connection>();
     connection->socket = std::move(*accepted);
+    connection->via_unix = (listener == &unix_listener_);
     std::lock_guard<std::mutex> lock(handlers_mutex_);
     reap_finished_handlers_locked();
     Handler handler;
@@ -617,12 +956,28 @@ void Gateway::accept_loop(util::Socket* listener) {
 }
 
 void Gateway::handle_connection(std::shared_ptr<Connection> connection) {
+  AuthGate gate;
+  gate.token = config_.auth_token;
+  // Unix sockets are guarded by filesystem permissions and loopback TCP
+  // is trusted by default; everything else must prove the token (when one
+  // is configured). require_auth extends the gate to loopback TCP.
+  gate.require = !gate.token.empty() && !connection->via_unix &&
+                 (config_.require_auth ||
+                  !connection->socket.peer_is_loopback());
   try {
     for (;;) {
       const std::optional<std::string> payload = recv_message(
           connection->socket, config_.idle_timeout_ms, config_.io_timeout_ms);
       if (!payload) break;  // clean peer close
       const Request request = decode_request(*payload);
+      bool close_connection = false;
+      if (const std::optional<Response> intercepted =
+              auth_intercept(gate, request, close_connection)) {
+        send_message(connection->socket, encode_response(*intercepted),
+                     config_.io_timeout_ms);
+        if (close_connection) break;
+        continue;
+      }
       const Response response = handle(request);
       send_message(connection->socket, encode_response(response),
                    config_.io_timeout_ms);

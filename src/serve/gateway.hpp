@@ -64,6 +64,20 @@ struct ShardSpec {
   std::string checkpoint_dir;
 
   void validate() const;
+
+  /// True when two specs dial the same endpoint with the same checkpoint
+  /// directory (the idempotence test for a repeated join).
+  bool same_target(const ShardSpec& other) const;
+
+  /// Parse the tools' shard grammar:
+  ///   NAME=unix:SOCKET[@CKPT_DIR]  |  NAME=tcp:HOST:PORT[@CKPT_DIR]
+  /// Shared by ccd-gateway (startup flags) and ccdctl (op=join). Throws
+  /// ccd::ConfigError on malformed input.
+  static ShardSpec parse(const std::string& text);
+
+  /// Wire conversions for the kJoin admin frame.
+  ShardTarget to_target() const;
+  static ShardSpec from_target(const ShardTarget& target);
 };
 
 struct GatewayConfig {
@@ -91,6 +105,13 @@ struct GatewayConfig {
   int health_interval_ms = 500;
   /// Retry/backoff for shard dials (util::with_retry).
   util::RetryPolicy connect_retry;
+  /// Shared secret for the CSRV v3 token handshake. When set, non-loopback
+  /// TCP clients must authenticate, and shard dials run the client side of
+  /// the handshake (so shards may require the same token). Empty disables.
+  std::string auth_token;
+  /// Require the handshake on every TCP connection, loopback included
+  /// (deployments where localhost is not trusted; also the testable knob).
+  bool require_auth = false;
 
   void validate() const;
 };
@@ -115,13 +136,42 @@ class Gateway {
   /// socket path).
   Response handle(const Request& request);
 
-  /// Operator-driven graceful leave: `name` must already have drained and
+  /// Outcome of a membership admin op (join / retire). Admin races —
+  /// retiring an unknown name, joining a name that is live on a different
+  /// endpoint — report Status::kUnavailable rather than throwing: under
+  /// dynamic membership they are races with other operators, not config
+  /// errors.
+  struct AdminResult {
+    Status status = Status::kOk;
+    std::string message;
+    std::uint64_t ring_version = 0;  ///< ring version after the op
+    std::size_t sessions_moved = 0;  ///< join: sessions whose owner changed
+  };
+
+  /// Admit a shard into the ring at runtime — a brand-new name, a rejoin
+  /// of a retired one (possibly on a new endpoint), or an idempotent
+  /// repeat of a live one. The spec runs the same validation as startup
+  /// shards (throws ccd::ConfigError; the kJoin frame path reports it as
+  /// a status). On success the ring version is bumped and only the
+  /// sessions whose ring owner changed are moved (export on the old
+  /// owner, restore on the new one); campaigns continue bitwise.
+  AdminResult admit_shard(const ShardSpec& spec);
+
+  /// Operator-driven graceful leave: `name` should have drained and
   /// checkpointed (its daemon stopped); its sessions are handed off to
-  /// the surviving shards. Throws ccd::ConfigError on an unknown name.
-  void retire_shard(const std::string& name);
+  /// the surviving shards. Idempotent: retiring an already-retired shard
+  /// is kOk, an unknown name reports kUnavailable (a race, not an error).
+  AdminResult retire_shard(const std::string& name);
 
   /// Name of the shard a session id currently routes to (tests/tools).
+  /// Throws ccd::ConfigError when no shard is alive.
   std::string shard_for(const std::string& session) const;
+
+  /// Current routing-table version (bumped by every failover, join, and
+  /// retire). Exposed for ring-ownership accounting in tests.
+  std::uint64_t ring_version() const {
+    return ring_version_.load(std::memory_order_acquire);
+  }
 
   std::size_t alive_shard_count() const;
   bool shutdown_requested() const {
@@ -146,7 +196,14 @@ class Gateway {
   void prober_loop();
 
   void rebuild_ring_locked();
+  /// Current ring owner for a session id; nullptr when no shard is alive
+  /// (a transient outage — callers answer Status::kUnavailable).
   Shard* route(const std::string& session) const;
+  /// Stable raw pointers to every shard (shards are created-only; the
+  /// vector may grow concurrently under admit_shard, so iteration goes
+  /// through this lock-protected copy).
+  std::vector<Shard*> shard_snapshot() const;
+  Shard* find_shard(const std::string& name) const;
   util::Socket acquire(Shard& shard);
   void release(Shard& shard, util::Socket socket);
   util::Socket dial(Shard& shard);
@@ -163,15 +220,29 @@ class Gateway {
   /// the same death collapse into one failover.
   void on_shard_down(Shard& shard, const std::string& reason);
   void handoff_locked(Shard& dead);
+  /// Move one session between shards (kExport old owner, kRestore new
+  /// owner). Failover-mutex holder only. Throws on failure after trying
+  /// to put the exported session back.
+  void move_session_locked(const std::string& id, Shard& from, Shard& to);
+  /// Last-resort routing repair: a session answering "no open session" at
+  /// its ring owner may be stranded on another shard (e.g. an open that
+  /// raced a membership change). Scan the other live shards and pull it
+  /// to the current ring owner. Returns true when found and moved.
+  bool recover_stray(const std::string& session);
 
   GatewayConfig config_;
+  mutable std::mutex shards_mutex_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
   mutable std::mutex ring_mutex_;
   std::map<std::uint64_t, Shard*> ring_;
-  /// Bumped after each completed failover; forwards use it to tell a
-  /// genuinely unknown session from one that just moved shards.
+  /// Bumped after each completed failover / join / retire; forwards use
+  /// it to tell a genuinely unknown session from one that just moved.
   std::atomic<std::uint64_t> ring_version_{0};
+  /// True while a join/failover is re-homing sessions: forwards treat
+  /// "no open session" as retryable and serialize behind failover_mutex_
+  /// so every in-flight request lands exactly once on the new owner.
+  std::atomic<bool> rebalance_active_{false};
   std::mutex failover_mutex_;
 
   util::Socket unix_listener_;

@@ -4,6 +4,7 @@
 
 #include "core/checkpoint.hpp"
 #include "util/atomic_file.hpp"
+#include "util/auth.hpp"
 #include "util/fault_injection.hpp"
 #include "util/socket.hpp"
 #include "util/wire.hpp"
@@ -23,6 +24,11 @@ const char* to_string(Op op) {
     case Op::kShutdown: return "shutdown";
     case Op::kRestore: return "restore";
     case Op::kHealth: return "health";
+    case Op::kAuth: return "auth";
+    case Op::kJoin: return "join";
+    case Op::kRetire: return "retire";
+    case Op::kExport: return "export";
+    case Op::kListSessions: return "list-sessions";
   }
   return "?";
 }
@@ -38,6 +44,8 @@ const char* to_string(Status status) {
     case Status::kDeadline: return "deadline";
     case Status::kBackpressure: return "backpressure";
     case Status::kShuttingDown: return "shutting-down";
+    case Status::kUnavailable: return "unavailable";
+    case Status::kAuth: return "auth-required";
   }
   return "?";
 }
@@ -49,6 +57,7 @@ Status status_for(const ccd::Error& error) {
     case ErrorCode::kMath: return Status::kMathError;
     case ErrorCode::kContract: return Status::kContractError;
     case ErrorCode::kDeadline: return Status::kDeadline;
+    case ErrorCode::kAuth: return Status::kAuth;
     case ErrorCode::kGeneric: return Status::kGenericError;
   }
   return Status::kGenericError;
@@ -65,6 +74,9 @@ void throw_status(Status status, const std::string& message) {
       throw Error("server backpressure: " + message);
     case Status::kShuttingDown:
       throw Error("server shutting down: " + message);
+    case Status::kUnavailable:
+      throw Error("service unavailable: " + message);
+    case Status::kAuth: throw AuthError(message);
     case Status::kOk:
     case Status::kGenericError:
       throw Error(message);
@@ -75,14 +87,14 @@ void throw_status(Status status, const std::string& message) {
 namespace {
 
 Op decode_op(std::uint8_t raw) {
-  if (raw > static_cast<std::uint8_t>(Op::kHealth)) {
+  if (raw > static_cast<std::uint8_t>(Op::kListSessions)) {
     throw DataError("unknown serve op " + std::to_string(raw));
   }
   return static_cast<Op>(raw);
 }
 
 Status decode_status(std::uint8_t raw) {
-  if (raw > static_cast<std::uint8_t>(Status::kShuttingDown)) {
+  if (raw > static_cast<std::uint8_t>(Status::kAuth)) {
     throw DataError("unknown serve status " + std::to_string(raw));
   }
   return static_cast<Status>(raw);
@@ -139,6 +151,13 @@ std::string encode_request(const Request& request) {
   }
   w.u8(request.metrics_prometheus ? 1 : 0);
   w.str(request.checkpoint_blob);
+  w.str(request.auth_proof);
+  w.str(request.shard.name);
+  w.str(request.shard.unix_socket);
+  w.str(request.shard.host);
+  w.u64(static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(request.shard.tcp_port)));
+  w.str(request.shard.checkpoint_dir);
   return w.take();
 }
 
@@ -170,6 +189,13 @@ Request decode_request(const std::string& payload) {
   }
   request.metrics_prometheus = r.u8() != 0;
   request.checkpoint_blob = r.str();
+  request.auth_proof = r.str();
+  request.shard.name = r.str();
+  request.shard.unix_socket = r.str();
+  request.shard.host = r.str();
+  request.shard.tcp_port = static_cast<std::int32_t>(
+      static_cast<std::int64_t>(r.u64()));
+  request.shard.checkpoint_dir = r.str();
   r.finish();
   return request;
 }
@@ -191,6 +217,9 @@ std::string encode_response(const Response& response) {
   w.u64(response.health.queue_depth);
   w.u64(response.health.queue_capacity);
   w.u8(response.health.draining ? 1 : 0);
+  w.str(response.checkpoint_blob);
+  w.u64(response.session_ids.size());
+  for (const std::string& id : response.session_ids) w.str(id);
   return w.take();
 }
 
@@ -213,6 +242,12 @@ Response decode_response(const std::string& payload) {
   response.health.queue_depth = r.u64();
   response.health.queue_capacity = r.u64();
   response.health.draining = r.u8() != 0;
+  response.checkpoint_blob = r.str();
+  const std::size_t session_ids = r.count(8);
+  response.session_ids.reserve(session_ids);
+  for (std::size_t i = 0; i < session_ids; ++i) {
+    response.session_ids.push_back(r.str());
+  }
   r.finish();
   return response;
 }
@@ -245,6 +280,81 @@ std::optional<std::string> recv_message(util::Socket& socket,
   }
   util::wire::verify_frame_payload(header, payload, "socket");
   return payload;
+}
+
+std::optional<Response> auth_intercept(AuthGate& gate, const Request& request,
+                                       bool& close_connection) {
+  close_connection = false;
+  if (request.op == Op::kAuth) {
+    Response response;
+    response.request_id = request.request_id;
+    if (request.auth_proof.empty()) {
+      // Challenge request. An empty nonce tells the client the server has
+      // no token configured, so there is nothing to prove.
+      if (!gate.token.empty()) {
+        gate.nonce = util::auth::make_nonce();
+        response.text = gate.nonce;
+      }
+      return response;
+    }
+    // Proof. The outstanding nonce is consumed before verification, so a
+    // second attempt (replay on this connection) never verifies, and a
+    // proof captured from another connection is bound to that
+    // connection's nonce.
+    const std::string nonce = gate.nonce;
+    gate.nonce.clear();
+    if (gate.token.empty() || nonce.empty() ||
+        !util::auth::constant_time_equal(
+            request.auth_proof,
+            util::auth::handshake_proof(gate.token, nonce))) {
+      response.status = Status::kAuth;
+      response.message = nonce.empty()
+                             ? "authentication proof without a challenge"
+                             : "authentication failed";
+      close_connection = true;
+      return response;
+    }
+    gate.authenticated = true;
+    response.text = "authenticated";
+    return response;
+  }
+  if (gate.require && !gate.authenticated) {
+    Response response;
+    response.request_id = request.request_id;
+    response.status = Status::kAuth;
+    response.message =
+        "authentication required on non-loopback connections (token "
+        "handshake, see serve/protocol.hpp)";
+    close_connection = true;
+    return response;
+  }
+  return std::nullopt;
+}
+
+void client_handshake(util::Socket& socket, const std::string& token,
+                      int io_timeout_ms) {
+  if (token.empty()) return;
+  Request challenge;
+  challenge.op = Op::kAuth;
+  send_message(socket, encode_request(challenge), io_timeout_ms);
+  auto payload = recv_message(socket, io_timeout_ms, io_timeout_ms);
+  if (!payload) throw DataError("peer closed during auth challenge");
+  Response response = decode_response(*payload);
+  if (is_error(response.status)) {
+    throw_status(response.status, response.message);
+  }
+  if (response.text.empty()) return;  // server has no token configured
+
+  Request proof;
+  proof.op = Op::kAuth;
+  proof.auth_proof = util::auth::handshake_proof(token, response.text);
+  send_message(socket, encode_request(proof), io_timeout_ms);
+  payload = recv_message(socket, io_timeout_ms, io_timeout_ms);
+  if (!payload) throw AuthError("peer closed during auth proof");
+  response = decode_response(*payload);
+  if (is_error(response.status)) {
+    throw_status(response.status, response.message);
+  }
 }
 
 }  // namespace ccd::serve

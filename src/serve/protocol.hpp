@@ -37,9 +37,11 @@ class Socket;
 namespace ccd::serve {
 
 inline constexpr const char* kFrameTag = "CSRV";
-/// v2: adds restore (checkpoint handoff) and health ops plus the
-/// checkpoint_blob / HealthInfo fields carrying them.
-inline constexpr std::uint32_t kProtocolVersion = 2;
+/// v2 added restore (checkpoint handoff) and health ops. v3 adds the
+/// token handshake (kAuth + Status::kAuth), dynamic membership admin ops
+/// (kJoin / kRetire), the rebalance primitives (kExport / kListSessions),
+/// and the retryable Status::kUnavailable.
+inline constexpr std::uint32_t kProtocolVersion = 3;
 /// Hard cap on a single message payload; a header announcing more is
 /// rejected before any allocation (garbage/torn streams, never OOM).
 inline constexpr std::uint64_t kMaxMessageBytes = 16ull << 20;
@@ -60,6 +62,27 @@ enum class Op : std::uint8_t {
   kRestore = 9,
   /// Lightweight load/liveness probe; the response carries HealthInfo.
   kHealth = 10,
+  /// Token handshake (v3). First kAuth with an empty proof is a challenge
+  /// request — the response carries a per-connection nonce in `text`
+  /// (empty when the server has no token configured). Second kAuth carries
+  /// hex(HMAC-SHA256(token, nonce)) in Request::auth_proof. A wrong or
+  /// replayed proof gets Status::kAuth and the connection is closed.
+  kAuth = 11,
+  /// Gateway admin (v3): admit a shard described by Request::shard into
+  /// the ring at runtime (join, or rejoin of a retired name). Rebalances
+  /// by moving only sessions whose ring owner changed.
+  kJoin = 12,
+  /// Gateway admin (v3): drain a live shard out of the ring by name
+  /// (Request::shard.name). Idempotent; unknown names are a race
+  /// (Status::kUnavailable), not a config error.
+  kRetire = 13,
+  /// Checkpoint a session, remove it from this shard, and return the raw
+  /// framed checkpoint bytes in Response::checkpoint_blob — the rebalance
+  /// counterpart of kRestore. Works on idle-evicted sessions too.
+  kExport = 14,
+  /// List the session ids this shard holds (in memory or idle-evicted to
+  /// its checkpoint dir) in Response::session_ids.
+  kListSessions = 15,
 };
 
 const char* to_string(Op op);
@@ -78,10 +101,23 @@ enum class Status : std::uint8_t {
   kBackpressure = 7,
   /// The engine is draining; no new work is admitted.
   kShuttingDown = 8,
+  /// Transient routing outage (no alive shard, or an admin op raced a
+  /// membership change). Retryable — clients back off like backpressure
+  /// instead of failing with a config error.
+  kUnavailable = 9,
+  /// Authentication required/failed; the server closes the connection.
+  /// Maps to ccd::AuthError (ccdctl exit code 7). Not retryable.
+  kAuth = 10,
 };
 
 const char* to_string(Status status);
 inline bool is_error(Status status) { return status != Status::kOk; }
+
+/// Statuses a client should back off and retry rather than fail on:
+/// explicit backpressure and transient membership outages.
+inline bool is_retryable(Status status) {
+  return status == Status::kBackpressure || status == Status::kUnavailable;
+}
 
 /// Status for an error escaping a handler (ErrorCode -> matching Status).
 Status status_for(const ccd::Error& error);
@@ -123,6 +159,16 @@ struct IngestObservation {
   double accuracy_sample = 0.0;
 };
 
+/// Wire description of a shard endpoint for the kJoin admin op (kRetire
+/// uses only `name`). Mirrors serve::ShardSpec, which owns validation.
+struct ShardTarget {
+  std::string name;
+  std::string unix_socket;           ///< non-empty: Unix-domain transport
+  std::string host = "127.0.0.1";    ///< TCP transport when tcp_port >= 0
+  std::int32_t tcp_port = -1;
+  std::string checkpoint_dir;        ///< scavenged on shard death
+};
+
 struct Request {
   Op op = Op::kPing;
   std::uint64_t request_id = 0;
@@ -136,6 +182,9 @@ struct Request {
   /// kRestore: raw framed checkpoint bytes (a .sim.ckpt / .ingest.ckpt
   /// file image); the engine decodes the frame tag to pick the mode.
   std::string checkpoint_blob;
+  /// kAuth: hex(HMAC-SHA256(token, nonce)); empty requests a challenge.
+  std::string auth_proof;
+  ShardTarget shard;                              ///< kJoin / kRetire
 };
 
 struct SessionStatus {
@@ -163,9 +212,11 @@ struct Response {
   /// Filled for session-scoped ops (open/advance/ingest/status/close).
   SessionStatus session;
   std::vector<contract::Contract> contracts;  ///< kContracts
-  std::string text;                           ///< kPing banner / kMetrics dump
+  std::string text;  ///< kPing banner / kMetrics dump / kAuth nonce
   bool redesigned = false;                    ///< kIngest: redesign ran
   HealthInfo health;                          ///< kHealth
+  std::string checkpoint_blob;                ///< kExport
+  std::vector<std::string> session_ids;       ///< kListSessions
 };
 
 /// Payload codecs (the bytes inside the frame). Decoders throw
@@ -191,5 +242,37 @@ void send_message(util::Socket& socket, const std::string& payload,
 std::optional<std::string> recv_message(util::Socket& socket,
                                         int idle_timeout_ms = 0,
                                         int io_timeout_ms = 0);
+
+/// Per-connection server-side state for the v3 token handshake. A server
+/// thread creates one per accepted connection:
+///
+///   AuthGate gate;
+///   gate.token = config.auth_token;
+///   gate.require = !gate.token.empty() &&
+///                  (config.require_auth || !socket.peer_is_loopback());
+///
+/// and routes every decoded request through auth_intercept() before its
+/// normal dispatch.
+struct AuthGate {
+  std::string token;          ///< shared secret; empty = auth not configured
+  bool require = false;       ///< this connection must authenticate
+  bool authenticated = false;
+  std::string nonce;          ///< outstanding challenge, one proof attempt
+};
+
+/// Handle the handshake + enforcement for one request. Returns the
+/// response to send when the gate consumes the request (any Op::kAuth, or
+/// a rejected unauthenticated request); nullopt means the request may
+/// proceed to normal dispatch. Sets `close_connection` when the server
+/// must drop the connection after responding (failed or replayed proof,
+/// unauthenticated request on a requiring connection).
+std::optional<Response> auth_intercept(AuthGate& gate, const Request& request,
+                                       bool& close_connection);
+
+/// Client side of the handshake, run once per (re)connect before any other
+/// frame. No-op when `token` is empty or the server has no token
+/// configured. Throws ccd::AuthError when the server rejects the proof.
+void client_handshake(util::Socket& socket, const std::string& token,
+                      int io_timeout_ms);
 
 }  // namespace ccd::serve

@@ -22,6 +22,9 @@ void ServerConfig::validate() const {
 
 struct Server::Connection {
   util::Socket socket;
+  /// Accepted on the Unix listener: the token handshake is never required
+  /// there (filesystem permissions are the access control).
+  bool via_unix = false;
   /// Serializes response frames: the engine answers from executor threads
   /// concurrently and frames must never interleave on the stream.
   std::mutex write_mutex;
@@ -35,7 +38,8 @@ Server::Server(ServerConfig config, Engine& engine)
     unix_listener_ = util::Socket::listen_unix(config_.unix_socket);
   }
   if (config_.tcp_port >= 0) {
-    tcp_listener_ = util::Socket::listen_tcp(config_.tcp_port);
+    tcp_listener_ =
+        util::Socket::listen_tcp(config_.tcp_host, config_.tcp_port);
     tcp_port_ = tcp_listener_.local_port();
   }
   if (unix_listener_.valid()) {
@@ -63,6 +67,7 @@ void Server::accept_loop(util::Socket* listener) {
 
     auto connection = std::make_shared<Connection>();
     connection->socket = std::move(*accepted);
+    connection->via_unix = (listener == &unix_listener_);
     std::lock_guard<std::mutex> lock(handlers_mutex_);
     reap_finished_handlers_locked();
     Handler handler;
@@ -74,12 +79,29 @@ void Server::accept_loop(util::Socket* listener) {
 }
 
 void Server::handle_connection(std::shared_ptr<Connection> connection) {
+  AuthGate gate;
+  gate.token = config_.auth_token;
+  // Unix sockets are guarded by filesystem permissions and loopback TCP
+  // is trusted by default; everything else must prove the token (when one
+  // is configured). require_auth extends the gate to loopback TCP.
+  gate.require = !gate.token.empty() && !connection->via_unix &&
+                 (config_.require_auth ||
+                  !connection->socket.peer_is_loopback());
   try {
     for (;;) {
       const std::optional<std::string> payload = recv_message(
           connection->socket, config_.idle_timeout_ms, config_.io_timeout_ms);
       if (!payload) break;  // clean peer close
       Request request = decode_request(*payload);
+      bool close_connection = false;
+      if (const std::optional<Response> intercepted =
+              auth_intercept(gate, request, close_connection)) {
+        const std::string encoded = encode_response(*intercepted);
+        std::lock_guard<std::mutex> lock(connection->write_mutex);
+        send_message(connection->socket, encoded, config_.io_timeout_ms);
+        if (close_connection) break;
+        continue;
+      }
       // The response callback may fire on an executor thread long after
       // this loop moved on (pipelining) — the shared_ptr keeps the
       // connection alive until the last pending response is written.

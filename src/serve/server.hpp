@@ -24,8 +24,17 @@ namespace ccd::serve {
 struct ServerConfig {
   /// Unix-domain socket path; empty disables the Unix listener.
   std::string unix_socket;
-  /// Loopback TCP port; negative disables, 0 picks an ephemeral port.
+  /// TCP port; negative disables, 0 picks an ephemeral port.
   int tcp_port = -1;
+  /// IPv4 address the TCP listener binds. The loopback default keeps the
+  /// daemon private to the host; binding wider pairs with auth_token.
+  std::string tcp_host = "127.0.0.1";
+  /// Shared secret for the CSRV v3 token handshake. When set, non-loopback
+  /// TCP peers must authenticate before any other op. Empty disables.
+  std::string auth_token;
+  /// Require the handshake on every TCP connection, loopback included
+  /// (deployments where localhost is not trusted; also the testable knob).
+  bool require_auth = false;
   /// Per-transfer deadline once a frame has started (header mid-read,
   /// payload bytes, or an outbound response): a half-dead peer can pin a
   /// handler thread at most this long before only its connection is

@@ -1,0 +1,174 @@
+#include "util/auth.hpp"
+
+#include <cstring>
+#include <random>
+
+namespace ccd::util::auth {
+namespace {
+
+// FIPS 180-4 SHA-256. Straightforward single-shot implementation — the
+// inputs here are a short token/nonce pair, so streaming is unnecessary.
+constexpr std::uint32_t kInit[8] = {
+    0x6a09e667u, 0xbb67ae85u, 0x3c6ef372u, 0xa54ff53au,
+    0x510e527fu, 0x9b05688cu, 0x1f83d9abu, 0x5be0cd19u};
+
+constexpr std::uint32_t kRound[64] = {
+    0x428a2f98u, 0x71374491u, 0xb5c0fbcfu, 0xe9b5dba5u, 0x3956c25bu,
+    0x59f111f1u, 0x923f82a4u, 0xab1c5ed5u, 0xd807aa98u, 0x12835b01u,
+    0x243185beu, 0x550c7dc3u, 0x72be5d74u, 0x80deb1feu, 0x9bdc06a7u,
+    0xc19bf174u, 0xe49b69c1u, 0xefbe4786u, 0x0fc19dc6u, 0x240ca1ccu,
+    0x2de92c6fu, 0x4a7484aau, 0x5cb0a9dcu, 0x76f988dau, 0x983e5152u,
+    0xa831c66du, 0xb00327c8u, 0xbf597fc7u, 0xc6e00bf3u, 0xd5a79147u,
+    0x06ca6351u, 0x14292967u, 0x27b70a85u, 0x2e1b2138u, 0x4d2c6dfcu,
+    0x53380d13u, 0x650a7354u, 0x766a0abbu, 0x81c2c92eu, 0x92722c85u,
+    0xa2bfe8a1u, 0xa81a664bu, 0xc24b8b70u, 0xc76c51a3u, 0xd192e819u,
+    0xd6990624u, 0xf40e3585u, 0x106aa070u, 0x19a4c116u, 0x1e376c08u,
+    0x2748774cu, 0x34b0bcb5u, 0x391c0cb3u, 0x4ed8aa4au, 0x5b9cca4fu,
+    0x682e6ff3u, 0x748f82eeu, 0x78a5636fu, 0x84c87814u, 0x8cc70208u,
+    0x90befffau, 0xa4506cebu, 0xbef9a3f7u, 0xc67178f2u};
+
+inline std::uint32_t rotr(std::uint32_t v, int n) {
+  return (v >> n) | (v << (32 - n));
+}
+
+void compress(std::uint32_t state[8], const unsigned char block[64]) {
+  std::uint32_t w[64];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (std::uint32_t{block[4 * i]} << 24) |
+           (std::uint32_t{block[4 * i + 1]} << 16) |
+           (std::uint32_t{block[4 * i + 2]} << 8) |
+           std::uint32_t{block[4 * i + 3]};
+  }
+  for (int i = 16; i < 64; ++i) {
+    const std::uint32_t s0 =
+        rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+    const std::uint32_t s1 =
+        rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+  std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+  std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+  for (int i = 0; i < 64; ++i) {
+    const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+    const std::uint32_t ch = (e & f) ^ (~e & g);
+    const std::uint32_t t1 = h + s1 + ch + kRound[i] + w[i];
+    const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const std::uint32_t t2 = s0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + t1;
+    d = c;
+    c = b;
+    b = a;
+    a = t1 + t2;
+  }
+  state[0] += a;
+  state[1] += b;
+  state[2] += c;
+  state[3] += d;
+  state[4] += e;
+  state[5] += f;
+  state[6] += g;
+  state[7] += h;
+}
+
+}  // namespace
+
+std::array<std::uint8_t, 32> sha256(const std::string& data) {
+  std::uint32_t state[8];
+  std::memcpy(state, kInit, sizeof(state));
+
+  const unsigned char* bytes =
+      reinterpret_cast<const unsigned char*>(data.data());
+  std::size_t full = data.size() / 64;
+  for (std::size_t i = 0; i < full; ++i) compress(state, bytes + 64 * i);
+
+  // Padding: 0x80, zeros, 64-bit big-endian bit length.
+  unsigned char tail[128] = {0};
+  const std::size_t rem = data.size() - 64 * full;
+  std::memcpy(tail, bytes + 64 * full, rem);
+  tail[rem] = 0x80;
+  const std::size_t tail_blocks = (rem + 1 + 8 > 64) ? 2 : 1;
+  const std::uint64_t bit_len = std::uint64_t{data.size()} * 8;
+  for (int i = 0; i < 8; ++i) {
+    tail[64 * tail_blocks - 1 - i] =
+        static_cast<unsigned char>(bit_len >> (8 * i));
+  }
+  for (std::size_t i = 0; i < tail_blocks; ++i) compress(state, tail + 64 * i);
+
+  std::array<std::uint8_t, 32> out;
+  for (int i = 0; i < 8; ++i) {
+    out[4 * i] = static_cast<std::uint8_t>(state[i] >> 24);
+    out[4 * i + 1] = static_cast<std::uint8_t>(state[i] >> 16);
+    out[4 * i + 2] = static_cast<std::uint8_t>(state[i] >> 8);
+    out[4 * i + 3] = static_cast<std::uint8_t>(state[i]);
+  }
+  return out;
+}
+
+std::array<std::uint8_t, 32> hmac_sha256(const std::string& key,
+                                         const std::string& message) {
+  std::string block_key = key;
+  if (block_key.size() > 64) {
+    const auto digest = sha256(block_key);
+    block_key.assign(reinterpret_cast<const char*>(digest.data()),
+                     digest.size());
+  }
+  block_key.resize(64, '\0');
+
+  std::string inner(64, '\0'), outer(64, '\0');
+  for (int i = 0; i < 64; ++i) {
+    inner[i] = static_cast<char>(block_key[i] ^ 0x36);
+    outer[i] = static_cast<char>(block_key[i] ^ 0x5c);
+  }
+  const auto inner_digest = sha256(inner + message);
+  outer.append(reinterpret_cast<const char*>(inner_digest.data()),
+               inner_digest.size());
+  return sha256(outer);
+}
+
+std::string to_hex(const std::array<std::uint8_t, 32>& digest) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(64);
+  for (const std::uint8_t b : digest) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0x0f]);
+  }
+  return out;
+}
+
+std::string handshake_proof(const std::string& token,
+                            const std::string& nonce) {
+  return to_hex(hmac_sha256(token, nonce));
+}
+
+bool constant_time_equal(const std::string& a, const std::string& b) {
+  const std::size_t n = a.size() > b.size() ? a.size() : b.size();
+  unsigned char diff = a.size() == b.size() ? 0 : 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    const unsigned char x = i < a.size() ? static_cast<unsigned char>(a[i]) : 0;
+    const unsigned char y = i < b.size() ? static_cast<unsigned char>(b[i]) : 0;
+    diff = static_cast<unsigned char>(diff | (x ^ y));
+  }
+  return diff == 0;
+}
+
+std::string make_nonce() {
+  static const char kHex[] = "0123456789abcdef";
+  std::random_device rd;
+  std::string nonce;
+  nonce.reserve(32);
+  for (int i = 0; i < 8; ++i) {
+    std::uint32_t word = rd();
+    for (int j = 0; j < 4; ++j) {
+      nonce.push_back(kHex[word & 0x0f]);
+      word >>= 4;
+    }
+  }
+  return nonce;
+}
+
+}  // namespace ccd::util::auth

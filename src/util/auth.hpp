@@ -1,0 +1,47 @@
+// Shared-secret transport authentication primitives for the CSRV v3
+// token handshake: SHA-256, HMAC-SHA256, hex rendering, a constant-time
+// comparator, and nonce generation.
+//
+// The serve transport must not depend on system crypto libraries (the
+// build is self-contained), so SHA-256 is implemented here from the FIPS
+// 180-4 specification. It is used for *authentication of a challenge*
+// (HMAC over a fresh server nonce), not for protecting data in transit —
+// the protocol remains plaintext; see docs/API.md for the threat model.
+//
+// Handshake shape (see serve/protocol.hpp): the server issues a random
+// per-connection nonce; the client proves knowledge of the shared token
+// by returning hex(HMAC-SHA256(token, nonce)). Proofs are bound to the
+// nonce, and each nonce is issued once per connection, so a captured
+// proof does not replay.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace ccd::util::auth {
+
+/// SHA-256 digest of `data` (FIPS 180-4), as 32 raw bytes.
+std::array<std::uint8_t, 32> sha256(const std::string& data);
+
+/// HMAC-SHA256 (RFC 2104) of `message` under `key`, as 32 raw bytes.
+std::array<std::uint8_t, 32> hmac_sha256(const std::string& key,
+                                         const std::string& message);
+
+/// Lowercase hex rendering of a 32-byte digest (64 characters).
+std::string to_hex(const std::array<std::uint8_t, 32>& digest);
+
+/// hex(HMAC-SHA256(token, nonce)) — the proof a client sends in the CSRV
+/// token handshake.
+std::string handshake_proof(const std::string& token,
+                            const std::string& nonce);
+
+/// Compare two strings in time independent of where they differ (always
+/// scans max(len) bytes). Length mismatch still returns false.
+bool constant_time_equal(const std::string& a, const std::string& b);
+
+/// A fresh unpredictable nonce (32 hex chars from std::random_device),
+/// generated per connection when a challenge is issued.
+std::string make_nonce();
+
+}  // namespace ccd::util::auth

@@ -36,6 +36,7 @@ enum class ErrorCode : int {
   kMath = 4,      ///< MathError
   kContract = 5,  ///< ContractError
   kDeadline = 6,  ///< CancelledError — run cancelled or deadline expired
+  kAuth = 7,      ///< AuthError — transport authentication failed
 };
 
 inline const char* to_string(ErrorCode code) {
@@ -46,12 +47,14 @@ inline const char* to_string(ErrorCode code) {
     case ErrorCode::kMath: return "math";
     case ErrorCode::kContract: return "contract";
     case ErrorCode::kDeadline: return "deadline";
+    case ErrorCode::kAuth: return "auth";
   }
   return "?";
 }
 
 /// Process exit code for an error category (ConfigError=2, DataError=3,
-/// MathError=4, ContractError=5, CancelledError=6, anything else 1).
+/// MathError=4, ContractError=5, CancelledError=6, AuthError=7, anything
+/// else 1).
 inline int exit_code(ErrorCode code) { return static_cast<int>(code); }
 
 /// Provenance attached to an Error as it crosses recovery boundaries.
@@ -200,6 +203,15 @@ class CancelledError : public Error {
  public:
   explicit CancelledError(const std::string& what)
       : Error(what, ErrorCode::kDeadline) {}
+};
+
+/// Transport authentication failure: a connection that requires the CSRV
+/// token handshake presented no proof, a wrong proof, or a replayed one.
+/// The server closes such connections; clients surface exit code 7.
+class AuthError : public Error {
+ public:
+  explicit AuthError(const std::string& what)
+      : Error(what, ErrorCode::kAuth) {}
 };
 
 namespace detail {

@@ -105,22 +105,37 @@ Socket Socket::listen_unix(const std::string& path, int backlog) {
   return sock;
 }
 
-Socket Socket::listen_tcp(int port, int backlog) {
+Socket Socket::listen_tcp_addr(std::uint32_t bind_addr_be, int port,
+                               int backlog, const std::string& what) {
   Socket sock(new_socket(AF_INET));
   const int one = 1;
   ::setsockopt(sock.fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_addr.s_addr = bind_addr_be;
   if (::bind(sock.fd_, reinterpret_cast<const sockaddr*>(&addr),
              sizeof(addr)) != 0) {
-    sock_error("cannot bind tcp port " + std::to_string(port));
+    sock_error("cannot bind " + what);
   }
   if (::listen(sock.fd_, backlog) != 0) {
-    sock_error("cannot listen on tcp port " + std::to_string(port));
+    sock_error("cannot listen on " + what);
   }
   return sock;
+}
+
+Socket Socket::listen_tcp(int port, int backlog) {
+  return listen_tcp_addr(htonl(INADDR_LOOPBACK), port, backlog,
+                         "tcp port " + std::to_string(port));
+}
+
+Socket Socket::listen_tcp(const std::string& host, int port, int backlog) {
+  in_addr parsed{};
+  if (::inet_pton(AF_INET, host.c_str(), &parsed) != 1) {
+    throw ConfigError("invalid IPv4 bind address '" + host + "'");
+  }
+  return listen_tcp_addr(parsed.s_addr, port, backlog,
+                         "tcp " + host + ":" + std::to_string(port));
 }
 
 Socket Socket::connect_unix(const std::string& path) {
@@ -275,6 +290,34 @@ bool Socket::read_exact(void* data, std::size_t size, int timeout_ms) {
 
 void Socket::shutdown_both() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+bool Socket::peer_is_loopback() const {
+  sockaddr_storage peer{};
+  socklen_t len = sizeof(peer);
+  if (::getpeername(fd_, reinterpret_cast<sockaddr*>(&peer), &len) != 0) {
+    return false;  // fail closed: unknown peers are not loopback
+  }
+  switch (peer.ss_family) {
+    case AF_UNIX:
+      return true;
+    case AF_INET: {
+      const auto* in4 = reinterpret_cast<const sockaddr_in*>(&peer);
+      return (ntohl(in4->sin_addr.s_addr) >> 24) == 127;
+    }
+    case AF_INET6: {
+      const auto* in6 = reinterpret_cast<const sockaddr_in6*>(&peer);
+      if (IN6_IS_ADDR_LOOPBACK(&in6->sin6_addr)) return true;
+      if (IN6_IS_ADDR_V4MAPPED(&in6->sin6_addr)) {
+        const unsigned char* b =
+            reinterpret_cast<const unsigned char*>(&in6->sin6_addr);
+        return b[12] == 127;
+      }
+      return false;
+    }
+    default:
+      return false;
+  }
 }
 
 int Socket::local_port() const {

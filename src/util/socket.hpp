@@ -8,12 +8,14 @@
 // file I/O); a clean peer close is not an error — recv_exact reports it
 // as `false` when it happens on a message boundary.
 //
-// TCP listeners bind 127.0.0.1 only: the daemon's protocol is
-// unauthenticated, so remote exposure is an explicit follow-up (TLS +
-// auth, see ROADMAP), not a default.
+// TCP listeners bind 127.0.0.1 by default; binding another address is an
+// explicit opt-in via the host overload, because exposure beyond loopback
+// requires the serve layer's token handshake (peer_is_loopback() is the
+// predicate that gate keys on).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -37,6 +39,11 @@ class Socket {
   /// Bind + listen on loopback TCP. `port` 0 picks an ephemeral port
   /// (read it back via local_port()).
   static Socket listen_tcp(int port, int backlog = 64);
+
+  /// Bind + listen on an explicit IPv4 address (e.g. "0.0.0.0" to accept
+  /// remote clients — pair with a serve-layer auth token).
+  static Socket listen_tcp(const std::string& host, int port,
+                           int backlog = 64);
 
   static Socket connect_unix(const std::string& path);
   static Socket connect_tcp(const std::string& host, int port);
@@ -77,8 +84,16 @@ class Socket {
   /// Bound port of a TCP listener (0 for Unix-domain sockets).
   int local_port() const;
 
+  /// True when the connected peer cannot be a remote host: Unix-domain
+  /// sockets and TCP peers in 127.0.0.0/8 (or the IPv6 loopback /
+  /// v4-mapped equivalent). Unknown address families report false so the
+  /// auth gate fails closed.
+  bool peer_is_loopback() const;
+
  private:
   explicit Socket(int fd) : fd_(fd) {}
+  static Socket listen_tcp_addr(std::uint32_t bind_addr_be, int port,
+                                int backlog, const std::string& what);
   void close_fd();
 
   int fd_ = -1;

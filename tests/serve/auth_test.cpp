@@ -1,0 +1,194 @@
+// CSRV v3 token handshake, end to end against a real Server: a correct
+// token authenticates and ops proceed; a missing token is rejected before
+// any op runs; a wrong token fails the handshake with AuthError; a
+// captured proof replays on neither a new connection (fresh nonce) nor
+// the same one (nonce consumed); Unix sockets and plain loopback stay
+// token-optional.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "serve/client.hpp"
+#include "serve/engine.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "util/auth.hpp"
+#include "util/error.hpp"
+#include "util/socket.hpp"
+
+namespace ccd::serve {
+namespace {
+
+constexpr char kToken[] = "open-sesame";
+
+class AuthTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ccd_auth_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+
+    EngineConfig ec;
+    ec.worker_threads = 2;
+    engine_ = std::make_unique<Engine>(ec);
+
+    // require_auth extends the token requirement to loopback TCP, which
+    // is how these tests exercise the non-loopback enforcement path.
+    ServerConfig sc;
+    sc.tcp_port = 0;
+    sc.unix_socket = (dir_ / "auth.sock").string();
+    sc.auth_token = kToken;
+    sc.require_auth = true;
+    server_ = std::make_unique<Server>(sc, *engine_);
+  }
+
+  void TearDown() override {
+    if (server_) server_->stop();
+    if (engine_) engine_->stop();
+    std::filesystem::remove_all(dir_);
+  }
+
+  int port() const { return server_->tcp_port(); }
+
+  /// One raw CSRV exchange on `socket` (no Client retry machinery).
+  Response raw_call(util::Socket& socket, Request request) {
+    request.request_id = next_request_id_++;
+    send_message(socket, encode_request(request));
+    auto payload = recv_message(socket);
+    if (!payload) throw DataError("server closed the connection");
+    return decode_response(*payload);
+  }
+
+  /// Challenge the server on `socket` and return the issued nonce.
+  std::string raw_challenge(util::Socket& socket) {
+    Request challenge;
+    challenge.op = Op::kAuth;
+    const Response response = raw_call(socket, challenge);
+    EXPECT_EQ(response.status, Status::kOk) << response.message;
+    EXPECT_FALSE(response.text.empty());  // token is configured
+    return response.text;
+  }
+
+  std::filesystem::path dir_;
+  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<Server> server_;
+  std::uint64_t next_request_id_ = 1;
+};
+
+TEST_F(AuthTest, CorrectTokenAuthenticatesAndOpsProceed) {
+  ClientOptions options;
+  options.auth_token = kToken;
+  Client client = Client::connect_tcp("127.0.0.1", port(), options);
+  EXPECT_EQ(client.ping(), "ccd-serve/3");
+
+  OpenParams params;
+  params.mode = SessionMode::kSimulation;
+  params.rounds = 3;
+  params.workers = 5;
+  params.malicious = 2;
+  params.seed = 41;
+  client.open("auth-ok", params);
+  const auto advanced = client.advance("auth-ok", 3);
+  EXPECT_EQ(advanced.session.next_round, 3u);
+}
+
+TEST_F(AuthTest, MissingTokenCannotOpenASession) {
+  // An empty client token skips the handshake entirely; the server must
+  // then reject the first real op before it touches the engine.
+  Client client = Client::connect_tcp("127.0.0.1", port());
+  EXPECT_THROW(client.ping(), AuthError);
+
+  OpenParams params;
+  params.rounds = 2;
+  Client again = Client::connect_tcp("127.0.0.1", port());
+  EXPECT_THROW(again.open("auth-denied", params), AuthError);
+  EXPECT_EQ(engine_->session_count(), 0u);
+}
+
+TEST_F(AuthTest, WrongTokenFailsTheHandshake) {
+  ClientOptions options;
+  options.auth_token = "not-the-token";
+  EXPECT_THROW(Client::connect_tcp("127.0.0.1", port(), options), AuthError);
+}
+
+TEST_F(AuthTest, CapturedProofDoesNotReplayAcrossConnections) {
+  // "Capture" a valid handshake on connection A...
+  util::Socket a = util::Socket::connect_tcp("127.0.0.1", port());
+  const std::string nonce = raw_challenge(a);
+  const std::string proof = util::auth::handshake_proof(kToken, nonce);
+
+  // ...and replay the proof verbatim on connection B. B was issued its
+  // own nonce (or none at all), so the stolen proof must not verify.
+  util::Socket b = util::Socket::connect_tcp("127.0.0.1", port());
+  Request replay;
+  replay.op = Op::kAuth;
+  replay.auth_proof = proof;
+  const Response rejected = raw_call(b, replay);
+  EXPECT_EQ(rejected.status, Status::kAuth) << rejected.message;
+
+  // The original owner of the nonce is still fine.
+  Request genuine;
+  genuine.op = Op::kAuth;
+  genuine.auth_proof = proof;
+  EXPECT_EQ(raw_call(a, genuine).status, Status::kOk);
+}
+
+TEST_F(AuthTest, ProofDoesNotReplayOnTheSameConnection) {
+  util::Socket socket = util::Socket::connect_tcp("127.0.0.1", port());
+  const std::string nonce = raw_challenge(socket);
+  Request proof;
+  proof.op = Op::kAuth;
+  proof.auth_proof = util::auth::handshake_proof(kToken, nonce);
+  ASSERT_EQ(raw_call(socket, proof).status, Status::kOk);
+
+  // The nonce was consumed by the first verification: presenting the
+  // same proof again is a replay and drops the connection.
+  const Response replayed = raw_call(socket, proof);
+  EXPECT_EQ(replayed.status, Status::kAuth);
+}
+
+TEST_F(AuthTest, WrongProofClosesTheConnection) {
+  util::Socket socket = util::Socket::connect_tcp("127.0.0.1", port());
+  raw_challenge(socket);
+  Request bogus;
+  bogus.op = Op::kAuth;
+  bogus.auth_proof = std::string(64, 'f');
+  EXPECT_EQ(raw_call(socket, bogus).status, Status::kAuth);
+  EXPECT_FALSE(recv_message(socket).has_value());  // server hung up
+}
+
+TEST_F(AuthTest, UnixSocketsStayTokenOptional) {
+  // Filesystem permissions are the access control on Unix sockets: even
+  // with require_auth=true a tokenless client is served.
+  Client client = Client::connect_unix((dir_ / "auth.sock").string());
+  EXPECT_EQ(client.ping(), "ccd-serve/3");
+}
+
+TEST(AuthOptionalTest, PlainLoopbackTcpSkipsTheHandshakeByDefault) {
+  EngineConfig ec;
+  ec.worker_threads = 1;
+  Engine engine(ec);
+  ServerConfig sc;
+  sc.tcp_port = 0;
+  sc.auth_token = "present-but-not-required";
+  Server server(sc, engine);  // require_auth defaults to false
+
+  // Loopback TCP without require_auth: tokenless clients are served,
+  // token-bearing clients still complete the handshake.
+  Client plain = Client::connect_tcp("127.0.0.1", server.tcp_port());
+  EXPECT_EQ(plain.ping(), "ccd-serve/3");
+  ClientOptions options;
+  options.auth_token = "present-but-not-required";
+  Client tokened =
+      Client::connect_tcp("127.0.0.1", server.tcp_port(), options);
+  EXPECT_EQ(tokened.ping(), "ccd-serve/3");
+
+  server.stop();
+  engine.stop();
+}
+
+}  // namespace
+}  // namespace ccd::serve

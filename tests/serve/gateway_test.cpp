@@ -102,28 +102,42 @@ class GatewayTest : public ::testing::Test {
     std::filesystem::remove_all(dir_);
   }
 
-  void start_fleet(std::size_t count, std::size_t max_inflight = 256) {
+  ShardSpec shard_spec(std::size_t index) const {
+    const std::string name = "shard" + std::to_string(index);
+    ShardSpec spec;
+    spec.name = name;
+    spec.unix_socket = (dir_ / (name + ".sock")).string();
+    spec.checkpoint_dir = (dir_ / (name + ".ckpt")).string();
+    return spec;
+  }
+
+  /// (Re)create the Engine + Server backing shard `index` on its usual
+  /// socket and checkpoint directory — the daemon side of a (re)join.
+  void start_shard_backend(std::size_t index) {
+    const ShardSpec spec = shard_spec(index);
+    std::filesystem::create_directories(spec.checkpoint_dir);
+    if (engines_.size() <= index) engines_.resize(index + 1);
+    if (servers_.size() <= index) servers_.resize(index + 1);
+
+    EngineConfig ec;
+    ec.worker_threads = 2;
+    ec.checkpoint_dir = spec.checkpoint_dir;
+    ec.checkpoint_every = 1;
+    ec.idle_ttl_ms = idle_ttl_ms_;
+    engines_[index] = std::make_unique<Engine>(ec);
+
+    ServerConfig sc;
+    sc.unix_socket = spec.unix_socket;
+    servers_[index] = std::make_unique<Server>(sc, *engines_[index]);
+  }
+
+  void start_fleet(std::size_t count, std::size_t max_inflight = 256,
+                   std::size_t idle_ttl_ms = 0) {
+    idle_ttl_ms_ = idle_ttl_ms;
     GatewayConfig config;
     for (std::size_t i = 0; i < count; ++i) {
-      const std::string name = "shard" + std::to_string(i);
-      const std::string ckpt = (dir_ / (name + ".ckpt")).string();
-      std::filesystem::create_directories(ckpt);
-
-      EngineConfig ec;
-      ec.worker_threads = 2;
-      ec.checkpoint_dir = ckpt;
-      ec.checkpoint_every = 1;
-      engines_.push_back(std::make_unique<Engine>(ec));
-
-      ServerConfig sc;
-      sc.unix_socket = (dir_ / (name + ".sock")).string();
-      servers_.push_back(std::make_unique<Server>(sc, *engines_.back()));
-
-      ShardSpec spec;
-      spec.name = name;
-      spec.unix_socket = sc.unix_socket;
-      spec.checkpoint_dir = ckpt;
-      config.shards.push_back(spec);
+      start_shard_backend(i);
+      config.shards.push_back(shard_spec(i));
     }
     config.unix_socket = (dir_ / "gateway.sock").string();
     config.max_inflight = max_inflight;
@@ -163,7 +177,35 @@ class GatewayTest : public ::testing::Test {
   std::vector<std::unique_ptr<Server>> servers_;
   std::unique_ptr<Gateway> gateway_;
   std::uint64_t next_request_id_ = 1;
+  std::size_t idle_ttl_ms_ = 0;
 };
+
+TEST(ShardSpecTest, ParseGrammarAndWireRoundTrip) {
+  const ShardSpec unix_spec = ShardSpec::parse("a=unix:/tmp/a.sock@/tmp/ck");
+  EXPECT_EQ(unix_spec.name, "a");
+  EXPECT_EQ(unix_spec.unix_socket, "/tmp/a.sock");
+  EXPECT_EQ(unix_spec.checkpoint_dir, "/tmp/ck");
+
+  const ShardSpec tcp_spec = ShardSpec::parse("b=tcp:10.0.0.7:7000");
+  EXPECT_EQ(tcp_spec.name, "b");
+  EXPECT_EQ(tcp_spec.host, "10.0.0.7");
+  EXPECT_EQ(tcp_spec.tcp_port, 7000);
+  EXPECT_TRUE(tcp_spec.checkpoint_dir.empty());
+
+  EXPECT_THROW(ShardSpec::parse("garbage"), ConfigError);
+  EXPECT_THROW(ShardSpec::parse("=unix:/tmp/a"), ConfigError);
+  EXPECT_THROW(ShardSpec::parse("x=tcp:9"), ConfigError);
+  EXPECT_THROW(ShardSpec::parse("x=tcp:h:notaport"), ConfigError);
+  EXPECT_THROW(ShardSpec::parse("x=ftp:nope"), ConfigError);
+
+  // kJoin frame conversion preserves the dial target exactly.
+  const ShardSpec back = ShardSpec::from_target(unix_spec.to_target());
+  EXPECT_EQ(back.name, unix_spec.name);
+  EXPECT_TRUE(back.same_target(unix_spec));
+  EXPECT_TRUE(ShardSpec::from_target(tcp_spec.to_target())
+                  .same_target(tcp_spec));
+  EXPECT_FALSE(unix_spec.same_target(tcp_spec));
+}
 
 TEST_F(GatewayTest, RoutingIsStableAndCoversEveryShard) {
   start_fleet(3);
@@ -185,7 +227,7 @@ TEST_F(GatewayTest, SessionsThroughTheGatewayMatchTheSimulatorBitwise) {
   constexpr std::size_t kSessions = 6;
   start_fleet(3);
 
-  EXPECT_EQ(call(Request{}).text, "ccd-gateway/2");  // kPing default op
+  EXPECT_EQ(call(Request{}).text, "ccd-gateway/3");  // kPing default op
 
   for (std::size_t s = 0; s < kSessions; ++s) {
     const std::string id = "gw-" + std::to_string(s);
@@ -249,7 +291,15 @@ TEST_F(GatewayTest, RetiredShardsSessionsContinueBitwiseOnSurvivors) {
   }
   ASSERT_GE(victim_sessions, 1u);
   stop_shard(victim_index);
-  gateway_->retire_shard(victim);
+  // Handoff unlinks scavenged checkpoints (so a rejoin cannot resurrect
+  // them); capture fo-0's round-4 frame first for the replay check below.
+  const std::string round4_blob = util::read_file(
+      (dir_ / (victim + ".ckpt") /
+       ("fo-0" + std::string(Session::checkpoint_suffix(
+                     SessionMode::kSimulation))))
+          .string());
+  ASSERT_FALSE(round4_blob.empty());
+  EXPECT_EQ(gateway_->retire_shard(victim).status, Status::kOk);
   EXPECT_EQ(gateway_->alive_shard_count(), 2u);
   EXPECT_NE(gateway_->shard_for("fo-0"), victim);
 
@@ -267,27 +317,31 @@ TEST_F(GatewayTest, RetiredShardsSessionsContinueBitwiseOnSurvivors) {
   Request replay;
   replay.op = Op::kRestore;
   replay.session = "fo-0";
-  replay.checkpoint_blob = util::read_file(
-      (dir_ / (victim + ".ckpt") / ("fo-0" + std::string(Session::checkpoint_suffix(
-                                        SessionMode::kSimulation))))
-          .string());
-  ASSERT_FALSE(replay.checkpoint_blob.empty());
+  replay.checkpoint_blob = round4_blob;
   const Response replayed = call(replay);
   ASSERT_EQ(replayed.status, Status::kOk) << replayed.message;
   EXPECT_TRUE(replayed.session.finished);
 }
 
-TEST_F(GatewayTest, RetireUnknownShardThrowsAndLastShardLossIsAnError) {
+TEST_F(GatewayTest, RetireIsIdempotentAndLastShardLossIsRetryable) {
   start_fleet(1);
-  EXPECT_THROW(gateway_->retire_shard("nope"), ConfigError);
+  // Unknown and repeated retires are admin races, not config errors: they
+  // report a status instead of throwing (and never exit-code-2 a ccdctl).
+  EXPECT_EQ(gateway_->retire_shard("nope").status, Status::kUnavailable);
 
   ASSERT_EQ(call(make_open("last", 4, 9)).status, Status::kOk);
   stop_shard(0);
-  gateway_->retire_shard("shard0");
+  EXPECT_EQ(gateway_->retire_shard("shard0").status, Status::kOk);
+  EXPECT_EQ(gateway_->retire_shard("shard0").status, Status::kOk);
   EXPECT_EQ(gateway_->alive_shard_count(), 0u);
+
+  // An all-dead ring answers kUnavailable — retryable (a client waits out
+  // the rolling restart), and distinct from a genuine request error.
   const Response r = call(make_advance("last", 1));
-  EXPECT_TRUE(is_error(r.status));
+  EXPECT_EQ(r.status, Status::kUnavailable);
+  EXPECT_TRUE(is_retryable(r.status));
   EXPECT_NE(r.message.find("no alive shard"), std::string::npos) << r.message;
+  EXPECT_THROW(gateway_->shard_for("last"), ConfigError);
 }
 
 TEST_F(GatewayTest, SocketFrontEndIsIndistinguishableFromASingleDaemon) {
@@ -296,7 +350,7 @@ TEST_F(GatewayTest, SocketFrontEndIsIndistinguishableFromASingleDaemon) {
 
   Client client =
       Client::connect_unix((dir_ / "gateway.sock").string());
-  EXPECT_EQ(client.ping(), "ccd-gateway/2");
+  EXPECT_EQ(client.ping(), "ccd-gateway/3");
 
   OpenParams open;
   open.rounds = kRounds;
@@ -330,6 +384,153 @@ TEST_F(GatewayTest, SocketFrontEndIsIndistinguishableFromASingleDaemon) {
   Request late = make_advance("viasock", 1);
   late.request_id = 999'999;
   EXPECT_EQ(client.call(late).status, Status::kShuttingDown);
+}
+
+TEST_F(GatewayTest, RejoinMovesOnlyOwnerChangedSessions) {
+  constexpr std::uint64_t kRounds = 8;
+  constexpr std::size_t kSessions = 12;
+  start_fleet(3);
+
+  std::vector<std::string> ids;
+  std::map<std::string, std::string> owner_with_3;
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    const std::string id = "rj-" + std::to_string(s);
+    ids.push_back(id);
+    ASSERT_EQ(call(make_open(id, kRounds, 900 + s)).status, Status::kOk);
+    ASSERT_EQ(call(make_advance(id, 3)).status, Status::kOk);
+    owner_with_3[id] = gateway_->shard_for(id);
+  }
+
+  // Gracefully retire shard2; its sessions fail over to the survivors.
+  std::size_t victim_sessions = 0;
+  for (const std::string& id : ids) {
+    if (owner_with_3[id] == "shard2") ++victim_sessions;
+  }
+  ASSERT_GE(victim_sessions, 1u);
+  const std::uint64_t version_before = gateway_->ring_version();
+  stop_shard(2);
+  ASSERT_EQ(gateway_->retire_shard("shard2").status, Status::kOk);
+  EXPECT_GT(gateway_->ring_version(), version_before);
+  std::map<std::string, std::string> owner_with_2;
+  for (const std::string& id : ids) {
+    owner_with_2[id] = gateway_->shard_for(id);
+    // Removal moves only the victim's keys (consistent hashing).
+    if (owner_with_3[id] != "shard2") {
+      EXPECT_EQ(owner_with_2[id], owner_with_3[id]) << id;
+    }
+  }
+
+  // Bring the daemon back on the same endpoint and rejoin it.
+  start_shard_backend(2);
+  const std::uint64_t version_retired = gateway_->ring_version();
+  const Gateway::AdminResult joined = gateway_->admit_shard(shard_spec(2));
+  ASSERT_EQ(joined.status, Status::kOk) << joined.message;
+  EXPECT_GT(joined.ring_version, version_retired);
+  EXPECT_EQ(gateway_->alive_shard_count(), 3u);
+
+  // The ring is name-deterministic, so the rejoin restores the original
+  // ownership map — and ONLY the sessions whose owner changed moved.
+  std::size_t owner_changed = 0;
+  for (const std::string& id : ids) {
+    EXPECT_EQ(gateway_->shard_for(id), owner_with_3[id]) << id;
+    if (owner_with_3[id] != owner_with_2[id]) ++owner_changed;
+  }
+  EXPECT_EQ(joined.sessions_moved, owner_changed);
+  EXPECT_EQ(joined.sessions_moved, victim_sessions);
+
+  // A repeated join of the same live endpoint is idempotent: no moves.
+  const Gateway::AdminResult again = gateway_->admit_shard(shard_spec(2));
+  EXPECT_EQ(again.status, Status::kOk);
+  EXPECT_EQ(again.sessions_moved, 0u);
+  EXPECT_NE(again.message.find("already admitted"), std::string::npos);
+
+  // Every campaign continues bitwise-identically after the round trip.
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    const std::string id = ids[s];
+    EXPECT_EQ(finish(id).next_round, kRounds);
+    const Response got = call(make_contracts(id));
+    ASSERT_EQ(got.status, Status::kOk) << got.message;
+    expect_contracts_equal(got.contracts,
+                           reference_contracts(kRounds, 900 + s));
+  }
+}
+
+TEST_F(GatewayTest, IdleEvictedSessionsFailOverBitwise) {
+  constexpr std::uint64_t kRounds = 6;
+  constexpr std::size_t kSessions = 6;
+  start_fleet(3, /*max_inflight=*/256, /*idle_ttl_ms=*/50);
+
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    const std::string id = "ev-" + std::to_string(s);
+    ASSERT_EQ(call(make_open(id, kRounds, 1200 + s)).status, Status::kOk);
+    ASSERT_EQ(call(make_advance(id, 3)).status, Status::kOk);
+  }
+
+  // Wait for the idle reapers to checkpoint-and-evict every session: the
+  // state now lives only in the shards' checkpoint directories.
+  std::size_t open = kSessions;
+  for (int i = 0; i < 1000 && open > 0; ++i) {
+    open = 0;
+    for (const std::unique_ptr<Engine>& engine : engines_) {
+      open += engine->session_count();
+    }
+    if (open > 0) ::usleep(10 * 1000);
+  }
+  ASSERT_EQ(open, 0u) << "idle eviction never drained the fleet";
+
+  // Kill the shard owning ev-0. Its sessions exist only as idle-evicted
+  // checkpoints; the handoff must scavenge those files onto the new ring
+  // owners and the campaigns must continue bitwise-identically.
+  const std::string victim = gateway_->shard_for("ev-0");
+  const std::size_t victim_index = victim.back() - '0';
+  stop_shard(victim_index);
+  ASSERT_EQ(gateway_->retire_shard(victim).status, Status::kOk);
+
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    const std::string id = "ev-" + std::to_string(s);
+    EXPECT_NE(gateway_->shard_for(id), victim);
+    EXPECT_EQ(finish(id).next_round, kRounds);
+    const Response got = call(make_contracts(id));
+    ASSERT_EQ(got.status, Status::kOk) << got.message;
+    expect_contracts_equal(got.contracts,
+                           reference_contracts(kRounds, 1200 + s));
+  }
+}
+
+TEST_F(GatewayTest, RuntimeAdmissionValidatesLikeStartup) {
+  start_fleet(2);
+
+  // Same validation bar as startup shards: in-process callers get the
+  // ConfigError...
+  ShardSpec no_endpoint;
+  no_endpoint.name = "bad";
+  EXPECT_THROW(gateway_->admit_shard(no_endpoint), ConfigError);
+  ShardSpec no_name;
+  no_name.unix_socket = (dir_ / "x.sock").string();
+  EXPECT_THROW(gateway_->admit_shard(no_name), ConfigError);
+
+  // ...and the kJoin admin frame reports it as a status instead of
+  // crashing the gateway thread.
+  Request join;
+  join.op = Op::kJoin;
+  join.shard.name = "bad";  // no socket, no port
+  const Response rejected = call(join);
+  EXPECT_EQ(rejected.status, Status::kConfigError);
+  EXPECT_EQ(call(Request{}).text, "ccd-gateway/3");  // still serving
+
+  // A name that is live on a different endpoint is a conflict (retire it
+  // first), reported as a retryable admin status.
+  ShardSpec conflict = shard_spec(0);
+  conflict.unix_socket = (dir_ / "elsewhere.sock").string();
+  EXPECT_EQ(gateway_->admit_shard(conflict).status, Status::kUnavailable);
+
+  // A valid spec with nothing listening fails its admission probe and
+  // never enters the ring.
+  ShardSpec ghost;
+  ghost.name = "ghost";
+  ghost.unix_socket = (dir_ / "ghost.sock").string();
+  EXPECT_EQ(gateway_->admit_shard(ghost).status, Status::kUnavailable);
+  EXPECT_EQ(gateway_->alive_shard_count(), 2u);
 }
 
 TEST_F(GatewayTest, TinyInflightCapStillServesEveryConcurrentDriver) {

@@ -142,7 +142,7 @@ TEST_F(ServerTest, UnixSocketSessionMatchesSimulatorBitwise) {
   Server server(sc, engine);
 
   Client client = Client::connect_unix(socket_path_);
-  EXPECT_EQ(client.ping(), "ccd-serve/2");
+  EXPECT_EQ(client.ping(), "ccd-serve/3");
 
   OpenParams open;
   open.rounds = kRounds;
@@ -190,7 +190,7 @@ TEST_F(ServerTest, EphemeralTcpPortServes) {
   ASSERT_GT(server.tcp_port(), 0);
 
   Client client = Client::connect_tcp("127.0.0.1", server.tcp_port());
-  EXPECT_EQ(client.ping(), "ccd-serve/2");
+  EXPECT_EQ(client.ping(), "ccd-serve/3");
   const std::string metrics = client.metrics(true);
   EXPECT_NE(metrics.find("ccd_serve_responses"), std::string::npos);
 }
@@ -252,7 +252,7 @@ TEST_F(ServerTest, CorruptFrameDropsOnlyThatConnection) {
 
   // Other connections are unaffected.
   Client client = Client::connect_unix(socket_path_);
-  EXPECT_EQ(client.ping(), "ccd-serve/2");
+  EXPECT_EQ(client.ping(), "ccd-serve/3");
 }
 
 TEST_F(ServerTest, ShutdownRequestReachesTheEngine) {

@@ -1,0 +1,76 @@
+// util::auth — the self-contained SHA-256 / HMAC-SHA256 used by the CSRV
+// v3 token handshake, pinned to published test vectors (FIPS 180-4
+// examples, RFC 4231) so a refactor cannot silently change the algorithm.
+#include "util/auth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace ccd::util::auth {
+namespace {
+
+TEST(Sha256Test, Fips180KnownDigests) {
+  EXPECT_EQ(
+      to_hex(sha256("")),
+      "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(
+      to_hex(sha256("abc")),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(
+      to_hex(sha256(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+  // Multi-block message (> 64 bytes) exercises the block loop.
+  EXPECT_EQ(
+      to_hex(sha256(std::string(1'000'000, 'a'))),
+      "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(HmacSha256Test, Rfc4231Vectors) {
+  // RFC 4231 test case 1.
+  EXPECT_EQ(
+      to_hex(hmac_sha256(std::string(20, '\x0b'), "Hi There")),
+      "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+  // Test case 2: a key shorter than the block size.
+  EXPECT_EQ(
+      to_hex(hmac_sha256("Jefe", "what do ya want for nothing?")),
+      "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+  // Test case 6: a key longer than the block size (gets hashed first).
+  EXPECT_EQ(
+      to_hex(hmac_sha256(std::string(131, '\xaa'),
+                         "Test Using Larger Than Block-Size Key - "
+                         "Hash Key First")),
+      "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HandshakeProofTest, DeterministicAndTokenAndNonceBound) {
+  const std::string proof = handshake_proof("secret", "nonce-1");
+  EXPECT_EQ(proof.size(), 64u);
+  EXPECT_EQ(proof, handshake_proof("secret", "nonce-1"));
+  EXPECT_NE(proof, handshake_proof("secret", "nonce-2"));
+  EXPECT_NE(proof, handshake_proof("other", "nonce-1"));
+  EXPECT_EQ(proof, to_hex(hmac_sha256("secret", "nonce-1")));
+}
+
+TEST(ConstantTimeEqualTest, MatchesStringEquality) {
+  EXPECT_TRUE(constant_time_equal("", ""));
+  EXPECT_TRUE(constant_time_equal("abcdef", "abcdef"));
+  EXPECT_FALSE(constant_time_equal("abcdef", "abcdeg"));
+  EXPECT_FALSE(constant_time_equal("abc", "abcdef"));  // length mismatch
+  EXPECT_FALSE(constant_time_equal("abcdef", ""));
+}
+
+TEST(MakeNonceTest, FreshPerCall) {
+  std::set<std::string> seen;
+  for (int i = 0; i < 64; ++i) {
+    const std::string nonce = make_nonce();
+    EXPECT_EQ(nonce.size(), 32u);
+    seen.insert(nonce);
+  }
+  EXPECT_EQ(seen.size(), 64u);  // no collision across 64 draws
+}
+
+}  // namespace
+}  // namespace ccd::util::auth

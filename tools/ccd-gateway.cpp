@@ -16,11 +16,18 @@
 //       idle_timeout=0       client-connection idle deadline in ms
 //       forward_timeout=60000  shard response deadline in ms; 0 disables
 //       health_interval=500  shard health-probe cadence in ms; 0 disables
+//       token=SECRET         shared secret for the CSRV v3 handshake:
+//                            non-loopback TCP clients must prove it, and
+//                            shard dials offer it (so shards may require
+//                            the same token); Unix sockets never require it
+//       require_token=0      require the handshake on loopback TCP too
 //
 // Clients speak to the gateway exactly as to a single ccdd (same wire
 // protocol); sessions are consistent-hashed across the shards, a dead
 // shard's sessions fail over to the survivors via checkpoint handoff, and
-// a client `shutdown` drains the whole fleet. Exit codes mirror ccdd.
+// a client `shutdown` drains the whole fleet. Shards can be admitted or
+// retired at runtime (`ccdctl gateway op=join|op=retire`); a join moves
+// only the sessions whose ring owner changed. Exit codes mirror ccdd.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -46,46 +53,10 @@ int usage() {
       "                   [max_inflight=256] [virtual_nodes=64]\n"
       "                   [io_timeout=10000] [idle_timeout=0]\n"
       "                   [forward_timeout=60000] [health_interval=500]\n"
+      "                   [token=SECRET] [require_token=0]\n"
       "       SPEC: NAME=unix:SOCKET[@CKPT_DIR] | "
       "NAME=tcp:HOST:PORT[@CKPT_DIR]\n");
   return 2;
-}
-
-/// Parse one NAME=unix:SOCKET[@DIR] / NAME=tcp:HOST:PORT[@DIR] spec.
-ccd::serve::ShardSpec parse_shard(const std::string& spec) {
-  using ccd::ConfigError;
-  ccd::serve::ShardSpec shard;
-  const std::size_t eq = spec.find('=');
-  if (eq == std::string::npos || eq == 0) {
-    throw ConfigError("bad shard spec '" + spec + "' (want NAME=TARGET)");
-  }
-  shard.name = spec.substr(0, eq);
-  std::string target = spec.substr(eq + 1);
-  const std::size_t at = target.rfind('@');
-  if (at != std::string::npos) {
-    shard.checkpoint_dir = target.substr(at + 1);
-    target = target.substr(0, at);
-  }
-  if (target.rfind("unix:", 0) == 0) {
-    shard.unix_socket = target.substr(5);
-  } else if (target.rfind("tcp:", 0) == 0) {
-    const std::string addr = target.substr(4);
-    const std::size_t colon = addr.rfind(':');
-    if (colon == std::string::npos) {
-      throw ConfigError("bad shard spec '" + spec + "' (want tcp:HOST:PORT)");
-    }
-    shard.host = addr.substr(0, colon);
-    char* end = nullptr;
-    shard.tcp_port =
-        static_cast<int>(std::strtol(addr.c_str() + colon + 1, &end, 10));
-    if (end == nullptr || *end != '\0' || shard.tcp_port < 0) {
-      throw ConfigError("bad shard port in '" + spec + "'");
-    }
-  } else {
-    throw ConfigError("bad shard spec '" + spec +
-                      "' (target must start with unix: or tcp:)");
-  }
-  return shard;
 }
 
 std::vector<ccd::serve::ShardSpec> parse_shards(const std::string& list) {
@@ -95,7 +66,8 @@ std::vector<ccd::serve::ShardSpec> parse_shards(const std::string& list) {
     std::size_t comma = list.find(',', start);
     if (comma == std::string::npos) comma = list.size();
     const std::string spec = list.substr(start, comma - start);
-    if (!spec.empty()) shards.push_back(parse_shard(spec));
+    // Same grammar as `ccdctl gateway op=join spec=...` (ShardSpec::parse).
+    if (!spec.empty()) shards.push_back(ccd::serve::ShardSpec::parse(spec));
     start = comma + 1;
   }
   return shards;
@@ -124,6 +96,8 @@ int main(int argc, char** argv) {
         static_cast<int>(params.get_int("forward_timeout", 60000));
     config.health_interval_ms =
         static_cast<int>(params.get_int("health_interval", 500));
+    config.auth_token = params.get_string("token", "");
+    config.require_auth = params.get_bool("require_token", false);
     params.assert_all_consumed();
     if ((config.unix_socket.empty() && config.tcp_port < 0) ||
         config.shards.empty()) {

@@ -39,12 +39,17 @@
 //       recall_floor). Violations exit 1; out= dumps the cells as JSON.
 //
 //   ccdctl serve socket=PATH|port=N|gateway=ADDR op=<ping|status|contracts|
-//          metrics|health|close|shutdown> [session=ID] [prometheus=0|1]
-//          [out=FILE]
+//          metrics|health|close|shutdown|join|retire> [session=ID]
+//          [spec=SPEC] [shard=NAME] [prometheus=0|1] [out=FILE]
 //       One administrative request against a running ccdd daemon or a
 //       ccd-gateway front end (gateway=PATH or gateway=HOST:PORT is an
-//       alias for socket=/port=). op=health prints the load snapshot — on
-//       a gateway, aggregated across the alive shards.
+//       alias for socket=/port=; `ccdctl gateway ...` is an alias for
+//       `ccdctl serve ...`). op=health prints the load snapshot — on a
+//       gateway, aggregated across the alive shards. op=join admits (or
+//       rejoins) a shard into a gateway ring at runtime, moving only the
+//       sessions whose ring owner changed: spec=NAME=unix:SOCKET[@CKPT_DIR]
+//       or NAME=tcp:HOST:PORT[@CKPT_DIR], the ccd-gateway shards= grammar.
+//       op=retire shard=NAME gracefully retires one; both are idempotent.
 //
 //   ccdctl submit socket=PATH|port=N|gateway=ADDR session=ID [to=ROUND]
 //          [rounds=40]
@@ -65,7 +70,8 @@
 //
 // Exit codes mirror the ccd::Error hierarchy (see util/error.hpp):
 //   0 success, 1 generic error, 2 usage / ConfigError, 3 DataError,
-//   4 MathError, 5 ContractError, 6 deadline expired / cancelled.
+//   4 MathError, 5 ContractError, 6 deadline expired / cancelled,
+//   7 transport authentication failed (CSRV v3 token handshake).
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -90,6 +96,7 @@
 #include "detect/malicious.hpp"
 #include "scenario/scenario.hpp"
 #include "serve/client.hpp"
+#include "serve/gateway.hpp"
 #include "util/cancellation.hpp"
 #include "util/config.hpp"
 #include "util/csv.hpp"
@@ -127,10 +134,15 @@ int usage() {
       "           [out=FILE.json]\n"
       "  serve    socket=PATH|port=N|gateway=ADDR [host=127.0.0.1]\n"
       "           op=ping|status|contracts|metrics|health|close|shutdown\n"
-      "           [session=ID] [prometheus=0|1] [out=FILE]\n"
+      "              |join|retire\n"
+      "           [session=ID] [spec=SPEC] [shard=NAME] [token=SECRET]\n"
+      "           [prometheus=0|1] [out=FILE]\n"
+      "           (`ccdctl gateway ...` is an alias; op=join admits a shard\n"
+      "            at runtime, SPEC = NAME=unix:SOCKET[@CKPT_DIR] |\n"
+      "            NAME=tcp:HOST:PORT[@CKPT_DIR]; op=retire shard=NAME)\n"
       "  submit   socket=PATH|port=N|gateway=ADDR [host=127.0.0.1]\n"
       "           session=ID [to=ROUND] [rounds=40] [workers=6]\n"
-      "           [malicious=2] [seed=1] [mu=1.0] [batch=1]\n"
+      "           [malicious=2] [seed=1] [mu=1.0] [batch=1] [token=SECRET]\n"
       "           [deadline=SECONDS] [out=FILE] [close=0|1]\n"
       "\n"
       "shared flags:\n"
@@ -145,13 +157,16 @@ int usage() {
       "  threads=N                  private pool size (0 = shared pool)\n"
       "  gateway=ADDR               serve/submit: ccd-gateway address (PATH\n"
       "                             or HOST:PORT), alias for socket=/port=\n"
+      "  token=SECRET               serve/submit: shared secret for the CSRV\n"
+      "                             v3 handshake (required by daemons on\n"
+      "                             non-loopback TCP; failure exits 7)\n"
       "  --metrics[=FILE]           print the metrics summary after the\n"
       "                             command; with =FILE also dump the full\n"
       "                             registry (.prom -> Prometheus, else "
       "JSON)\n"
       "\n"
       "exit codes: 0 ok, 1 error, 2 usage/config, 3 data, 4 math, "
-      "5 contract, 6 deadline\n");
+      "5 contract, 6 deadline, 7 auth\n");
   return 2;
 }
 
@@ -486,8 +501,12 @@ serve::Client connect_client(const util::ParamMap& params) {
       }
     }
   }
-  if (!socket.empty()) return serve::Client::connect_unix(socket);
-  if (port >= 0) return serve::Client::connect_tcp(host, static_cast<int>(port));
+  serve::ClientOptions options;
+  options.auth_token = params.get_string("token", "");
+  if (!socket.empty()) return serve::Client::connect_unix(socket, options);
+  if (port >= 0) {
+    return serve::Client::connect_tcp(host, static_cast<int>(port), options);
+  }
   throw ConfigError(
       "need socket=PATH, port=N, or gateway=ADDR to reach a daemon");
 }
@@ -603,10 +622,34 @@ int cmd_scenario(const util::ParamMap& params) {
 int cmd_serve(const util::ParamMap& params) {
   const std::string op = params.get_string("op", "ping");
   const std::string session = params.get_string("session", "");
+  const std::string spec_text = params.get_string("spec", "");
+  const std::string shard_name = params.get_string("shard", "");
   const bool prometheus = params.get_bool("prometheus", false);
   const std::string out = params.get_string("out", "");
   serve::Client client = connect_client(params);
   params.assert_all_consumed();
+
+  if (op == "join") {
+    if (spec_text.empty()) {
+      std::fprintf(stderr,
+                   "serve: op=join needs spec=NAME=unix:SOCKET[@CKPT_DIR] | "
+                   "NAME=tcp:HOST:PORT[@CKPT_DIR]\n");
+      return 2;
+    }
+    const serve::ShardSpec spec = serve::ShardSpec::parse(spec_text);
+    std::printf("joined shard '%s': %s\n", spec.name.c_str(),
+                client.join_shard(spec.to_target()).c_str());
+    return 0;
+  }
+  if (op == "retire") {
+    if (shard_name.empty()) {
+      std::fprintf(stderr, "serve: op=retire needs shard=NAME\n");
+      return 2;
+    }
+    std::printf("retired shard '%s': %s\n", shard_name.c_str(),
+                client.retire_shard(shard_name).c_str());
+    return 0;
+  }
 
   if (op == "ping") {
     std::printf("%s\n", client.ping().c_str());
@@ -716,8 +759,10 @@ int cmd_submit(const util::ParamMap& params) {
     const serve::Client::AdvanceResult step = client.advance(
         session, std::min<std::uint64_t>(batch, target - status.next_round),
         deadline_ms);
-    if (step.backpressure) {
-      ::usleep(20 * 1000);  // explicit overload signal: retry, don't pile on
+    if (step.backpressure || step.unavailable) {
+      // Explicit overload signal, or a gateway with every shard down
+      // (a rolling restart): retry, don't pile on.
+      ::usleep(20 * 1000);
       continue;
     }
     status = step.session;
@@ -798,6 +843,7 @@ int main(int argc, char** argv) {
     else if (command == "simulate") rc = cmd_simulate(params);
     else if (command == "scenario") rc = cmd_scenario(params);
     else if (command == "serve") rc = cmd_serve(params);
+    else if (command == "gateway") rc = cmd_serve(params);
     else if (command == "submit") rc = cmd_submit(params);
     else return usage();
     if (want_metrics) report_metrics(metrics_file);

@@ -16,7 +16,14 @@
 //                            identically). 0 disables; needs checkpoint_dir
 //       io_timeout=10000     per-transfer socket deadline in ms (a stalled
 //                            peer drops only its own connection); 0 disables
-//       idle_timeout=0       per-connection idle deadline in ms; 0 disables
+//       idle_timeout=0       per-connection idle deadline in ms
+//       host=127.0.0.1       IPv4 address the TCP listener binds; binding
+//                            wider than loopback pairs with token=
+//       token=SECRET         shared secret for the CSRV v3 handshake:
+//                            non-loopback TCP peers must prove it before
+//                            any other op (failure -> exit code 7 client-
+//                            side); Unix sockets never require it
+//       require_token=0      require the handshake on loopback TCP too; 0 disables
 //
 // The daemon exits on SIGINT/SIGTERM or a client `shutdown` request; both
 // paths drain the admission queue (every acknowledged request is
@@ -53,7 +60,8 @@ int usage() {
       "            [max_sessions=256] [checkpoint_dir=DIR] "
       "[checkpoint_every=1]\n"
       "            [resume=1] [idle_ttl=0] [io_timeout=10000] "
-      "[idle_timeout=0]\n");
+      "[idle_timeout=0]\n"
+      "            [host=127.0.0.1] [token=SECRET] [require_token=0]\n");
   return 2;
 }
 
@@ -84,6 +92,9 @@ int main(int argc, char** argv) {
         static_cast<int>(params.get_int("io_timeout", 10000));
     server_config.idle_timeout_ms =
         static_cast<int>(params.get_int("idle_timeout", 0));
+    server_config.tcp_host = params.get_string("host", "127.0.0.1");
+    server_config.auth_token = params.get_string("token", "");
+    server_config.require_auth = params.get_bool("require_token", false);
 
     const bool resume = params.get_bool("resume", true);
     params.assert_all_consumed();
@@ -119,7 +130,9 @@ int main(int argc, char** argv) {
                   params.get_string("socket", "").c_str());
     }
     if (server.tcp_port() >= 0) {
-      std::printf("ccdd: listening on tcp:127.0.0.1:%d\n", server.tcp_port());
+      std::printf("ccdd: listening on tcp:%s:%d\n",
+                  params.get_string("host", "127.0.0.1").c_str(),
+                  server.tcp_port());
     }
     std::fflush(stdout);
 
