@@ -6,12 +6,22 @@
 // Unless the caller passes its own --benchmark_out, results are written as
 // machine-readable JSON to BENCH_perf.json in the working directory (CI
 // uploads it as an artifact).
+//
+// Like bench_throughput, the binary refuses to publish numbers from
+// non-Release builds (exit 3): microbenchmark deltas from -O0/-Og builds
+// are noise that reads like regressions. Pass `force=1` to override; the
+// benchmark context still records the real build type.
 #include <benchmark/benchmark.h>
 
 #include <cstddef>
+#include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
+
+#ifndef CCD_BUILD_TYPE
+#define CCD_BUILD_TYPE "unknown"
+#endif
 
 #include "contract/design_cache.hpp"
 #include "contract/designer.hpp"
@@ -255,11 +265,31 @@ BENCHMARK(BM_CancelPoll)->Arg(0)->Arg(1);
 // --benchmark_out, write results to BENCH_perf.json so CI always has a
 // machine-readable artifact.
 int main(int argc, char** argv) {
+  // Peel our own force=1 flag off argv before google-benchmark sees it
+  // (it would be reported as an unrecognized argument), then apply the
+  // Release gate.
+  bool force = false;
   bool have_out = false;
-  for (int i = 1; i < argc; ++i) {
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && std::strcmp(argv[i], "force=1") == 0) {
+      force = true;
+      continue;
+    }
     if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) have_out = true;
+    args.push_back(argv[i]);
   }
-  std::vector<char*> args(argv, argv + argc);
+  const std::string build_type = CCD_BUILD_TYPE;
+  if (build_type != "release" && !force) {
+    std::fprintf(stderr,
+                 "bench_perf: refusing to publish numbers from a '%s' build "
+                 "(rebuild with -DCMAKE_BUILD_TYPE=Release, or pass force=1 "
+                 "to override)\n",
+                 build_type.c_str());
+    return 3;
+  }
+  benchmark::AddCustomContext("library_build_type", build_type);
   std::string out_flag = "--benchmark_out=BENCH_perf.json";
   std::string fmt_flag = "--benchmark_out_format=json";
   if (!have_out) {

@@ -1,7 +1,9 @@
 #include "contract/baselines.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <functional>
 
 #include "util/error.hpp"
 
@@ -85,6 +87,64 @@ OracleOutcome oracle_optimal(const SubproblemSpec& spec,
     }
   }
   return best;
+}
+
+bool OracleCache::Key::operator==(const Key& other) const {
+  // Bitwise, matching KeyHash (see DesignCacheKey::operator== for why a
+  // value comparison would break the unordered_map invariants).
+  return spec == other.spec &&
+         std::bit_cast<std::uint64_t>(weight) ==
+             std::bit_cast<std::uint64_t>(other.weight) &&
+         grid_points == other.grid_points;
+}
+
+std::size_t OracleCache::KeyHash::operator()(const Key& key) const {
+  std::size_t h = DesignCacheKeyHash{}(key.spec);
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= std::hash<std::uint64_t>{}(v) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+         (h >> 2);
+  };
+  mix(std::bit_cast<std::uint64_t>(key.weight));
+  mix(key.grid_points);
+  return h;
+}
+
+OracleOutcome OracleCache::optimal(const SubproblemSpec& spec,
+                                   std::size_t grid_points) {
+  Key key;
+  key.spec = DesignCacheKey::of(spec);
+  key.weight = spec.weight + 0.0;  // -0.0 canonicalizes to +0.0
+  key.grid_points = grid_points;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++hits_;
+      return it->second;
+    }
+  }
+  // Compute outside the lock; concurrent misses on the same key both sweep
+  // and the first insert wins (identical values either way).
+  const OracleOutcome outcome = oracle_optimal(spec, grid_points);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = entries_.emplace(key, outcome);
+  ++misses_;
+  return it->second;
+}
+
+std::size_t OracleCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::size_t OracleCache::hits() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::size_t OracleCache::misses() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
 }
 
 }  // namespace ccd::contract

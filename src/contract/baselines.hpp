@@ -14,6 +14,11 @@
 //    rational. Upper reference for near-optimality claims.
 #pragma once
 
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "contract/design_cache.hpp"
 #include "contract/designer.hpp"
 
 namespace ccd::contract {
@@ -46,5 +51,38 @@ struct OracleOutcome {
 /// outside option (zero effort).
 OracleOutcome oracle_optimal(const SubproblemSpec& spec,
                              std::size_t grid_points = 4001);
+
+/// Memoized front end for oracle_optimal. Unlike the k-sweep, the oracle
+/// *does* depend on spec.weight, so the key is the DesignCacheKey
+/// canonicalization (every k-sweep input, -0.0 normalized to +0.0, bitwise
+/// compare) extended with the canonicalized weight and the grid size.
+/// A regret bench querying the oracle per worker per round pays for one
+/// grid sweep per distinct (spec, weight, grid) instead of one per call.
+class OracleCache {
+ public:
+  /// Equivalent (bitwise) to oracle_optimal(spec, grid_points).
+  OracleOutcome optimal(const SubproblemSpec& spec,
+                        std::size_t grid_points = 4001);
+
+  std::size_t size() const;
+  std::size_t hits() const;
+  std::size_t misses() const;
+
+ private:
+  struct Key {
+    DesignCacheKey spec;
+    double weight = 0.0;
+    std::uint64_t grid_points = 0;
+    bool operator==(const Key& other) const;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const;
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<Key, OracleOutcome, KeyHash> entries_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
 
 }  // namespace ccd::contract

@@ -17,7 +17,16 @@ constexpr const char* kTag = "SCKP";
 using ByteWriter = util::wire::Writer;
 using ByteReader = util::wire::Reader;
 
-void write_config(ByteWriter& w, const SimConfig& config) {
+void check_version(std::uint32_t version) {
+  if (version < SimCheckpoint::kMinReadVersion ||
+      version > SimCheckpoint::kVersion) {
+    throw DataError("unsupported checkpoint payload version " +
+                    std::to_string(version));
+  }
+}
+
+void write_config(ByteWriter& w, const SimConfig& config,
+                  std::uint32_t version) {
   w.u64(config.rounds);
   w.f64(config.requester.rho);
   w.f64(config.requester.kappa);
@@ -37,9 +46,22 @@ void write_config(ByteWriter& w, const SimConfig& config) {
   w.u64(config.checkpoint_every);
   w.str(config.checkpoint_path);
   w.u64(config.threads);
+  if (version >= 3) {
+    w.u8(static_cast<std::uint8_t>(config.policy.kind));
+    w.f64(config.policy.payment_cap);
+    w.f64(config.policy.zoom_confidence);
+    w.u64(config.policy.zoom_max_depth);
+    w.u64(config.policy.price_levels);
+    w.f64(config.policy.peer_tolerance);
+  } else {
+    // A v2 payload cannot carry a policy section; refuse to silently drop
+    // a non-default backend.
+    CCD_CHECK_MSG(config.policy.kind == policy::Kind::kBip,
+                  "v2 checkpoints support only the bip policy backend");
+  }
 }
 
-SimConfig read_config(ByteReader& r) {
+SimConfig read_config(ByteReader& r, std::uint32_t version) {
   SimConfig config;
   config.rounds = r.u64();
   config.requester.rho = r.f64();
@@ -60,6 +82,14 @@ SimConfig read_config(ByteReader& r) {
   config.checkpoint_every = r.u64();
   config.checkpoint_path = r.str();
   config.threads = r.u64();
+  if (version >= 3) {
+    config.policy.kind = static_cast<policy::Kind>(r.u8());
+    config.policy.payment_cap = r.f64();
+    config.policy.zoom_confidence = r.f64();
+    config.policy.zoom_max_depth = r.u64();
+    config.policy.price_levels = r.u64();
+    config.policy.peer_tolerance = r.f64();
+  }
   return config;
 }
 
@@ -197,9 +227,11 @@ contract::Contract decode_contract(util::wire::Reader& r) {
                             std::move(payments));
 }
 
-std::string encode_checkpoint(const SimCheckpoint& checkpoint) {
+std::string encode_checkpoint(const SimCheckpoint& checkpoint,
+                              std::uint32_t version) {
+  check_version(version);
   ByteWriter w;
-  write_config(w, checkpoint.config);
+  write_config(w, checkpoint.config, version);
   w.u64(checkpoint.workers.size());
   for (const SimWorkerSpec& spec : checkpoint.workers) write_worker(w, spec);
   w.u64(checkpoint.next_round);
@@ -214,14 +246,22 @@ std::string encode_checkpoint(const SimCheckpoint& checkpoint) {
   }
   w.f64_vec(checkpoint.last_feedback);
   write_history(w, checkpoint.history);
+  if (version >= 3) {
+    w.str(checkpoint.policy_state);
+  } else {
+    CCD_CHECK_MSG(checkpoint.policy_state.empty(),
+                  "v2 checkpoints cannot carry learner state");
+  }
   return w.take();
 }
 
-SimCheckpoint decode_checkpoint(const std::string& payload) {
+SimCheckpoint decode_checkpoint(const std::string& payload,
+                                std::uint32_t version) {
+  check_version(version);
   try {
     ByteReader r(payload);
     SimCheckpoint checkpoint;
-    checkpoint.config = read_config(r);
+    checkpoint.config = read_config(r, version);
     const std::size_t workers = r.count(64);
     checkpoint.workers.reserve(workers);
     for (std::size_t i = 0; i < workers; ++i) {
@@ -240,6 +280,7 @@ SimCheckpoint decode_checkpoint(const std::string& payload) {
     }
     checkpoint.last_feedback = r.f64_vec();
     checkpoint.history = read_history(r);
+    if (version >= 3) checkpoint.policy_state = r.str();
     r.finish();
 
     const std::size_t n = checkpoint.workers.size();
@@ -277,8 +318,8 @@ SimCheckpoint load_checkpoint(const std::string& path,
   return util::with_retry("checkpoint_read", retry, [&](std::size_t attempt) {
     CCD_FAULT_POINT("io.checkpoint_read", attempt, DataError);
     const util::FramedPayload framed = util::read_framed_file(
-        path, kTag, SimCheckpoint::kVersion, SimCheckpoint::kVersion);
-    return decode_checkpoint(framed.payload);
+        path, kTag, SimCheckpoint::kMinReadVersion, SimCheckpoint::kVersion);
+    return decode_checkpoint(framed.payload, framed.version);
   });
 }
 

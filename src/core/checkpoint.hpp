@@ -37,7 +37,11 @@ namespace ccd::core {
 struct SimCheckpoint {
   /// Current payload layout version (frame tag "SCKP").
   /// v2: SimWorkerSpec churn window (arrive_round / depart_round).
-  static constexpr std::uint32_t kVersion = 2;
+  /// v3: policy backend config + opaque learner state (ccd::policy).
+  /// Readers accept v2 files (they predate the policy seam and restore
+  /// with the default BiP backend and empty learner state).
+  static constexpr std::uint32_t kVersion = 3;
+  static constexpr std::uint32_t kMinReadVersion = 2;
 
   SimConfig config;
   std::vector<SimWorkerSpec> workers;
@@ -52,12 +56,22 @@ struct SimCheckpoint {
   /// Completed-rounds prefix (cancelled/cancel_reason are not persisted;
   /// a resumed run starts un-cancelled).
   SimResult history;
+  /// Opaque learner state of the configured policy backend (empty for
+  /// stateless backends, i.e. every v2 checkpoint). Produced by
+  /// Policy::save_state() at a round boundary; restored verbatim.
+  std::string policy_state;
 };
 
 /// Serialize / parse the checkpoint payload (the bytes inside the frame).
-/// decode_checkpoint throws ccd::DataError on any malformed payload.
-std::string encode_checkpoint(const SimCheckpoint& checkpoint);
-SimCheckpoint decode_checkpoint(const std::string& payload);
+/// `version` selects the payload layout: kVersion (the default) or the
+/// still-readable kMinReadVersion (encoding v2 drops the policy fields and
+/// requires a default-BiP, stateless checkpoint — used by back-compat
+/// tests). decode_checkpoint throws ccd::DataError on any malformed
+/// payload or unsupported version.
+std::string encode_checkpoint(const SimCheckpoint& checkpoint,
+                              std::uint32_t version = SimCheckpoint::kVersion);
+SimCheckpoint decode_checkpoint(const std::string& payload,
+                                std::uint32_t version = SimCheckpoint::kVersion);
 
 /// Contract codec shared by checkpoints and the serve wire protocol: a
 /// zero contract is a bare 0 count; otherwise knot count, delta, knots,

@@ -59,6 +59,7 @@ void SimConfig::validate() const {
                 "ema_alpha must be in (0, 1]");
   CCD_CHECK_MSG(checkpoint_every == 0 || !checkpoint_path.empty(),
                 "checkpoint_every needs a checkpoint_path");
+  policy.validate();
 }
 
 StackelbergSimulator::~StackelbergSimulator() = default;
@@ -71,6 +72,7 @@ StackelbergSimulator::StackelbergSimulator(std::vector<SimWorkerSpec> workers,
   if (config_.threads > 0) {
     own_pool_ = std::make_unique<util::ThreadPool>(config_.threads);
   }
+  policy_ = policy::make_policy(config_.policy);
   init_fresh_state();
 }
 
@@ -81,6 +83,8 @@ StackelbergSimulator::StackelbergSimulator(const SimCheckpoint& checkpoint)
   if (config_.threads > 0) {
     own_pool_ = std::make_unique<util::ThreadPool>(config_.threads);
   }
+  policy_ = policy::make_policy(config_.policy);
+  policy_->load_state(checkpoint.policy_state);
   // decode_checkpoint already verified cross-field consistency; restore the
   // dynamic state verbatim so the continuation is bitwise-exact.
   next_round_ = checkpoint.next_round;
@@ -125,6 +129,7 @@ SimCheckpoint StackelbergSimulator::snapshot() const {
   checkpoint.history = history_;
   checkpoint.history.cancelled = false;
   checkpoint.history.cancel_reason = util::CancelReason::kNone;
+  checkpoint.policy_state = policy_->save_state();
   return checkpoint;
 }
 
@@ -163,56 +168,46 @@ StepStatus StackelbergSimulator::step(std::size_t max_rounds,
       break;
     }
 
-    // --- Requester: (re)design contracts from current estimates ---------
+    // --- Requester: the policy backend posts this round's contracts -----
+    // BiP re-solves the bilevel program on redesign rounds only (one
+    // cached k-sweep per distinct spec, scalar kernel: checkpointed runs
+    // replay redesign rounds and must reproduce contracts bitwise across
+    // machines and builds). Learning backends post fresh arms every round.
     const bool redesign_round = t % config_.redesign_every == 0;
-    if (redesign_round) {
-      std::vector<contract::SubproblemSpec> specs(n);
+    const bool learning = policy_->learns();
+    std::vector<policy::WorkerView> views;
+    if (redesign_round || learning) {
+      views.resize(n);
       for (std::size_t i = 0; i < n; ++i) {
-        // Churned-out workers get weight 0, which the designer resolves to
-        // the zero contract through the cheap §V elimination path.
-        const double weight =
-            workers_[i].active_at(t)
-                ? feedback_weight(config_.requester, est_accuracy_[i],
-                                  est_malicious_[i], workers_[i].partners)
-                : 0.0;
-        contract::SubproblemSpec& spec = specs[i];
-        spec.psi = workers_[i].psi;
-        spec.incentives.beta = workers_[i].beta;
-        spec.incentives.omega =
-            est_malicious_[i] >= config_.suspicion_threshold
-                ? config_.requester.omega_malicious
-                : 0.0;
-        spec.weight = weight;
-        spec.mu = config_.requester.mu;
-        spec.intervals = config_.requester.intervals;
+        policy::WorkerView& view = views[i];
+        view.psi = workers_[i].psi;
+        view.beta = workers_[i].beta;
+        view.omega = est_malicious_[i] >= config_.suspicion_threshold
+                         ? config_.requester.omega_malicious
+                         : 0.0;
+        view.active = workers_[i].active_at(t);
+        // Churned-out workers get weight 0, which BiP resolves to the zero
+        // contract through the cheap §V elimination path.
+        view.weight = view.active
+                          ? feedback_weight(config_.requester,
+                                            est_accuracy_[i],
+                                            est_malicious_[i],
+                                            workers_[i].partners)
+                          : 0.0;
+        view.mu = config_.requester.mu;
+        view.intervals = config_.requester.intervals;
       }
-      // Batched design: one k-sweep per distinct spec, bitwise-identical
-      // to the per-worker design_contract path and independent of thread
-      // count; the cache persists across rounds, so stable estimates make
-      // later redesigns nearly free.
-      contract::BatchOptions options;
-      options.pool = &pool;
-      options.cache = &design_cache_;
-      options.cancel = cancel;
-      // Stays on the scalar kernel deliberately: checkpointed runs replay
-      // redesign rounds and must reproduce contracts bitwise across
-      // machines and builds, which only the scalar path guarantees.
-      options.kernel = contract::SweepKernel::kScalar;
-      std::vector<std::uint8_t> resolved;
-      options.resolved = &resolved;
-      std::vector<contract::DesignResult> designs =
-          contract::design_contracts_batch(specs, options);
-      if (cancel != nullptr && cancel->cancelled()) {
-        // The batch was cut short: drop the round entirely (contracts may
-        // be partially refreshed, but a resumed run re-enters this same
-        // redesign round and rebuilds them from the checkpointed
-        // estimates, so the continuation stays bitwise-exact).
+      policy::PostEnv env;
+      env.pool = &pool;
+      env.cache = &design_cache_;
+      env.cancel = cancel;
+      if (!policy_->post(t, redesign_round, views, contracts_, rng_, env)) {
+        // The design batch was cut short: drop the round entirely
+        // (contracts may be partially refreshed, but a resumed run
+        // re-enters this same round and rebuilds them from the
+        // checkpointed estimates, so the continuation stays bitwise-exact).
         cancelled = true;
         break;
-      }
-      for (std::size_t i = 0; i < n; ++i) {
-        CCD_CHECK_MSG(resolved[i] != 0, "redesign batch left a worker unsolved");
-        contracts_[i] = std::move(designs[i].contract);
       }
     }
 
@@ -223,6 +218,11 @@ StepStatus StackelbergSimulator::step(std::size_t max_rounds,
 
     RoundRecord record;
     record.round = t;
+
+    // Realized outcomes fed back to learning backends (skipped entirely
+    // for BiP, keeping its per-round cost and RNG stream unchanged).
+    std::vector<policy::RoundOutcome> outcomes;
+    if (learning) outcomes.resize(n);
 
     for (std::size_t i = 0; i < n; ++i) {
       SimWorkerSpec& w = workers_[i];
@@ -288,7 +288,19 @@ StepStatus StackelbergSimulator::step(std::size_t max_rounds,
 
       record.weighted_feedback += weight * feedback;
       record.total_compensation += compensation;
+
+      if (learning) {
+        // The arm's steady-state value to the requester: what this round's
+        // contract pays at this round's feedback, weighted as the policy
+        // saw the worker when it posted.
+        outcomes[i].active = true;
+        outcomes[i].feedback = feedback;
+        outcomes[i].reward = views[i].weight * feedback -
+                             config_.requester.mu * contracts_[i].pay(feedback);
+      }
     }
+
+    if (learning) policy_->observe(t, outcomes, rng_);
 
     record.requester_utility =
         record.weighted_feedback -

@@ -31,6 +31,7 @@
 #include "contract/designer.hpp"
 #include "core/requester.hpp"
 #include "effort/effort_model.hpp"
+#include "policy/policy.hpp"
 #include "util/cancellation.hpp"
 #include "util/rng.hpp"
 
@@ -100,6 +101,13 @@ struct SimConfig {
   /// Requester's assumed omega for workers it currently suspects.
   double suspicion_threshold = 0.5;
   std::uint64_t seed = 1;
+
+  /// Contract designer backend (ccd::policy): the paper's BiP solver by
+  /// default, or one of the online learners. Learner state is checkpointed
+  /// (SCKP v3) and restored alongside the rest of the dynamic state, and
+  /// backends draw only from the simulator's checkpointed RNG, so every
+  /// backend keeps the bitwise resume contract.
+  policy::PolicyConfig policy{};
 
   /// Write a crash-safe checkpoint to `checkpoint_path` after every this
   /// many completed rounds (0 disables periodic checkpoints). A cancelled
@@ -255,6 +263,10 @@ class StackelbergSimulator {
   std::vector<contract::Contract> contracts_;
   std::vector<double> last_feedback_;
   SimResult history_;
+  /// The contract-designer backend. The object itself is rebuilt from
+  /// config_.policy on construction; its *learner state* is dynamic state
+  /// (snapshot()/SimCheckpoint::policy_state restores it verbatim).
+  std::unique_ptr<policy::Policy> policy_;
 
   // Redesign machinery (not checkpointed: the cache is a pure memo and the
   // pool only schedules; neither affects results).

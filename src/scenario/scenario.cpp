@@ -47,6 +47,10 @@ core::PricingStrategy pipeline_strategy(Policy policy) {
       return core::PricingStrategy::kExcludeMalicious;
     case Policy::kDynamic:
     case Policy::kStatic:
+    case Policy::kBandit:
+    case Policy::kPostedPrice:
+      // The learners replace only the *designer*; the offline detection
+      // half (the matrix's precision/recall columns) is policy-agnostic.
       return core::PricingStrategy::kDynamicContract;
   }
   return core::PricingStrategy::kDynamicContract;
@@ -64,6 +68,10 @@ const char* to_string(Policy policy) {
       return "fixed";
     case Policy::kExclude:
       return "exclude";
+    case Policy::kBandit:
+      return "bandit";
+    case Policy::kPostedPrice:
+      return "posted";
   }
   return "?";
 }
@@ -73,12 +81,15 @@ Policy policy_from_string(const std::string& name) {
   if (name == "static") return Policy::kStatic;
   if (name == "fixed") return Policy::kFixed;
   if (name == "exclude") return Policy::kExclude;
+  if (name == "bandit") return Policy::kBandit;
+  if (name == "posted") return Policy::kPostedPrice;
   throw ConfigError("unknown policy '" + name +
-                    "' (expected dynamic|static|fixed|exclude)");
+                    "' (expected dynamic|static|fixed|exclude|bandit|posted)");
 }
 
 std::vector<Policy> all_policies() {
-  return {Policy::kDynamic, Policy::kStatic, Policy::kFixed, Policy::kExclude};
+  return {Policy::kDynamic, Policy::kStatic,      Policy::kFixed,
+          Policy::kExclude, Policy::kBandit, Policy::kPostedPrice};
 }
 
 void ScenarioSpec::validate() const {
@@ -264,6 +275,11 @@ core::SimConfig sim_config(const ScenarioSpec& spec, Policy policy,
   config.rounds = spec.rounds;
   config.requester = spec.requester;
   config.redesign_every = policy == Policy::kStatic ? spec.rounds : 1;
+  if (policy == Policy::kBandit) {
+    config.policy.kind = ccd::policy::Kind::kZoomingBandit;
+  } else if (policy == Policy::kPostedPrice) {
+    config.policy.kind = ccd::policy::Kind::kPostedPrice;
+  }
   config.seed = spec.seed;
   config.threads = options.threads;
   config.checkpoint_every = options.checkpoint_every;
@@ -515,6 +531,61 @@ std::vector<std::string> MatrixResult::violations(double recall_floor) const {
                     std::to_string(dynamic_utility) +
                     " below fixed-contract baseline " +
                     std::to_string(fixed_utility));
+    }
+
+    // The learner columns (bandit/posted) inherit the same >=-fixed
+    // ordering invariant unless a cell is explicitly waived below. A
+    // from-scratch learner spends a large share of a 24-round horizon
+    // exploring, so cells where exploration provably cannot amortize
+    // against the flat baseline inside the horizon are waived per-cell —
+    // each waiver names the cell; regret convergence for these backends
+    // is gated separately (and over a 2000+-round horizon) by
+    // bench_policy_regret.
+    struct Waiver {
+      const char* scenario;
+      Policy policy;
+    };
+    // The zooming bandit clears the fixed baseline in every preset (its
+    // adaptive discretization finds a paying arm within a handful of
+    // rounds), so kBandit is enforced in all 6 scenarios. The posted-price
+    // learner is waived in all 6: its price ladder starts at payment_cap /
+    // price_levels and climbs one elimination batch at a time, so over a
+    // 24-round horizon it never reaches the payment level that beats a
+    // flat 4.0-per-round contract — by design it trades early revenue for
+    // incentive-compatible elicitation (Liu–Chen), which only pays off at
+    // bench_policy_regret's 2000+-round horizons.
+    static constexpr Waiver kWaivedCells[] = {
+        {"paper", Policy::kPostedPrice},
+        {"sybil", Policy::kPostedPrice},
+        {"adaptive", Policy::kPostedPrice},
+        {"misreport", Policy::kPostedPrice},
+        {"churn", Policy::kPostedPrice},
+        {"mixed", Policy::kPostedPrice},
+    };
+    for (const Policy learner : {Policy::kBandit, Policy::kPostedPrice}) {
+      bool waived = false;
+      for (const Waiver& waiver : kWaivedCells) {
+        if (scenario == waiver.scenario && learner == waiver.policy) {
+          waived = true;
+          break;
+        }
+      }
+      if (waived) continue;
+      bool have_learner = false;
+      double learner_utility = 0.0;
+      for (const ScenarioCell& cell : cells) {
+        if (cell.scenario == scenario && cell.policy == learner) {
+          learner_utility = cell.score.requester_utility;
+          have_learner = true;
+        }
+      }
+      if (have_learner && have_fixed &&
+          learner_utility < fixed_utility - 1e-9) {
+        out.push_back(scenario + ": " + to_string(learner) + " utility " +
+                      std::to_string(learner_utility) +
+                      " below fixed-contract baseline " +
+                      std::to_string(fixed_utility));
+      }
     }
   }
   return out;

@@ -46,6 +46,12 @@ enum class Policy {
   kStatic,   ///< BiP designed once at round 0, never refreshed
   kFixed,    ///< flat fixed-payment contract for everyone, every round
   kExclude,  ///< dynamic + hard zero contract for suspected workers
+  /// Model-free online learners (ccd::policy backends) scored under every
+  /// adversary. They learn the contract space from scratch inside the
+  /// cell's horizon, so their scores measure exploration robustness, not
+  /// converged performance.
+  kBandit,       ///< policy::ZoomingBanditPolicy (Ho–Slivkins–Vaughan)
+  kPostedPrice,  ///< policy::PostedPricePolicy (Liu–Chen)
 };
 
 const char* to_string(Policy policy);

@@ -107,6 +107,13 @@ SessionMode decode_mode(std::uint8_t raw) {
   return static_cast<SessionMode>(raw);
 }
 
+policy::Kind decode_policy(std::uint8_t raw) {
+  if (raw > static_cast<std::uint8_t>(policy::Kind::kPostedPrice)) {
+    throw DataError("unknown policy backend " + std::to_string(raw));
+  }
+  return static_cast<policy::Kind>(raw);
+}
+
 void encode_session_status(util::wire::Writer& w, const SessionStatus& s) {
   w.u64(s.next_round);
   w.u64(s.rounds);
@@ -142,6 +149,7 @@ std::string encode_request(const Request& request) {
   w.u64(request.open.refit_every);
   w.f64(request.open.ema_alpha);
   w.u8(request.open.allow_existing ? 1 : 0);
+  w.u8(static_cast<std::uint8_t>(request.open.policy));
   w.u64(request.advance_rounds);
   w.u64(request.observations.size());
   for (const IngestObservation& obs : request.observations) {
@@ -177,6 +185,7 @@ Request decode_request(const std::string& payload) {
   request.open.refit_every = r.u64();
   request.open.ema_alpha = r.f64();
   request.open.allow_existing = r.u8() != 0;
+  request.open.policy = decode_policy(r.u8());
   request.advance_rounds = r.u64();
   const std::size_t observations = r.count(24);
   request.observations.reserve(observations);

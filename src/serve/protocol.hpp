@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "contract/contract.hpp"
+#include "policy/policy.hpp"
 #include "util/error.hpp"
 
 namespace ccd::util {
@@ -40,8 +41,10 @@ inline constexpr const char* kFrameTag = "CSRV";
 /// v2 added restore (checkpoint handoff) and health ops. v3 adds the
 /// token handshake (kAuth + Status::kAuth), dynamic membership admin ops
 /// (kJoin / kRetire), the rebalance primitives (kExport / kListSessions),
-/// and the retryable Status::kUnavailable.
-inline constexpr std::uint32_t kProtocolVersion = 3;
+/// and the retryable Status::kUnavailable. v4 adds the contract-designer
+/// policy backend selector to OpenParams (ccd::policy — BiP / zooming
+/// bandit / posted-price).
+inline constexpr std::uint32_t kProtocolVersion = 4;
 /// Hard cap on a single message payload; a header announcing more is
 /// rejected before any allocation (garbage/torn streams, never OOM).
 inline constexpr std::uint64_t kMaxMessageBytes = 16ull << 20;
@@ -140,7 +143,7 @@ struct OpenParams {
   std::uint64_t rounds = 40;
   std::uint64_t workers = 6;
   std::uint64_t malicious = 2;  ///< simulation fleet only
-  std::uint64_t seed = 1;       ///< simulation only
+  std::uint64_t seed = 1;  ///< simulation fleet; also the learner RNG seed
   double mu = 1.0;
   /// Ingest mode: re-fit effort curves and re-design contracts every this
   /// many ingested rounds.
@@ -149,6 +152,10 @@ struct OpenParams {
   /// Opening an already-open session returns its status instead of a
   /// config error (idempotent `ccdctl submit`).
   bool allow_existing = false;
+  /// Contract-designer backend (v4): the paper's BiP, or one of the online
+  /// learners (see policy/policy.hpp). Applies to both modes; learner
+  /// state rides the session's checkpoint frames.
+  policy::Kind policy = policy::Kind::kBip;
 };
 
 /// One worker's observed round in an ingest session.

@@ -53,7 +53,11 @@ bool valid_session_id(const std::string& id) {
 /// effort curves start at the library default and are re-fit from the
 /// observed sample window.
 struct Session::IngestState {
-  static constexpr std::uint32_t kVersion = 1;
+  /// v2 appends the contract-designer policy section (backend config,
+  /// opaque learner state, learner RNG). v1 files still load and restore a
+  /// default-BiP session.
+  static constexpr std::uint32_t kVersion = 2;
+  static constexpr std::uint32_t kMinReadVersion = 1;
   /// Sliding window of retained (effort, feedback) samples per worker —
   /// bounds session memory no matter how long the campaign runs.
   static constexpr std::size_t kSampleWindow = 256;
@@ -71,6 +75,15 @@ struct Session::IngestState {
   std::vector<effort::QuadraticEffort> psi;
   std::vector<std::vector<data::EffortSample>> samples;
   std::vector<contract::Contract> contracts;
+
+  /// Contract-designer backend. BiP keeps the historical refit-boundary
+  /// redesign path; learners post fresh contracts every ingested round and
+  /// observe every round's rewards. The RNG exists purely for the Policy
+  /// interface's RNG discipline (current learners draw nothing) and is
+  /// checkpointed so any future drawing backend stays resume-safe.
+  policy::PolicyConfig policy_config;
+  std::unique_ptr<policy::Policy> policy;
+  util::Rng rng{1};
 
   std::size_t workers() const { return est_accuracy.size(); }
   bool finished() const { return rounds_budget > 0 && round >= rounds_budget; }
@@ -101,6 +114,7 @@ Session::Session(std::string id, const OpenParams& params, Env env)
     config.seed = params.seed;
     config.requester.mu = params.mu;
     config.ema_alpha = params.ema_alpha;
+    config.policy.kind = params.policy;
     config.checkpoint_path = checkpoint_file(env_.checkpoint_dir, id_, mode_);
     config.checkpoint_every =
         config.checkpoint_path.empty() ? 0 : env_.checkpoint_every;
@@ -125,6 +139,9 @@ Session::Session(std::string id, const OpenParams& params, Env env)
     ingest_->psi.assign(n, effort::QuadraticEffort(-1.0, 8.0, 2.0));
     ingest_->samples.assign(n, {});
     ingest_->contracts.assign(n, contract::Contract{});
+    ingest_->policy_config.kind = params.policy;
+    ingest_->policy = policy::make_policy(ingest_->policy_config);
+    ingest_->rng = util::Rng(params.seed);
   }
 }
 
@@ -180,6 +197,9 @@ bool Session::ingest(const std::vector<IngestObservation>& observations,
                       " workers");
   }
 
+  const bool learner = state.policy->learns();
+  std::vector<policy::RoundOutcome> outcomes;
+  if (learner) outcomes.resize(n);
   double weighted_feedback = 0.0;
   double total_pay = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
@@ -215,16 +235,31 @@ bool Session::ingest(const std::vector<IngestObservation>& observations,
                               state.est_malicious[i], 0);
     weighted_feedback += weight * obs.feedback;
     total_pay += state.contracts[i].pay(obs.feedback);
+    if (learner) {
+      outcomes[i].active = true;
+      outcomes[i].feedback = obs.feedback;
+      outcomes[i].reward = weight * obs.feedback -
+                           state.requester.mu *
+                               state.contracts[i].pay(obs.feedback);
+    }
   }
+  if (learner) state.policy->observe(state.round, outcomes, state.rng);
   state.cumulative_requester_utility +=
       weighted_feedback - state.requester.mu * total_pay;
   state.round += 1;
 
   bool redesigned = false;
   if (state.round % state.refit_every == 0) {
-    ingest_redesign(cancel);
-    redesigned = cancel == nullptr || !cancel->cancelled();
+    if (learner) {
+      // Learners consume the re-fit effort curves through their next
+      // post(); the BiP redesign below would overwrite their arms.
+      ingest_refit();
+    } else {
+      ingest_redesign(cancel);
+      redesigned = cancel == nullptr || !cancel->cancelled();
+    }
   }
+  if (learner) redesigned = ingest_post(cancel);
   if (!env_.checkpoint_dir.empty() &&
       state.round % env_.checkpoint_every == 0) {
     ingest_checkpoint();
@@ -232,10 +267,9 @@ bool Session::ingest(const std::vector<IngestObservation>& observations,
   return redesigned;
 }
 
-void Session::ingest_redesign(const util::CancellationToken* cancel) {
+void Session::ingest_refit() {
   IngestState& state = *ingest_;
   const std::size_t n = state.workers();
-
   // Incremental re-fit: workers with enough observed samples get a fresh
   // concave-quadratic effort curve; sparse or degenerate windows keep the
   // previous fit (quarantine-style degradation, never a dead session).
@@ -247,6 +281,12 @@ void Session::ingest_redesign(const util::CancellationToken* cancel) {
       // Keep the previous curve.
     }
   }
+}
+
+void Session::ingest_redesign(const util::CancellationToken* cancel) {
+  ingest_refit();
+  IngestState& state = *ingest_;
+  const std::size_t n = state.workers();
 
   std::vector<contract::SubproblemSpec> specs(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -282,6 +322,32 @@ void Session::ingest_redesign(const util::CancellationToken* cancel) {
     CCD_CHECK_MSG(resolved[i] != 0, "redesign batch left a worker unsolved");
     state.contracts[i] = std::move(designs[i].contract);
   }
+}
+
+bool Session::ingest_post(const util::CancellationToken* cancel) {
+  IngestState& state = *ingest_;
+  const std::size_t n = state.workers();
+  std::vector<policy::WorkerView> views(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    policy::WorkerView& view = views[i];
+    view.psi = state.psi[i];
+    view.beta = state.requester.beta;
+    view.omega = state.est_malicious[i] >= state.suspicion_threshold
+                     ? state.requester.omega_malicious
+                     : 0.0;
+    view.weight = core::feedback_weight(state.requester, state.est_accuracy[i],
+                                        state.est_malicious[i], 0);
+    view.mu = state.requester.mu;
+    view.intervals = state.requester.intervals;
+    view.active = true;
+  }
+  policy::PostEnv env;
+  env.cache = env_.cache;
+  env.cancel = cancel;
+  // A cancelled post keeps the previous contracts; the learner re-posts on
+  // the next ingested round.
+  return state.policy->post(state.round, true, views, state.contracts,
+                            state.rng, env);
 }
 
 std::vector<contract::Contract> Session::contracts() const {
@@ -337,6 +403,18 @@ void Session::ingest_checkpoint() const {
     }
     core::encode_contract(w, state.contracts[i]);
   }
+  // v2: the contract-designer policy section.
+  w.u8(static_cast<std::uint8_t>(state.policy_config.kind));
+  w.f64(state.policy_config.payment_cap);
+  w.f64(state.policy_config.zoom_confidence);
+  w.u64(state.policy_config.zoom_max_depth);
+  w.u64(state.policy_config.price_levels);
+  w.f64(state.policy_config.peer_tolerance);
+  w.str(state.policy->save_state());
+  const util::RngState rng_state = state.rng.state();
+  for (const std::uint64_t word : rng_state.words) w.u64(word);
+  w.u8(rng_state.has_cached_normal ? 1 : 0);
+  w.f64(rng_state.cached_normal);
   util::write_framed_file(checkpoint_path(), kIngestTag, IngestState::kVersion,
                           w.take());
 }
@@ -363,13 +441,17 @@ std::unique_ptr<Session> Session::restore(const std::string& id,
   }
 
   const util::FramedPayload framed = util::read_framed_file(
-      path, kIngestTag, IngestState::kVersion, IngestState::kVersion);
-  session->ingest_ = decode_ingest_payload(framed.payload);
+      path, kIngestTag, IngestState::kMinReadVersion, IngestState::kVersion);
+  session->ingest_ = decode_ingest_payload(framed.payload, framed.version);
   return session;
 }
 
 std::unique_ptr<Session::IngestState> Session::decode_ingest_payload(
-    const std::string& payload) {
+    const std::string& payload, std::uint32_t version) {
+  CCD_CHECK_MSG(version >= IngestState::kMinReadVersion &&
+                    version <= IngestState::kVersion,
+                "unsupported ingest checkpoint payload version " +
+                    std::to_string(version));
   try {
     util::wire::Reader r(payload);
     auto state = std::make_unique<IngestState>();
@@ -413,8 +495,32 @@ std::unique_ptr<Session::IngestState> Session::decode_ingest_payload(
       state->samples.push_back(std::move(window));
       state->contracts.push_back(core::decode_contract(r));
     }
+    std::string policy_state;
+    util::RngState rng_state;
+    bool have_rng = false;
+    if (version >= 2) {
+      const std::uint8_t raw_kind = r.u8();
+      CCD_CHECK_MSG(
+          raw_kind <= static_cast<std::uint8_t>(policy::Kind::kPostedPrice),
+          "ingest checkpoint names an unknown policy backend");
+      state->policy_config.kind = static_cast<policy::Kind>(raw_kind);
+      state->policy_config.payment_cap = r.f64();
+      state->policy_config.zoom_confidence = r.f64();
+      state->policy_config.zoom_max_depth = r.u64();
+      state->policy_config.price_levels = r.u64();
+      state->policy_config.peer_tolerance = r.f64();
+      policy_state = r.str();
+      for (std::uint64_t& word : rng_state.words) word = r.u64();
+      rng_state.has_cached_normal = r.u8() != 0;
+      rng_state.cached_normal = r.f64();
+      have_rng = true;
+    }
     r.finish();
     state->requester.validate();
+    state->policy_config.validate();
+    state->policy = policy::make_policy(state->policy_config);
+    state->policy->load_state(policy_state);
+    if (have_rng) state->rng.set_state(rng_state);
     return state;
   } catch (const DataError&) {
     throw;
@@ -435,18 +541,21 @@ std::unique_ptr<Session> Session::restore_blob(const std::string& id,
   // checksum validation happens below under the tag-specific version.
   const std::string tag = blob.substr(4, 4);
   SessionMode mode;
-  std::uint32_t version;
+  std::uint32_t min_version;
+  std::uint32_t max_version;
   if (tag == "SCKP") {
     mode = SessionMode::kSimulation;
-    version = core::SimCheckpoint::kVersion;
+    min_version = core::SimCheckpoint::kMinReadVersion;
+    max_version = core::SimCheckpoint::kVersion;
   } else if (tag == kIngestTag) {
     mode = SessionMode::kIngest;
-    version = IngestState::kVersion;
+    min_version = IngestState::kMinReadVersion;
+    max_version = IngestState::kVersion;
   } else {
     throw DataError("checkpoint blob has unknown frame tag '" + tag + "'");
   }
   const util::wire::FrameHeader header = util::wire::decode_frame_header(
-      blob, tag, version, version, blob.size(), "checkpoint blob");
+      blob, tag, min_version, max_version, blob.size(), "checkpoint blob");
   if (blob.size() != util::wire::kFrameHeaderSize + header.payload_size) {
     throw DataError("checkpoint blob size mismatch (header announces " +
                     std::to_string(header.payload_size) + " payload bytes, " +
@@ -459,7 +568,8 @@ std::unique_ptr<Session> Session::restore_blob(const std::string& id,
   auto session =
       std::unique_ptr<Session>(new Session(id, std::move(env), mode));
   if (mode == SessionMode::kSimulation) {
-    core::SimCheckpoint checkpoint = core::decode_checkpoint(payload);
+    core::SimCheckpoint checkpoint =
+        core::decode_checkpoint(payload, header.version);
     checkpoint.config.checkpoint_path =
         checkpoint_file(session->env_.checkpoint_dir, id, mode);
     checkpoint.config.checkpoint_every =
@@ -468,7 +578,7 @@ std::unique_ptr<Session> Session::restore_blob(const std::string& id,
             : session->env_.checkpoint_every;
     session->sim_ = std::make_unique<core::StackelbergSimulator>(checkpoint);
   } else {
-    session->ingest_ = decode_ingest_payload(payload);
+    session->ingest_ = decode_ingest_payload(payload, header.version);
   }
   return session;
 }

@@ -130,6 +130,99 @@ TEST_F(CheckpointTest, KillAndResumeIsBitwiseIdentical) {
   }
 }
 
+// Same chaos drill for the learning backends: their arm statistics are
+// dynamic state (SCKP v3 policy_state), so a kill + resume must continue
+// the exploration schedule bitwise — at one thread and at four.
+TEST_F(CheckpointTest, LearnerBackendKillAndResumeIsBitwiseIdentical) {
+  for (const policy::Kind kind :
+       {policy::Kind::kZoomingBandit, policy::Kind::kPostedPrice}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      SCOPED_TRACE(std::string(policy::to_string(kind)) +
+                   " threads=" + std::to_string(threads));
+
+      SimConfig full = base_config(20);
+      full.policy.kind = kind;
+      full.threads = threads;
+      const SimResult uninterrupted =
+          StackelbergSimulator(fleet(), full).run();
+
+      SimConfig partial = base_config(8);
+      partial.policy.kind = kind;
+      partial.threads = threads;
+      partial.checkpoint_every = 8;
+      partial.checkpoint_path = path_;
+      StackelbergSimulator(fleet(), partial).run();
+
+      SimCheckpoint checkpoint = load_checkpoint(path_);
+      EXPECT_EQ(checkpoint.next_round, 8u);
+      EXPECT_EQ(checkpoint.config.policy.kind, kind);
+      EXPECT_FALSE(checkpoint.policy_state.empty());
+      checkpoint.config.rounds = 20;
+      const SimResult resumed = StackelbergSimulator(checkpoint).run();
+
+      EXPECT_FALSE(resumed.cancelled);
+      expect_bitwise_equal(uninterrupted, resumed);
+    }
+  }
+}
+
+TEST_F(CheckpointTest, PolicyStateSurvivesEncodeDecode) {
+  SimConfig config = base_config(10);
+  config.policy.kind = policy::Kind::kZoomingBandit;
+  config.policy.payment_cap = 9.5;
+  config.checkpoint_every = 10;
+  config.checkpoint_path = path_;
+  StackelbergSimulator(fleet(), config).run();
+
+  const SimCheckpoint a = load_checkpoint(path_);
+  EXPECT_EQ(a.config.policy.kind, policy::Kind::kZoomingBandit);
+  EXPECT_EQ(a.config.policy.payment_cap, 9.5);
+  ASSERT_FALSE(a.policy_state.empty());
+
+  const SimCheckpoint b = decode_checkpoint(encode_checkpoint(a));
+  EXPECT_EQ(b.config.policy.kind, a.config.policy.kind);
+  EXPECT_EQ(b.config.policy.payment_cap, a.config.policy.payment_cap);
+  EXPECT_EQ(b.policy_state, a.policy_state);
+}
+
+TEST_F(CheckpointTest, V2PayloadRestoresWithDefaultBipBackend) {
+  // A pre-policy (v2) checkpoint must still load: default BiP backend,
+  // empty learner state, everything else intact.
+  SimConfig config = base_config(6);
+  config.checkpoint_every = 6;
+  config.checkpoint_path = path_;
+  StackelbergSimulator(fleet(), config).run();
+  const SimCheckpoint a = load_checkpoint(path_);
+
+  const std::string v2 = encode_checkpoint(a, 2);
+  const SimCheckpoint b = decode_checkpoint(v2, 2);
+  EXPECT_EQ(b.config.policy.kind, policy::Kind::kBip);
+  EXPECT_TRUE(b.policy_state.empty());
+  EXPECT_EQ(b.next_round, a.next_round);
+  EXPECT_EQ(b.rng.words, a.rng.words);
+  expect_bitwise_equal(a.history, b.history);
+
+  // And resuming from it runs to completion like the v3 original.
+  SimCheckpoint resumed_from_v2 = b;
+  resumed_from_v2.config.rounds = 12;
+  SimCheckpoint resumed_from_v3 = a;
+  resumed_from_v3.config.rounds = 12;
+  expect_bitwise_equal(StackelbergSimulator(resumed_from_v2).run(),
+                       StackelbergSimulator(resumed_from_v3).run());
+}
+
+TEST_F(CheckpointTest, V2EncodingRefusesToDropLearnerState) {
+  // Downgrading a learner checkpoint to v2 would silently lose the arm
+  // statistics; the encoder must refuse.
+  SimConfig config = base_config(4);
+  config.policy.kind = policy::Kind::kPostedPrice;
+  config.checkpoint_every = 4;
+  config.checkpoint_path = path_;
+  StackelbergSimulator(fleet(), config).run();
+  const SimCheckpoint learner = load_checkpoint(path_);
+  EXPECT_THROW(encode_checkpoint(learner, 2), Error);
+}
+
 TEST_F(CheckpointTest, ResumeAcrossThreadCountsIsBitwiseIdentical) {
   const SimResult uninterrupted =
       StackelbergSimulator(fleet(), base_config(16)).run();

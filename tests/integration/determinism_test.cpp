@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <filesystem>
 #include <string>
+#include <vector>
 
 #include "core/checkpoint.hpp"
 #include "core/pipeline.hpp"
@@ -98,6 +99,40 @@ scenario::ScenarioSpec adversarial_spec() {
   overrides.set("seed", "21");
   spec.apply_params(overrides);
   return spec;
+}
+
+TEST(DeterminismTest, PolicyBackendsAreThreadCountInvariant) {
+  // Every contract-designer backend — BiP and both online learners — must
+  // produce the same simulation bitwise at any pool size: the learners'
+  // per-round arm selection only reads checkpointed state, never thread
+  // scheduling.
+  for (const policy::Kind kind :
+       {policy::Kind::kBip, policy::Kind::kZoomingBandit,
+        policy::Kind::kPostedPrice}) {
+    SCOPED_TRACE(policy::to_string(kind));
+    core::SimConfig sequential;
+    sequential.rounds = 24;
+    sequential.seed = 5;
+    sequential.policy.kind = kind;
+    sequential.threads = 1;
+    core::SimConfig parallel = sequential;
+    parallel.threads = 4;
+    const std::vector<core::SimWorkerSpec> workers = core::preset_fleet(10, 3);
+
+    const core::SimResult a =
+        core::StackelbergSimulator(workers, sequential).run();
+    const core::SimResult b =
+        core::StackelbergSimulator(workers, parallel).run();
+
+    ASSERT_EQ(a.rounds.size(), b.rounds.size());
+    for (std::size_t t = 0; t < a.rounds.size(); ++t) {
+      EXPECT_EQ(a.rounds[t].requester_utility, b.rounds[t].requester_utility)
+          << "round " << t;
+      EXPECT_EQ(a.rounds[t].total_compensation, b.rounds[t].total_compensation)
+          << "round " << t;
+    }
+    EXPECT_EQ(a.cumulative_requester_utility, b.cumulative_requester_utility);
+  }
 }
 
 TEST(DeterminismTest, ScenarioCellIsThreadCountInvariant) {

@@ -37,7 +37,7 @@ TEST(PolicyTest, RoundTripsThroughStrings) {
   for (const Policy policy : all_policies()) {
     EXPECT_EQ(policy_from_string(to_string(policy)), policy);
   }
-  EXPECT_EQ(all_policies().size(), 4u);
+  EXPECT_EQ(all_policies().size(), 6u);
   EXPECT_THROW(policy_from_string("greedy"), ConfigError);
 }
 

@@ -82,7 +82,7 @@ TEST_F(AuthTest, CorrectTokenAuthenticatesAndOpsProceed) {
   ClientOptions options;
   options.auth_token = kToken;
   Client client = Client::connect_tcp("127.0.0.1", port(), options);
-  EXPECT_EQ(client.ping(), "ccd-serve/3");
+  EXPECT_EQ(client.ping(), "ccd-serve/4");
 
   OpenParams params;
   params.mode = SessionMode::kSimulation;
@@ -164,7 +164,7 @@ TEST_F(AuthTest, UnixSocketsStayTokenOptional) {
   // Filesystem permissions are the access control on Unix sockets: even
   // with require_auth=true a tokenless client is served.
   Client client = Client::connect_unix((dir_ / "auth.sock").string());
-  EXPECT_EQ(client.ping(), "ccd-serve/3");
+  EXPECT_EQ(client.ping(), "ccd-serve/4");
 }
 
 TEST(AuthOptionalTest, PlainLoopbackTcpSkipsTheHandshakeByDefault) {
@@ -179,12 +179,12 @@ TEST(AuthOptionalTest, PlainLoopbackTcpSkipsTheHandshakeByDefault) {
   // Loopback TCP without require_auth: tokenless clients are served,
   // token-bearing clients still complete the handshake.
   Client plain = Client::connect_tcp("127.0.0.1", server.tcp_port());
-  EXPECT_EQ(plain.ping(), "ccd-serve/3");
+  EXPECT_EQ(plain.ping(), "ccd-serve/4");
   ClientOptions options;
   options.auth_token = "present-but-not-required";
   Client tokened =
       Client::connect_tcp("127.0.0.1", server.tcp_port(), options);
-  EXPECT_EQ(tokened.ping(), "ccd-serve/3");
+  EXPECT_EQ(tokened.ping(), "ccd-serve/4");
 
   server.stop();
   engine.stop();

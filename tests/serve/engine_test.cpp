@@ -485,6 +485,105 @@ TEST_F(EngineTest, IngestSessionRefitsAndResumesBitwise) {
   EXPECT_EQ(engine.call(make_advance("obs", 1)).status, Status::kConfigError);
 }
 
+TEST_F(EngineTest, PolicyBackendSessionsMatchTheSimulatorAndResumeBitwise) {
+  // A session opened with a learner backend must (a) reproduce one
+  // StackelbergSimulator::run of the same config bitwise and (b) survive
+  // an engine restart mid-campaign: the learner's arm statistics ride the
+  // SCKP v3 checkpoint.
+  constexpr std::uint64_t kRounds = 16;
+  constexpr std::uint64_t kSeed = 23;
+  for (const policy::Kind kind :
+       {policy::Kind::kZoomingBandit, policy::Kind::kPostedPrice}) {
+    SCOPED_TRACE(policy::to_string(kind));
+    const std::string id = std::string("pol_") + policy::to_string(kind);
+    Request open = make_open(id, kRounds, kSeed);
+    open.open.policy = kind;
+
+    core::SimConfig ref_config;
+    ref_config.rounds = kRounds;
+    ref_config.seed = kSeed;
+    ref_config.policy.kind = kind;
+    core::StackelbergSimulator ref(core::preset_fleet(5, 2), ref_config);
+    const double ref_utility = ref.run().cumulative_requester_utility;
+
+    const std::filesystem::path backend_dir = dir_ / id;
+    std::filesystem::create_directories(backend_dir);
+    EngineConfig durable = config();
+    durable.checkpoint_dir = backend_dir.string();
+    {
+      Engine engine(durable);
+      ASSERT_EQ(engine.call(open).status, Status::kOk);
+      ASSERT_EQ(engine.call(make_advance(id, 7)).status, Status::kOk);
+    }
+    Engine engine(durable);
+    ASSERT_EQ(engine.resume_sessions().restored, 1u);
+    const Response done = engine.call(make_advance(id, kRounds));
+    ASSERT_EQ(done.status, Status::kOk) << done.message;
+    EXPECT_TRUE(done.session.finished);
+    EXPECT_EQ(done.session.cumulative_requester_utility, ref_utility);
+    expect_contracts_equal(engine.call(make_contracts(id)).contracts,
+                           ref.contracts());
+  }
+}
+
+TEST_F(EngineTest, IngestLearnerSessionResumesBitwise) {
+  // Ingest sessions with a learner backend post fresh arms every round and
+  // carry their learner state + RNG in the ISES v2 checkpoint; a restart
+  // mid-campaign (off the refit cadence) must continue bitwise.
+  constexpr std::uint64_t kWorkers = 3;
+  const auto ingest_request = [&](std::uint64_t round) {
+    Request request;
+    request.op = Op::kIngest;
+    request.session = "lobs";
+    for (std::uint64_t w = 0; w < kWorkers; ++w) {
+      IngestObservation obs;
+      obs.effort = 1.0 + 0.25 * static_cast<double>((round + w) % 5);
+      obs.feedback = 2.0 + 7.5 * obs.effort - 0.9 * obs.effort * obs.effort;
+      obs.accuracy_sample = w == 0 ? 1.6 : 0.3;
+      request.observations.push_back(obs);
+    }
+    return request;
+  };
+  Request open;
+  open.op = Op::kOpen;
+  open.session = "lobs";
+  open.open.mode = SessionMode::kIngest;
+  open.open.rounds = 0;
+  open.open.workers = kWorkers;
+  open.open.refit_every = 4;
+  open.open.policy = policy::Kind::kZoomingBandit;
+
+  std::vector<contract::Contract> reference;
+  {
+    Engine engine(config());
+    ASSERT_EQ(engine.call(open).status, Status::kOk);
+    for (std::uint64_t t = 0; t < 10; ++t) {
+      const Response r = engine.call(ingest_request(t));
+      ASSERT_EQ(r.status, Status::kOk) << r.message;
+      // Learners post every round, not just on refit boundaries.
+      EXPECT_TRUE(r.redesigned);
+    }
+    reference = engine.call(make_contracts("lobs")).contracts;
+  }
+
+  EngineConfig durable = config();
+  durable.checkpoint_dir = dir_.string();
+  {
+    Engine engine(durable);
+    ASSERT_EQ(engine.call(open).status, Status::kOk);
+    for (std::uint64_t t = 0; t < 6; ++t) {
+      ASSERT_EQ(engine.call(ingest_request(t)).status, Status::kOk);
+    }
+  }
+  Engine engine(durable);
+  ASSERT_EQ(engine.resume_sessions().restored, 1u);
+  for (std::uint64_t t = 6; t < 10; ++t) {
+    ASSERT_EQ(engine.call(ingest_request(t)).status, Status::kOk);
+  }
+  expect_contracts_equal(engine.call(make_contracts("lobs")).contracts,
+                         reference);
+}
+
 TEST_F(EngineTest, OpenValidationAndIdempotence) {
   Engine engine(config());
   EXPECT_EQ(engine.call(make_open("bad id!", 4, 1)).status,

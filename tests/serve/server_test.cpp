@@ -35,6 +35,7 @@ TEST(ProtocolCodecTest, RequestRoundTripsEveryField) {
   request.open.refit_every = 6;
   request.open.ema_alpha = 0.4;
   request.open.allow_existing = true;
+  request.open.policy = policy::Kind::kPostedPrice;
   request.advance_rounds = 3;
   request.observations = {{1.0, 9.5, 0.3}, {2.0, 14.0, 1.6}};
   request.metrics_prometheus = true;
@@ -54,6 +55,7 @@ TEST(ProtocolCodecTest, RequestRoundTripsEveryField) {
   EXPECT_EQ(got.open.refit_every, request.open.refit_every);
   EXPECT_EQ(got.open.ema_alpha, request.open.ema_alpha);
   EXPECT_EQ(got.open.allow_existing, request.open.allow_existing);
+  EXPECT_EQ(got.open.policy, request.open.policy);
   EXPECT_EQ(got.advance_rounds, request.advance_rounds);
   EXPECT_EQ(got.checkpoint_blob, request.checkpoint_blob);
   ASSERT_EQ(got.observations.size(), 2u);
@@ -142,7 +144,7 @@ TEST_F(ServerTest, UnixSocketSessionMatchesSimulatorBitwise) {
   Server server(sc, engine);
 
   Client client = Client::connect_unix(socket_path_);
-  EXPECT_EQ(client.ping(), "ccd-serve/3");
+  EXPECT_EQ(client.ping(), "ccd-serve/4");
 
   OpenParams open;
   open.rounds = kRounds;
@@ -190,7 +192,7 @@ TEST_F(ServerTest, EphemeralTcpPortServes) {
   ASSERT_GT(server.tcp_port(), 0);
 
   Client client = Client::connect_tcp("127.0.0.1", server.tcp_port());
-  EXPECT_EQ(client.ping(), "ccd-serve/3");
+  EXPECT_EQ(client.ping(), "ccd-serve/4");
   const std::string metrics = client.metrics(true);
   EXPECT_NE(metrics.find("ccd_serve_responses"), std::string::npos);
 }
@@ -252,7 +254,7 @@ TEST_F(ServerTest, CorruptFrameDropsOnlyThatConnection) {
 
   // Other connections are unaffected.
   Client client = Client::connect_unix(socket_path_);
-  EXPECT_EQ(client.ping(), "ccd-serve/3");
+  EXPECT_EQ(client.ping(), "ccd-serve/4");
 }
 
 TEST_F(ServerTest, ShutdownRequestReachesTheEngine) {

@@ -9,24 +9,32 @@
 //
 //   ccdctl design trace=<prefix>|preset=small|medium|full [mu=1.0]
 //          [strategy=dynamic|exclude|fixed] [seed=N]
-//          [policy=failfast|quarantine|fallback] [lenient_load=0|1]
+//          [policy=failfast|quarantine|fallback|bip|bandit|posted]
+//          [lenient_load=0|1]
 //          [fault_rate=0.0] [fault_seed=0] [out=<contracts.csv>]
 //       Run the full contract-design pipeline and (optionally) export the
 //       per-worker contracts. `preset` generates the bundled example trace
-//       in memory instead of loading CSVs. `policy` selects the per-stage
-//       degradation mode, `lenient_load` routes dirty CSVs through the
-//       sanitizer, and fault_rate/fault_seed arm the deterministic fault
-//       injector (chaos drills).
+//       in memory instead of loading CSVs. `policy` selects either the
+//       per-stage degradation mode (failfast|quarantine|fallback) or a
+//       contract-designer backend (bip|bandit|posted: bandit/posted replay
+//       the solved subproblems through the selected online learner and
+//       report how much of the designed utility it recovers from scratch),
+//       `lenient_load` routes dirty CSVs through the sanitizer, and
+//       fault_rate/fault_seed arm the deterministic fault injector (chaos
+//       drills).
 //
 //   ccdctl simulate [rounds=40] [workers=6] [malicious=2] [seed=1]
-//          [deadline=SECONDS] [checkpoint=FILE] [checkpoint_every=N]
-//          [resume=FILE] [threads=N]
-//       Multi-round Stackelberg simulation with a mixed fleet. `checkpoint`
-//       + `checkpoint_every` write crash-safe state every N rounds;
-//       `resume` continues a checkpointed run bitwise-identically
-//       (optionally with a larger rounds= to extend it); `deadline` bounds
-//       the wall clock — an expired run returns its completed prefix,
-//       writes a final checkpoint (when configured), and exits 6.
+//          [policy=bip|bandit|posted] [deadline=SECONDS] [checkpoint=FILE]
+//          [checkpoint_every=N] [resume=FILE] [threads=N]
+//       Multi-round Stackelberg simulation with a mixed fleet. `policy`
+//       selects the contract-designer backend (the paper's BiP, or an
+//       online learner — see src/policy); it is baked into checkpoints, so
+//       combining it with resume= is rejected. `checkpoint` +
+//       `checkpoint_every` write crash-safe state every N rounds; `resume`
+//       continues a checkpointed run bitwise-identically (optionally with a
+//       larger rounds= to extend it); `deadline` bounds the wall clock — an
+//       expired run returns its completed prefix, writes a final checkpoint
+//       (when configured), and exits 6.
 //
 //   ccdctl scenario [name=paper|sybil|adaptive|misreport|churn|mixed|all]
 //          [policy=dynamic|static|fixed|exclude|all] [overrides...]
@@ -82,11 +90,13 @@
 
 #include <unistd.h>
 
+#include "contract/worker_response.hpp"
 #include "core/checkpoint.hpp"
 #include "core/equilibrium.hpp"
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
 #include "core/stackelberg.hpp"
+#include "policy/policy.hpp"
 #include "data/analytics.hpp"
 #include "data/generator.hpp"
 #include "data/loader.hpp"
@@ -120,14 +130,17 @@ int usage() {
       "  inspect  trace=<prefix> [threshold=0.5]\n"
       "  design   trace=<prefix>|preset=small|medium|full [mu=1.0] [seed=N]\n"
       "           [strategy=dynamic|exclude|fixed]\n"
-      "           [policy=failfast|quarantine|fallback] [lenient_load=0|1]\n"
+      "           [policy=failfast|quarantine|fallback|bip|bandit|posted]\n"
+      "           [lenient_load=0|1]\n"
       "           [fault_rate=0.0] [fault_seed=0] [out=<file.csv>]\n"
       "           [deadline=SECONDS]\n"
       "  simulate [rounds=40] [workers=6] [malicious=2] [seed=1]\n"
-      "           [deadline=SECONDS] [checkpoint=FILE] [checkpoint_every=N]\n"
-      "           [resume=FILE] [threads=N]\n"
+      "           [policy=bip|bandit|posted] [deadline=SECONDS]\n"
+      "           [checkpoint=FILE] [checkpoint_every=N] [resume=FILE]\n"
+      "           [threads=N]\n"
       "  scenario [name=paper|sybil|adaptive|misreport|churn|mixed|all]\n"
-      "           [policy=dynamic|static|fixed|exclude|all] [workers=N]\n"
+      "           [policy=dynamic|static|fixed|exclude|bandit|posted|all]\n"
+      "           [workers=N]\n"
       "           [malicious=N] [communities=2,3] [sybil=N] [adaptive=0|1]\n"
       "           [misreport=0|1] [churn_arrival=F] [churn_lifetime=F]\n"
       "           [rounds=N] [seed=N] [recall_floor=0.5] [threads=N]\n"
@@ -142,7 +155,8 @@ int usage() {
       "            NAME=tcp:HOST:PORT[@CKPT_DIR]; op=retire shard=NAME)\n"
       "  submit   socket=PATH|port=N|gateway=ADDR [host=127.0.0.1]\n"
       "           session=ID [to=ROUND] [rounds=40] [workers=6]\n"
-      "           [malicious=2] [seed=1] [mu=1.0] [batch=1] [token=SECRET]\n"
+      "           [malicious=2] [seed=1] [mu=1.0] [batch=1]\n"
+      "           [policy=bip|bandit|posted] [token=SECRET]\n"
       "           [deadline=SECONDS] [out=FILE] [close=0|1]\n"
       "\n"
       "shared flags:\n"
@@ -246,7 +260,83 @@ core::FaultPolicy policy_by_name(const std::string& name) {
   if (name == "failfast") return core::FaultPolicy::fail_fast();
   if (name == "quarantine") return core::FaultPolicy::quarantine();
   if (name == "fallback") return core::FaultPolicy::fallback();
-  throw ConfigError("unknown policy '" + name + "'");
+  throw ConfigError(
+      "unknown policy '" + name +
+      "' (expected failfast|quarantine|fallback|bip|bandit|posted)");
+}
+
+/// design's policy= key is a union: the per-stage degradation modes above,
+/// or a contract-designer backend from src/policy.
+bool is_designer_policy(const std::string& name) {
+  return name == "bip" || name == "bandit" || name == "posted";
+}
+
+/// policy=bandit|posted post-pass: replay the pipeline's solved subproblems
+/// through the selected online learner — a fixed 96-round deterministic
+/// loop against exact worker best responses — and report how much of the
+/// designed (BiP) utility the learner recovers from scratch.
+void design_policy_refinement(const core::PipelineResult& result,
+                              policy::Kind kind) {
+  std::vector<policy::WorkerView> views;
+  double designed = 0.0;
+  for (const core::SubproblemOutcome& sub : result.subproblems) {
+    if (sub.design.contract.is_zero()) continue;
+    policy::WorkerView view;
+    view.psi = sub.spec.psi;
+    view.beta = sub.spec.incentives.beta;
+    view.omega = sub.spec.incentives.omega;
+    view.weight = sub.spec.weight;
+    view.mu = sub.spec.mu;
+    view.intervals = sub.spec.intervals;
+    views.push_back(view);
+    designed += sub.design.requester_utility;
+  }
+  if (views.empty()) {
+    std::printf("online refinement (%s): no solved subproblems to refine\n",
+                policy::to_string(kind));
+    return;
+  }
+  const std::size_t n = views.size();
+  policy::PolicyConfig config;
+  config.kind = kind;
+  const std::unique_ptr<policy::Policy> learner = policy::make_policy(config);
+  util::Rng rng(17);
+  std::vector<contract::Contract> contracts(n);
+  constexpr std::size_t kRounds = 96;
+  const std::size_t window = kRounds / 4;
+  double early = 0.0;
+  double late = 0.0;
+  for (std::size_t t = 0; t < kRounds; ++t) {
+    policy::PostEnv env;
+    learner->post(t, true, views, contracts, rng, env);
+    std::vector<policy::RoundOutcome> outcomes(n);
+    double round_utility = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      contract::WorkerIncentives inc;
+      inc.beta = views[i].beta;
+      inc.omega = views[i].omega;
+      const contract::BestResponse response =
+          contract::best_response(contracts[i], views[i].psi, inc);
+      outcomes[i].active = true;
+      outcomes[i].feedback = response.feedback;
+      outcomes[i].reward = views[i].weight * response.feedback -
+                           views[i].mu * response.compensation;
+      round_utility += outcomes[i].reward;
+    }
+    learner->observe(t, outcomes, rng);
+    if (t < window) early += round_utility;
+    if (t >= kRounds - window) late += round_utility;
+  }
+  std::printf(
+      "online refinement (%s, %zu rounds, %zu worker(s)): per-round utility "
+      "%.3f (first quarter) -> %.3f (last quarter), designed bip %.3f "
+      "(%.1f%% recovered)\n",
+      policy::to_string(kind), kRounds, n,
+      early / static_cast<double>(window),
+      late / static_cast<double>(window), designed,
+      designed > 0.0
+          ? 100.0 * (late / static_cast<double>(window)) / designed
+          : 0.0);
 }
 
 core::PricingStrategy strategy_by_name(const std::string& name) {
@@ -315,7 +405,10 @@ int cmd_design(const util::ParamMap& params) {
   core::PipelineConfig config;
   config.requester.mu = mu;
   config.strategy = strategy_by_name(strategy);
-  config.faults = policy_by_name(policy);
+  // Designer-backend names keep the default fail-fast fault handling; the
+  // learner pass runs after the pipeline.
+  config.faults = is_designer_policy(policy) ? core::FaultPolicy::fail_fast()
+                                             : policy_by_name(policy);
 
   util::CancellationToken cancel_token;
   if (has_deadline) {
@@ -372,6 +465,9 @@ int cmd_design(const util::ParamMap& params) {
               audit.audited, audit.subproblems,
               audit.clean() ? "all IC/IR clean" : "VIOLATIONS FOUND",
               audit.max_worker_regret, audit.min_participation_margin);
+  if (is_designer_policy(policy) && policy != "bip") {
+    design_policy_refinement(result, policy::kind_from_string(policy));
+  }
   if (!out.empty()) {
     export_contracts(result, out);
     std::printf("wrote per-worker contracts to %s\n", out.c_str());
@@ -400,9 +496,17 @@ int cmd_simulate(const util::ParamMap& params) {
       static_cast<std::size_t>(params.get_int("checkpoint_every", 0));
   const std::string resume_path = params.get_string("resume", "");
   const auto threads = static_cast<std::size_t>(params.get_int("threads", 0));
+  const bool has_policy = params.contains("policy");
+  const std::string policy_name = params.get_string("policy", "bip");
   params.assert_all_consumed();
   if (n_malicious > n_workers) {
     std::fprintf(stderr, "simulate: malicious > workers\n");
+    return 2;
+  }
+  if (has_policy && !resume_path.empty()) {
+    std::fprintf(stderr,
+                 "simulate: policy= is baked into the checkpoint and cannot "
+                 "be combined with resume=\n");
     return 2;
   }
   if (checkpoint_every > 0 && checkpoint_path.empty()) {
@@ -443,6 +547,7 @@ int cmd_simulate(const util::ParamMap& params) {
     config.checkpoint_path = checkpoint_path;
     config.checkpoint_every = checkpoint_every;
     config.threads = threads;
+    config.policy.kind = policy::kind_from_string(policy_name);
     result = core::StackelbergSimulator(fleet, config).run(cancel);
   }
 
@@ -739,6 +844,7 @@ int cmd_submit(const util::ParamMap& params) {
   open.malicious = static_cast<std::uint64_t>(params.get_int("malicious", 2));
   open.seed = static_cast<std::uint64_t>(params.get_int("seed", 1));
   open.mu = params.get_double("mu", 1.0);
+  open.policy = policy::kind_from_string(params.get_string("policy", "bip"));
   open.allow_existing = true;  // idempotent: re-attach after interruption
 
   serve::Client client = connect_client(params);
